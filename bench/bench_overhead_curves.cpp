@@ -1,0 +1,40 @@
+// Regenerates the paper's closed-form curves:
+//  * Eq. (10): f(Φk) vs k,
+//  * Corollary 1: γ^{Φk}(I) vs k and vs f — the continuum between wire
+//    cutting (γ = 3) and teleportation (γ = 1),
+//  * the pair-consumption weight 1/f of Sec. III.
+#include <cstdio>
+
+#include "qcut/common/csv.hpp"
+#include "qcut/core/continuum.hpp"
+#include "qcut/core/overhead.hpp"
+#include "qcut/ent/measures.hpp"
+
+int main() {
+  using qcut::Real;
+
+  std::printf("=== Eq. (10) & Corollary 1: the wire-cutting <-> teleportation continuum ===\n\n");
+  std::printf("%8s %10s %12s %12s %14s\n", "k", "f(Phi_k)", "gamma(I)", "shots~k^2", "pairs 1/f");
+  qcut::CsvWriter csv("overhead_curves.csv", {"k", "f", "gamma", "shots_rel", "pairs_weight"});
+  for (int i = 0; i <= 40; ++i) {
+    const Real k = static_cast<Real>(i) / 40.0;
+    const Real f = qcut::f_phi_k(k);
+    const Real gamma = qcut::optimal_overhead_phi_k(k);
+    std::printf("%8.3f %10.5f %12.5f %12.5f %14.5f\n", k, f, gamma, gamma * gamma, 1.0 / f);
+    csv.row(std::vector<Real>{k, f, gamma, gamma * gamma, 1.0 / f});
+  }
+
+  std::printf("\nEndpoints: gamma(k=0) = %.4f (optimal entanglement-free cut, Brenner et al.)\n",
+              qcut::optimal_overhead_phi_k(0.0));
+  std::printf("           gamma(k=1) = %.4f (quantum teleportation)\n",
+              qcut::optimal_overhead_phi_k(1.0));
+
+  std::printf("\n=== Theorem 1 sampled on the f axis ===\n");
+  std::printf("%8s %8s %10s %14s %18s\n", "f", "k", "gamma", "rel. shots", "pairs/sample");
+  for (const auto& p : qcut::continuum_sweep(11)) {
+    std::printf("%8.3f %8.4f %10.5f %14.5f %18.5f\n", p.f, p.k, p.kappa, p.shots_rel,
+                p.pairs_per_sample);
+  }
+  std::printf("\nwrote overhead_curves.csv\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Entangled-pair consumption (Sec. III, final paragraph): the number of |Φk⟩
+// pairs consumed per QPD sample is 2a/κ with 2a = ⟨Φ|Φk|Φ⟩⁻¹ = 1/f; pairs
+// needed for fixed accuracy scale as (κ²/ε²)·(2a/κ) = 2aκ/ε².
+// We measure pair usage empirically from the estimator bookkeeping and print
+// it against the closed form.
+#include <cmath>
+#include <cstdio>
+
+#include "qcut/common/cli.hpp"
+#include "qcut/common/csv.hpp"
+#include "qcut/core/overhead.hpp"
+#include "qcut/cut/nme_cut.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/qpd/estimator.hpp"
+
+int main(int argc, char** argv) {
+  using qcut::Real;
+  qcut::Cli cli(argc, argv);
+  const std::uint64_t shots = static_cast<std::uint64_t>(cli.get_int("shots", 40000));
+
+  std::printf("=== Pair consumption of the Theorem-2 cut ===\n\n");
+  std::printf("%8s %8s %14s %14s %16s %18s\n", "f", "k", "pairs/sample", "measured", "2a = 1/f",
+              "pairs for eps=0.05");
+  qcut::CsvWriter csv("pair_consumption.csv",
+                      {"f", "k", "pairs_per_sample_theory", "pairs_per_sample_measured",
+                       "pair_weight", "pairs_for_eps005"});
+
+  for (Real f : {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    const Real k = qcut::k_for_overlap(f);
+    const qcut::NmeCut proto(k);
+    qcut::Rng rng(7, static_cast<std::uint64_t>(f * 100));
+    qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
+    const qcut::Qpd qpd = proto.build_qpd(input);
+    const auto probs = qcut::exact_term_prob_one(qpd);
+    const auto res = qcut::estimate_sampled_fast(qpd, probs, shots, rng);
+
+    const Real theory = qcut::expected_pairs_per_sample_phi_k(k);
+    const Real measured = static_cast<Real>(res.entangled_pairs_used) / static_cast<Real>(shots);
+    const Real weight = qcut::pair_consumption_weight(k);
+    const Real eps = 0.05;
+    const Real pairs_for_eps =
+        qcut::shots_for_accuracy(proto.kappa(), eps) * theory;  // 2aκ/ε²
+    std::printf("%8.2f %8.4f %14.5f %14.5f %16.5f %18.1f\n", f, k, theory, measured, weight,
+                pairs_for_eps);
+    csv.row(std::vector<Real>{f, k, theory, measured, weight, pairs_for_eps});
+  }
+  std::printf(
+      "\nExpected: measured matches theory; pairs/sample RISES with f while pairs needed for\n"
+      "fixed accuracy FALLS with f (fewer total samples dominate) — the paper's trade-off.\n");
+  std::printf("wrote pair_consumption.csv\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: shot-allocation rules. The paper distributes the budget across
+// subcircuits proportionally to |c_i| (Sec. IV); we compare that against
+// largest-remainder rounding and Neyman allocation (which uses the exact
+// per-term outcome variances — the statistically optimal split).
+#include <cmath>
+#include <cstdio>
+
+#include "qcut/common/cli.hpp"
+#include "qcut/common/csv.hpp"
+#include "qcut/common/stats.hpp"
+#include "qcut/cut/nme_cut.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/qpd/estimator.hpp"
+
+int main(int argc, char** argv) {
+  using qcut::Real;
+  qcut::Cli cli(argc, argv);
+  const int n_states = static_cast<int>(cli.get_int("states", 250));
+  const Real f = cli.get_real("f", 0.7);
+  const Real k = qcut::k_for_overlap(f);
+  const qcut::NmeCut proto(k);
+
+  std::printf("=== Shot allocation ablation at f = %.2f (kappa = %.4f) ===\n\n", f,
+              proto.kappa());
+  std::printf("%8s %-18s %12s %10s\n", "shots", "rule", "mean_error", "sem");
+  qcut::CsvWriter csv("shot_alloc.csv", {"shots", "rule", "mean_error", "sem"});
+
+  const std::vector<std::pair<qcut::AllocRule, const char*>> rules = {
+      {qcut::AllocRule::kProportional, "proportional"},
+      {qcut::AllocRule::kLargestRemainder, "largest-remainder"},
+      {qcut::AllocRule::kNeyman, "neyman"},
+  };
+
+  for (std::uint64_t shots : {200ULL, 1000ULL, 5000ULL}) {
+    for (const auto& [rule, label] : rules) {
+      qcut::RunningStats err;
+      for (int s = 0; s < n_states; ++s) {
+        qcut::Rng rng(808, static_cast<std::uint64_t>(s));
+        qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
+        const Real exact = qcut::uncut_expectation(input);
+        const qcut::Qpd qpd = proto.build_qpd(input);
+        const auto probs = qcut::exact_term_prob_one(qpd);
+
+        qcut::EstimationResult res;
+        if (rule == qcut::AllocRule::kNeyman) {
+          // Neyman needs per-term outcome std deviations: σ_i = 2√(p(1−p)).
+          std::vector<Real> sigmas;
+          std::vector<Real> weights;
+          for (std::size_t i = 0; i < qpd.size(); ++i) {
+            sigmas.push_back(2.0 * std::sqrt(probs[i] * (1.0 - probs[i])));
+            weights.push_back(std::abs(qpd.terms()[i].coefficient));
+          }
+          const auto alloc = qcut::allocate_shots(weights, shots, rule, &sigmas);
+          // Recombine manually with the custom allocation.
+          Real estimate = 0.0;
+          for (std::size_t i = 0; i < qpd.size(); ++i) {
+            if (alloc[i] == 0) {
+              continue;
+            }
+            const std::uint64_t ones = rng.binomial(alloc[i], probs[i]);
+            estimate += qpd.terms()[i].coefficient *
+                        (1.0 - 2.0 * static_cast<Real>(ones) / static_cast<Real>(alloc[i]));
+          }
+          res.estimate = estimate;
+        } else {
+          res = qcut::estimate_allocated_fast(qpd, probs, shots, rng, rule);
+        }
+        err.add(std::abs(res.estimate - exact));
+      }
+      std::printf("%8llu %-18s %12.6f %10.6f\n", static_cast<unsigned long long>(shots), label,
+                  err.mean(), err.sem());
+      csv.row(std::vector<std::string>{std::to_string(shots), label,
+                                       qcut::format_real(err.mean()),
+                                       qcut::format_real(err.sem())});
+    }
+  }
+  std::printf(
+      "\nExpected: proportional (the paper's rule) and largest-remainder agree; Neyman is\n"
+      "equal or slightly better since it exploits per-term variances.\n");
+  std::printf("wrote shot_alloc.csv\n");
+  return 0;
+}

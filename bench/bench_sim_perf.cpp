@@ -1,0 +1,112 @@
+// Engine micro-benchmarks (google-benchmark): statevector gate throughput,
+// shot execution of the Theorem-2 fragment circuits, exact branch
+// enumeration, and end-to-end estimation. These document the substrate cost
+// of the experiment harness (DESIGN.md row "engine perf").
+#include <benchmark/benchmark.h>
+
+#include "qcut/cut/nme_cut.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/qpd/estimator.hpp"
+#include "qcut/sim/executor.hpp"
+#include "qcut/sim/gates.hpp"
+#include "qcut/sim/statevector.hpp"
+
+namespace {
+
+void BM_SingleQubitGate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qcut::Rng rng(1);
+  qcut::Statevector sv(n, qcut::random_statevector(qcut::Index{1} << n, rng));
+  const qcut::Matrix h = qcut::gates::h();
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply(h, {q});
+    q = (q + 1) % n;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * (qcut::Index{1} << n));
+}
+BENCHMARK(BM_SingleQubitGate)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_TwoQubitGate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qcut::Rng rng(2);
+  qcut::Statevector sv(n, qcut::random_statevector(qcut::Index{1} << n, rng));
+  const qcut::Matrix cx = qcut::gates::cx();
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply(cx, {q, (q + 1) % n});
+    q = (q + 1) % n;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * (qcut::Index{1} << n));
+}
+BENCHMARK(BM_TwoQubitGate)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_NmeFragmentShot(benchmark::State& state) {
+  // One stochastic shot of a Theorem-2 teleport fragment (3 qubits, 2
+  // measurements, feed-forward).
+  qcut::Rng rng(3);
+  const qcut::NmeCut proto(0.6);
+  const qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
+  const qcut::Qpd qpd = proto.build_qpd(input);
+  const qcut::Circuit& c = qpd.terms()[0].circuit;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qcut::run_shot(c, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NmeFragmentShot);
+
+void BM_BranchEnumeration(benchmark::State& state) {
+  qcut::Rng rng(4);
+  const qcut::NmeCut proto(0.6);
+  const qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
+  const qcut::Qpd qpd = proto.build_qpd(input);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qcut::exact_term_prob_one(qpd));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchEnumeration);
+
+void BM_EstimateAllocatedFast(benchmark::State& state) {
+  const std::uint64_t shots = static_cast<std::uint64_t>(state.range(0));
+  qcut::Rng rng(5);
+  const qcut::NmeCut proto(0.6);
+  const qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
+  const qcut::Qpd qpd = proto.build_qpd(input);
+  const auto probs = qcut::exact_term_prob_one(qpd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qcut::estimate_allocated_fast(qpd, probs, shots, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * shots);
+}
+BENCHMARK(BM_EstimateAllocatedFast)->Arg(1000)->Arg(5000);
+
+void BM_EstimateAllocatedSlow(benchmark::State& state) {
+  // Full per-shot statevector path, for the fast/slow cost ratio.
+  const std::uint64_t shots = static_cast<std::uint64_t>(state.range(0));
+  qcut::Rng rng(6);
+  const qcut::NmeCut proto(0.6);
+  const qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
+  const qcut::Qpd qpd = proto.build_qpd(input);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qcut::estimate_allocated(qpd, shots, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * shots);
+}
+BENCHMARK(BM_EstimateAllocatedSlow)->Arg(200);
+
+void BM_HaarUnitary(benchmark::State& state) {
+  const qcut::Index n = state.range(0);
+  qcut::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qcut::haar_unitary(n, rng));
+  }
+}
+BENCHMARK(BM_HaarUnitary)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

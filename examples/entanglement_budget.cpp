@@ -1,0 +1,37 @@
+// Entanglement budgeting: given a stock of |Φk⟩ pairs at quality f and a
+// target accuracy ε, how many shots does the Theorem-2 cut need, how many
+// pairs will it burn, and is the plan feasible?
+//
+// This demonstrates the practical content of the continuum (Sec. III): more
+// entanglement per pair means fewer shots AND fewer pairs for the same
+// accuracy, because shot count falls as κ² while pair use per shot only
+// rises as 1/f.
+#include <cstdio>
+
+#include "qcut/common/cli.hpp"
+#include "qcut/core/continuum.hpp"
+#include "qcut/core/overhead.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qcut;
+  Cli cli(argc, argv);
+  const Real epsilon = cli.get_real("epsilon", 0.02);
+  const Real budget = cli.get_real("pairs", 5000.0);
+
+  std::printf("target accuracy epsilon = %.3f, available pairs = %.0f\n\n", epsilon, budget);
+  std::printf("%8s %8s %10s %14s %14s %10s\n", "f", "k", "kappa", "shots needed", "pairs needed",
+              "feasible");
+
+  for (const ContinuumPoint& p : continuum_sweep(11)) {
+    const BudgetPlan plan = plan_budget(p.f, epsilon, budget);
+    std::printf("%8.3f %8.4f %10.4f %14.0f %14.1f %10s\n", p.f, p.k, p.kappa, plan.shots_needed,
+                plan.pairs_needed, plan.feasible ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nReading the table: at f = 0.5 the cut needs kappa^2/eps^2 shots but consumes only\n"
+      "'useless' pairs (teleporting with a product state); at f = 1.0 every shot teleports\n"
+      "and the total pair bill is minimal. Intermediate f trades pair quality for shot count\n"
+      "continuously — the continuum the paper establishes.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Teleportation with non-maximally entangled resources, and how wire cutting
+// repairs it.
+//
+// Plain teleportation through |Φk⟩ applies a Pauli-Z error with probability
+// (k−1)²/(2(k²+1)) (Eqs. 55-59), degrading the fidelity below 1 — the
+// textbook result that NME states "cannot be used" for exact teleportation.
+// The Theorem-2 cut removes that bias entirely at the cost of sampling
+// overhead: we show the raw teleportation fidelity next to the (unbiased)
+// cut estimate of the same observable.
+#include <cmath>
+#include <cstdio>
+
+#include "qcut/common/cli.hpp"
+#include "qcut/cut/nme_cut.hpp"
+#include "qcut/ent/measures.hpp"
+#include "qcut/cut/teleportation.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/qpd/estimator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qcut;
+  Cli cli(argc, argv);
+  const int n_states = static_cast<int>(cli.get_int("states", 200));
+
+  std::printf("raw teleportation through |Phi_k> vs the Theorem-2 cut\n");
+  std::printf("(%d Haar-random single-qubit inputs)\n\n", n_states);
+  std::printf("%8s %8s %16s %18s %20s\n", "k", "f", "avg fidelity", "avg <X> bias (raw)",
+              "avg <X> bias (cut)");
+
+  for (Real k : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const Matrix res_rho = phi_k_density(k);
+    const Channel tel = teleport_channel(res_rho);
+    const NmeCut cut(k);
+
+    Real fid_acc = 0.0, raw_bias = 0.0, cut_bias = 0.0;
+    for (int s = 0; s < n_states; ++s) {
+      Rng rng(31415, static_cast<std::uint64_t>(s));
+      const Matrix w = haar_unitary(2, rng);
+      const Vector psi = w * basis_vector(2, 0);
+
+      // Raw teleportation: fidelity, and the systematic error on <X> (the
+      // resource's Pauli-Z errors flip X/Y expectations; <Z> itself commutes
+      // with the error and would hide the bias).
+      fid_acc += teleport_fidelity(psi, res_rho);
+      const Matrix out = tel.apply(density(psi));
+      const Real x_exact = expectation(pauli_x(), density(psi)).real();
+      raw_bias += std::abs(expectation(pauli_x(), out).real() - x_exact);
+
+      // Theorem-2 cut: the estimator's *expectation* is exactly <X> — the
+      // bias is zero by construction (we evaluate it exactly, no sampling).
+      const CutInput input{w, 'X'};
+      cut_bias += std::abs(exact_value(cut.build_qpd(input)) - x_exact);
+    }
+    std::printf("%8.2f %8.4f %16.6f %18.6f %20.2e\n", k, f_phi_k(k), fid_acc / n_states,
+                raw_bias / n_states, cut_bias / n_states);
+  }
+
+  std::printf(
+      "\nRaw NME teleportation is biased (fidelity < 1) for k < 1; the Theorem-2 cut is\n"
+      "exactly unbiased for every k — the price is sampling overhead, not accuracy.\n");
+  return 0;
+}

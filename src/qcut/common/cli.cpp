@@ -1,0 +1,55 @@
+#include "qcut/common/cli.hpp"
+
+#include <cstdlib>
+
+namespace qcut {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // --key value (if the next token is not another option), else --flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[i + 1];
+      ++i;
+    } else {
+      options_[body] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+Real Cli::get_real(const std::string& key, Real def) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) {
+    return def;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace qcut

@@ -1,0 +1,34 @@
+// Tiny command-line option parser for benches and examples.
+//
+// Supports --flag, --key value and --key=value. Unknown arguments are kept
+// (google-benchmark consumes its own flags from the same argv).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qcut/common/types.hpp"
+
+namespace qcut {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  Real get_real(const std::string& key, Real def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// argv entries not parsed as --options (including argv[0]).
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qcut

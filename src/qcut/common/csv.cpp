@@ -1,0 +1,39 @@
+#include "qcut/common/csv.hpp"
+
+#include <sstream>
+
+#include "qcut/common/error.hpp"
+
+namespace qcut {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  QCUT_CHECK(out_.good(), "CsvWriter: cannot open " + path);
+  QCUT_CHECK(!header.empty(), "CsvWriter: empty header");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out_ << header[i] << (i + 1 < header.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::row(const std::vector<Real>& values) {
+  QCUT_CHECK(values.size() == columns_, "CsvWriter: column count mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << format_real(values[i]) << (i + 1 < values.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  QCUT_CHECK(values.size() == columns_, "CsvWriter: column count mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << values[i] << (i + 1 < values.size() ? "," : "\n");
+  }
+}
+
+std::string format_real(Real x) {
+  std::ostringstream os;
+  os.precision(12);
+  os << x;
+  return os.str();
+}
+
+}  // namespace qcut

@@ -1,0 +1,34 @@
+// Minimal CSV emission for the benchmark harness. Benches print the paper's
+// data series both as human-readable tables (stdout) and machine-readable CSV
+// files so the figures can be replotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "qcut/common/types.hpp"
+
+namespace qcut {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends a row; the column count must match the header.
+  void row(const std::vector<Real>& values);
+  void row(const std::vector<std::string>& values);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Formats a Real with enough digits to round-trip.
+std::string format_real(Real x);
+
+}  // namespace qcut

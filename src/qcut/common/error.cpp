@@ -1,0 +1,24 @@
+#include "qcut/common/error.hpp"
+
+#include <sstream>
+
+namespace qcut {
+
+void throw_error(const char* /*file*/, int /*line*/, const std::string& msg) {
+  throw Error(msg);
+}
+
+namespace detail {
+
+std::string format_check_failure(const char* cond, const char* file, int line,
+                                 const std::string& msg) {
+  std::ostringstream os;
+  os << "qcut check failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace qcut

@@ -1,0 +1,44 @@
+// Error handling: a single exception type plus check macros.
+//
+// The library throws qcut::Error for all contract violations (bad dimensions,
+// invalid qubit indices, non-normalized inputs, ...). Hot loops use
+// QCUT_DCHECK which compiles out in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qcut {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+
+namespace detail {
+std::string format_check_failure(const char* cond, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace qcut
+
+/// Always-on invariant check. Throws qcut::Error on failure.
+#define QCUT_CHECK(cond, msg)                                                       \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      ::qcut::throw_error(__FILE__, __LINE__,                                       \
+                          ::qcut::detail::format_check_failure(#cond, __FILE__,     \
+                                                               __LINE__, (msg)));   \
+    }                                                                               \
+  } while (false)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define QCUT_DCHECK(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define QCUT_DCHECK(cond, msg) QCUT_CHECK(cond, msg)
+#endif

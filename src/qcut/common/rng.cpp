@@ -1,0 +1,224 @@
+#include "qcut/common/rng.hpp"
+
+#include <cmath>
+
+#include "qcut/common/error.hpp"
+
+namespace qcut {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = splitmix64_next(sm);
+  }
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream id into the seed with a strong finalizer, then expand.
+  std::uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  sm = splitmix64_next(sm) ^ stream;
+  for (auto& s : s_) {
+    s = splitmix64_next(sm);
+  }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Rng::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (void)(*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Real Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<Real>((*this)() >> 11) * 0x1.0p-53;
+}
+
+Real Rng::uniform(Real lo, Real hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) noexcept {
+  if (n == 0) {
+    return 0;
+  }
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Real Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  Real u1 = uniform();
+  Real u2 = uniform();
+  // Guard against log(0).
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const Real r = std::sqrt(-2.0 * std::log(u1));
+  const Real theta = 2.0 * kPi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::bernoulli(Real p) noexcept {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return uniform() < p;
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, Real p) noexcept {
+  if (p <= 0.0 || n == 0) {
+    return 0;
+  }
+  if (p >= 1.0) {
+    return n;
+  }
+  // Work with q = min(p, 1-p) and flip at the end.
+  const bool flipped = p > 0.5;
+  const Real q = flipped ? 1.0 - p : p;
+
+  std::uint64_t count = 0;
+  if (static_cast<Real>(n) * q < 30.0) {
+    // Geometric-skip ("second waiting time") method: expected O(n·q)
+    // iterations. Each jump is a Geometric(q) waiting time >= 1.
+    const Real log1mq = std::log1p(-q);
+    std::uint64_t sum = 0;
+    while (true) {
+      Real u = uniform();
+      while (u <= 0.0) {
+        u = uniform();
+      }
+      const Real wait = std::floor(std::log(u) / log1mq) + 1.0;
+      if (wait > static_cast<Real>(n)) {  // certainly past the end
+        break;
+      }
+      sum += static_cast<std::uint64_t>(wait);
+      if (sum > n) {
+        break;
+      }
+      ++count;
+      if (count >= n) {
+        count = n;
+        break;
+      }
+    }
+  } else {
+    // Normal approximation with continuity correction, clamped and
+    // stochastically rounded; bias is negligible at n·q >= 30 for our use
+    // (estimating means, not tail probabilities).
+    const Real mean = static_cast<Real>(n) * q;
+    const Real sd = std::sqrt(mean * (1.0 - q));
+    Real x = mean + sd * normal();
+    if (x < 0.0) {
+      x = 0.0;
+    }
+    if (x > static_cast<Real>(n)) {
+      x = static_cast<Real>(n);
+    }
+    const Real fl = std::floor(x);
+    count = static_cast<std::uint64_t>(fl) + (bernoulli(x - fl) ? 1 : 0);
+    if (count > n) {
+      count = n;
+    }
+  }
+  return flipped ? n - count : count;
+}
+
+std::size_t Rng::categorical(const std::vector<Real>& weights) noexcept {
+  Real total = 0.0;
+  for (Real w : weights) {
+    total += (w > 0.0 ? w : 0.0);
+  }
+  if (total <= 0.0) {
+    return 0;
+  }
+  Real r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const Real w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (r < w) {
+      return i;
+    }
+    r -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::uint64_t> multinomial(Rng& rng, std::uint64_t n,
+                                       const std::vector<Real>& probs) {
+  QCUT_CHECK(!probs.empty(), "multinomial needs at least one category");
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  Real remaining_p = 0.0;
+  for (Real p : probs) {
+    QCUT_CHECK(p >= -kTightTol, "multinomial probabilities must be non-negative");
+    remaining_p += (p > 0.0 ? p : 0.0);
+  }
+  std::uint64_t remaining_n = n;
+  for (std::size_t i = 0; i + 1 < probs.size() && remaining_n > 0; ++i) {
+    const Real p = probs[i] > 0.0 ? probs[i] : 0.0;
+    const Real cond = remaining_p > 0.0 ? p / remaining_p : 0.0;
+    const std::uint64_t c = rng.binomial(remaining_n, cond > 1.0 ? 1.0 : cond);
+    counts[i] = c;
+    remaining_n -= c;
+    remaining_p -= p;
+  }
+  counts.back() += remaining_n;
+  return counts;
+}
+
+}  // namespace qcut

@@ -1,0 +1,110 @@
+#include "qcut/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qcut/common/error.hpp"
+
+namespace qcut {
+
+void RunningStats::add(Real x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const Real delta = x - mean_;
+  mean_ += delta / static_cast<Real>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const Real delta = other.mean_ - mean_;
+  const std::size_t n = n_ + other.n_;
+  const Real na = static_cast<Real>(n_);
+  const Real nb = static_cast<Real>(other.n_);
+  mean_ += delta * nb / static_cast<Real>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<Real>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
+Real RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<Real>(n_ - 1) : 0.0;
+}
+
+Real RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Real RunningStats::sem() const noexcept {
+  return n_ >= 2 ? stddev() / std::sqrt(static_cast<Real>(n_)) : 0.0;
+}
+
+void WeightedStats::add(Real value, Real weight) noexcept { stats_.add(value * weight); }
+
+LinearFit linear_fit(const std::vector<Real>& x, const std::vector<Real>& y) {
+  QCUT_CHECK(x.size() == y.size(), "linear_fit: size mismatch");
+  QCUT_CHECK(x.size() >= 2, "linear_fit: need at least two points");
+  const Real n = static_cast<Real>(x.size());
+  Real sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const Real mx = sx / n;
+  const Real my = sy / n;
+  Real sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Real dx = x[i] - mx;
+    const Real dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  fit.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    const Real ss_res = syy - fit.slope * sxy;
+    fit.r_squared = 1.0 - ss_res / syy;
+  } else {
+    fit.r_squared = 1.0;
+  }
+  return fit;
+}
+
+Histogram::Histogram(Real lo, Real hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  QCUT_CHECK(hi > lo, "Histogram: hi must exceed lo");
+  QCUT_CHECK(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(Real x) noexcept {
+  const Real t = (x - lo_) / (hi_ - lo_) * static_cast<Real>(counts_.size());
+  std::int64_t b = static_cast<std::int64_t>(std::floor(t));
+  b = std::clamp<std::int64_t>(b, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  QCUT_CHECK(i < counts_.size(), "Histogram: bin out of range");
+  return counts_[i];
+}
+
+Real Histogram::bin_lo(std::size_t i) const {
+  QCUT_CHECK(i < counts_.size(), "Histogram: bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<Real>(i) / static_cast<Real>(counts_.size());
+}
+
+Real Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + (hi_ - lo_) / static_cast<Real>(counts_.size()); }
+
+}  // namespace qcut

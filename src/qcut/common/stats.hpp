@@ -1,0 +1,83 @@
+// Streaming statistics used by the Monte-Carlo estimator and the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qcut/common/types.hpp"
+
+namespace qcut {
+
+/// Welford online mean/variance accumulator. Numerically stable; supports
+/// merging partial accumulators from parallel workers (Chan et al.).
+class RunningStats {
+ public:
+  void add(Real x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  Real mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  Real variance() const noexcept;
+  Real stddev() const noexcept;
+  /// Standard error of the mean.
+  Real sem() const noexcept;
+  Real min() const noexcept { return min_; }
+  Real max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  Real mean_ = 0.0;
+  Real m2_ = 0.0;
+  Real min_ = 0.0;
+  Real max_ = 0.0;
+};
+
+/// Weighted accumulator for quasiprobability estimates: each sample carries a
+/// signed weight; tracks the weighted sum and the variance of the weighted
+/// samples, matching the estimator of Eq. (12) in the paper.
+class WeightedStats {
+ public:
+  void add(Real value, Real weight) noexcept;
+
+  std::size_t count() const noexcept { return stats_.count(); }
+  /// Monte-Carlo estimate: mean of weight*value samples.
+  Real estimate() const noexcept { return stats_.mean(); }
+  Real variance() const noexcept { return stats_.variance(); }
+  Real sem() const noexcept { return stats_.sem(); }
+
+ private:
+  RunningStats stats_;
+};
+
+/// Ordinary least squares fit y = a + b*x, with R^2. Used by the κ-scaling
+/// bench to fit log(error) against log(shots).
+struct LinearFit {
+  Real intercept = 0.0;
+  Real slope = 0.0;
+  Real r_squared = 0.0;
+};
+
+LinearFit linear_fit(const std::vector<Real>& x, const std::vector<Real>& y);
+
+/// Simple fixed-width histogram over [lo, hi); out-of-range samples clamp to
+/// the edge bins. Used by diagnostics and tests of sampler correctness.
+class Histogram {
+ public:
+  Histogram(Real lo, Real hi, std::size_t bins);
+
+  void add(Real x) noexcept;
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  Real bin_lo(std::size_t i) const;
+  Real bin_hi(std::size_t i) const;
+
+ private:
+  Real lo_;
+  Real hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace qcut

@@ -1,0 +1,57 @@
+// A small fixed-size thread pool with a parallel_for convenience wrapper.
+//
+// The benchmark harness distributes Monte-Carlo trials across the pool; each
+// task derives its own Rng stream from (seed, task index), so the numerical
+// results are identical for any pool size, including size 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qcut {
+
+class ThreadPool {
+ public:
+  /// Creates `n_threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(i) for i in [begin, end) across the pool and waits for all.
+  /// Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: body(chunk_begin, chunk_end). Reduces per-task overhead
+  /// when the per-index work is tiny.
+  void parallel_for_chunked(std::size_t begin, std::size_t end, std::size_t chunk,
+                            const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool (lazily constructed, sized to hardware).
+ThreadPool& global_pool();
+
+}  // namespace qcut

@@ -1,0 +1,45 @@
+// Fundamental scalar types used throughout qcut.
+//
+// All quantum amplitudes are double-precision complex numbers. Indices into
+// state vectors are 64-bit so that >32-qubit bookkeeping does not silently
+// overflow (the engines themselves cap out far earlier for memory reasons).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace qcut {
+
+using Real = double;
+using Cplx = std::complex<Real>;
+
+using Index = std::int64_t;
+using UIndex = std::uint64_t;
+
+inline constexpr Cplx kI{0.0, 1.0};
+inline constexpr Real kPi = 3.14159265358979323846264338327950288;
+inline constexpr Real kSqrt2 = 1.41421356237309504880168872420969808;
+inline constexpr Real kInvSqrt2 = 1.0 / kSqrt2;
+
+/// Default absolute tolerance for "exact" algebraic identities that are only
+/// limited by double rounding (e.g. QPD reconstruction checks).
+inline constexpr Real kTightTol = 1e-10;
+
+/// Looser tolerance for iterative decompositions (Jacobi sweeps etc.).
+inline constexpr Real kDecompTol = 1e-9;
+
+/// Squared magnitude, |z|^2, without the sqrt detour of std::abs.
+inline Real norm2(Cplx z) noexcept { return z.real() * z.real() + z.imag() * z.imag(); }
+
+/// True when |z| is numerically zero at tolerance `tol`.
+inline bool is_zero(Cplx z, Real tol = kTightTol) noexcept { return norm2(z) <= tol * tol; }
+
+/// True when |a-b| <= tol.
+inline bool approx_eq(Cplx a, Cplx b, Real tol = kTightTol) noexcept { return is_zero(a - b, tol); }
+inline bool approx_eq(Real a, Real b, Real tol = kTightTol) noexcept {
+  Real d = a - b;
+  return (d < 0 ? -d : d) <= tol;
+}
+
+}  // namespace qcut

@@ -1,0 +1,41 @@
+#include "qcut/core/continuum.hpp"
+
+#include "qcut/common/error.hpp"
+#include "qcut/core/overhead.hpp"
+#include "qcut/linalg/bell.hpp"
+
+namespace qcut {
+
+ContinuumPoint continuum_point(Real f) {
+  ContinuumPoint p;
+  p.f = f;
+  p.k = k_for_overlap(f);
+  p.kappa = optimal_overhead_from_f(f);
+  p.shots_rel = p.kappa * p.kappa;
+  p.pairs_weight = pair_consumption_weight(p.k);
+  p.pairs_per_sample = expected_pairs_per_sample_phi_k(p.k);
+  return p;
+}
+
+std::vector<ContinuumPoint> continuum_sweep(int n) {
+  QCUT_CHECK(n >= 2, "continuum_sweep: need at least two points");
+  std::vector<ContinuumPoint> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Real f = 0.5 + 0.5 * static_cast<Real>(i) / static_cast<Real>(n - 1);
+    out.push_back(continuum_point(f));
+  }
+  return out;
+}
+
+BudgetPlan plan_budget(Real f, Real epsilon, Real pair_budget) {
+  QCUT_CHECK(pair_budget >= 0.0, "plan_budget: negative budget");
+  const ContinuumPoint p = continuum_point(f);
+  BudgetPlan plan;
+  plan.shots_needed = shots_for_accuracy(p.kappa, epsilon);
+  plan.pairs_needed = plan.shots_needed * p.pairs_per_sample;
+  plan.feasible = plan.pairs_needed <= pair_budget;
+  return plan;
+}
+
+}  // namespace qcut

@@ -1,0 +1,37 @@
+// The wire-cutting ↔ teleportation continuum (the paper's framing): for each
+// entanglement level f ∈ [1/2, 1] the optimal protocol, its overhead, the
+// shot cost at fixed accuracy, and the entangled-pair consumption.
+#pragma once
+
+#include <vector>
+
+#include "qcut/common/types.hpp"
+
+namespace qcut {
+
+struct ContinuumPoint {
+  Real f = 0.5;       ///< maximal overlap f(Φk)
+  Real k = 0.0;       ///< Schmidt parameter of |Φk⟩
+  Real kappa = 3.0;   ///< optimal overhead γ (Theorem 1)
+  Real shots_rel = 9.0;    ///< relative shot cost κ² (vs teleportation = 1)
+  Real pairs_weight = 2.0; ///< pair-consumption factor 1/f (paper, Sec. III)
+  Real pairs_per_sample = 0.0;  ///< expected |Φk⟩ per QPD sample
+};
+
+/// Evaluates the continuum at one entanglement level.
+ContinuumPoint continuum_point(Real f);
+
+/// Uniform sweep over [1/2, 1] with `n` points (endpoints included).
+std::vector<ContinuumPoint> continuum_sweep(int n);
+
+/// Given an entanglement budget (total |Φk⟩ pairs of quality f available) and
+/// a target accuracy ε, the number of cut-samples affordable and whether the
+/// budget or the shot count binds. Used by the entanglement-budget example.
+struct BudgetPlan {
+  Real shots_needed = 0.0;    ///< κ²/ε²
+  Real pairs_needed = 0.0;    ///< shots · pairs_per_sample
+  bool feasible = false;      ///< pairs_needed ≤ budget
+};
+BudgetPlan plan_budget(Real f, Real epsilon, Real pair_budget);
+
+}  // namespace qcut

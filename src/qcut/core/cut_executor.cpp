@@ -1,0 +1,69 @@
+#include "qcut/core/cut_executor.hpp"
+
+#include <cmath>
+
+#include "qcut/cut/distill_cut.hpp"
+#include "qcut/cut/harada_cut.hpp"
+#include "qcut/cut/nme_cut.hpp"
+#include "qcut/cut/peng_cut.hpp"
+
+namespace qcut {
+
+CutExecutor::CutExecutor(std::shared_ptr<const WireCutProtocol> protocol)
+    : protocol_(std::move(protocol)) {
+  QCUT_CHECK(protocol_ != nullptr, "CutExecutor: null protocol");
+}
+
+CutRunResult CutExecutor::run(const CutInput& input, const CutRunConfig& cfg) const {
+  CutRunResult res;
+  res.exact = uncut_expectation(input);
+  const Qpd qpd = protocol_->build_qpd(input);
+  Rng rng(cfg.seed);
+  if (cfg.fast) {
+    const auto probs = exact_term_prob_one(qpd);
+    res.details = estimate_allocated_fast(qpd, probs, cfg.shots, rng, cfg.rule);
+  } else {
+    res.details = estimate_allocated(qpd, cfg.shots, rng, cfg.rule);
+  }
+  res.estimate = res.details.estimate;
+  res.abs_error = std::abs(res.estimate - res.exact);
+  return res;
+}
+
+Real CutExecutor::mean_abs_error(const CutInput& input, const CutRunConfig& cfg,
+                                 int trials) const {
+  QCUT_CHECK(trials >= 1, "mean_abs_error: need at least one trial");
+  const Real exact = uncut_expectation(input);
+  const Qpd qpd = protocol_->build_qpd(input);
+  const auto probs = exact_term_prob_one(qpd);
+  Real acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(cfg.seed, static_cast<std::uint64_t>(t));
+    EstimationResult er =
+        cfg.fast ? estimate_allocated_fast(qpd, probs, cfg.shots, rng, cfg.rule)
+                 : estimate_allocated(qpd, cfg.shots, rng, cfg.rule);
+    acc += std::abs(er.estimate - exact);
+  }
+  return acc / static_cast<Real>(trials);
+}
+
+std::shared_ptr<const WireCutProtocol> make_protocol(const std::string& name, Real k) {
+  if (name == "peng") {
+    return std::make_shared<PengCut>();
+  }
+  if (name == "harada") {
+    return std::make_shared<HaradaCut>();
+  }
+  if (name == "teleport") {
+    return std::make_shared<TeleportCut>();
+  }
+  if (name == "nme") {
+    return std::make_shared<NmeCut>(k);
+  }
+  if (name == "distill") {
+    return std::make_shared<DistillCut>(k);
+  }
+  throw Error("make_protocol: unknown protocol '" + name + "'");
+}
+
+}  // namespace qcut

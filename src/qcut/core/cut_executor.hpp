@@ -1,0 +1,49 @@
+// High-level façade: pick a protocol, run a cut experiment, get estimate and
+// error. This is the API the examples and the Fig. 6 harness sit on.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "qcut/cut/wire_cut.hpp"
+#include "qcut/qpd/estimator.hpp"
+
+namespace qcut {
+
+struct CutRunConfig {
+  std::uint64_t shots = 1000;
+  AllocRule rule = AllocRule::kProportional;  ///< the paper's allocation
+  /// true: per-term binomial fast path (statistically identical, far faster);
+  /// false: full per-shot statevector simulation.
+  bool fast = true;
+  std::uint64_t seed = 1234;
+};
+
+struct CutRunResult {
+  Real estimate = 0.0;     ///< sampled cut estimate of ⟨O⟩
+  Real exact = 0.0;        ///< true ⟨O⟩ on the uncut wire
+  Real abs_error = 0.0;    ///< |estimate − exact| (Eq. 28)
+  EstimationResult details;
+};
+
+class CutExecutor {
+ public:
+  explicit CutExecutor(std::shared_ptr<const WireCutProtocol> protocol);
+
+  const WireCutProtocol& protocol() const noexcept { return *protocol_; }
+
+  /// One estimation run with the given shot budget.
+  CutRunResult run(const CutInput& input, const CutRunConfig& cfg) const;
+
+  /// Mean absolute error over `trials` independent runs (fixed input).
+  Real mean_abs_error(const CutInput& input, const CutRunConfig& cfg, int trials) const;
+
+ private:
+  std::shared_ptr<const WireCutProtocol> protocol_;
+};
+
+/// Factory by name: "peng", "harada", "teleport", "nme", "distill".
+/// For "nme"/"distill" the `k` parameter selects the resource |Φk⟩.
+std::shared_ptr<const WireCutProtocol> make_protocol(const std::string& name, Real k = 1.0);
+
+}  // namespace qcut

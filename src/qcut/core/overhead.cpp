@@ -1,0 +1,42 @@
+#include "qcut/core/overhead.hpp"
+
+#include <cmath>
+
+#include "qcut/cut/nme_cut.hpp"
+#include "qcut/ent/distill_norm.hpp"
+#include "qcut/ent/measures.hpp"
+
+namespace qcut {
+
+Real optimal_overhead_from_f(Real f) {
+  QCUT_CHECK(f >= 0.5 - kTightTol && f <= 1.0 + kTightTol,
+             "optimal_overhead_from_f: f must lie in [1/2, 1]");
+  return 2.0 / f - 1.0;
+}
+
+Real optimal_overhead_phi_k(Real k) { return nme_cut_overhead(k); }
+
+Real optimal_overhead_pure(const Vector& resource_psi) {
+  QCUT_CHECK(resource_psi.size() == 4, "optimal_overhead_pure: two-qubit state expected");
+  return optimal_overhead_from_f(max_overlap(resource_psi));
+}
+
+Real virtual_distillation_overhead(Real f) { return optimal_overhead_from_f(f); }
+
+Real shots_for_accuracy(Real kappa, Real epsilon) {
+  QCUT_CHECK(epsilon > 0.0, "shots_for_accuracy: epsilon must be positive");
+  return kappa * kappa / (epsilon * epsilon);
+}
+
+Real accuracy_for_shots(Real kappa, Real shots) {
+  QCUT_CHECK(shots > 0.0, "accuracy_for_shots: shots must be positive");
+  return kappa / std::sqrt(shots);
+}
+
+Real pair_consumption_weight(Real k) { return 1.0 / f_phi_k(k); }
+
+Real expected_pairs_per_sample_phi_k(Real k) {
+  return pair_consumption_weight(k) / optimal_overhead_phi_k(k);
+}
+
+}  // namespace qcut

@@ -1,0 +1,39 @@
+// Sampling-overhead theory: Theorem 1, Corollary 1, and the derived resource
+// estimates the paper reports.
+#pragma once
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+/// Theorem 1: γ^ρ(I) = 2/f(ρ) − 1 for maximal overlap f ∈ [1/2, 1].
+Real optimal_overhead_from_f(Real f);
+
+/// Corollary 1: γ^{Φk}(I) = 4(k²+1)/(k+1)² − 1.
+Real optimal_overhead_phi_k(Real k);
+
+/// γ for an arbitrary pure two-qubit resource (f computed via Appendix A).
+Real optimal_overhead_pure(const Vector& resource_psi);
+
+/// Eq. 17: optimal overhead γ̂_ρ(Φ) for simulating the maximally entangled
+/// state from resource ρ — identical to Theorem 1's value (that identity *is*
+/// Theorem 1's content).
+Real virtual_distillation_overhead(Real f);
+
+/// Shots needed to reach absolute accuracy ε with overhead κ, up to the
+/// constant of Temme et al. [25]: N ≈ κ²/ε².
+Real shots_for_accuracy(Real kappa, Real epsilon);
+
+/// Accuracy reached with N shots at overhead κ: ε ≈ κ/√N.
+Real accuracy_for_shots(Real kappa, Real shots);
+
+/// The paper's pair-consumption factor 2(k²+1)/(k+1)² = ⟨Φ|Φk|Φ⟩⁻¹ = 1/f:
+/// the (unnormalized) QPD weight of the teleportation branches, proportional
+/// to the number of |Φk⟩ pairs consumed.
+Real pair_consumption_weight(Real k);
+
+/// Expected |Φk⟩ pairs consumed per QPD sample of the Theorem-2 cut:
+/// 2a/κ = (1/f) / (2/f − 1).
+Real expected_pairs_per_sample_phi_k(Real k);
+
+}  // namespace qcut

@@ -1,0 +1,106 @@
+#include "qcut/cut/circuit_cutter.hpp"
+
+#include "qcut/cut/teleportation.hpp"
+#include "qcut/sim/executor.hpp"
+#include "qcut/sim/gates.hpp"
+
+namespace qcut {
+
+Qpd cut_circuit(const Circuit& circ, const CutPoint& point, const WireCutProtocol& protocol,
+                const std::string& observable) {
+  const int n_orig = circ.n_qubits();
+  QCUT_CHECK(circ.n_cbits() == 0, "cut_circuit: input circuit must be purely quantum");
+  QCUT_CHECK(point.qubit >= 0 && point.qubit < n_orig, "cut_circuit: cut qubit out of range");
+  QCUT_CHECK(point.after_op <= circ.size(), "cut_circuit: cut position out of range");
+  QCUT_CHECK(static_cast<int>(observable.size()) == n_orig,
+             "cut_circuit: observable length must match circuit width");
+  for (const auto& op : circ.ops()) {
+    QCUT_CHECK(op.kind == OpKind::kUnitary || op.kind == OpKind::kInitialize,
+               "cut_circuit: input circuit must contain only unitary/initialize ops");
+  }
+
+  // Observable sites to measure (original indexing).
+  std::vector<std::pair<int, char>> sites;
+  for (int q = 0; q < n_orig; ++q) {
+    const char p = observable[static_cast<std::size_t>(q)];
+    if (p == 'I') {
+      continue;
+    }
+    QCUT_CHECK(p == 'X' || p == 'Y' || p == 'Z', "cut_circuit: invalid Pauli character");
+    sites.emplace_back(q, p);
+  }
+  QCUT_CHECK(!sites.empty(), "cut_circuit: observable is the identity");
+
+  const int dst = n_orig;  // the receiver wire the cut state lands on
+
+  Qpd qpd;
+  for (const CutGadget& g : protocol.gadgets()) {
+    QCUT_CHECK(g.append != nullptr, "cut_circuit: gadget without append function");
+    const int n_qubits = n_orig + 1 + g.extra_qubits;
+    const int n_cbits = g.cbits + static_cast<int>(sites.size());
+    Circuit c(n_qubits, n_cbits);
+
+    // Pre-cut segment, untouched.
+    std::size_t idx = 0;
+    for (; idx < point.after_op; ++idx) {
+      const Operation& op = circ.ops()[idx];
+      if (op.kind == OpKind::kInitialize) {
+        c.initialize(op.qubits, op.init_state, op.label);
+      } else {
+        c.gate(op.matrix, op.qubits, op.label);
+      }
+    }
+
+    // The gadget: consumes `point.qubit`, delivers onto `dst`.
+    std::vector<int> helpers;
+    for (int h = 0; h < g.extra_qubits; ++h) {
+      helpers.push_back(n_orig + 1 + h);
+    }
+    g.append(c, point.qubit, dst, helpers, /*cbit0=*/0);
+
+    // Post-cut segment: the cut wire now lives on `dst`.
+    for (; idx < circ.size(); ++idx) {
+      Operation op = circ.ops()[idx];
+      for (int& q : op.qubits) {
+        if (q == point.qubit) {
+          q = dst;
+        }
+      }
+      if (op.kind == OpKind::kInitialize) {
+        c.initialize(op.qubits, op.init_state, op.label);
+      } else {
+        c.gate(op.matrix, op.qubits, op.label);
+      }
+    }
+
+    // Observable measurements; estimate = parity of the recorded bits.
+    QpdTerm term;
+    int cbit = g.cbits;
+    term.estimate_cbits.clear();
+    for (const auto& [q, p] : sites) {
+      const int wire = (q == point.qubit) ? dst : q;
+      append_pauli_measurement(c, wire, p, cbit);
+      term.estimate_cbits.push_back(cbit);
+      ++cbit;
+    }
+    term.coefficient = g.coefficient;
+    term.circuit = std::move(c);
+    term.entangled_pairs = g.entangled_pairs;
+    term.label = g.label;
+    qpd.add(std::move(term));
+  }
+  return qpd;
+}
+
+Real uncut_circuit_expectation(const Circuit& circ, const std::string& observable) {
+  return exact_expectation_pauli(circ, observable);
+}
+
+// The single-wire convenience path, shared by every protocol.
+Qpd WireCutProtocol::build_qpd(const CutInput& input) const {
+  Circuit prep(1, 0);
+  prep.gate(input.prep, {0}, "W");
+  return cut_circuit(prep, CutPoint{1, 0}, *this, std::string(1, input.observable));
+}
+
+}  // namespace qcut

@@ -1,0 +1,36 @@
+// Generic circuit cutting: splice a wire-cut protocol's gadgets into an
+// arbitrary unitary circuit, producing the executable QPD for a Pauli
+// observable on the cut circuit's output.
+//
+// This is the API a downstream user calls to distribute a real circuit:
+//   Circuit big(4);
+//   big.h(0).cx(0,1).cx(1,2).cx(2,3);          // too wide for one device
+//   Qpd qpd = cut_circuit(big, {/*after_op=*/2, /*qubit=*/1},
+//                         NmeCut{0.6}, "ZZZZ");
+// After the cut, everything the original circuit did on the cut wire happens
+// on a fresh receiver wire (a different device); the sender-side wire is
+// consumed by the gadget.
+#pragma once
+
+#include <string>
+
+#include "qcut/cut/wire_cut.hpp"
+
+namespace qcut {
+
+struct CutPoint {
+  std::size_t after_op = 0;  ///< gadget is inserted after this many ops
+  int qubit = 0;             ///< the wire being cut
+};
+
+/// Cuts `circ` (unitary ops only, no classical bits) at `point` with
+/// `protocol`, measuring the n-qubit Pauli string `observable` (indexed by
+/// the original circuit's qubits) on the final state. Each QPD term's
+/// estimate is the parity of the per-site measurement bits.
+Qpd cut_circuit(const Circuit& circ, const CutPoint& point, const WireCutProtocol& protocol,
+                const std::string& observable);
+
+/// The reference value ⟨observable⟩ on the uncut circuit, computed exactly.
+Real uncut_circuit_expectation(const Circuit& circ, const std::string& observable);
+
+}  // namespace qcut

@@ -1,0 +1,128 @@
+#include "qcut/cut/distill_cut.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "qcut/cut/harada_cut.hpp"
+#include "qcut/cut/teleportation.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/sim/gates.hpp"
+
+namespace qcut {
+
+DistillCut::DistillCut(Real k) : k_(k) {
+  QCUT_CHECK(k >= 0.0 && k <= 1.0 + kTightTol, "DistillCut: k must lie in [0, 1]");
+  k_ = std::min<Real>(k_, 1.0);
+}
+
+DistillCut DistillCut::from_overlap(Real f) { return DistillCut(k_for_overlap(f)); }
+
+std::string DistillCut::name() const {
+  std::ostringstream os;
+  os << "distill(k=" << k_ << ")";
+  return os.str();
+}
+
+Real DistillCut::kappa() const { return nme_cut_overhead(k_); }
+
+std::vector<CutGadget> DistillCut::gadgets() const {
+  // Gadget layout per branch:
+  //  helpers[0], helpers[1] = locally prepared Bell pair at the sender
+  //  helpers[2]             = sender half of |Φk⟩ (teleport branches only)
+  //  dst                    = receiver wire
+  // The helpers[1] → dst wire is cut with the Theorem-2 branch; afterwards
+  // (helpers[0], dst) hold the virtual Bell pair over which `src` is
+  // teleported. Classical bits: [cbit0, cbit0+1] inner cut, [+2, +3] outer
+  // teleport.
+  const NmeCut inner(k_);
+  const Real a = inner.coeff_a();
+  const Real b = inner.coeff_b();
+  const Real k = k_;
+
+  std::vector<CutGadget> out;
+  for (int i = 1; i <= 2; ++i) {
+    CutGadget g;
+    g.coefficient = a;
+    g.extra_qubits = 3;
+    g.cbits = 4;
+    g.entangled_pairs = 1;
+    g.label = i == 1 ? "distill-teleport-H" : "distill-teleport-SH";
+    g.append = [i, k](Circuit& c, int src, int dst, const std::vector<int>& h, int cbit0) {
+      // Local Bell pair Φ on (h0, h1).
+      c.h(h[0]);
+      c.cx(h[0], h[1]);
+      // --- inner NME-cut teleport branch on the h1 → dst wire ---
+      if (i == 2) {
+        c.sdg(h[1]);
+      }
+      c.h(h[1]);
+      c.initialize({h[2], dst}, phi_k_state(k), "phi_k");
+      append_teleport(c, h[1], h[2], dst, cbit0, cbit0 + 1);
+      c.h(dst);
+      if (i == 2) {
+        c.s(dst);
+      }
+      // --- outer teleportation of src over the virtual pair (h0, dst) ---
+      append_teleport(c, src, h[0], dst, cbit0 + 2, cbit0 + 3);
+    };
+    out.push_back(std::move(g));
+  }
+
+  if (b > 1e-15) {
+    CutGadget g;
+    g.coefficient = -b;
+    g.extra_qubits = 3;  // h2 unused; kept for a uniform layout
+    g.cbits = 4;
+    g.entangled_pairs = 0;
+    g.label = "distill-measure-flip";
+    g.append = [](Circuit& c, int src, int dst, const std::vector<int>& h, int cbit0) {
+      c.h(h[0]);
+      c.cx(h[0], h[1]);
+      // Inner measure-and-flip branch on the h1 → dst wire.
+      c.measure(h[1], cbit0);
+      c.x_if(cbit0, dst);
+      c.x(dst);
+      // Outer teleportation over the (h0, dst) pair.
+      append_teleport(c, src, h[0], dst, cbit0 + 2, cbit0 + 3);
+    };
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<std::pair<Real, Channel>> DistillCut::channel_terms() const {
+  // Exact branch channels: the inner cut branch acts on half of Φ, producing
+  // the pair σ_i = (I ⊗ F_i)(Φ); the outer teleportation over resource σ
+  // maps the data qubit through teleport_channel(σ). Because teleport_channel
+  // is linear in the resource, the quasi-mix over branches reproduces
+  // teleportation over Φ, i.e. the identity.
+  const NmeCut inner(k_);
+  std::vector<std::pair<Real, Channel>> out;
+  const Matrix phi = density(bell_phi());
+  for (const auto& [ci, fi] : inner.channel_terms()) {
+    const Channel lifted = Channel::identity(2).tensor(fi);
+    const Matrix sigma = lifted.apply(phi);
+    out.emplace_back(ci, teleport_channel(sigma));
+  }
+  return out;
+}
+
+std::vector<CutGadget> TeleportCut::gadgets() const {
+  CutGadget g;
+  g.coefficient = 1.0;
+  g.extra_qubits = 1;  // sender half of the Bell pair
+  g.cbits = 2;
+  g.entangled_pairs = 1;
+  g.label = "teleport";
+  g.append = [](Circuit& c, int src, int dst, const std::vector<int>& h, int cbit0) {
+    c.initialize({h[0], dst}, phi_k_state(1.0), "phi");
+    append_teleport(c, src, h[0], dst, cbit0, cbit0 + 1);
+  };
+  return {std::move(g)};
+}
+
+std::vector<std::pair<Real, Channel>> TeleportCut::channel_terms() const {
+  return {{1.0, Channel::identity(2)}};
+}
+
+}  // namespace qcut

@@ -1,0 +1,46 @@
+// Teleportation over a virtually distilled Bell pair — the construction from
+// the upper-bound direction of Theorem 1's proof (Appendix B).
+//
+// A Bell pair is prepared locally at the sender; one half is transported to
+// the receiver through the Theorem-2 NME cut, producing a *virtual* maximally
+// entangled pair in quasiprobability semantics; the data qubit is then
+// teleported over that virtual pair. The overall sampling overhead equals the
+// direct NME cut's (κ = 2/f − 1), but each branch needs two extra qubits and
+// one extra Bell measurement — the ablation bench quantifies that cost.
+//
+// Also exposes TeleportCut: the κ = 1 endpoint using a physical |Φ⟩
+// (standard teleportation, f = 1).
+#pragma once
+
+#include "qcut/cut/nme_cut.hpp"
+#include "qcut/cut/wire_cut.hpp"
+
+namespace qcut {
+
+class DistillCut final : public WireCutProtocol {
+ public:
+  explicit DistillCut(Real k);
+  static DistillCut from_overlap(Real f);
+
+  Real k() const noexcept { return k_; }
+
+  std::string name() const override;
+  Real kappa() const override;
+  std::vector<CutGadget> gadgets() const override;
+  std::vector<std::pair<Real, Channel>> channel_terms() const override;
+
+ private:
+  Real k_;
+};
+
+/// Plain quantum teleportation with a maximally entangled pair: a single
+/// term with coefficient 1 (κ = 1). The f = 1 endpoint of the continuum.
+class TeleportCut final : public WireCutProtocol {
+ public:
+  std::string name() const override { return "teleport"; }
+  Real kappa() const override { return 1.0; }
+  std::vector<CutGadget> gadgets() const override;
+  std::vector<std::pair<Real, Channel>> channel_terms() const override;
+};
+
+}  // namespace qcut

@@ -1,0 +1,113 @@
+#include "qcut/cut/harada_cut.hpp"
+
+#include "qcut/sim/gates.hpp"
+
+namespace qcut {
+
+namespace {
+
+// U_1 = H, U_2 = SH (Eq. 20): the measurement/re-preparation bases.
+// As circuits, U_i† on the sender is "Sdg then H" for i = 2; U_i on the
+// receiver is "H then S".
+void append_u_dagger(Circuit& c, int q, int i) {
+  if (i == 2) {
+    c.sdg(q);
+  }
+  c.h(q);
+}
+
+void append_u(Circuit& c, int q, int i) {
+  c.h(q);
+  if (i == 2) {
+    c.s(q);
+  }
+}
+
+Matrix u_matrix(int i) { return i == 2 ? gates::s() * gates::h() : gates::h(); }
+
+}  // namespace
+
+CutGadget make_measure_flip_gadget(Real coefficient) {
+  CutGadget g;
+  g.coefficient = coefficient;
+  g.extra_qubits = 0;
+  g.cbits = 1;
+  g.entangled_pairs = 0;
+  g.label = "measure-flip";
+  g.append = [](Circuit& c, int src, int dst, const std::vector<int>&, int cbit0) {
+    c.measure(src, cbit0);
+    c.x_if(cbit0, dst);  // prepare |j⟩ on the receiver
+    c.x(dst);            // flip: X|j⟩⟨j|X
+  };
+  return g;
+}
+
+CutGadget make_measure_same_gadget(Real coefficient) {
+  CutGadget g;
+  g.coefficient = coefficient;
+  g.extra_qubits = 0;
+  g.cbits = 1;
+  g.entangled_pairs = 0;
+  g.label = "measure-same";
+  g.append = [](Circuit& c, int src, int dst, const std::vector<int>&, int cbit0) {
+    c.measure(src, cbit0);
+    c.x_if(cbit0, dst);
+  };
+  return g;
+}
+
+Channel measure_flip_channel() {
+  Matrix k0(2, 2);
+  k0(1, 0) = Cplx{1.0, 0.0};  // |1⟩⟨0|
+  Matrix k1(2, 2);
+  k1(0, 1) = Cplx{1.0, 0.0};  // |0⟩⟨1|
+  return Channel({k0, k1});
+}
+
+Channel measure_same_channel() {
+  Matrix k0(2, 2);
+  k0(0, 0) = Cplx{1.0, 0.0};
+  Matrix k1(2, 2);
+  k1(1, 1) = Cplx{1.0, 0.0};
+  return Channel({k0, k1});
+}
+
+std::vector<CutGadget> HaradaCut::gadgets() const {
+  std::vector<CutGadget> out;
+  for (int i = 1; i <= 2; ++i) {
+    CutGadget g;
+    g.coefficient = 1.0;
+    g.extra_qubits = 0;
+    g.cbits = 1;
+    g.entangled_pairs = 0;
+    g.label = i == 1 ? "measure-prepare-H" : "measure-prepare-SH";
+    g.append = [i](Circuit& c, int src, int dst, const std::vector<int>&, int cbit0) {
+      append_u_dagger(c, src, i);
+      c.measure(src, cbit0);  // outcome j with prob ⟨j|U†ρU|j⟩
+      c.x_if(cbit0, dst);     // receiver: |j⟩
+      append_u(c, dst, i);    // receiver: U|j⟩
+    };
+    out.push_back(std::move(g));
+  }
+  out.push_back(make_measure_flip_gadget(-1.0));
+  return out;
+}
+
+std::vector<std::pair<Real, Channel>> HaradaCut::channel_terms() const {
+  std::vector<std::pair<Real, Channel>> out;
+  for (int i = 1; i <= 2; ++i) {
+    const Matrix u = u_matrix(i);
+    std::vector<Matrix> ks;
+    for (Index j = 0; j < 2; ++j) {
+      // Kraus U|j⟩⟨j|U†: measure in the U basis, re-prepare the outcome.
+      Matrix proj(2, 2);
+      proj(j, j) = Cplx{1.0, 0.0};
+      ks.push_back(u * proj * u.dagger());
+    }
+    out.emplace_back(1.0, Channel(std::move(ks)));
+  }
+  out.emplace_back(-1.0, measure_flip_channel());
+  return out;
+}
+
+}  // namespace qcut

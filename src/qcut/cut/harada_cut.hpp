@@ -1,0 +1,33 @@
+// The optimal entanglement-free wire cut of Harada et al. (Eq. 20 / Fig. 2),
+// with sampling overhead κ = γ(I) = 3. This is the paper's baseline: the
+// f(ρ) = 1/2 endpoint of the NME continuum.
+#pragma once
+
+#include "qcut/cut/wire_cut.hpp"
+
+namespace qcut {
+
+class HaradaCut final : public WireCutProtocol {
+ public:
+  std::string name() const override { return "harada"; }
+  Real kappa() const override { return 3.0; }
+  std::vector<CutGadget> gadgets() const override;
+  std::vector<std::pair<Real, Channel>> channel_terms() const override;
+};
+
+/// Shared gadget: the measure-and-flip branch of the negative term in both
+/// Eq. (20) and Theorem 2 — Σ_j Tr[|j⟩⟨j|ρ] X|j⟩⟨j|X realized as
+/// "measure sender, prepare the flipped outcome at the receiver".
+CutGadget make_measure_flip_gadget(Real coefficient);
+
+/// Shared gadget: deph(ρ) = Σ_j Tr[|j⟩⟨j|ρ] |j⟩⟨j| — measure sender,
+/// re-prepare the observed outcome (used by the mixed-resource cut).
+CutGadget make_measure_same_gadget(Real coefficient);
+
+/// Channel of the measure-and-flip branch (Kraus {|1⟩⟨0|, |0⟩⟨1|}).
+Channel measure_flip_channel();
+
+/// Channel of the measure-and-re-prepare branch (Kraus {|0⟩⟨0|, |1⟩⟨1|}).
+Channel measure_same_channel();
+
+}  // namespace qcut

@@ -1,0 +1,122 @@
+#include "qcut/cut/mixed_cut.hpp"
+
+#include <sstream>
+
+#include "qcut/cut/harada_cut.hpp"
+#include "qcut/cut/teleportation.hpp"
+#include "qcut/ent/purify.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/sim/gates.hpp"
+
+namespace qcut {
+
+namespace {
+
+// C = SH cycles the Pauli axes: C X C† = Z, C Z C† = Y, C Y C† = X.
+Matrix cycling_clifford() { return gates::s() * gates::h(); }
+
+// Applies C^power as circuit ops (power ∈ {0, 1, 2}).
+void append_c_power(Circuit& c, int q, int power) {
+  for (int i = 0; i < power; ++i) {
+    c.h(q);
+    c.s(q);
+  }
+}
+
+// Applies (C†)^power as circuit ops.
+void append_c_dagger_power(Circuit& c, int q, int power) {
+  for (int i = 0; i < power; ++i) {
+    c.sdg(q);
+    c.h(q);
+  }
+}
+
+}  // namespace
+
+Real mixed_cut_overhead(Real q_identity) {
+  QCUT_CHECK(q_identity > 0.25 + 1e-12,
+             "mixed_cut_overhead: requires Bell-identity weight q_I > 1/4");
+  const Real qe = 1.0 - q_identity;
+  return (3.0 + 4.0 * qe) / (3.0 - 4.0 * qe);
+}
+
+MixedNmeCut::MixedNmeCut(Matrix resource) : resource_(std::move(resource)) {
+  QCUT_CHECK(resource_.rows() == 4 && resource_.cols() == 4,
+             "MixedNmeCut: resource must be a two-qubit density operator");
+  QCUT_CHECK(resource_.is_hermitian(1e-8), "MixedNmeCut: resource must be Hermitian");
+  QCUT_CHECK(approx_eq(resource_.trace().real(), 1.0, 1e-8),
+             "MixedNmeCut: resource must have unit trace");
+  q_identity_ = bell_overlaps(resource_)[0];
+  QCUT_CHECK(q_identity_ > 0.25 + 1e-9,
+             "MixedNmeCut: resource too noisy (needs ⟨Φ|ρ|Φ⟩ > 1/4)");
+  purified_ = purify(resource_, /*n_anc=*/2);
+}
+
+std::string MixedNmeCut::name() const {
+  std::ostringstream os;
+  os << "mixed(qI=" << q_identity_ << ")";
+  return os.str();
+}
+
+Real MixedNmeCut::kappa() const { return mixed_cut_overhead(q_identity_); }
+
+std::vector<CutGadget> MixedNmeCut::gadgets() const {
+  const Real qe = 1.0 - q_identity_;
+  const Real denom = 3.0 - 4.0 * qe;  // = 3 q_I − q_E
+  const Real a = 1.0 / denom;
+  const Real b = 2.0 * qe / denom;
+  const Vector purified = purified_;
+
+  std::vector<CutGadget> out;
+  for (int i = 0; i < 3; ++i) {
+    // helpers[0] = B (sender half), helpers[1..2] = purification ancillas.
+    CutGadget g;
+    g.coefficient = a;
+    g.extra_qubits = 3;
+    g.cbits = 2;
+    g.entangled_pairs = 1;
+    g.label = "teleport-C" + std::to_string(i);
+    g.append = [i, purified](Circuit& c, int src, int dst, const std::vector<int>& h,
+                             int cbit0) {
+      append_c_dagger_power(c, src, i);
+      // Purified resource on (B, C, anc, anc); ancillas stay untouched.
+      c.initialize({h[0], dst, h[1], h[2]}, purified, "resource");
+      append_teleport(c, src, h[0], dst, cbit0, cbit0 + 1);
+      append_c_power(c, dst, i);
+    };
+    out.push_back(std::move(g));
+  }
+  if (b > 1e-15) {
+    out.push_back(make_measure_flip_gadget(-b));
+    out.push_back(make_measure_same_gadget(-b));
+  }
+  return out;
+}
+
+std::vector<std::pair<Real, Channel>> MixedNmeCut::channel_terms() const {
+  const Real qe = 1.0 - q_identity_;
+  const Real denom = 3.0 - 4.0 * qe;
+  const Real a = 1.0 / denom;
+  const Real b = 2.0 * qe / denom;
+
+  const Channel tel = teleport_channel(resource_);
+  const Matrix c_op = cycling_clifford();
+
+  std::vector<std::pair<Real, Channel>> out;
+  Matrix conj = Matrix::identity(2);
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Matrix> ks;
+    for (const auto& k : tel.kraus()) {
+      ks.push_back(conj * k * conj.dagger());
+    }
+    out.emplace_back(a, Channel(std::move(ks)));
+    conj = c_op * conj;
+  }
+  if (b > 1e-15) {
+    out.emplace_back(-b, measure_flip_channel());
+    out.emplace_back(-b, measure_same_channel());
+  }
+  return out;
+}
+
+}  // namespace qcut

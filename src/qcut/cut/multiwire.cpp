@@ -1,0 +1,85 @@
+#include "qcut/cut/multiwire.hpp"
+
+#include <numeric>
+
+namespace qcut {
+
+Qpd product_qpd(const std::vector<const WireCutProtocol*>& protocols,
+                const std::vector<CutInput>& inputs) {
+  QCUT_CHECK(!protocols.empty(), "product_qpd: no protocols");
+  QCUT_CHECK(protocols.size() == inputs.size(), "product_qpd: protocol/input count mismatch");
+
+  // Per-wire QPDs.
+  std::vector<Qpd> parts;
+  parts.reserve(protocols.size());
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    QCUT_CHECK(protocols[i] != nullptr, "product_qpd: null protocol");
+    parts.push_back(protocols[i]->build_qpd(inputs[i]));
+  }
+
+  // Cartesian product of term indices.
+  std::size_t total_terms = 1;
+  for (const auto& p : parts) {
+    total_terms *= p.size();
+    QCUT_CHECK(total_terms <= 100000, "product_qpd: term explosion");
+  }
+
+  Qpd joint;
+  std::vector<std::size_t> idx(parts.size(), 0);
+  for (std::size_t t = 0; t < total_terms; ++t) {
+    // Build the joint term for the current index tuple.
+    int n_qubits = 0;
+    int n_cbits = 0;
+    Real coeff = 1.0;
+    int pairs = 0;
+    std::string label;
+    for (std::size_t w = 0; w < parts.size(); ++w) {
+      const QpdTerm& term = parts[w].terms()[idx[w]];
+      n_qubits += term.circuit.n_qubits();
+      n_cbits += term.circuit.n_cbits();
+      coeff *= term.coefficient;
+      pairs += term.entangled_pairs;
+      label += (w ? "*" : "") + term.label;
+    }
+    Circuit c(n_qubits, n_cbits);
+    std::vector<int> est;
+    int q_off = 0;
+    int c_off = 0;
+    for (std::size_t w = 0; w < parts.size(); ++w) {
+      const QpdTerm& term = parts[w].terms()[idx[w]];
+      c.append(term.circuit, q_off, c_off);
+      for (int cb : term.estimate_cbits) {
+        est.push_back(cb + c_off);
+      }
+      q_off += term.circuit.n_qubits();
+      c_off += term.circuit.n_cbits();
+    }
+    QpdTerm jt;
+    jt.coefficient = coeff;
+    jt.circuit = std::move(c);
+    jt.estimate_cbits = std::move(est);
+    jt.entangled_pairs = pairs;
+    jt.label = std::move(label);
+    joint.add(std::move(jt));
+
+    // Advance the index tuple.
+    for (std::size_t w = parts.size(); w-- > 0;) {
+      if (++idx[w] < parts[w].size()) {
+        break;
+      }
+      idx[w] = 0;
+    }
+  }
+  return joint;
+}
+
+Real product_kappa(const std::vector<const WireCutProtocol*>& protocols) {
+  Real k = 1.0;
+  for (const auto* p : protocols) {
+    QCUT_CHECK(p != nullptr, "product_kappa: null protocol");
+    k *= p->kappa();
+  }
+  return k;
+}
+
+}  // namespace qcut

@@ -1,0 +1,24 @@
+// Multi-wire cutting by independent composition (Sec. V discussion).
+//
+// Cutting n wires independently multiplies the QPDs: the joint decomposition
+// has Π m_i terms, coefficient products, and total overhead κ = Π κ_i —
+// exponential in the number of cuts, which is exactly the cost the paper's
+// NME resources mitigate (each κ_i shrinks toward 1 as f → 1).
+#pragma once
+
+#include <vector>
+
+#include "qcut/cut/wire_cut.hpp"
+
+namespace qcut {
+
+/// Builds the product QPD of n single-wire cuts executed side by side. The
+/// joint observable is the tensor product of the per-wire observables; each
+/// joint term's estimate is the parity of the per-wire estimates.
+Qpd product_qpd(const std::vector<const WireCutProtocol*>& protocols,
+                const std::vector<CutInput>& inputs);
+
+/// κ of the product decomposition (= Π κ_i).
+Real product_kappa(const std::vector<const WireCutProtocol*>& protocols);
+
+}  // namespace qcut

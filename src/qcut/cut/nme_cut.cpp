@@ -1,0 +1,104 @@
+#include "qcut/cut/nme_cut.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "qcut/cut/harada_cut.hpp"
+#include "qcut/cut/teleportation.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/sim/gates.hpp"
+
+namespace qcut {
+
+NmeCut::NmeCut(Real k) : k_(k) {
+  QCUT_CHECK(k >= 0.0 && k <= 1.0 + kTightTol, "NmeCut: k must lie in [0, 1]");
+  k_ = std::min<Real>(k_, 1.0);
+}
+
+NmeCut NmeCut::from_overlap(Real f) { return NmeCut(k_for_overlap(f)); }
+
+Real NmeCut::coeff_a() const noexcept { return (k_ * k_ + 1.0) / ((k_ + 1.0) * (k_ + 1.0)); }
+
+Real NmeCut::coeff_b() const noexcept {
+  return (k_ - 1.0) * (k_ - 1.0) / ((k_ + 1.0) * (k_ + 1.0));
+}
+
+std::string NmeCut::name() const {
+  std::ostringstream os;
+  os << "nme(k=" << k_ << ")";
+  return os.str();
+}
+
+Real NmeCut::kappa() const { return nme_cut_overhead(k_); }
+
+Real nme_cut_overhead(Real k) {
+  QCUT_CHECK(k >= 0.0, "nme_cut_overhead: k must be non-negative");
+  return 4.0 * (k * k + 1.0) / ((k + 1.0) * (k + 1.0)) - 1.0;
+}
+
+std::vector<CutGadget> NmeCut::gadgets() const {
+  // Gadget layout (Fig. 5): src = A (data, sender), helpers[0] = B (sender
+  // half of the resource), dst = C (receiver half). The pre-shared |Φk⟩
+  // enters as an initialize op on (B, C); teleport A → C with feed-forward;
+  // U_i conjugation around the teleport per Theorem 2.
+  std::vector<CutGadget> out;
+  const Real a = coeff_a();
+  const Real b = coeff_b();
+  const Real k = k_;
+
+  for (int i = 1; i <= 2; ++i) {
+    CutGadget g;
+    g.coefficient = a;
+    g.extra_qubits = 1;  // B
+    g.cbits = 2;
+    g.entangled_pairs = 1;
+    g.label = i == 1 ? "teleport-H" : "teleport-SH";
+    g.append = [i, k](Circuit& c, int src, int dst, const std::vector<int>& helpers,
+                      int cbit0) {
+      // U_i† on the state to be sent: U1† = H; U2† = (SH)† applied as Sdg, H.
+      if (i == 2) {
+        c.sdg(src);
+      }
+      c.h(src);
+      // Pre-shared resource |Φk⟩ on (B, C).
+      c.initialize({helpers[0], dst}, phi_k_state(k), "phi_k");
+      // Teleport A → C.
+      append_teleport(c, src, helpers[0], dst, cbit0, cbit0 + 1);
+      // U_i on the received state: U1 = H; U2 = SH applied as H, S.
+      c.h(dst);
+      if (i == 2) {
+        c.s(dst);
+      }
+    };
+    out.push_back(std::move(g));
+  }
+
+  // The corrective measure-and-flip branch vanishes at k = 1 (b = 0), where
+  // the protocol degenerates to plain teleportation.
+  if (b > 1e-15) {
+    out.push_back(make_measure_flip_gadget(-b));
+  }
+  return out;
+}
+
+std::vector<std::pair<Real, Channel>> NmeCut::channel_terms() const {
+  std::vector<std::pair<Real, Channel>> out;
+  const Real a = coeff_a();
+  const Real b = coeff_b();
+  const Channel tel = teleport_channel_phi_k(k_);
+  for (int i = 1; i <= 2; ++i) {
+    const Matrix u = i == 2 ? gates::s() * gates::h() : gates::h();
+    // U_i E_tel(U_i† ρ U_i) U_i†: conjugate every Kraus operator.
+    std::vector<Matrix> ks;
+    for (const auto& kop : tel.kraus()) {
+      ks.push_back(u * kop * u.dagger());
+    }
+    out.emplace_back(a, Channel(std::move(ks)));
+  }
+  if (b > 1e-15) {
+    out.emplace_back(-b, measure_flip_channel());
+  }
+  return out;
+}
+
+}  // namespace qcut

@@ -1,0 +1,44 @@
+// The paper's contribution (Theorem 2): optimal wire cutting with pure
+// non-maximally entangled resource states |Φk⟩.
+//
+//   I(·) = a · Σ_{i∈{1,2}} U_i E^{Φk}_tel(U_i† · U_i) U_i†
+//        − b · Σ_j Tr[|j⟩⟨j| ·] X|j⟩⟨j|X,
+//   a = (k²+1)/(k+1)²,  b = (k−1)²/(k+1)²,  U1 = H, U2 = SH.
+//
+// Sampling overhead κ = 2a + b = 4(k²+1)/(k+1)² − 1 (Corollary 1), which is
+// optimal by Theorem 1. k = 1 recovers cost-free teleportation (κ = 1);
+// k = 0 recovers the entanglement-free optimum (κ = 3).
+#pragma once
+
+#include "qcut/cut/wire_cut.hpp"
+
+namespace qcut {
+
+class NmeCut final : public WireCutProtocol {
+ public:
+  /// `k` is the Schmidt parameter of the resource |Φk⟩ ∈ [0, ∞); values and
+  /// 1/k give the same state up to local flips, so we require k ∈ [0, 1].
+  explicit NmeCut(Real k);
+
+  /// Protocol using the resource with maximal overlap f = f(Φk) ∈ [1/2, 1].
+  static NmeCut from_overlap(Real f);
+
+  Real k() const noexcept { return k_; }
+  /// a = (k²+1)/(k+1)² — the teleport-term coefficient.
+  Real coeff_a() const noexcept;
+  /// b = (k−1)²/(k+1)² — the measure-flip-term coefficient magnitude.
+  Real coeff_b() const noexcept;
+
+  std::string name() const override;
+  Real kappa() const override;
+  std::vector<CutGadget> gadgets() const override;
+  std::vector<std::pair<Real, Channel>> channel_terms() const override;
+
+ private:
+  Real k_;
+};
+
+/// Corollary 1 in closed form: γ^{Φk}(I) = 4(k²+1)/(k+1)² − 1.
+Real nme_cut_overhead(Real k);
+
+}  // namespace qcut

@@ -1,0 +1,123 @@
+#include "qcut/cut/peng_cut.hpp"
+
+#include "qcut/sim/gates.hpp"
+
+namespace qcut {
+
+// Decomposition used (equivalent to Peng et al. up to term grouping):
+//   ρ = ½ Tr[ρ](|0⟩⟨0| + |1⟩⟨1|)
+//     + ½ Σ_{B∈{X,Y,Z}} ( F_same^B(ρ) − F_flip^B(ρ) )
+// where F_same^B measures basis B and re-prepares the observed eigenstate,
+// F_flip^B prepares the opposite one. Eight circuits, |c_i| = ½, κ = 4.
+//
+// Correctness: F_same^B − F_flip^B = Tr[Bρ]·B, and
+// ½(Tr[ρ]I + Σ_B Tr[Bρ]B) = ρ is the Pauli expansion.
+
+namespace {
+
+// Basis index: 0 = Z, 1 = X, 2 = Y. Rotation V_B maps Z eigenstates to B
+// eigenstates: V_Z = I, V_X = H, V_Y = SH.
+void append_v_dagger(Circuit& c, int q, int b) {
+  if (b == 2) {
+    c.sdg(q);
+  }
+  if (b != 0) {
+    c.h(q);
+  }
+}
+
+void append_v(Circuit& c, int q, int b) {
+  if (b != 0) {
+    c.h(q);
+  }
+  if (b == 2) {
+    c.s(q);
+  }
+}
+
+Matrix v_matrix(int b) {
+  if (b == 0) {
+    return Matrix::identity(2);
+  }
+  if (b == 1) {
+    return gates::h();
+  }
+  return gates::s() * gates::h();
+}
+
+CutGadget make_prep_gadget(int bit) {
+  // Tr[ρ] · |bit⟩⟨bit|: sender measures and discards; receiver prepares |bit⟩.
+  CutGadget g;
+  g.coefficient = 0.5;
+  g.extra_qubits = 0;
+  g.cbits = 1;
+  g.label = bit == 1 ? "prep-one" : "prep-zero";
+  g.append = [bit](Circuit& c, int src, int dst, const std::vector<int>&, int cbit0) {
+    c.measure(src, cbit0);  // discarded
+    if (bit == 1) {
+      c.x(dst);
+    }
+  };
+  return g;
+}
+
+CutGadget make_basis_gadget(int b, bool flip) {
+  CutGadget g;
+  g.coefficient = flip ? -0.5 : 0.5;
+  g.extra_qubits = 0;
+  g.cbits = 1;
+  static const char* kNames[] = {"Z", "X", "Y"};
+  g.label = std::string(flip ? "flip-" : "same-") + kNames[b];
+  g.append = [b, flip](Circuit& c, int src, int dst, const std::vector<int>&, int cbit0) {
+    append_v_dagger(c, src, b);
+    c.measure(src, cbit0);
+    c.x_if(cbit0, dst);
+    if (flip) {
+      c.x(dst);
+    }
+    append_v(c, dst, b);
+  };
+  return g;
+}
+
+}  // namespace
+
+std::vector<CutGadget> PengCut::gadgets() const {
+  std::vector<CutGadget> out;
+  out.push_back(make_prep_gadget(0));
+  out.push_back(make_prep_gadget(1));
+  for (int b = 0; b < 3; ++b) {
+    out.push_back(make_basis_gadget(b, /*flip=*/false));
+    out.push_back(make_basis_gadget(b, /*flip=*/true));
+  }
+  return out;
+}
+
+std::vector<std::pair<Real, Channel>> PengCut::channel_terms() const {
+  std::vector<std::pair<Real, Channel>> out;
+  // Prep terms: Tr[ρ]|bit⟩⟨bit| has Kraus {|bit⟩⟨0|, |bit⟩⟨1|}.
+  for (int bit = 0; bit < 2; ++bit) {
+    std::vector<Matrix> ks;
+    for (Index j = 0; j < 2; ++j) {
+      Matrix k(2, 2);
+      k(bit, j) = Cplx{1.0, 0.0};
+      ks.push_back(std::move(k));
+    }
+    out.emplace_back(0.5, Channel(std::move(ks)));
+  }
+  for (int b = 0; b < 3; ++b) {
+    const Matrix v = v_matrix(b);
+    for (int flip = 0; flip < 2; ++flip) {
+      std::vector<Matrix> ks;
+      for (Index j = 0; j < 2; ++j) {
+        Matrix proj(2, 2);
+        proj(flip ? 1 - j : j, j) = Cplx{1.0, 0.0};  // |j±flip⟩⟨j| in the Z basis
+        ks.push_back(v * proj * v.dagger());
+      }
+      out.emplace_back(flip ? -0.5 : 0.5, Channel(std::move(ks)));
+    }
+  }
+  return out;
+}
+
+}  // namespace qcut

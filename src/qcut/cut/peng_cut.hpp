@@ -1,0 +1,18 @@
+// The original wire cut of Peng et al. (the paper's reference [13]): Pauli
+// basis measure-and-prepare with κ = 4. Provided as the historical baseline
+// against which the optimal κ = 3 cut and the NME continuum are compared.
+#pragma once
+
+#include "qcut/cut/wire_cut.hpp"
+
+namespace qcut {
+
+class PengCut final : public WireCutProtocol {
+ public:
+  std::string name() const override { return "peng"; }
+  Real kappa() const override { return 4.0; }
+  std::vector<CutGadget> gadgets() const override;
+  std::vector<std::pair<Real, Channel>> channel_terms() const override;
+};
+
+}  // namespace qcut

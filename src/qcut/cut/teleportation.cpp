@@ -1,0 +1,79 @@
+#include "qcut/cut/teleportation.hpp"
+
+#include <cmath>
+
+#include "qcut/linalg/bell.hpp"
+#include "qcut/sim/gates.hpp"
+
+namespace qcut {
+
+void append_teleport(Circuit& c, int src, int res_sender, int res_receiver, int cbit_z,
+                     int cbit_x) {
+  // Bell measurement on (src, res_sender).
+  c.cx(src, res_sender);
+  c.h(src);
+  c.measure(src, cbit_z);
+  c.measure(res_sender, cbit_x);
+  // Feed-forward corrections on the receiver half.
+  c.x_if(cbit_x, res_receiver);
+  c.z_if(cbit_z, res_receiver);
+}
+
+void append_phi_k_prep(Circuit& c, int a, int b, Real k) {
+  QCUT_CHECK(k >= 0.0, "append_phi_k_prep: k must be non-negative");
+  // Modeled as state *distribution*, not a local circuit: the pre-shared
+  // |Φk⟩ pair arrives from an entanglement source, so it enters the fragment
+  // as an initialize op rather than cross-device gates (which would violate
+  // the LOCC structure the cut is defined by).
+  c.initialize({a, b}, phi_k_state(k), "phi_k");
+}
+
+void append_pauli_measurement(Circuit& c, int qubit, char basis, int cbit) {
+  switch (basis) {
+    case 'Z':
+      break;
+    case 'X':
+      c.h(qubit);
+      break;
+    case 'Y':
+      c.sdg(qubit);
+      c.h(qubit);
+      break;
+    default:
+      throw Error(std::string("append_pauli_measurement: invalid basis '") + basis + "'");
+  }
+  c.measure(qubit, cbit);
+}
+
+Channel teleport_channel(const Matrix& resource_rho) {
+  const auto overlaps = bell_overlaps(resource_rho);
+  std::vector<Matrix> ks;
+  static const Pauli kPaulis[] = {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z};
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (overlaps[i] <= 1e-14) {
+      continue;
+    }
+    ks.push_back(std::sqrt(overlaps[i]) * pauli_matrix(kPaulis[i]));
+  }
+  QCUT_CHECK(!ks.empty(), "teleport_channel: degenerate resource");
+  return Channel(std::move(ks));
+}
+
+Channel teleport_channel_phi_k(Real k) {
+  const auto w = phi_k_bell_overlaps(k);
+  std::vector<Matrix> ks;
+  ks.push_back(std::sqrt(w[0]) * pauli_i());
+  if (w[3] > 1e-14) {
+    ks.push_back(std::sqrt(w[3]) * pauli_z());
+  }
+  return Channel(std::move(ks));
+}
+
+Real teleport_fidelity(const Vector& psi, const Matrix& resource_rho) {
+  QCUT_CHECK(psi.size() == 2, "teleport_fidelity: single-qubit state expected");
+  const Channel e = teleport_channel(resource_rho);
+  const Matrix out = e.apply(density(psi));
+  return fidelity(psi, out);
+}
+
+}  // namespace qcut

@@ -1,0 +1,38 @@
+// Quantum teleportation (Sec. II-E): circuit builders and the exact channel
+// E^ρ_tel realized when the resource state ρ is not maximally entangled
+// (Eq. 22).
+#pragma once
+
+#include "qcut/linalg/channel.hpp"
+#include "qcut/sim/circuit.hpp"
+
+namespace qcut {
+
+/// Appends the standard teleportation protocol: Bell measurement of
+/// (src, res_sender) into (cbit_z, cbit_x), then feed-forward X/Z corrections
+/// on res_receiver. After this, res_receiver holds the state src carried
+/// (exactly, if the resource on (res_sender, res_receiver) was |Φ⟩).
+void append_teleport(Circuit& c, int src, int res_sender, int res_receiver, int cbit_z,
+                     int cbit_x);
+
+/// Appends the preparation of |Φk⟩ = K(|00⟩+k|11⟩) on qubits (a, b):
+/// Ry(2·atan(k)) on a, then CX(a→b).
+void append_phi_k_prep(Circuit& c, int a, int b, Real k);
+
+/// Appends a measurement of the single-qubit Pauli `basis` ∈ {X, Y, Z} on
+/// `qubit` into `cbit` (pre-rotation + Z measurement). The recorded bit b
+/// encodes the eigenvalue (−1)^b.
+void append_pauli_measurement(Circuit& c, int qubit, char basis, int cbit);
+
+/// E^ρ_tel for an arbitrary two-qubit resource ρ (Eq. 22): the Pauli channel
+/// with Kraus operators √⟨Φσ|ρ|Φσ⟩ · σ.
+Channel teleport_channel(const Matrix& resource_rho);
+
+/// Closed form for ρ = Φk (Eq. 59): I with weight (k+1)²/(2(k²+1)) and Z with
+/// weight (k−1)²/(2(k²+1)).
+Channel teleport_channel_phi_k(Real k);
+
+/// Teleportation fidelity of state |ψ⟩ through resource ρ: ⟨ψ|E^ρ_tel(ψ)|ψ⟩.
+Real teleport_fidelity(const Vector& psi, const Matrix& resource_rho);
+
+}  // namespace qcut

@@ -1,0 +1,27 @@
+#include "qcut/cut/wire_cut.hpp"
+
+#include "qcut/linalg/pauli.hpp"
+#include "qcut/qpd/estimator.hpp"
+
+namespace qcut {
+
+Matrix reconstruct(const WireCutProtocol& protocol, const Matrix& rho) {
+  QCUT_CHECK(rho.rows() == 2 && rho.cols() == 2, "reconstruct: single-qubit input expected");
+  Matrix acc(2, 2);
+  for (const auto& [c, f] : protocol.channel_terms()) {
+    acc += Cplx{c, 0.0} * f.apply(rho);
+  }
+  return acc;
+}
+
+Real exact_cut_expectation(const WireCutProtocol& protocol, const CutInput& input) {
+  return exact_value(protocol.build_qpd(input));
+}
+
+Real uncut_expectation(const CutInput& input) {
+  const Vector psi = input.prep * basis_vector(2, 0);
+  const Matrix obs = pauli_matrix(pauli_from_char(input.observable));
+  return expectation(obs, psi).real();
+}
+
+}  // namespace qcut

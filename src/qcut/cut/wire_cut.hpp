@@ -1,0 +1,80 @@
+// Wire-cut protocol interface.
+//
+// A wire cut replaces the identity channel on one circuit wire by a
+// quasiprobability mixture of LOCC-implementable subcircuits (Sec. II-D).
+// Each protocol provides:
+//   * gadgets      — per-QPD-term circuit fragments that transfer the state
+//     of a sender wire onto a fresh receiver wire. The generic circuit
+//     cutter (circuit_cutter.hpp) splices these into arbitrary circuits;
+//     build_qpd is the single-wire convenience built on the same path.
+//   * channel_terms — the exact single-qubit CPTN channels of the branches,
+//     whose quasi-mix must equal the identity channel (what tests verify).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qcut/linalg/channel.hpp"
+#include "qcut/qpd/qpd.hpp"
+
+namespace qcut {
+
+/// Input to a single-wire cut experiment: the state φ = prep·|0⟩ entering the
+/// cut wire, and the single-qubit Pauli measured on the receiving wire.
+struct CutInput {
+  Matrix prep = Matrix::identity(2);  ///< single-qubit preparation unitary W
+  char observable = 'Z';              ///< 'X', 'Y', or 'Z'
+};
+
+/// One QPD branch as a reusable circuit fragment. `append` splices the
+/// branch's operations into a host circuit: it consumes the state on `src`
+/// (sender side), delivers the branch's output state on `dst` (receiver
+/// side), may use `helpers` scratch/resource qubits (all fresh |0⟩), and may
+/// write classical bits [cbit0, cbit0 + cbits).
+struct CutGadget {
+  Real coefficient = 0.0;
+  int extra_qubits = 0;    ///< helper qubits needed beyond src and dst
+  int cbits = 0;           ///< classical bits consumed
+  int entangled_pairs = 0; ///< NME resources per execution
+  std::string label;
+  std::function<void(Circuit&, int src, int dst, const std::vector<int>& helpers, int cbit0)>
+      append;
+};
+
+class WireCutProtocol {
+ public:
+  virtual ~WireCutProtocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Theoretical sampling overhead κ = Σ|c_i| of this protocol's QPD.
+  virtual Real kappa() const = 0;
+
+  /// The branch fragments; coefficients must sum to 1 and Σ|c_i| = kappa().
+  virtual std::vector<CutGadget> gadgets() const = 0;
+
+  /// The branch channels (c_i, F_i) acting on the cut wire; Σ c_i F_i = I.
+  virtual std::vector<std::pair<Real, Channel>> channel_terms() const = 0;
+
+  /// Single-wire convenience: executable QPD whose circuits prepare φ on the
+  /// sender wire, cut, and measure `observable` on the receiving wire.
+  /// Implemented generically on top of gadgets() (see circuit_cutter.cpp).
+  Qpd build_qpd(const CutInput& input) const;
+};
+
+/// Σ c_i F_i(ρ) over the protocol's channel terms — equals ρ for a correct
+/// wire cut (Eq. 19). Used by tests and the examples.
+Matrix reconstruct(const WireCutProtocol& protocol, const Matrix& rho);
+
+/// Exact value the protocol's estimator converges to for this input;
+/// must equal ⟨observable⟩ on prep·|0⟩.
+Real exact_cut_expectation(const WireCutProtocol& protocol, const CutInput& input);
+
+/// ⟨observable⟩ on W|0⟩ computed directly (no cutting) — the experiment's
+/// classical reference value (Sec. IV).
+Real uncut_expectation(const CutInput& input);
+
+}  // namespace qcut

@@ -1,0 +1,54 @@
+#include "qcut/ent/distill_norm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qcut/ent/schmidt.hpp"
+
+namespace qcut {
+
+Real distillation_norm(const std::vector<Real>& schmidt_coeffs, int m) {
+  QCUT_CHECK(m >= 1, "distillation_norm: m must be positive");
+  QCUT_CHECK(!schmidt_coeffs.empty(), "distillation_norm: empty coefficient list");
+  std::vector<Real> zeta = schmidt_coeffs;
+  std::sort(zeta.begin(), zeta.end(), std::greater<Real>());
+  const int d = static_cast<int>(zeta.size());
+
+  // Eq. (31): j* = argmin_{1<=j<=m} (1/j) ‖ζ↓_{m-j+1 : d}‖₂².
+  auto tail_sq = [&zeta, d](int from /*1-based*/) {
+    Real s = 0.0;
+    for (int i = std::max(1, from); i <= d; ++i) {
+      s += zeta[static_cast<std::size_t>(i - 1)] * zeta[static_cast<std::size_t>(i - 1)];
+    }
+    return s;
+  };
+  int j_star = 1;
+  Real best = tail_sq(m - 1 + 1) / 1.0;
+  for (int j = 2; j <= m; ++j) {
+    const Real val = tail_sq(m - j + 1) / static_cast<Real>(j);
+    if (val < best) {
+      best = val;
+      j_star = j;
+    }
+  }
+
+  // Eq. (30): ‖ζ↓_{1:j*}‖₁ + √j* ‖ζ↓_{j*+1:d}‖₂.
+  Real head = 0.0;
+  for (int i = 1; i <= std::min(j_star, d); ++i) {
+    head += zeta[static_cast<std::size_t>(i - 1)];
+  }
+  const Real tail = std::sqrt(tail_sq(j_star + 1));
+  return head + std::sqrt(static_cast<Real>(j_star)) * tail;
+}
+
+Real distillation_norm(const Vector& psi, int n_a, int n_b, int m) {
+  const SchmidtResult s = schmidt_decompose(psi, n_a, n_b);
+  return distillation_norm(s.coeffs, m);
+}
+
+Real max_overlap_pure(const Vector& psi, int n_a, int n_b) {
+  const Real nrm = distillation_norm(psi, n_a, n_b, 2);
+  return 0.5 * nrm * nrm;
+}
+
+}  // namespace qcut

@@ -1,0 +1,21 @@
+// The m-distillation norm of Appendix A (Regula et al. [45, 46]) and the
+// maximal LOCC overlap f(ψ) it determines for pure states (Eq. 29).
+#pragma once
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+/// ∥ψ∥_[m] from Eq. (30): given the descending Schmidt coefficients of a
+/// bipartite pure state, computes min over the split index j* (Eq. 31) of
+/// ‖ζ_{1:j}‖₁ + √j ‖ζ_{j+1:d}‖₂.
+Real distillation_norm(const std::vector<Real>& schmidt_coeffs, int m);
+
+/// ∥ψ∥_[m] for a pure state directly (computes its Schmidt coefficients).
+Real distillation_norm(const Vector& psi, int n_a, int n_b, int m);
+
+/// f(ψ) = ½ ∥ψ∥²_[2] (Eq. 29): the maximal overlap of the pure state ψ with
+/// the maximally entangled two-qubit state under LOCC.
+Real max_overlap_pure(const Vector& psi, int n_a, int n_b);
+
+}  // namespace qcut

@@ -1,0 +1,127 @@
+#include "qcut/ent/measures.hpp"
+
+#include <cmath>
+
+#include "qcut/ent/distill_norm.hpp"
+#include "qcut/ent/schmidt.hpp"
+#include "qcut/linalg/decomp.hpp"
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/pauli.hpp"
+#include "qcut/linalg/ptrace.hpp"
+
+namespace qcut {
+
+Real f_phi_k(Real k) {
+  QCUT_CHECK(k >= 0.0, "f_phi_k: k must be non-negative");
+  return (k + 1.0) * (k + 1.0) / (2.0 * (k * k + 1.0));
+}
+
+Real max_overlap(const Vector& psi) {
+  QCUT_CHECK(psi.size() == 4, "max_overlap: expects a two-qubit pure state");
+  return max_overlap_pure(psi, 1, 1);
+}
+
+Real fully_entangled_fraction(const Matrix& rho) {
+  QCUT_CHECK(rho.rows() == 4 && rho.cols() == 4, "fully_entangled_fraction: two-qubit only");
+  // Magic basis (Hill & Wootters): in this basis every maximally entangled
+  // state is a REAL unit vector, so the maximization over maximally entangled
+  // states becomes max_{v real, |v|=1} v^T Re(M) v = λ_max(Re M),
+  // with M = ⟨e_i|ρ|e_j⟩.
+  const Cplx i{0.0, 1.0};
+  const Real r = kInvSqrt2;
+  std::vector<Vector> magic = {
+      {Cplx{r, 0}, Cplx{0, 0}, Cplx{0, 0}, Cplx{r, 0}},         // |Φ+⟩
+      {i * Cplx{r, 0}, Cplx{0, 0}, Cplx{0, 0}, -i * Cplx{r, 0}},  // i|Φ−⟩
+      {Cplx{0, 0}, i * Cplx{r, 0}, i * Cplx{r, 0}, Cplx{0, 0}},   // i|Ψ+⟩
+      {Cplx{0, 0}, Cplx{r, 0}, Cplx{-r, 0}, Cplx{0, 0}},          // |Ψ−⟩
+  };
+  Matrix m(4, 4);
+  for (Index a = 0; a < 4; ++a) {
+    for (Index b = 0; b < 4; ++b) {
+      const Vector rb = rho * magic[static_cast<std::size_t>(b)];
+      m(a, b) = inner(magic[static_cast<std::size_t>(a)], rb);
+    }
+  }
+  // Real symmetric part.
+  Matrix re(4, 4);
+  for (Index a = 0; a < 4; ++a) {
+    for (Index b = 0; b < 4; ++b) {
+      re(a, b) = Cplx{0.5 * (m(a, b).real() + m(b, a).real()), 0.0};
+    }
+  }
+  const EighResult eg = eigh(re, 1e-8);
+  return eg.values.front();
+}
+
+Real entanglement_entropy(const Vector& psi, int n_a, int n_b) {
+  const SchmidtResult s = schmidt_decompose(psi, n_a, n_b);
+  Real h = 0.0;
+  for (Real c : s.coeffs) {
+    const Real p = c * c;
+    if (p > 1e-15) {
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+Real concurrence(const Matrix& rho) {
+  QCUT_CHECK(rho.rows() == 4 && rho.cols() == 4, "concurrence: two-qubit only");
+  // Wootters: C = max(0, λ1 − λ2 − λ3 − λ4), λ_i descending square roots of
+  // the eigenvalues of √ρ ρ̃ √ρ with ρ̃ = (Y⊗Y) ρ* (Y⊗Y).
+  const Matrix yy = kron(pauli_y(), pauli_y());
+  const Matrix rho_tilde = yy * rho.conj() * yy;
+
+  // √ρ via eigendecomposition.
+  const EighResult eg = eigh(rho, 1e-7);
+  Matrix sqrt_rho(4, 4);
+  for (std::size_t idx = 0; idx < eg.values.size(); ++idx) {
+    const Real ev = std::max<Real>(0.0, eg.values[idx]);
+    const Real s = std::sqrt(ev);
+    for (Index r = 0; r < 4; ++r) {
+      for (Index c = 0; c < 4; ++c) {
+        sqrt_rho(r, c) += Cplx{s, 0.0} * eg.vectors(r, static_cast<Index>(idx)) *
+                          std::conj(eg.vectors(c, static_cast<Index>(idx)));
+      }
+    }
+  }
+  const Matrix m = sqrt_rho * rho_tilde * sqrt_rho;
+  const EighResult em = eigh(m, 1e-6);
+  std::vector<Real> lam;
+  for (Real v : em.values) {
+    lam.push_back(std::sqrt(std::max<Real>(0.0, v)));
+  }
+  // em.values are descending already.
+  const Real c = lam[0] - lam[1] - lam[2] - lam[3];
+  return std::max<Real>(0.0, c);
+}
+
+Matrix partial_transpose_b(const Matrix& rho) {
+  QCUT_CHECK(rho.rows() == 4 && rho.cols() == 4, "partial_transpose_b: two-qubit only");
+  Matrix out(4, 4);
+  for (Index a = 0; a < 2; ++a) {
+    for (Index b = 0; b < 2; ++b) {
+      for (Index ap = 0; ap < 2; ++ap) {
+        for (Index bp = 0; bp < 2; ++bp) {
+          // ⟨a b|ρ^{T_B}|a' b'⟩ = ⟨a b'|ρ|a' b⟩
+          out(a * 2 + b, ap * 2 + bp) = rho(a * 2 + bp, ap * 2 + b);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Real negativity(const Matrix& rho) {
+  const Matrix pt = partial_transpose_b(rho);
+  const EighResult eg = eigh(pt, 1e-7);
+  Real neg = 0.0;
+  for (Real v : eg.values) {
+    if (v < 0.0) {
+      neg -= v;
+    }
+  }
+  return neg;
+}
+
+}  // namespace qcut

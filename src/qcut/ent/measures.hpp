@@ -1,0 +1,44 @@
+// Entanglement measures for two-qubit states.
+//
+// The paper's central quantity is f(ρ): the maximal overlap with the
+// maximally entangled state Φ under LOCC (Eq. 1). We provide:
+//   * f(Φk) in closed form (Eq. 10),
+//   * f for arbitrary pure states via the 2-distillation norm (Appendix A),
+//   * the fully entangled fraction — for two-qubit states this equals the
+//     singlet fraction max_Φ' ⟨Φ'|ρ|Φ'⟩ over maximally entangled Φ', which
+//     lower-bounds f(ρ) for mixed states and coincides with it for the pure
+//     and Bell-diagonal states used in the experiments,
+// plus standard companions (entropy, concurrence, negativity).
+#pragma once
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+/// f(Φk) = (k+1)² / (2(k²+1)) — Eq. (10).
+Real f_phi_k(Real k);
+
+/// f for an arbitrary two-qubit pure state via the Schmidt coefficients
+/// (Appendix A); equals f_phi_k(schmidt_k(psi)).
+Real max_overlap(const Vector& psi);
+
+/// Fully entangled fraction F(ρ) = max_{U_A,U_B} ⟨Φ|(U_A⊗U_B)ρ(U_A⊗U_B)†|Φ⟩,
+/// computed as the largest eigenvalue of Re(ρ) in the magic (Bell) basis
+/// (Badziag et al. 2000). For pure and Bell-diagonal two-qubit states this
+/// equals the paper's f(ρ); in general f(ρ) ≥ F(ρ).
+Real fully_entangled_fraction(const Matrix& rho);
+
+/// Entanglement entropy S(Tr_B |ψ⟩⟨ψ|) in bits of a bipartite pure state.
+Real entanglement_entropy(const Vector& psi, int n_a, int n_b);
+
+/// Wootters concurrence of a two-qubit density operator.
+Real concurrence(const Matrix& rho);
+
+/// Negativity: sum of |negative eigenvalues| of the partial transpose over
+/// subsystem B of a two-qubit state.
+Real negativity(const Matrix& rho);
+
+/// Partial transpose over the second qubit of a two-qubit operator.
+Matrix partial_transpose_b(const Matrix& rho);
+
+}  // namespace qcut

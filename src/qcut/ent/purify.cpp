@@ -1,0 +1,57 @@
+#include "qcut/ent/purify.hpp"
+
+#include <cmath>
+
+#include "qcut/linalg/decomp.hpp"
+
+namespace qcut {
+
+Vector purify(const Matrix& rho, int n_anc) {
+  QCUT_CHECK(rho.square(), "purify: density operator must be square");
+  QCUT_CHECK(n_anc >= 0 && n_anc <= 10, "purify: unsupported ancilla count");
+  const Index d = rho.rows();
+  const Index da = Index{1} << n_anc;
+
+  const EighResult eg = eigh(rho, 1e-7);
+  // Count the eigenvalues that carry weight.
+  Index rank = 0;
+  for (Real v : eg.values) {
+    if (v > 1e-12) {
+      ++rank;
+    }
+    QCUT_CHECK(v > -1e-8, "purify: input is not positive semidefinite");
+  }
+  QCUT_CHECK(rank <= da, "purify: ancilla space too small for the state's rank");
+
+  // |Ψ⟩ = Σ_i √λ_i |v_i⟩ ⊗ |i⟩  (system = high-order factor).
+  Vector psi(static_cast<std::size_t>(d * da), Cplx{0.0, 0.0});
+  for (Index i = 0; i < rank; ++i) {
+    const Real lam = eg.values[static_cast<std::size_t>(i)];
+    if (lam <= 1e-12) {
+      continue;
+    }
+    const Real w = std::sqrt(lam);
+    for (Index s = 0; s < d; ++s) {
+      psi[static_cast<std::size_t>(s * da + i)] += Cplx{w, 0.0} * eg.vectors(s, i);
+    }
+  }
+  // Normalize exactly (trace may differ from 1 by rounding).
+  return normalized(psi);
+}
+
+int purification_ancillas(const Matrix& rho, Real rank_tol) {
+  const EighResult eg = eigh(rho, 1e-7);
+  Index rank = 0;
+  for (Real v : eg.values) {
+    if (v > rank_tol) {
+      ++rank;
+    }
+  }
+  int n = 0;
+  while ((Index{1} << n) < std::max<Index>(rank, 1)) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace qcut

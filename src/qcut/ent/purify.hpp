@@ -1,0 +1,19 @@
+// Purification of mixed states: any rank-r density operator ρ on dimension d
+// extends to a pure state on d·r dimensions with Tr_anc |Ψ⟩⟨Ψ| = ρ. The
+// mixed-resource wire cut uses this to feed mixed |Φk⟩-like resources into
+// the (pure-state) simulator.
+#pragma once
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+/// Purifies ρ onto `n_anc` ancilla qubits: returns |Ψ⟩ of dimension
+/// dim(ρ)·2^{n_anc} with the system qubits as the high-order factor.
+/// Requires 2^{n_anc} >= rank(ρ); throws otherwise.
+Vector purify(const Matrix& rho, int n_anc);
+
+/// Smallest ancilla count sufficient to purify ρ (by numerical rank).
+int purification_ancillas(const Matrix& rho, Real rank_tol = 1e-10);
+
+}  // namespace qcut

@@ -1,0 +1,73 @@
+#include "qcut/ent/schmidt.hpp"
+
+#include "qcut/linalg/decomp.hpp"
+#include "qcut/linalg/kron.hpp"
+
+namespace qcut {
+
+SchmidtResult schmidt_decompose(const Vector& psi, int n_a, int n_b) {
+  QCUT_CHECK(n_a >= 1 && n_b >= 1, "schmidt_decompose: both sides need at least one qubit");
+  const Index da = Index{1} << n_a;
+  const Index db = Index{1} << n_b;
+  QCUT_CHECK(static_cast<Index>(psi.size()) == da * db, "schmidt_decompose: dimension mismatch");
+
+  // Reshape: psi[a*db + b] = M(a, b)  (big-endian: A holds the high bits).
+  Matrix m(da, db);
+  for (Index a = 0; a < da; ++a) {
+    for (Index b = 0; b < db; ++b) {
+      m(a, b) = psi[static_cast<std::size_t>(a * db + b)];
+    }
+  }
+  SvdResult f = svd(m);
+
+  SchmidtResult out;
+  const Index r = std::min(da, db);
+  out.coeffs.assign(f.singular.begin(), f.singular.begin() + r);
+  out.basis_a = Matrix(da, r);
+  out.basis_b = Matrix(db, r);
+  for (Index i = 0; i < r; ++i) {
+    for (Index a = 0; a < da; ++a) {
+      out.basis_a(a, i) = f.u(a, i);
+    }
+    // M = U S V†  =>  M(a,b) = Σ_i s_i U(a,i) conj(V(b,i)), so the B-side
+    // Schmidt vector is the conjugated V column.
+    for (Index b = 0; b < db; ++b) {
+      out.basis_b(b, i) = std::conj(f.v(b, i));
+    }
+  }
+  return out;
+}
+
+int schmidt_rank(const Vector& psi, int n_a, int n_b, Real tol) {
+  const SchmidtResult s = schmidt_decompose(psi, n_a, n_b);
+  int rank = 0;
+  for (Real c : s.coeffs) {
+    rank += (c > tol) ? 1 : 0;
+  }
+  return rank;
+}
+
+Real schmidt_k(const Vector& psi) {
+  QCUT_CHECK(psi.size() == 4, "schmidt_k: expects a two-qubit state");
+  const SchmidtResult s = schmidt_decompose(psi, 1, 1);
+  QCUT_CHECK(s.coeffs[0] > 0.0, "schmidt_k: zero state");
+  return s.coeffs[1] / s.coeffs[0];
+}
+
+Vector schmidt_reconstruct(const SchmidtResult& s) {
+  const Index da = s.basis_a.rows();
+  const Index db = s.basis_b.rows();
+  Vector psi(static_cast<std::size_t>(da * db), Cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < s.coeffs.size(); ++i) {
+    for (Index a = 0; a < da; ++a) {
+      for (Index b = 0; b < db; ++b) {
+        psi[static_cast<std::size_t>(a * db + b)] +=
+            Cplx{s.coeffs[i], 0.0} * s.basis_a(a, static_cast<Index>(i)) *
+            s.basis_b(b, static_cast<Index>(i));
+      }
+    }
+  }
+  return psi;
+}
+
+}  // namespace qcut

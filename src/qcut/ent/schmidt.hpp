@@ -1,0 +1,31 @@
+// Schmidt decomposition of bipartite pure states (Eq. 3 of the paper).
+#pragma once
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+struct SchmidtResult {
+  /// Non-negative Schmidt coefficients, descending; squared values sum to 1.
+  std::vector<Real> coeffs;
+  /// Columns are the A-side Schmidt vectors |ξ_i⟩.
+  Matrix basis_a;
+  /// Columns are the B-side Schmidt vectors |ζ_i⟩.
+  Matrix basis_b;
+};
+
+/// Decomposes |ψ⟩ ∈ A ⊗ B with dim(A) = 2^{n_a}, dim(B) = 2^{n_b}:
+/// |ψ⟩ = Σ_i coeffs[i] |ξ_i⟩ ⊗ |ζ_i⟩.
+SchmidtResult schmidt_decompose(const Vector& psi, int n_a, int n_b);
+
+/// Schmidt rank at tolerance `tol`.
+int schmidt_rank(const Vector& psi, int n_a, int n_b, Real tol = 1e-10);
+
+/// For a two-qubit pure state: the Schmidt parameter k = p1/p0 in Eq. (4)
+/// (ratio of smaller to larger coefficient, in [0, 1]).
+Real schmidt_k(const Vector& psi);
+
+/// Reconstructs the state from a Schmidt decomposition (for tests).
+Vector schmidt_reconstruct(const SchmidtResult& s);
+
+}  // namespace qcut

@@ -1,0 +1,63 @@
+#include "qcut/linalg/bell.hpp"
+
+#include <cmath>
+
+#include "qcut/linalg/kron.hpp"
+
+namespace qcut {
+
+Vector bell_phi() {
+  return Vector{Cplx{kInvSqrt2, 0.0}, Cplx{0.0, 0.0}, Cplx{0.0, 0.0}, Cplx{kInvSqrt2, 0.0}};
+}
+
+Vector bell_state(Pauli sigma) {
+  const Matrix op = kron(pauli_matrix(sigma), Matrix::identity(2));
+  return op * bell_phi();
+}
+
+std::array<Vector, 4> bell_basis() {
+  return {bell_state(Pauli::I), bell_state(Pauli::X), bell_state(Pauli::Y),
+          bell_state(Pauli::Z)};
+}
+
+Vector phi_k_state(Real k) {
+  QCUT_CHECK(k >= 0.0, "phi_k_state: k must be non-negative");
+  const Real kcap = 1.0 / std::sqrt(1.0 + k * k);
+  return Vector{Cplx{kcap, 0.0}, Cplx{0.0, 0.0}, Cplx{0.0, 0.0}, Cplx{kcap * k, 0.0}};
+}
+
+Matrix phi_k_density(Real k) { return density(phi_k_state(k)); }
+
+std::array<Real, 4> bell_overlaps(const Matrix& rho) {
+  QCUT_CHECK(rho.rows() == 4 && rho.cols() == 4, "bell_overlaps: need a two-qubit density");
+  std::array<Real, 4> out{};
+  const auto basis = bell_basis();
+  for (std::size_t i = 0; i < 4; ++i) {
+    out[i] = fidelity(basis[i], rho);
+  }
+  return out;
+}
+
+std::array<Real, 4> phi_k_bell_overlaps(Real k) {
+  const Real denom = 2.0 * (k * k + 1.0);
+  return {(k + 1.0) * (k + 1.0) / denom, 0.0, 0.0, (k - 1.0) * (k - 1.0) / denom};
+}
+
+Real k_for_overlap(Real target) {
+  QCUT_CHECK(target >= 0.5 - kTightTol && target <= 1.0 + kTightTol,
+             "k_for_overlap: target must be in [1/2, 1]");
+  if (target >= 1.0) {
+    return 1.0;
+  }
+  if (target <= 0.5) {
+    return 0.0;
+  }
+  // f = (k+1)^2 / (2(k^2+1))  =>  (2f-1) k^2 - 2k + (2f-1) = 0.
+  const Real a = 2.0 * target - 1.0;
+  const Real disc = 1.0 - a * a;
+  QCUT_CHECK(disc >= 0.0, "k_for_overlap: discriminant negative");
+  // Roots (1 ± sqrt(1-a^2)) / a are reciprocal; pick the one in [0, 1].
+  return (1.0 - std::sqrt(disc)) / a;
+}
+
+}  // namespace qcut

@@ -1,0 +1,39 @@
+// Bell states and the pure NME family |Φk⟩ = K(|00⟩ + k|11⟩) from Eq. (6).
+#pragma once
+
+#include <array>
+
+#include "qcut/linalg/matrix.hpp"
+#include "qcut/linalg/pauli.hpp"
+
+namespace qcut {
+
+/// |Φ⟩ = (|00⟩+|11⟩)/√2, the maximally entangled two-qubit state.
+Vector bell_phi();
+
+/// |Φσ⟩ = (σ ⊗ I)|Φ⟩ — the Bell basis labeled by Pauli σ (Sec. II-E).
+Vector bell_state(Pauli sigma);
+
+/// All four Bell basis states in Pauli order {I, X, Y, Z}.
+std::array<Vector, 4> bell_basis();
+
+/// |Φk⟩ = (|00⟩ + k|11⟩)/√(1+k²), Eq. (6). Requires k >= 0.
+Vector phi_k_state(Real k);
+
+/// Density operator Φk = |Φk⟩⟨Φk|.
+Matrix phi_k_density(Real k);
+
+/// Bell-basis overlaps ⟨Φσ|ρ|Φσ⟩ for σ ∈ {I,X,Y,Z} of a two-qubit density ρ.
+/// These are the Pauli-error weights of teleportation with resource ρ (Eq. 22).
+std::array<Real, 4> bell_overlaps(const Matrix& rho);
+
+/// Closed-form overlaps of Φk with the Bell basis (Eqs. 55-58):
+/// { (k+1)²/(2(k²+1)), 0, 0, (k−1)²/(2(k²+1)) }.
+std::array<Real, 4> phi_k_bell_overlaps(Real k);
+
+/// Solves f(Φk) = target for k ∈ [0, 1]: the Schmidt parameter whose pure NME
+/// state has maximal overlap `target` with Φ (Eq. 10 inverted). target must
+/// be in [1/2, 1]. Of the two solutions k and 1/k we return the one <= 1.
+Real k_for_overlap(Real target);
+
+}  // namespace qcut

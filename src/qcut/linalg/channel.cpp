@@ -1,0 +1,166 @@
+#include "qcut/linalg/channel.hpp"
+
+#include <cmath>
+
+#include "qcut/linalg/decomp.hpp"
+#include "qcut/linalg/kron.hpp"
+
+namespace qcut {
+
+Channel::Channel(std::vector<Matrix> kraus) : kraus_(std::move(kraus)) {
+  QCUT_CHECK(!kraus_.empty(), "Channel: need at least one Kraus operator");
+  const Index rows = kraus_.front().rows();
+  const Index cols = kraus_.front().cols();
+  for (const auto& k : kraus_) {
+    QCUT_CHECK(k.rows() == rows && k.cols() == cols, "Channel: inconsistent Kraus shapes");
+  }
+}
+
+Channel Channel::identity(Index dim) {
+  return Channel(std::vector<Matrix>{Matrix::identity(dim)});
+}
+
+Channel Channel::from_unitary(const Matrix& u) {
+  QCUT_CHECK(u.square(), "Channel::from_unitary: matrix must be square");
+  return Channel(std::vector<Matrix>{u});
+}
+
+Index Channel::dim_in() const {
+  QCUT_CHECK(!kraus_.empty(), "Channel: empty");
+  return kraus_.front().cols();
+}
+
+Index Channel::dim_out() const {
+  QCUT_CHECK(!kraus_.empty(), "Channel: empty");
+  return kraus_.front().rows();
+}
+
+Matrix Channel::apply(const Matrix& rho) const {
+  QCUT_CHECK(rho.rows() == dim_in() && rho.cols() == dim_in(),
+             "Channel::apply: dimension mismatch");
+  Matrix out(dim_out(), dim_out());
+  for (const auto& k : kraus_) {
+    out += k * rho * k.dagger();
+  }
+  return out;
+}
+
+Channel Channel::compose(const Channel& other) const {
+  QCUT_CHECK(dim_in() == other.dim_out(), "Channel::compose: dimension mismatch");
+  std::vector<Matrix> ks;
+  ks.reserve(kraus_.size() * other.kraus_.size());
+  for (const auto& a : kraus_) {
+    for (const auto& b : other.kraus_) {
+      ks.push_back(a * b);
+    }
+  }
+  return Channel(std::move(ks));
+}
+
+Channel Channel::tensor(const Channel& other) const {
+  std::vector<Matrix> ks;
+  ks.reserve(kraus_.size() * other.kraus_.size());
+  for (const auto& a : kraus_) {
+    for (const auto& b : other.kraus_) {
+      ks.push_back(kron(a, b));
+    }
+  }
+  return Channel(std::move(ks));
+}
+
+bool Channel::is_trace_preserving(Real tol) const {
+  Matrix acc(dim_in(), dim_in());
+  for (const auto& k : kraus_) {
+    acc += k.dagger() * k;
+  }
+  return acc.approx_equal(Matrix::identity(dim_in()), tol);
+}
+
+bool Channel::is_trace_nonincreasing(Real tol) const {
+  Matrix acc(dim_in(), dim_in());
+  for (const auto& k : kraus_) {
+    acc += k.dagger() * k;
+  }
+  // I - Σ K†K must be PSD.
+  Matrix gap = Matrix::identity(dim_in()) - acc;
+  return gap.is_psd(tol);
+}
+
+Matrix channel_to_choi(const Channel& e) {
+  const Index din = e.dim_in();
+  const Index dout = e.dim_out();
+  Matrix choi(din * dout, din * dout);
+  for (Index i = 0; i < din; ++i) {
+    for (Index j = 0; j < din; ++j) {
+      Matrix eij(din, din);
+      eij(i, j) = Cplx{1.0, 0.0};
+      const Matrix out = e.apply(eij);
+      for (Index r = 0; r < dout; ++r) {
+        for (Index c = 0; c < dout; ++c) {
+          choi(i * dout + r, j * dout + c) += out(r, c);
+        }
+      }
+    }
+  }
+  return choi;
+}
+
+Channel choi_to_kraus(const Matrix& choi, Index dim_in, Index dim_out, Real tol) {
+  QCUT_CHECK(choi.rows() == dim_in * dim_out && choi.square(),
+             "choi_to_kraus: dimension mismatch");
+  EighResult eg = eigh(choi, 1e-7);
+  std::vector<Matrix> ks;
+  for (std::size_t idx = 0; idx < eg.values.size(); ++idx) {
+    const Real ev = eg.values[idx];
+    QCUT_CHECK(ev > -1e-7, "choi_to_kraus: Choi matrix not PSD (not a CP map)");
+    if (ev <= tol) {
+      continue;
+    }
+    const Real scale = std::sqrt(ev);
+    Matrix k(dim_out, dim_in);
+    for (Index i = 0; i < dim_in; ++i) {
+      for (Index r = 0; r < dim_out; ++r) {
+        k(r, i) = scale * eg.vectors(i * dim_out + r, static_cast<Index>(idx));
+      }
+    }
+    ks.push_back(std::move(k));
+  }
+  QCUT_CHECK(!ks.empty(), "choi_to_kraus: zero channel");
+  return Channel(std::move(ks));
+}
+
+Matrix channel_to_superop(const Channel& e) {
+  const Index din = e.dim_in();
+  const Index dout = e.dim_out();
+  Matrix s(dout * dout, din * din);
+  for (const auto& k : e.kraus()) {
+    s += kron(k.conj(), k);
+  }
+  return s;
+}
+
+Real process_fidelity(const Channel& e, const Matrix& target_unitary) {
+  QCUT_CHECK(target_unitary.square(), "process_fidelity: target must be square");
+  const Index d = target_unitary.rows();
+  QCUT_CHECK(e.dim_in() == d && e.dim_out() == d, "process_fidelity: dimension mismatch");
+  const Channel target = Channel::from_unitary(target_unitary);
+  const Matrix ce = channel_to_choi(e);
+  const Matrix ct = channel_to_choi(target);
+  // For a unitary target the Choi matrix is rank one: C_t = d |v⟩⟨v| with
+  // ⟨v|v⟩ = 1, so F = ⟨v|C_E|v⟩ / d = Tr[C_t C_E] / d².
+  const Cplx overlap = (ct * ce).trace();
+  return overlap.real() / static_cast<Real>(d * d);
+}
+
+Matrix quasi_mix(const std::vector<Real>& coeffs, const std::vector<Channel>& channels,
+                 const Matrix& rho) {
+  QCUT_CHECK(coeffs.size() == channels.size(), "quasi_mix: coefficient/channel mismatch");
+  QCUT_CHECK(!channels.empty(), "quasi_mix: empty decomposition");
+  Matrix acc(channels.front().dim_out(), channels.front().dim_out());
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    acc += Cplx{coeffs[i], 0.0} * channels[i].apply(rho);
+  }
+  return acc;
+}
+
+}  // namespace qcut

@@ -1,0 +1,64 @@
+// Quantum channels (completely positive maps) in Kraus form, with Choi and
+// superoperator representations. The cut protocols are verified by composing
+// their QPD branches into channels and checking exact identities at the
+// density-matrix level (no sampling noise).
+#pragma once
+
+#include <vector>
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+/// A completely positive map given by Kraus operators E(ρ) = Σ K ρ K†.
+/// Trace-preserving iff Σ K†K = I; the cut branch maps are generally only
+/// trace-nonincreasing (CPTN, matching the paper's Sec. II-A).
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(std::vector<Matrix> kraus);
+
+  static Channel identity(Index dim);
+  static Channel from_unitary(const Matrix& u);
+
+  const std::vector<Matrix>& kraus() const noexcept { return kraus_; }
+  Index dim_in() const;
+  Index dim_out() const;
+
+  Matrix apply(const Matrix& rho) const;
+
+  /// Functional composition: (this ∘ other)(ρ) = this(other(ρ)).
+  Channel compose(const Channel& other) const;
+
+  /// Tensor product channel acting on the joint system.
+  Channel tensor(const Channel& other) const;
+
+  bool is_trace_preserving(Real tol = kTightTol) const;
+  bool is_trace_nonincreasing(Real tol = kDecompTol) const;
+
+ private:
+  std::vector<Matrix> kraus_;
+};
+
+/// Choi matrix (column-stacking convention):
+/// C = Σ_{ij} |i⟩⟨j| ⊗ E(|i⟩⟨j|), a (d_in·d_out)² matrix.
+Matrix channel_to_choi(const Channel& e);
+
+/// Recovers a Kraus decomposition from a Choi matrix via its
+/// eigendecomposition (eigenvalues below tol are dropped).
+Channel choi_to_kraus(const Matrix& choi, Index dim_in, Index dim_out, Real tol = 1e-9);
+
+/// Superoperator matrix with column-stacking vec: vec(E(ρ)) = S vec(ρ),
+/// S = Σ conj(K) ⊗ K.
+Matrix channel_to_superop(const Channel& e);
+
+/// Average gate fidelity proxy: process fidelity between a channel and a
+/// target unitary, F_pro = ⟨Φ_u| C_E/d² |Φ_u⟩ computed via Choi matrices.
+Real process_fidelity(const Channel& e, const Matrix& target_unitary);
+
+/// Linear combination of channel outputs: Σ c_i E_i(ρ). This is exactly the
+/// quasiprobability reconstruction of Eq. (11); returns the resulting matrix.
+Matrix quasi_mix(const std::vector<Real>& coeffs, const std::vector<Channel>& channels,
+                 const Matrix& rho);
+
+}  // namespace qcut

@@ -1,0 +1,265 @@
+#include "qcut/linalg/decomp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qcut {
+
+QrResult qr(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  Matrix r = a;
+  Matrix q = Matrix::identity(m);
+
+  // Householder reflections column by column.
+  for (Index k = 0; k < std::min(m - 1, n); ++k) {
+    // Build the Householder vector v for column k, rows k..m-1.
+    Real xnorm2 = 0.0;
+    for (Index i = k; i < m; ++i) {
+      xnorm2 += norm2(r(i, k));
+    }
+    const Real xnorm = std::sqrt(xnorm2);
+    if (xnorm <= 1e-300) {
+      continue;  // column already zero below the diagonal
+    }
+    const Cplx x0 = r(k, k);
+    // alpha = -e^{i arg(x0)} * ||x||  (choose sign to avoid cancellation)
+    const Real ax0 = std::abs(x0);
+    const Cplx phase = ax0 > 0.0 ? x0 / ax0 : Cplx{1.0, 0.0};
+    const Cplx alpha = -phase * xnorm;
+
+    Vector v(static_cast<std::size_t>(m - k), Cplx{0.0, 0.0});
+    v[0] = x0 - alpha;
+    for (Index i = k + 1; i < m; ++i) {
+      v[static_cast<std::size_t>(i - k)] = r(i, k);
+    }
+    Real vnorm2 = 0.0;
+    for (const auto& z : v) {
+      vnorm2 += norm2(z);
+    }
+    if (vnorm2 <= 1e-300) {
+      continue;
+    }
+    const Real beta = 2.0 / vnorm2;
+
+    // Apply H = I - beta v v^dagger to R (rows k..m-1, all cols).
+    for (Index j = 0; j < n; ++j) {
+      Cplx dot{0.0, 0.0};
+      for (Index i = k; i < m; ++i) {
+        dot += std::conj(v[static_cast<std::size_t>(i - k)]) * r(i, j);
+      }
+      dot *= beta;
+      for (Index i = k; i < m; ++i) {
+        r(i, j) -= dot * v[static_cast<std::size_t>(i - k)];
+      }
+    }
+    // Accumulate Q := Q H (apply H on the right of Q).
+    for (Index i = 0; i < m; ++i) {
+      Cplx dot{0.0, 0.0};
+      for (Index j = k; j < m; ++j) {
+        dot += q(i, j) * v[static_cast<std::size_t>(j - k)];
+      }
+      dot *= beta;
+      for (Index j = k; j < m; ++j) {
+        q(i, j) -= dot * std::conj(v[static_cast<std::size_t>(j - k)]);
+      }
+    }
+  }
+
+  // Clean numerical noise below the diagonal.
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = j + 1; i < m; ++i) {
+      r(i, j) = Cplx{0.0, 0.0};
+    }
+  }
+  return {std::move(q), std::move(r)};
+}
+
+EighResult eigh(const Matrix& a, Real herm_tol) {
+  QCUT_CHECK(a.square(), "eigh: matrix must be square");
+  QCUT_CHECK(a.is_hermitian(herm_tol), "eigh: matrix must be Hermitian");
+  const Index n = a.rows();
+
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  // Symmetrize exactly to suppress drift during sweeps.
+  for (Index r = 0; r < n; ++r) {
+    for (Index c = r + 1; c < n; ++c) {
+      const Cplx avg = (d(r, c) + std::conj(d(c, r))) * Cplx{0.5, 0.0};
+      d(r, c) = avg;
+      d(c, r) = std::conj(avg);
+    }
+    d(r, r) = Cplx{d(r, r).real(), 0.0};
+  }
+
+  const int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    // Off-diagonal Frobenius norm.
+    Real off = 0.0;
+    for (Index p = 0; p < n; ++p) {
+      for (Index q2 = p + 1; q2 < n; ++q2) {
+        off += norm2(d(p, q2));
+      }
+    }
+    if (off < 1e-24) {
+      break;
+    }
+    for (Index p = 0; p < n; ++p) {
+      for (Index q2 = p + 1; q2 < n; ++q2) {
+        const Cplx apq = d(p, q2);
+        const Real aapq = std::abs(apq);
+        if (aapq < 1e-18) {
+          continue;
+        }
+        const Real app = d(p, p).real();
+        const Real aqq = d(q2, q2).real();
+        // Complex Jacobi rotation: zero out d(p,q).
+        const Cplx phase = apq / aapq;
+        const Real tau = (aqq - app) / (2.0 * aapq);
+        const Real t = (tau >= 0.0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const Real c = 1.0 / std::sqrt(1.0 + t * t);
+        const Real s = t * c;
+        const Cplx cs = Cplx{s, 0.0} * phase;  // complex "sine" with phase
+
+        // Update rows/columns p and q of d: G^dagger d G with
+        // G = [[c, cs],[-conj(cs), c]] acting on the (p,q) plane.
+        for (Index i = 0; i < n; ++i) {
+          const Cplx dip = d(i, p);
+          const Cplx diq = d(i, q2);
+          d(i, p) = Cplx{c, 0.0} * dip - std::conj(cs) * diq;
+          d(i, q2) = cs * dip + Cplx{c, 0.0} * diq;
+        }
+        for (Index j = 0; j < n; ++j) {
+          const Cplx dpj = d(p, j);
+          const Cplx dqj = d(q2, j);
+          d(p, j) = Cplx{c, 0.0} * dpj - cs * dqj;
+          d(q2, j) = std::conj(cs) * dpj + Cplx{c, 0.0} * dqj;
+        }
+        // Accumulate eigenvectors: V := V G.
+        for (Index i = 0; i < n; ++i) {
+          const Cplx vip = v(i, p);
+          const Cplx viq = v(i, q2);
+          v(i, p) = Cplx{c, 0.0} * vip - std::conj(cs) * viq;
+          v(i, q2) = cs * vip + Cplx{c, 0.0} * viq;
+        }
+        // Enforce exact Hermiticity of the rotated pair.
+        d(p, q2) = Cplx{0.0, 0.0};
+        d(q2, p) = Cplx{0.0, 0.0};
+        d(p, p) = Cplx{d(p, p).real(), 0.0};
+        d(q2, q2) = Cplx{d(q2, q2).real(), 0.0};
+      }
+    }
+  }
+
+  EighResult out;
+  out.values.resize(static_cast<std::size_t>(n));
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(),
+            [&d](Index i, Index j) { return d(i, i).real() > d(j, j).real(); });
+
+  out.vectors = Matrix(n, n);
+  for (Index k = 0; k < n; ++k) {
+    const Index src = order[static_cast<std::size_t>(k)];
+    out.values[static_cast<std::size_t>(k)] = d(src, src).real();
+    for (Index i = 0; i < n; ++i) {
+      out.vectors(i, k) = v(i, src);
+    }
+  }
+  return out;
+}
+
+SvdResult svd(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  QCUT_CHECK(m > 0 && n > 0, "svd: empty matrix");
+
+  // Eigendecomposition of the (n x n) Gram matrix.
+  const Matrix gram = a.dagger() * a;
+  EighResult eg = eigh(gram, 1e-7);
+
+  SvdResult out;
+  const Index r = std::min(m, n);
+  out.singular.resize(static_cast<std::size_t>(r));
+  out.v = Matrix(n, n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < n; ++i) {
+      out.v(i, j) = eg.vectors(i, j);
+    }
+  }
+  for (Index j = 0; j < r; ++j) {
+    const Real ev = std::max<Real>(0.0, eg.values[static_cast<std::size_t>(j)]);
+    out.singular[static_cast<std::size_t>(j)] = std::sqrt(ev);
+  }
+
+  // Left singular vectors: u_j = A v_j / sigma_j where sigma_j > 0;
+  // the remainder of U is completed to a unitary via QR.
+  Matrix u(m, m);
+  const Real smax = out.singular.empty() ? 0.0 : out.singular[0];
+  const Real cutoff = std::max<Real>(1e-12, smax * 1e-12);
+  Index filled = 0;
+  for (Index j = 0; j < r; ++j) {
+    if (out.singular[static_cast<std::size_t>(j)] <= cutoff) {
+      break;
+    }
+    for (Index i = 0; i < m; ++i) {
+      Cplx acc{0.0, 0.0};
+      for (Index k = 0; k < n; ++k) {
+        acc += a(i, k) * out.v(k, j);
+      }
+      u(i, j) = acc / out.singular[static_cast<std::size_t>(j)];
+    }
+    ++filled;
+  }
+  if (filled < m) {
+    // Complete: QR of [U_filled | I] spans the whole space; take Q's columns.
+    Matrix aug(m, m + filled);
+    for (Index j = 0; j < filled; ++j) {
+      for (Index i = 0; i < m; ++i) {
+        aug(i, j) = u(i, j);
+      }
+    }
+    for (Index j = 0; j < m; ++j) {
+      aug(j, filled + j) = Cplx{1.0, 0.0};
+    }
+    QrResult f = qr(aug);
+    // First `filled` columns of Q agree with U up to phases; fix the phases so
+    // that A = U S V^dagger holds exactly, then copy the orthogonal complement.
+    for (Index j = 0; j < filled; ++j) {
+      // phase = <q_j, u_j>
+      Cplx ph{0.0, 0.0};
+      for (Index i = 0; i < m; ++i) {
+        ph += std::conj(f.q(i, j)) * u(i, j);
+      }
+      const Real aph = std::abs(ph);
+      const Cplx rot = aph > 0.0 ? ph / aph : Cplx{1.0, 0.0};
+      for (Index i = 0; i < m; ++i) {
+        u(i, j) = f.q(i, j) * rot;
+      }
+    }
+    for (Index j = filled; j < m; ++j) {
+      for (Index i = 0; i < m; ++i) {
+        u(i, j) = f.q(i, j);
+      }
+    }
+  }
+  out.u = std::move(u);
+  return out;
+}
+
+bool Matrix::is_psd(Real tol) const {
+  if (!square() || !is_hermitian(std::max(tol, kTightTol))) {
+    return false;
+  }
+  EighResult eg = eigh(*this, std::max(tol, kTightTol));
+  for (Real v : eg.values) {
+    if (v < -tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qcut

@@ -1,0 +1,40 @@
+// Matrix decompositions: Householder QR, Hermitian eigendecomposition
+// (cyclic Jacobi), and SVD. Sized for the small dense matrices of quantum
+// information (dim <= few thousand); all algorithms are O(n^3) with good
+// constants and no external dependencies.
+#pragma once
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+struct QrResult {
+  Matrix q;  ///< m x m unitary
+  Matrix r;  ///< m x n upper triangular
+};
+
+/// Householder QR factorization A = Q R.
+QrResult qr(const Matrix& a);
+
+struct EighResult {
+  /// Eigenvalues sorted in descending order.
+  std::vector<Real> values;
+  /// Columns are the corresponding orthonormal eigenvectors.
+  Matrix vectors;
+};
+
+/// Eigendecomposition of a Hermitian matrix via cyclic Jacobi rotations.
+/// Throws if `a` is not Hermitian to tolerance `herm_tol`.
+EighResult eigh(const Matrix& a, Real herm_tol = 1e-8);
+
+struct SvdResult {
+  Matrix u;                    ///< m x m unitary
+  std::vector<Real> singular;  ///< min(m,n) singular values, descending
+  Matrix v;                    ///< n x n unitary (A = U diag(s) V^dagger)
+};
+
+/// Singular value decomposition via the Hermitian eigenproblem of A^dagger A,
+/// with Householder completion of the left factor.
+SvdResult svd(const Matrix& a);
+
+}  // namespace qcut

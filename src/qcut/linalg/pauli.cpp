@@ -1,0 +1,133 @@
+#include "qcut/linalg/pauli.hpp"
+
+#include "qcut/linalg/kron.hpp"
+
+namespace qcut {
+
+const Matrix& pauli_i() {
+  static const Matrix m{{Cplx{1, 0}, Cplx{0, 0}}, {Cplx{0, 0}, Cplx{1, 0}}};
+  return m;
+}
+
+const Matrix& pauli_x() {
+  static const Matrix m{{Cplx{0, 0}, Cplx{1, 0}}, {Cplx{1, 0}, Cplx{0, 0}}};
+  return m;
+}
+
+const Matrix& pauli_y() {
+  static const Matrix m{{Cplx{0, 0}, Cplx{0, -1}}, {Cplx{0, 1}, Cplx{0, 0}}};
+  return m;
+}
+
+const Matrix& pauli_z() {
+  static const Matrix m{{Cplx{1, 0}, Cplx{0, 0}}, {Cplx{0, 0}, Cplx{-1, 0}}};
+  return m;
+}
+
+const Matrix& pauli_matrix(Pauli p) {
+  switch (p) {
+    case Pauli::I:
+      return pauli_i();
+    case Pauli::X:
+      return pauli_x();
+    case Pauli::Y:
+      return pauli_y();
+    case Pauli::Z:
+      return pauli_z();
+  }
+  throw Error("pauli_matrix: invalid Pauli");
+}
+
+char pauli_char(Pauli p) {
+  switch (p) {
+    case Pauli::I:
+      return 'I';
+    case Pauli::X:
+      return 'X';
+    case Pauli::Y:
+      return 'Y';
+    case Pauli::Z:
+      return 'Z';
+  }
+  throw Error("pauli_char: invalid Pauli");
+}
+
+Pauli pauli_from_char(char c) {
+  switch (c) {
+    case 'I':
+      return Pauli::I;
+    case 'X':
+      return Pauli::X;
+    case 'Y':
+      return Pauli::Y;
+    case 'Z':
+      return Pauli::Z;
+    default:
+      throw Error(std::string("pauli_from_char: invalid character '") + c + "'");
+  }
+}
+
+Matrix pauli_string(const std::string& s) {
+  QCUT_CHECK(!s.empty(), "pauli_string: empty string");
+  Matrix acc = pauli_matrix(pauli_from_char(s[0]));
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    acc = kron(acc, pauli_matrix(pauli_from_char(s[i])));
+  }
+  return acc;
+}
+
+std::vector<std::string> all_pauli_strings(int n_qubits) {
+  QCUT_CHECK(n_qubits >= 1 && n_qubits <= 8, "all_pauli_strings: unsupported qubit count");
+  static constexpr char kChars[] = {'I', 'X', 'Y', 'Z'};
+  std::size_t total = 1;
+  for (int i = 0; i < n_qubits; ++i) {
+    total *= 4;
+  }
+  std::vector<std::string> out;
+  out.reserve(total);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    std::string s(static_cast<std::size_t>(n_qubits), 'I');
+    std::size_t rem = idx;
+    for (int q = n_qubits - 1; q >= 0; --q) {
+      s[static_cast<std::size_t>(q)] = kChars[rem % 4];
+      rem /= 4;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Cplx> pauli_coefficients(const Matrix& a) {
+  QCUT_CHECK(a.square(), "pauli_coefficients: matrix must be square");
+  int n = 0;
+  Index dim = a.rows();
+  while ((Index{1} << n) < dim) {
+    ++n;
+  }
+  QCUT_CHECK((Index{1} << n) == dim, "pauli_coefficients: dimension must be a power of 2");
+  const auto strings = all_pauli_strings(n);
+  std::vector<Cplx> coeffs;
+  coeffs.reserve(strings.size());
+  const Real denom = static_cast<Real>(dim);
+  for (const auto& s : strings) {
+    const Matrix p = pauli_string(s);
+    coeffs.push_back((p * a).trace() / denom);
+  }
+  return coeffs;
+}
+
+Matrix from_pauli_coefficients(const std::vector<Cplx>& coeffs, int n_qubits) {
+  const auto strings = all_pauli_strings(n_qubits);
+  QCUT_CHECK(coeffs.size() == strings.size(), "from_pauli_coefficients: wrong coefficient count");
+  const Index dim = Index{1} << n_qubits;
+  Matrix acc(dim, dim);
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    if (is_zero(coeffs[i], 0.0)) {
+      continue;
+    }
+    acc += coeffs[i] * pauli_string(strings[i]);
+  }
+  return acc;
+}
+
+}  // namespace qcut

@@ -1,0 +1,44 @@
+// Pauli algebra: the single-qubit Pauli matrices, Pauli strings, and the
+// Pauli (Hermitian operator) basis expansion used to verify channels and
+// quasiprobability decompositions.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+enum class Pauli : int { I = 0, X = 1, Y = 2, Z = 3 };
+
+/// The 2x2 matrix of a single Pauli operator.
+const Matrix& pauli_matrix(Pauli p);
+
+/// Convenience accessors.
+const Matrix& pauli_i();
+const Matrix& pauli_x();
+const Matrix& pauli_y();
+const Matrix& pauli_z();
+
+/// Parses a Pauli string like "XZI" (leftmost = qubit 0 = most significant)
+/// into its 2^n x 2^n matrix.
+Matrix pauli_string(const std::string& s);
+
+/// All 4^n n-qubit Pauli strings, in lexicographic order (I < X < Y < Z).
+std::vector<std::string> all_pauli_strings(int n_qubits);
+
+/// Expansion coefficients of an operator A in the Pauli basis:
+/// A = sum_P c_P P with c_P = Tr[P A] / 2^n. Order matches
+/// all_pauli_strings(n).
+std::vector<Cplx> pauli_coefficients(const Matrix& a);
+
+/// Reassembles an operator from Pauli coefficients (inverse of the above).
+Matrix from_pauli_coefficients(const std::vector<Cplx>& coeffs, int n_qubits);
+
+/// Label character for a Pauli.
+char pauli_char(Pauli p);
+Pauli pauli_from_char(char c);
+
+}  // namespace qcut

@@ -1,0 +1,106 @@
+#include "qcut/linalg/ptrace.hpp"
+
+#include <algorithm>
+
+namespace qcut {
+
+namespace {
+
+// Scatters the bits of `packed` (k bits, big-endian over `positions`) into an
+// n-qubit index at the given big-endian qubit positions.
+Index scatter_bits(Index packed, const std::vector<int>& positions, int n_qubits) {
+  Index out = 0;
+  const int k = static_cast<int>(positions.size());
+  for (int j = 0; j < k; ++j) {
+    const Index bit = (packed >> (k - 1 - j)) & 1;
+    out |= bit << (n_qubits - 1 - positions[static_cast<std::size_t>(j)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix partial_trace(const Matrix& rho, const std::vector<int>& traced_qubits, int n_qubits) {
+  const Index dim = Index{1} << n_qubits;
+  QCUT_CHECK(rho.rows() == dim && rho.cols() == dim, "partial_trace: dimension mismatch");
+  for (int q : traced_qubits) {
+    QCUT_CHECK(q >= 0 && q < n_qubits, "partial_trace: qubit out of range");
+    QCUT_CHECK(std::count(traced_qubits.begin(), traced_qubits.end(), q) == 1,
+               "partial_trace: duplicate qubit");
+  }
+
+  std::vector<int> kept;
+  kept.reserve(static_cast<std::size_t>(n_qubits) - traced_qubits.size());
+  for (int q = 0; q < n_qubits; ++q) {
+    if (std::find(traced_qubits.begin(), traced_qubits.end(), q) == traced_qubits.end()) {
+      kept.push_back(q);
+    }
+  }
+
+  const int nk = static_cast<int>(kept.size());
+  const int nt = static_cast<int>(traced_qubits.size());
+  const Index kdim = Index{1} << nk;
+  const Index tdim = Index{1} << nt;
+
+  Matrix out(kdim, kdim);
+  for (Index kr = 0; kr < kdim; ++kr) {
+    const Index row_kept = scatter_bits(kr, kept, n_qubits);
+    for (Index kc = 0; kc < kdim; ++kc) {
+      const Index col_kept = scatter_bits(kc, kept, n_qubits);
+      Cplx acc{0.0, 0.0};
+      for (Index t = 0; t < tdim; ++t) {
+        const Index tbits = scatter_bits(t, traced_qubits, n_qubits);
+        acc += rho(row_kept | tbits, col_kept | tbits);
+      }
+      out(kr, kc) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix reduced_density(const Matrix& rho, const std::vector<int>& kept_qubits, int n_qubits) {
+  std::vector<int> traced;
+  for (int q = 0; q < n_qubits; ++q) {
+    if (std::find(kept_qubits.begin(), kept_qubits.end(), q) == kept_qubits.end()) {
+      traced.push_back(q);
+    }
+  }
+  Matrix red = partial_trace(rho, traced, n_qubits);
+
+  // partial_trace keeps the surviving qubits in ascending order; if the caller
+  // requested a different order, permute.
+  std::vector<int> sorted = kept_qubits;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted == kept_qubits) {
+    return red;
+  }
+  const int nk = static_cast<int>(kept_qubits.size());
+  const Index kdim = Index{1} << nk;
+  // position of each requested qubit within the ascending layout
+  std::vector<int> pos(kept_qubits.size());
+  for (std::size_t i = 0; i < kept_qubits.size(); ++i) {
+    pos[i] = static_cast<int>(std::find(sorted.begin(), sorted.end(), kept_qubits[i]) -
+                              sorted.begin());
+  }
+  auto permute_index = [&](Index idx) {
+    Index out = 0;
+    for (int j = 0; j < nk; ++j) {
+      const Index bit = (idx >> (nk - 1 - pos[static_cast<std::size_t>(j)])) & 1;
+      out = (out << 1) | bit;
+    }
+    return out;
+  };
+  Matrix out(kdim, kdim);
+  for (Index r = 0; r < kdim; ++r) {
+    for (Index c = 0; c < kdim; ++c) {
+      out(permute_index(r), permute_index(c)) = red(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix reduced_density(const Vector& psi, const std::vector<int>& kept_qubits, int n_qubits) {
+  return reduced_density(density(psi), kept_qubits, n_qubits);
+}
+
+}  // namespace qcut

@@ -1,0 +1,21 @@
+// Partial trace over qubit subsystems.
+#pragma once
+
+#include <vector>
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+/// Traces out the listed qubits (big-endian indexing: qubit 0 is the most
+/// significant bit) from an n-qubit density operator. The remaining qubits
+/// keep their relative order.
+Matrix partial_trace(const Matrix& rho, const std::vector<int>& traced_qubits, int n_qubits);
+
+/// Reduced density operator of the listed qubits (traces out the complement).
+Matrix reduced_density(const Matrix& rho, const std::vector<int>& kept_qubits, int n_qubits);
+
+/// Reduced density operator of a pure n-qubit state on the kept qubits.
+Matrix reduced_density(const Vector& psi, const std::vector<int>& kept_qubits, int n_qubits);
+
+}  // namespace qcut

@@ -1,0 +1,69 @@
+#include "qcut/linalg/random.hpp"
+
+#include <cmath>
+
+#include "qcut/linalg/decomp.hpp"
+#include "qcut/linalg/kron.hpp"
+
+namespace qcut {
+
+Matrix ginibre(Index n, Rng& rng) { return ginibre(n, n, rng); }
+
+Matrix ginibre(Index rows, Index cols, Rng& rng) {
+  Matrix g(rows, cols);
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      g(r, c) = Cplx{rng.normal(), rng.normal()} * kInvSqrt2;
+    }
+  }
+  return g;
+}
+
+Matrix haar_unitary(Index n, Rng& rng) {
+  const Matrix g = ginibre(n, rng);
+  QrResult f = qr(g);
+  // Mezzadri's fix: Q diag(r_ii/|r_ii|) is Haar distributed.
+  Matrix u = f.q;
+  for (Index j = 0; j < n; ++j) {
+    const Cplx rjj = f.r(j, j);
+    const Real a = std::abs(rjj);
+    const Cplx phase = a > 1e-300 ? rjj / a : Cplx{1.0, 0.0};
+    for (Index i = 0; i < n; ++i) {
+      u(i, j) *= phase;
+    }
+  }
+  return u;
+}
+
+Vector random_statevector(Index dim, Rng& rng) {
+  Vector v(static_cast<std::size_t>(dim));
+  for (auto& x : v) {
+    x = Cplx{rng.normal(), rng.normal()};
+  }
+  return normalized(v);
+}
+
+Matrix random_density(Index dim, Rng& rng, Index rank) {
+  if (rank <= 0) {
+    rank = dim;
+  }
+  const Matrix g = ginibre(dim, rank, rng);
+  Matrix rho = g * g.dagger();
+  const Real tr = rho.trace().real();
+  QCUT_CHECK(tr > 0.0, "random_density: degenerate sample");
+  rho *= Cplx{1.0 / tr, 0.0};
+  return rho;
+}
+
+Vector random_two_qubit_pure(Rng& rng) {
+  // Draw Schmidt weight uniformly, then randomize local bases.
+  const Real p0 = 0.5 + 0.5 * rng.uniform();  // larger coefficient in [1/2, 1]
+  const Real c0 = std::sqrt(p0);
+  const Real c1 = std::sqrt(1.0 - p0);
+  Vector psi = {Cplx{c0, 0.0}, Cplx{0.0, 0.0}, Cplx{0.0, 0.0}, Cplx{c1, 0.0}};
+  const Matrix ua = haar_unitary(2, rng);
+  const Matrix ub = haar_unitary(2, rng);
+  return kron(ua, ub) * psi;
+}
+
+}  // namespace qcut

@@ -1,0 +1,31 @@
+// Random quantum objects: Haar-distributed unitaries (Mezzadri's method,
+// the paper's reference [30]), random pure states, and random density
+// operators (Hilbert-Schmidt and Bures ensembles).
+#pragma once
+
+#include "qcut/common/rng.hpp"
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+/// n x n matrix with i.i.d. standard complex Gaussian entries.
+Matrix ginibre(Index n, Rng& rng);
+Matrix ginibre(Index rows, Index cols, Rng& rng);
+
+/// Haar-distributed n x n unitary: QR of a Ginibre matrix with the R-diagonal
+/// phase correction from Mezzadri, "How to generate random matrices from the
+/// classical compact groups" (the algorithm the paper cites).
+Matrix haar_unitary(Index n, Rng& rng);
+
+/// Haar-random pure state of dimension `dim` (normalized Gaussian vector,
+/// equivalently the first column of a Haar unitary).
+Vector random_statevector(Index dim, Rng& rng);
+
+/// Random density operator from the Hilbert-Schmidt ensemble: G G^dagger
+/// normalized, with G a dim x rank Ginibre matrix (rank = dim by default).
+Matrix random_density(Index dim, Rng& rng, Index rank = 0);
+
+/// Random two-qubit pure NME state with Schmidt parameter drawn uniformly.
+Vector random_two_qubit_pure(Rng& rng);
+
+}  // namespace qcut

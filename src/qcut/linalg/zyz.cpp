@@ -1,0 +1,63 @@
+#include "qcut/linalg/zyz.hpp"
+
+#include <cmath>
+
+namespace qcut {
+
+ZyzAngles zyz_decompose(const Matrix& u) {
+  QCUT_CHECK(u.rows() == 2 && u.cols() == 2, "zyz_decompose: expects a 2x2 matrix");
+  QCUT_CHECK(u.is_unitary(1e-8), "zyz_decompose: matrix must be unitary");
+
+  // Write U = e^{iα} [ e^{-i(β+δ)/2} c   −e^{-i(β−δ)/2} s ]
+  //               [ e^{ i(β−δ)/2} s    e^{ i(β+δ)/2} c ]
+  // with c = cos(γ/2), s = sin(γ/2).
+  ZyzAngles a;
+  const Real c = std::sqrt(std::min<Real>(1.0, norm2(u(0, 0)) > 0 ? std::abs(u(0, 0)) * std::abs(u(0, 0)) : 0.0));
+  (void)c;
+  const Real m00 = std::abs(u(0, 0));
+  const Real m10 = std::abs(u(1, 0));
+  a.gamma = 2.0 * std::atan2(m10, m00);
+
+  const bool c_zero = m00 < 1e-12;
+  const bool s_zero = m10 < 1e-12;
+
+  auto arg = [](Cplx z) { return std::atan2(z.imag(), z.real()); };
+
+  if (s_zero) {
+    // Diagonal: only β+δ matters; pick δ = 0.
+    const Real phase_sum = arg(u(1, 1)) - arg(u(0, 0));  // = β + δ
+    a.beta = phase_sum;
+    a.delta = 0.0;
+    a.alpha = arg(u(0, 0)) + phase_sum / 2.0;
+  } else if (c_zero) {
+    // Anti-diagonal: only β−δ matters; pick δ = 0.
+    const Real phase_diff = arg(u(1, 0)) - arg(-u(0, 1));  // = β − δ
+    a.beta = phase_diff;
+    a.delta = 0.0;
+    a.alpha = arg(u(1, 0)) - phase_diff / 2.0;
+  } else {
+    const Real p00 = arg(u(0, 0));  // α − (β+δ)/2
+    const Real p10 = arg(u(1, 0));  // α + (β−δ)/2
+    const Real p11 = arg(u(1, 1));  // α + (β+δ)/2
+    a.alpha = (p00 + p11) / 2.0;
+    const Real beta_plus_delta = p11 - p00;
+    const Real beta_minus_delta = 2.0 * (p10 - a.alpha);
+    a.beta = (beta_plus_delta + beta_minus_delta) / 2.0;
+    a.delta = (beta_plus_delta - beta_minus_delta) / 2.0;
+  }
+  return a;
+}
+
+Matrix zyz_compose(const ZyzAngles& a) {
+  const Real ch = std::cos(a.gamma / 2.0);
+  const Real sh = std::sin(a.gamma / 2.0);
+  const Cplx phase = std::exp(Cplx{0.0, a.alpha});
+  Matrix u(2, 2);
+  u(0, 0) = phase * std::exp(Cplx{0.0, -(a.beta + a.delta) / 2.0}) * ch;
+  u(0, 1) = -phase * std::exp(Cplx{0.0, -(a.beta - a.delta) / 2.0}) * sh;
+  u(1, 0) = phase * std::exp(Cplx{0.0, (a.beta - a.delta) / 2.0}) * sh;
+  u(1, 1) = phase * std::exp(Cplx{0.0, (a.beta + a.delta) / 2.0}) * ch;
+  return u;
+}
+
+}  // namespace qcut

@@ -1,0 +1,23 @@
+// ZYZ (Euler) decomposition of single-qubit unitaries:
+//   U = e^{iα} Rz(β) Ry(γ) Rz(δ).
+// Used by the OpenQASM exporter to serialize arbitrary 2x2 gates as u3.
+#pragma once
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+struct ZyzAngles {
+  Real alpha = 0.0;  ///< global phase
+  Real beta = 0.0;   ///< first Rz
+  Real gamma = 0.0;  ///< middle Ry
+  Real delta = 0.0;  ///< last Rz
+};
+
+/// Decomposes a single-qubit unitary; throws if `u` is not unitary.
+ZyzAngles zyz_decompose(const Matrix& u);
+
+/// Rebuilds the unitary from angles (for tests).
+Matrix zyz_compose(const ZyzAngles& a);
+
+}  // namespace qcut

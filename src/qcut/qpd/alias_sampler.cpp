@@ -1,0 +1,58 @@
+#include "qcut/qpd/alias_sampler.hpp"
+
+#include "qcut/common/error.hpp"
+
+namespace qcut {
+
+AliasSampler::AliasSampler(const std::vector<Real>& weights) {
+  QCUT_CHECK(!weights.empty(), "AliasSampler: empty weight vector");
+  const std::size_t n = weights.size();
+  Real total = 0.0;
+  for (Real w : weights) {
+    QCUT_CHECK(w >= 0.0, "AliasSampler: negative weight");
+    total += w;
+  }
+  QCUT_CHECK(total > 0.0, "AliasSampler: all weights zero");
+
+  norm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    norm_[i] = weights[i] / total;
+  }
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<Real> scaled(n);
+  std::vector<std::size_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = norm_[i] * static_cast<Real>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::size_t i : large) {
+    prob_[i] = 1.0;
+  }
+  for (std::size_t i : small) {
+    prob_[i] = 1.0;  // numerical leftovers
+  }
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  const std::size_t col = static_cast<std::size_t>(rng.uniform_u64(prob_.size()));
+  return rng.uniform() < prob_[col] ? col : alias_[col];
+}
+
+Real AliasSampler::probability(std::size_t i) const {
+  QCUT_CHECK(i < norm_.size(), "AliasSampler: index out of range");
+  return norm_[i];
+}
+
+}  // namespace qcut

@@ -1,0 +1,29 @@
+// Walker alias method: O(1) categorical sampling after O(m) setup. Used to
+// draw QPD term indices per shot in the sampled estimator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qcut/common/rng.hpp"
+
+namespace qcut {
+
+class AliasSampler {
+ public:
+  /// Builds the alias table from unnormalized non-negative weights.
+  explicit AliasSampler(const std::vector<Real>& weights);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+  /// Normalized probability of category i (for tests).
+  Real probability(std::size_t i) const;
+
+ private:
+  std::vector<Real> prob_;         ///< acceptance probability per column
+  std::vector<std::size_t> alias_; ///< alias per column
+  std::vector<Real> norm_;         ///< normalized input probabilities
+};
+
+}  // namespace qcut

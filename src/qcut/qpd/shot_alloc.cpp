@@ -1,0 +1,80 @@
+#include "qcut/qpd/shot_alloc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "qcut/common/error.hpp"
+
+namespace qcut {
+
+namespace {
+
+std::vector<std::uint64_t> apportion(const std::vector<Real>& w, std::uint64_t total,
+                                     bool by_remainder) {
+  const std::size_t n = w.size();
+  Real sum = 0.0;
+  for (Real x : w) {
+    QCUT_CHECK(x >= 0.0, "allocate_shots: negative weight");
+    sum += x;
+  }
+  QCUT_CHECK(sum > 0.0, "allocate_shots: all weights zero");
+
+  std::vector<std::uint64_t> out(n, 0);
+  std::vector<Real> frac(n, 0.0);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real exact = static_cast<Real>(total) * w[i] / sum;
+    out[i] = static_cast<std::uint64_t>(std::floor(exact));
+    frac[i] = exact - static_cast<Real>(out[i]);
+    assigned += out[i];
+  }
+  // Distribute the remainder.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (by_remainder) {
+    std::sort(order.begin(), order.end(),
+              [&frac](std::size_t a, std::size_t b) { return frac[a] > frac[b]; });
+  } else {
+    std::sort(order.begin(), order.end(),
+              [&w](std::size_t a, std::size_t b) { return w[a] > w[b]; });
+  }
+  std::size_t idx = 0;
+  while (assigned < total) {
+    ++out[order[idx % n]];
+    ++assigned;
+    ++idx;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> allocate_shots(const std::vector<Real>& weights, std::uint64_t total,
+                                          AllocRule rule, const std::vector<Real>* sigmas) {
+  QCUT_CHECK(!weights.empty(), "allocate_shots: empty weights");
+  switch (rule) {
+    case AllocRule::kProportional:
+      return apportion(weights, total, /*by_remainder=*/false);
+    case AllocRule::kLargestRemainder:
+      return apportion(weights, total, /*by_remainder=*/true);
+    case AllocRule::kNeyman: {
+      QCUT_CHECK(sigmas != nullptr && sigmas->size() == weights.size(),
+                 "allocate_shots: Neyman rule needs per-term sigmas");
+      std::vector<Real> w(weights.size());
+      bool any_positive = false;
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w[i] = weights[i] * std::max<Real>(0.0, (*sigmas)[i]);
+        any_positive = any_positive || w[i] > 0.0;
+      }
+      // If every term is deterministic (σ = 0), fall back to proportional.
+      if (!any_positive) {
+        return apportion(weights, total, /*by_remainder=*/false);
+      }
+      return apportion(w, total, /*by_remainder=*/true);
+    }
+  }
+  throw Error("allocate_shots: invalid rule");
+}
+
+}  // namespace qcut

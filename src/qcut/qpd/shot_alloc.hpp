@@ -1,0 +1,30 @@
+// Shot allocation across QPD terms.
+//
+// The paper's experiment distributes a fixed shot budget over the subcircuits
+// "proportionally to their coefficients" (Sec. IV). We implement that rule
+// plus two ablations: Hamilton's largest-remainder rounding and Neyman
+// allocation (proportional to |c_i|·σ_i, optimal when per-term variances are
+// known).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qcut/common/types.hpp"
+
+namespace qcut {
+
+enum class AllocRule {
+  kProportional,      ///< floor(p_i N), leftovers to the largest weights (paper's rule)
+  kLargestRemainder,  ///< Hamilton apportionment on the fractional parts
+  kNeyman,            ///< weights |c_i|·σ_i (requires per-term std deviations)
+};
+
+/// Splits `total` shots across terms with sampling weights `weights`
+/// (typically |c_i|). For kNeyman, `sigmas` must be provided (same length).
+/// Every returned allocation sums to exactly `total`.
+std::vector<std::uint64_t> allocate_shots(const std::vector<Real>& weights, std::uint64_t total,
+                                          AllocRule rule,
+                                          const std::vector<Real>* sigmas = nullptr);
+
+}  // namespace qcut

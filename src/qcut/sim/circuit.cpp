@@ -1,0 +1,153 @@
+#include "qcut/sim/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "qcut/linalg/kron.hpp"
+#include "qcut/sim/gates.hpp"
+
+namespace qcut {
+
+Circuit::Circuit(int n_qubits, int n_cbits) : n_qubits_(n_qubits), n_cbits_(n_cbits) {
+  QCUT_CHECK(n_qubits >= 1 && n_qubits <= 20, "Circuit: unsupported qubit count");
+  QCUT_CHECK(n_cbits >= 0, "Circuit: negative classical bit count");
+}
+
+void Circuit::check_qubits(const std::vector<int>& qubits) const {
+  QCUT_CHECK(!qubits.empty(), "Circuit: operation needs at least one qubit");
+  for (int q : qubits) {
+    QCUT_CHECK(q >= 0 && q < n_qubits_, "Circuit: qubit index out of range");
+    QCUT_CHECK(std::count(qubits.begin(), qubits.end(), q) == 1, "Circuit: duplicate qubit");
+  }
+}
+
+void Circuit::check_cbit(int cbit) const {
+  QCUT_CHECK(cbit >= 0 && cbit < n_cbits_, "Circuit: classical bit index out of range");
+}
+
+Circuit& Circuit::gate(const Matrix& u, const std::vector<int>& qubits, std::string label) {
+  check_qubits(qubits);
+  const Index dim = Index{1} << static_cast<Index>(qubits.size());
+  QCUT_CHECK(u.rows() == dim && u.cols() == dim, "Circuit::gate: matrix/qubit-count mismatch");
+  ops_.push_back({OpKind::kUnitary, qubits, u, {}, -1, std::move(label)});
+  return *this;
+}
+
+Circuit& Circuit::gate_if(int cbit, const Matrix& u, const std::vector<int>& qubits,
+                          std::string label) {
+  check_qubits(qubits);
+  check_cbit(cbit);
+  const Index dim = Index{1} << static_cast<Index>(qubits.size());
+  QCUT_CHECK(u.rows() == dim && u.cols() == dim, "Circuit::gate_if: matrix/qubit-count mismatch");
+  ops_.push_back({OpKind::kCondUnitary, qubits, u, {}, cbit, std::move(label)});
+  return *this;
+}
+
+Circuit& Circuit::h(int q) { return gate(gates::h(), {q}, "H"); }
+Circuit& Circuit::x(int q) { return gate(gates::x(), {q}, "X"); }
+Circuit& Circuit::y(int q) { return gate(gates::y(), {q}, "Y"); }
+Circuit& Circuit::z(int q) { return gate(gates::z(), {q}, "Z"); }
+Circuit& Circuit::s(int q) { return gate(gates::s(), {q}, "S"); }
+Circuit& Circuit::sdg(int q) { return gate(gates::sdg(), {q}, "Sdg"); }
+Circuit& Circuit::t(int q) { return gate(gates::t(), {q}, "T"); }
+Circuit& Circuit::rx(int q, Real theta) { return gate(gates::rx(theta), {q}, "Rx"); }
+Circuit& Circuit::ry(int q, Real theta) { return gate(gates::ry(theta), {q}, "Ry"); }
+Circuit& Circuit::rz(int q, Real theta) { return gate(gates::rz(theta), {q}, "Rz"); }
+Circuit& Circuit::cx(int control, int target) { return gate(gates::cx(), {control, target}, "CX"); }
+Circuit& Circuit::cz(int control, int target) { return gate(gates::cz(), {control, target}, "CZ"); }
+Circuit& Circuit::swap_gate(int a, int b) { return gate(gates::swap(), {a, b}, "SWAP"); }
+
+Circuit& Circuit::x_if(int cbit, int q) { return gate_if(cbit, gates::x(), {q}, "X?"); }
+Circuit& Circuit::z_if(int cbit, int q) { return gate_if(cbit, gates::z(), {q}, "Z?"); }
+
+Circuit& Circuit::measure(int q, int cbit) {
+  check_qubits({q});
+  check_cbit(cbit);
+  ops_.push_back({OpKind::kMeasure, {q}, Matrix{}, {}, cbit, "measure"});
+  return *this;
+}
+
+Circuit& Circuit::reset(int q) {
+  check_qubits({q});
+  ops_.push_back({OpKind::kReset, {q}, Matrix{}, {}, -1, "reset"});
+  return *this;
+}
+
+Circuit& Circuit::initialize(const std::vector<int>& qubits, const Vector& state,
+                             std::string label) {
+  check_qubits(qubits);
+  const Index dim = Index{1} << static_cast<Index>(qubits.size());
+  QCUT_CHECK(static_cast<Index>(state.size()) == dim,
+             "Circuit::initialize: state/qubit-count mismatch");
+  QCUT_CHECK(approx_eq(vec_norm(state), 1.0, 1e-9), "Circuit::initialize: unnormalized state");
+  ops_.push_back({OpKind::kInitialize, qubits, Matrix{}, state, -1, std::move(label)});
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other, int qubit_offset, int cbit_offset) {
+  QCUT_CHECK(qubit_offset >= 0 && qubit_offset + other.n_qubits_ <= n_qubits_,
+             "Circuit::append: qubit range does not fit");
+  QCUT_CHECK((cbit_offset >= 0 && cbit_offset + other.n_cbits_ <= n_cbits_) ||
+                 other.n_cbits_ == 0,
+             "Circuit::append: classical range does not fit");
+  for (Operation op : other.ops_) {
+    for (int& q : op.qubits) {
+      q += qubit_offset;
+    }
+    if (op.cbit >= 0) {
+      op.cbit += cbit_offset;
+    }
+    ops_.push_back(std::move(op));
+  }
+  return *this;
+}
+
+Matrix Circuit::to_unitary() const {
+  Matrix acc = Matrix::identity(Index{1} << n_qubits_);
+  for (const auto& op : ops_) {
+    QCUT_CHECK(op.kind == OpKind::kUnitary,
+               "Circuit::to_unitary: circuit contains non-unitary operations");
+    acc = embed(op.matrix, op.qubits, n_qubits_) * acc;
+  }
+  return acc;
+}
+
+int Circuit::count_measurements() const {
+  int n = 0;
+  for (const auto& op : ops_) {
+    n += (op.kind == OpKind::kMeasure) ? 1 : 0;
+  }
+  return n;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "Circuit(" << n_qubits_ << " qubits, " << n_cbits_ << " cbits):\n";
+  for (const auto& op : ops_) {
+    os << "  ";
+    switch (op.kind) {
+      case OpKind::kUnitary:
+        os << op.label << " q[";
+        break;
+      case OpKind::kCondUnitary:
+        os << op.label << " if c" << op.cbit << " q[";
+        break;
+      case OpKind::kMeasure:
+        os << "measure -> c" << op.cbit << " q[";
+        break;
+      case OpKind::kReset:
+        os << "reset q[";
+        break;
+      case OpKind::kInitialize:
+        os << op.label << " q[";
+        break;
+    }
+    for (std::size_t i = 0; i < op.qubits.size(); ++i) {
+      os << op.qubits[i] << (i + 1 < op.qubits.size() ? "," : "");
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace qcut

@@ -1,0 +1,101 @@
+// Circuit intermediate representation.
+//
+// A Circuit is an ordered list of operations over `n_qubits` quantum wires
+// and `n_cbits` classical bits. Mid-circuit measurement and classically
+// controlled gates are first-class citizens because every cut fragment the
+// protocols emit contains them (teleportation corrections, measure-and-
+// prepare branches).
+//
+// Qubit convention: big-endian, qubit 0 is the most significant basis-index
+// bit — the top wire of the paper's circuit diagrams.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+enum class OpKind {
+  kUnitary,      ///< unitary gate on listed qubits
+  kCondUnitary,  ///< unitary applied iff the classical bit equals 1
+  kMeasure,      ///< Z-basis measurement of one qubit into a classical bit
+  kReset,        ///< collapse one qubit and set it to |0⟩
+  kInitialize,   ///< set listed (fresh / reset) qubits to a given pure state
+};
+
+struct Operation {
+  OpKind kind = OpKind::kUnitary;
+  std::vector<int> qubits;
+  Matrix matrix;       ///< gate for kUnitary / kCondUnitary
+  Vector init_state;   ///< target state for kInitialize
+  int cbit = -1;       ///< destination for kMeasure, condition for kCondUnitary
+  std::string label;
+};
+
+class Circuit {
+ public:
+  /// Default: a trivial one-qubit, one-cbit circuit (placeholder for
+  /// aggregate members that are assigned before use).
+  Circuit() : Circuit(1, 1) {}
+  Circuit(int n_qubits, int n_cbits);
+  explicit Circuit(int n_qubits) : Circuit(n_qubits, 0) {}
+
+  int n_qubits() const noexcept { return n_qubits_; }
+  int n_cbits() const noexcept { return n_cbits_; }
+  const std::vector<Operation>& ops() const noexcept { return ops_; }
+  std::size_t size() const noexcept { return ops_.size(); }
+
+  // -- builder interface (returns *this for chaining) -----------------------
+  Circuit& gate(const Matrix& u, const std::vector<int>& qubits, std::string label = "U");
+  Circuit& gate_if(int cbit, const Matrix& u, const std::vector<int>& qubits,
+                   std::string label = "U?");
+
+  Circuit& h(int q);
+  Circuit& x(int q);
+  Circuit& y(int q);
+  Circuit& z(int q);
+  Circuit& s(int q);
+  Circuit& sdg(int q);
+  Circuit& t(int q);
+  Circuit& rx(int q, Real theta);
+  Circuit& ry(int q, Real theta);
+  Circuit& rz(int q, Real theta);
+  Circuit& cx(int control, int target);
+  Circuit& cz(int control, int target);
+  Circuit& swap_gate(int a, int b);
+
+  Circuit& x_if(int cbit, int q);
+  Circuit& z_if(int cbit, int q);
+
+  Circuit& measure(int q, int cbit);
+  Circuit& reset(int q);
+  /// Prepares `state` on the listed qubits, which must currently be in |0..0⟩
+  /// (true for fresh wires or immediately after reset/measure-to-zero).
+  Circuit& initialize(const std::vector<int>& qubits, const Vector& state,
+                      std::string label = "init");
+
+  /// Appends all ops of `other` with qubit/cbit index offsets.
+  Circuit& append(const Circuit& other, int qubit_offset = 0, int cbit_offset = 0);
+
+  /// Total unitary of a measurement-free circuit (throws otherwise).
+  Matrix to_unitary() const;
+
+  /// Number of measurement operations.
+  int count_measurements() const;
+
+  /// One-line-per-op textual rendering for logs and examples.
+  std::string to_string() const;
+
+ private:
+  void check_qubits(const std::vector<int>& qubits) const;
+  void check_cbit(int cbit) const;
+
+  int n_qubits_;
+  int n_cbits_;
+  std::vector<Operation> ops_;
+};
+
+}  // namespace qcut

@@ -1,0 +1,58 @@
+#include "qcut/sim/expectation.hpp"
+
+#include "qcut/linalg/pauli.hpp"
+
+namespace qcut {
+
+PauliObservable::PauliObservable(std::initializer_list<std::pair<Real, std::string>> terms)
+    : terms_(terms) {
+  for (const auto& [w, p] : terms_) {
+    (void)w;
+    QCUT_CHECK(!p.empty(), "PauliObservable: empty Pauli string");
+    QCUT_CHECK(p.size() == terms_.front().second.size(),
+               "PauliObservable: inconsistent string lengths");
+  }
+}
+
+PauliObservable& PauliObservable::add(Real weight, std::string pauli) {
+  QCUT_CHECK(!pauli.empty(), "PauliObservable::add: empty Pauli string");
+  if (!terms_.empty()) {
+    QCUT_CHECK(pauli.size() == terms_.front().second.size(),
+               "PauliObservable::add: inconsistent string lengths");
+  }
+  terms_.emplace_back(weight, std::move(pauli));
+  return *this;
+}
+
+int PauliObservable::n_qubits() const {
+  QCUT_CHECK(!terms_.empty(), "PauliObservable: empty observable");
+  return static_cast<int>(terms_.front().second.size());
+}
+
+Real PauliObservable::expectation(const Statevector& sv) const {
+  Real acc = 0.0;
+  for (const auto& [w, p] : terms_) {
+    acc += w * sv.expectation_pauli(p);
+  }
+  return acc;
+}
+
+Real PauliObservable::expectation(const DensityMatrix& dm) const {
+  Real acc = 0.0;
+  for (const auto& [w, p] : terms_) {
+    acc += w * dm.expectation_pauli(p);
+  }
+  return acc;
+}
+
+Matrix PauliObservable::to_matrix() const {
+  QCUT_CHECK(!terms_.empty(), "PauliObservable: empty observable");
+  const Index dim = Index{1} << n_qubits();
+  Matrix acc(dim, dim);
+  for (const auto& [w, p] : terms_) {
+    acc += Cplx{w, 0.0} * pauli_string(p);
+  }
+  return acc;
+}
+
+}  // namespace qcut

@@ -1,0 +1,34 @@
+// Observables: weighted sums of Pauli strings, with exact and shot-sampled
+// expectation values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qcut/sim/density_matrix.hpp"
+#include "qcut/sim/statevector.hpp"
+
+namespace qcut {
+
+/// O = Σ w_i P_i with P_i n-qubit Pauli strings.
+class PauliObservable {
+ public:
+  PauliObservable() = default;
+  PauliObservable(std::initializer_list<std::pair<Real, std::string>> terms);
+
+  PauliObservable& add(Real weight, std::string pauli);
+
+  const std::vector<std::pair<Real, std::string>>& terms() const noexcept { return terms_; }
+  int n_qubits() const;
+
+  Real expectation(const Statevector& sv) const;
+  Real expectation(const DensityMatrix& dm) const;
+
+  /// Dense matrix of the observable (for exact cross-checks).
+  Matrix to_matrix() const;
+
+ private:
+  std::vector<std::pair<Real, std::string>> terms_;
+};
+
+}  // namespace qcut

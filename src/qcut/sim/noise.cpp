@@ -1,0 +1,81 @@
+#include "qcut/sim/noise.hpp"
+
+#include <cmath>
+
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/pauli.hpp"
+
+namespace qcut {
+
+namespace {
+void check_prob(Real p, const char* name) {
+  QCUT_CHECK(p >= 0.0 && p <= 1.0, std::string(name) + ": probability out of [0,1]");
+}
+}  // namespace
+
+Channel depolarizing(Real p) {
+  check_prob(p, "depolarizing");
+  const Real k0 = std::sqrt(1.0 - 3.0 * p / 4.0);
+  const Real kp = std::sqrt(p / 4.0);
+  return Channel({k0 * pauli_i(), kp * pauli_x(), kp * pauli_y(), kp * pauli_z()});
+}
+
+Channel depolarizing2(Real p) {
+  check_prob(p, "depolarizing2");
+  std::vector<Matrix> ks;
+  ks.reserve(16);
+  const Real kp = std::sqrt(p / 16.0);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      Matrix k = kron(pauli_matrix(static_cast<Pauli>(a)), pauli_matrix(static_cast<Pauli>(b)));
+      if (a == 0 && b == 0) {
+        k *= Cplx{std::sqrt(1.0 - 15.0 * p / 16.0), 0.0};
+      } else {
+        k *= Cplx{kp, 0.0};
+      }
+      ks.push_back(std::move(k));
+    }
+  }
+  return Channel(std::move(ks));
+}
+
+Channel dephasing(Real p) {
+  check_prob(p, "dephasing");
+  return Channel({std::sqrt(1.0 - p / 2.0) * pauli_i(), std::sqrt(p / 2.0) * pauli_z()});
+}
+
+Channel bit_flip(Real p) {
+  check_prob(p, "bit_flip");
+  return Channel({std::sqrt(1.0 - p) * pauli_i(), std::sqrt(p) * pauli_x()});
+}
+
+Channel amplitude_damping(Real gamma) {
+  check_prob(gamma, "amplitude_damping");
+  Matrix k0(2, 2);
+  k0(0, 0) = Cplx{1.0, 0.0};
+  k0(1, 1) = Cplx{std::sqrt(1.0 - gamma), 0.0};
+  Matrix k1(2, 2);
+  k1(0, 1) = Cplx{std::sqrt(gamma), 0.0};
+  return Channel({k0, k1});
+}
+
+Channel pauli_channel(Real px, Real py, Real pz) {
+  check_prob(px, "pauli_channel");
+  check_prob(py, "pauli_channel");
+  check_prob(pz, "pauli_channel");
+  const Real pi = 1.0 - px - py - pz;
+  QCUT_CHECK(pi >= -kTightTol, "pauli_channel: probabilities exceed 1");
+  return Channel({std::sqrt(std::max<Real>(0.0, pi)) * pauli_i(), std::sqrt(px) * pauli_x(),
+                  std::sqrt(py) * pauli_y(), std::sqrt(pz) * pauli_z()});
+}
+
+Matrix noisy_phi_k(Real k, Real p) {
+  check_prob(p, "noisy_phi_k");
+  Matrix rho = phi_k_density(k);
+  rho *= Cplx{1.0 - p, 0.0};
+  rho += (p / 4.0) * Matrix::identity(4);
+  return rho;
+}
+
+}  // namespace qcut

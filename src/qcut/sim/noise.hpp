@@ -1,0 +1,32 @@
+// Standard noise channels. Used by the mixed-NME-state experiments (the
+// paper's future-work direction, implemented here as an extension) and by
+// tests of the channel machinery.
+#pragma once
+
+#include "qcut/linalg/channel.hpp"
+
+namespace qcut {
+
+/// Single-qubit depolarizing channel: ρ → (1-p) ρ + p I/2.
+Channel depolarizing(Real p);
+
+/// Two-qubit depolarizing channel: ρ → (1-p) ρ + p I/4.
+Channel depolarizing2(Real p);
+
+/// Phase damping: off-diagonals shrink by (1-p).
+Channel dephasing(Real p);
+
+/// Bit flip with probability p.
+Channel bit_flip(Real p);
+
+/// Amplitude damping with decay probability gamma.
+Channel amplitude_damping(Real gamma);
+
+/// General Pauli channel: ρ → (1-px-py-pz) ρ + px XρX + py YρY + pz ZρZ.
+Channel pauli_channel(Real px, Real py, Real pz);
+
+/// Werner-like noisy NME resource: (1-p)|Φk⟩⟨Φk| + p I/4. The mixed-state
+/// resource used by the extension experiments.
+Matrix noisy_phi_k(Real k, Real p);
+
+}  // namespace qcut

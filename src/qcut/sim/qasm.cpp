@@ -1,0 +1,124 @@
+#include "qcut/sim/qasm.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "qcut/ent/schmidt.hpp"
+#include "qcut/linalg/zyz.hpp"
+#include "qcut/sim/gates.hpp"
+
+namespace qcut {
+
+namespace {
+
+std::string fmt(Real x) {
+  std::ostringstream os;
+  os.precision(15);
+  os << x;
+  return os.str();
+}
+
+// u3(θ, φ, λ) in QASM equals e^{iα} Rz(φ) Ry(θ) Rz(λ) up to global phase,
+// so ZYZ angles map directly: θ = γ, φ = β, λ = δ.
+void emit_u3(std::ostringstream& os, const Matrix& u, int q, const std::string& cond) {
+  const ZyzAngles a = zyz_decompose(u);
+  os << cond << "u3(" << fmt(a.gamma) << "," << fmt(a.beta) << "," << fmt(a.delta) << ") q["
+     << q << "];\n";
+}
+
+// Named two-qubit gates the builder produces.
+bool emit_named_two_qubit(std::ostringstream& os, const Operation& op, const std::string& cond) {
+  if (op.label == "CX") {
+    os << cond << "cx q[" << op.qubits[0] << "],q[" << op.qubits[1] << "];\n";
+    return true;
+  }
+  if (op.label == "CZ") {
+    os << cond << "cz q[" << op.qubits[0] << "],q[" << op.qubits[1] << "];\n";
+    return true;
+  }
+  if (op.label == "SWAP") {
+    os << cond << "swap q[" << op.qubits[0] << "],q[" << op.qubits[1] << "];\n";
+    return true;
+  }
+  return false;
+}
+
+// Synthesizes an arbitrary two-qubit pure state |ψ⟩ = (UA⊗UB)(cosθ|00⟩ +
+// sinθ|11⟩) from its Schmidt decomposition: ry(2θ) on a, cx(a,b), then the
+// local basis changes.
+void emit_two_qubit_init(std::ostringstream& os, const Operation& op) {
+  const SchmidtResult s = schmidt_decompose(op.init_state, 1, 1);
+  const Real theta = 2.0 * std::atan2(s.coeffs[1], s.coeffs[0]);
+  const int qa = op.qubits[0];
+  const int qb = op.qubits[1];
+  os << "ry(" << fmt(theta) << ") q[" << qa << "];\n";
+  os << "cx q[" << qa << "],q[" << qb << "];\n";
+  Matrix ua(2, 2), ub(2, 2);
+  for (Index r = 0; r < 2; ++r) {
+    for (Index c = 0; c < 2; ++c) {
+      ua(r, c) = s.basis_a(r, c);
+      ub(r, c) = s.basis_b(r, c);
+    }
+  }
+  if (!ua.approx_equal(Matrix::identity(2), 1e-12)) {
+    emit_u3(os, ua, qa, "");
+  }
+  if (!ub.approx_equal(Matrix::identity(2), 1e-12)) {
+    emit_u3(os, ub, qb, "");
+  }
+}
+
+}  // namespace
+
+std::string to_qasm(const Circuit& c) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << c.n_qubits() << "];\n";
+  if (c.n_cbits() > 0) {
+    // One register per classical bit so `if` statements can address them
+    // individually (QASM 2.0 conditions whole registers).
+    for (int i = 0; i < c.n_cbits(); ++i) {
+      os << "creg c" << i << "[1];\n";
+    }
+  }
+
+  for (const auto& op : c.ops()) {
+    std::string cond;
+    if (op.kind == OpKind::kCondUnitary) {
+      cond = "if (c" + std::to_string(op.cbit) + " == 1) ";
+    }
+    switch (op.kind) {
+      case OpKind::kUnitary:
+      case OpKind::kCondUnitary:
+        if (op.qubits.size() == 1) {
+          emit_u3(os, op.matrix, op.qubits[0], cond);
+        } else if (op.qubits.size() == 2 && emit_named_two_qubit(os, op, cond)) {
+          // emitted
+        } else {
+          throw Error("to_qasm: unsupported multi-qubit gate '" + op.label +
+                      "' (decompose it first)");
+        }
+        break;
+      case OpKind::kMeasure:
+        os << "measure q[" << op.qubits[0] << "] -> c" << op.cbit << "[0];\n";
+        break;
+      case OpKind::kReset:
+        os << "reset q[" << op.qubits[0] << "];\n";
+        break;
+      case OpKind::kInitialize:
+        if (op.qubits.size() == 1) {
+          // Single-qubit prep from |0⟩.
+          emit_u3(os, gates::prep_unitary(op.init_state), op.qubits[0], "");
+        } else if (op.qubits.size() == 2) {
+          emit_two_qubit_init(os, op);
+        } else {
+          throw Error("to_qasm: initialize on >2 qubits is not supported");
+        }
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace qcut

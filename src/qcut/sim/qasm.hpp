@@ -1,0 +1,22 @@
+// OpenQASM 2.0 export of circuits — the bridge from simulated fragments to
+// real hardware. The QPD subcircuits a cut produces can be dumped as QASM and
+// executed on any provider; the sampling/recombination pipeline stays here.
+//
+// Supported ops: named gates from the builder (h, x, y, z, s, sdg, t, cx, cz,
+// swap, rx/ry/rz), arbitrary single-qubit unitaries (via ZYZ → u3), two-qubit
+// `initialize` ops (via Schmidt synthesis: ry + cx + local u3s), measurement,
+// reset, and classically controlled single-qubit gates (`if (c == 1)`).
+// Larger initializes and unlabeled multi-qubit unitaries are rejected —
+// decompose them upstream.
+#pragma once
+
+#include <string>
+
+#include "qcut/sim/circuit.hpp"
+
+namespace qcut {
+
+/// Serializes the circuit as an OpenQASM 2.0 program.
+std::string to_qasm(const Circuit& c);
+
+}  // namespace qcut

@@ -1,0 +1,230 @@
+#include "qcut/sim/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qcut/linalg/pauli.hpp"
+
+namespace qcut {
+
+Statevector::Statevector(int n_qubits)
+    : n_qubits_(n_qubits), amp_(std::size_t{1} << n_qubits, Cplx{0.0, 0.0}) {
+  QCUT_CHECK(n_qubits >= 1 && n_qubits <= 20, "Statevector: unsupported qubit count");
+  amp_[0] = Cplx{1.0, 0.0};
+}
+
+Statevector::Statevector(int n_qubits, Vector amplitudes)
+    : n_qubits_(n_qubits), amp_(std::move(amplitudes)) {
+  QCUT_CHECK(n_qubits >= 1 && n_qubits <= 20, "Statevector: unsupported qubit count");
+  QCUT_CHECK(amp_.size() == (std::size_t{1} << n_qubits),
+             "Statevector: amplitude count mismatch");
+  QCUT_CHECK(approx_eq(vec_norm(amp_), 1.0, 1e-8), "Statevector: state must be normalized");
+}
+
+void Statevector::apply(const Matrix& u, const std::vector<int>& qubits) {
+  const int k = static_cast<int>(qubits.size());
+  const Index subdim = Index{1} << k;
+  QCUT_CHECK(u.rows() == subdim && u.cols() == subdim,
+             "Statevector::apply: matrix/qubit-count mismatch");
+  for (int q : qubits) {
+    QCUT_CHECK(q >= 0 && q < n_qubits_, "Statevector::apply: qubit out of range");
+  }
+
+  if (k == 1) {
+    // Fast path: single-qubit gate.
+    const Index stride = Index{1} << bitpos(qubits[0]);
+    const Cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+    const Index dim_ = dim();
+    for (Index base = 0; base < dim_; ++base) {
+      if (base & stride) {
+        continue;
+      }
+      const Index i0 = base;
+      const Index i1 = base | stride;
+      const Cplx a0 = amp_[static_cast<std::size_t>(i0)];
+      const Cplx a1 = amp_[static_cast<std::size_t>(i1)];
+      amp_[static_cast<std::size_t>(i0)] = u00 * a0 + u01 * a1;
+      amp_[static_cast<std::size_t>(i1)] = u10 * a0 + u11 * a1;
+    }
+    return;
+  }
+
+  // General k-qubit path: gather/scatter over the 2^k amplitudes of each
+  // "row group" determined by the non-participating qubits.
+  std::vector<Index> strides(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    strides[static_cast<std::size_t>(j)] = Index{1} << bitpos(qubits[static_cast<std::size_t>(j)]);
+  }
+  Index mask = 0;
+  for (Index s : strides) {
+    mask |= s;
+  }
+  std::vector<Cplx> scratch(static_cast<std::size_t>(subdim));
+  const Index dim_ = dim();
+  for (Index base = 0; base < dim_; ++base) {
+    if (base & mask) {
+      continue;  // enumerate only the canonical representative of each group
+    }
+    // Gather.
+    for (Index sub = 0; sub < subdim; ++sub) {
+      Index idx = base;
+      for (int j = 0; j < k; ++j) {
+        if ((sub >> (k - 1 - j)) & 1) {
+          idx |= strides[static_cast<std::size_t>(j)];
+        }
+      }
+      scratch[static_cast<std::size_t>(sub)] = amp_[static_cast<std::size_t>(idx)];
+    }
+    // Multiply and scatter.
+    for (Index row = 0; row < subdim; ++row) {
+      Cplx acc{0.0, 0.0};
+      for (Index col = 0; col < subdim; ++col) {
+        acc += u(row, col) * scratch[static_cast<std::size_t>(col)];
+      }
+      Index idx = base;
+      for (int j = 0; j < k; ++j) {
+        if ((row >> (k - 1 - j)) & 1) {
+          idx |= strides[static_cast<std::size_t>(j)];
+        }
+      }
+      amp_[static_cast<std::size_t>(idx)] = acc;
+    }
+  }
+}
+
+Real Statevector::prob_one(int qubit) const {
+  QCUT_CHECK(qubit >= 0 && qubit < n_qubits_, "prob_one: qubit out of range");
+  const Index stride = Index{1} << bitpos(qubit);
+  Real p = 0.0;
+  const Index dim_ = dim();
+  for (Index i = 0; i < dim_; ++i) {
+    if (i & stride) {
+      p += norm2(amp_[static_cast<std::size_t>(i)]);
+    }
+  }
+  return p;
+}
+
+int Statevector::measure(int qubit, Rng& rng) {
+  const Real p1 = prob_one(qubit);
+  const int outcome = rng.bernoulli(p1) ? 1 : 0;
+  project(qubit, outcome);
+  return outcome;
+}
+
+Real Statevector::project(int qubit, int outcome) {
+  QCUT_CHECK(qubit >= 0 && qubit < n_qubits_, "project: qubit out of range");
+  QCUT_CHECK(outcome == 0 || outcome == 1, "project: outcome must be 0/1");
+  const Index stride = Index{1} << bitpos(qubit);
+  Real p = 0.0;
+  const Index dim_ = dim();
+  for (Index i = 0; i < dim_; ++i) {
+    const bool bit = (i & stride) != 0;
+    if (bit == (outcome == 1)) {
+      p += norm2(amp_[static_cast<std::size_t>(i)]);
+    } else {
+      amp_[static_cast<std::size_t>(i)] = Cplx{0.0, 0.0};
+    }
+  }
+  if (p > 0.0) {
+    const Real inv = 1.0 / std::sqrt(p);
+    for (auto& a : amp_) {
+      a *= inv;
+    }
+  }
+  return p;
+}
+
+void Statevector::reset(int qubit, Rng& rng) {
+  const int outcome = measure(qubit, rng);
+  if (outcome == 1) {
+    // Flip back to |0⟩.
+    const Index stride = Index{1} << bitpos(qubit);
+    const Index dim_ = dim();
+    for (Index i = 0; i < dim_; ++i) {
+      if (!(i & stride)) {
+        std::swap(amp_[static_cast<std::size_t>(i)], amp_[static_cast<std::size_t>(i | stride)]);
+      }
+    }
+  }
+}
+
+void Statevector::initialize(const std::vector<int>& qubits, const Vector& state) {
+  const int k = static_cast<int>(qubits.size());
+  const Index subdim = Index{1} << k;
+  QCUT_CHECK(static_cast<Index>(state.size()) == subdim,
+             "initialize: state/qubit-count mismatch");
+  Index mask = 0;
+  std::vector<Index> strides(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    strides[static_cast<std::size_t>(j)] = Index{1} << bitpos(qubits[static_cast<std::size_t>(j)]);
+    mask |= strides[static_cast<std::size_t>(j)];
+  }
+  const Index dim_ = dim();
+  // The qubits must currently be |0..0⟩: all amplitude weight on indices with
+  // zero bits under `mask`.
+  for (Index i = 0; i < dim_; ++i) {
+    if ((i & mask) != 0) {
+      QCUT_DCHECK(is_zero(amp_[static_cast<std::size_t>(i)], 1e-7),
+                  "initialize: qubits are not in |0..0⟩");
+    }
+  }
+  // Distribute: amp[base | bits(sub)] = amp[base] * state[sub].
+  for (Index base = 0; base < dim_; ++base) {
+    if (base & mask) {
+      continue;
+    }
+    const Cplx a = amp_[static_cast<std::size_t>(base)];
+    for (Index sub = subdim - 1; sub >= 0; --sub) {
+      Index idx = base;
+      for (int j = 0; j < k; ++j) {
+        if ((sub >> (k - 1 - j)) & 1) {
+          idx |= strides[static_cast<std::size_t>(j)];
+        }
+      }
+      amp_[static_cast<std::size_t>(idx)] = a * state[static_cast<std::size_t>(sub)];
+      if (sub == 0) {
+        break;
+      }
+    }
+  }
+}
+
+Real Statevector::expectation_pauli(const std::string& pauli) const {
+  QCUT_CHECK(static_cast<int>(pauli.size()) == n_qubits_,
+             "expectation_pauli: string length must equal qubit count");
+  // Apply the Pauli string to a copy and take the inner product.
+  Statevector copy = *this;
+  for (int q = 0; q < n_qubits_; ++q) {
+    const char c = pauli[static_cast<std::size_t>(q)];
+    if (c == 'I') {
+      continue;
+    }
+    copy.apply(pauli_matrix(pauli_from_char(c)), {q});
+  }
+  return inner(amp_, copy.amp_).real();
+}
+
+std::vector<Real> Statevector::probabilities() const {
+  std::vector<Real> p(amp_.size());
+  for (std::size_t i = 0; i < amp_.size(); ++i) {
+    p[i] = norm2(amp_[i]);
+  }
+  return p;
+}
+
+Index Statevector::sample(Rng& rng) const {
+  Real r = rng.uniform();
+  for (std::size_t i = 0; i < amp_.size(); ++i) {
+    const Real p = norm2(amp_[i]);
+    if (r < p) {
+      return static_cast<Index>(i);
+    }
+    r -= p;
+  }
+  return static_cast<Index>(amp_.size()) - 1;
+}
+
+Real Statevector::norm() const { return vec_norm(amp_); }
+
+}  // namespace qcut

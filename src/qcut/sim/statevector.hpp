@@ -1,0 +1,67 @@
+// Statevector simulation engine.
+//
+// Stores 2^n complex amplitudes (big-endian: qubit 0 = most significant bit)
+// and applies gates in place with O(2^n) work per single-qubit gate. This is
+// the engine behind shot execution; exact channel verification uses the
+// DensityMatrix engine instead.
+#pragma once
+
+#include <vector>
+
+#include "qcut/common/rng.hpp"
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut {
+
+class Statevector {
+ public:
+  /// |0...0⟩ on n qubits.
+  explicit Statevector(int n_qubits);
+  /// Takes ownership of explicit amplitudes (must have power-of-two size and
+  /// unit norm).
+  Statevector(int n_qubits, Vector amplitudes);
+
+  int n_qubits() const noexcept { return n_qubits_; }
+  const Vector& amplitudes() const noexcept { return amp_; }
+  Index dim() const noexcept { return static_cast<Index>(amp_.size()); }
+
+  /// Applies a k-qubit unitary to the listed qubits.
+  void apply(const Matrix& u, const std::vector<int>& qubits);
+
+  /// Probability that measuring `qubit` yields 1.
+  Real prob_one(int qubit) const;
+
+  /// Measures `qubit` in the Z basis: collapses the state, returns the
+  /// outcome bit.
+  int measure(int qubit, Rng& rng);
+
+  /// Deterministic projection: collapse `qubit` to `outcome` and renormalize;
+  /// returns the branch probability (caller handles zero-probability case).
+  Real project(int qubit, int outcome);
+
+  /// Collapses `qubit` and re-prepares it in |0⟩.
+  void reset(int qubit, Rng& rng);
+
+  /// Sets the listed qubits (which must be in |0..0⟩ and unentangled with the
+  /// rest) to `state`.
+  void initialize(const std::vector<int>& qubits, const Vector& state);
+
+  /// ⟨ψ|P|ψ⟩ for an n-qubit Pauli string (e.g. "ZII").
+  Real expectation_pauli(const std::string& pauli) const;
+
+  /// Full probability distribution over computational basis outcomes.
+  std::vector<Real> probabilities() const;
+
+  /// Samples a computational-basis outcome index without collapsing.
+  Index sample(Rng& rng) const;
+
+  Real norm() const;
+
+ private:
+  int bitpos(int qubit) const noexcept { return n_qubits_ - 1 - qubit; }
+
+  int n_qubits_;
+  Vector amp_;
+};
+
+}  // namespace qcut

@@ -1,0 +1,145 @@
+// Quantum channel machinery: Kraus/Choi/superoperator representations.
+#include <gtest/gtest.h>
+
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/channel.hpp"
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/pauli.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/sim/noise.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+
+TEST(Channel, IdentityActsTrivially) {
+  Rng rng(1);
+  const Matrix rho = random_density(2, rng);
+  expect_matrix_near(Channel::identity(2).apply(rho), rho, 1e-12);
+}
+
+TEST(Channel, UnitaryConjugates) {
+  Rng rng(2);
+  const Matrix u = haar_unitary(2, rng);
+  const Matrix rho = random_density(2, rng);
+  expect_matrix_near(Channel::from_unitary(u).apply(rho), u * rho * u.dagger(), 1e-10);
+}
+
+TEST(Channel, TracePreservationChecks) {
+  EXPECT_TRUE(depolarizing(0.3).is_trace_preserving());
+  EXPECT_TRUE(amplitude_damping(0.5).is_trace_preserving());
+  // A projector-only channel is trace-nonincreasing but not preserving.
+  Matrix p0(2, 2);
+  p0(0, 0) = Cplx{1, 0};
+  const Channel proj({p0});
+  EXPECT_FALSE(proj.is_trace_preserving());
+  EXPECT_TRUE(proj.is_trace_nonincreasing());
+}
+
+TEST(Channel, ComposeMatchesSequentialApplication) {
+  Rng rng(3);
+  const Channel a = depolarizing(0.2);
+  const Channel b = amplitude_damping(0.4);
+  const Matrix rho = random_density(2, rng);
+  expect_matrix_near(a.compose(b).apply(rho), a.apply(b.apply(rho)), 1e-10);
+}
+
+TEST(Channel, TensorActsIndependently) {
+  Rng rng(4);
+  const Channel a = dephasing(0.5);
+  const Channel b = bit_flip(0.25);
+  const Matrix ra = random_density(2, rng);
+  const Matrix rb = random_density(2, rng);
+  expect_matrix_near(a.tensor(b).apply(kron(ra, rb)), kron(a.apply(ra), b.apply(rb)), 1e-10);
+}
+
+TEST(Channel, ChoiOfIdentityIsBellProjector) {
+  const Matrix choi = channel_to_choi(Channel::identity(2));
+  // C = Σ |i⟩⟨j| ⊗ |i⟩⟨j| = 2 |Φ⟩⟨Φ|.
+  expect_matrix_near(choi, 2.0 * density(bell_phi()), 1e-12);
+}
+
+TEST(Channel, ChoiKrausRoundTrip) {
+  Rng rng(5);
+  for (const Channel& e :
+       {depolarizing(0.3), amplitude_damping(0.6), dephasing(0.1), bit_flip(0.4)}) {
+    const Matrix choi = channel_to_choi(e);
+    const Channel back = choi_to_kraus(choi, 2, 2);
+    for (int t = 0; t < 5; ++t) {
+      const Matrix rho = random_density(2, rng);
+      expect_matrix_near(back.apply(rho), e.apply(rho), 1e-8, "Choi round trip");
+    }
+  }
+}
+
+TEST(Channel, ChoiToKrausRejectsNonCp) {
+  // A negative "Choi matrix" is not completely positive.
+  Matrix bad = -1.0 * Matrix::identity(4);
+  EXPECT_THROW(choi_to_kraus(bad, 2, 2), Error);
+}
+
+TEST(Channel, SuperoperatorMatchesApply) {
+  Rng rng(6);
+  const Channel e = depolarizing(0.37);
+  const Matrix s = channel_to_superop(e);
+  const Matrix rho = random_density(2, rng);
+  // Column-stacking vec.
+  Vector vec_rho(4);
+  for (Index c = 0; c < 2; ++c) {
+    for (Index r = 0; r < 2; ++r) {
+      vec_rho[static_cast<std::size_t>(c * 2 + r)] = rho(r, c);
+    }
+  }
+  const Vector vec_out = s * vec_rho;
+  const Matrix out = e.apply(rho);
+  for (Index c = 0; c < 2; ++c) {
+    for (Index r = 0; r < 2; ++r) {
+      EXPECT_NEAR(vec_out[static_cast<std::size_t>(c * 2 + r)].real(), out(r, c).real(), 1e-10);
+      EXPECT_NEAR(vec_out[static_cast<std::size_t>(c * 2 + r)].imag(), out(r, c).imag(), 1e-10);
+    }
+  }
+}
+
+TEST(Channel, ProcessFidelity) {
+  Rng rng(7);
+  const Matrix u = haar_unitary(2, rng);
+  EXPECT_NEAR(process_fidelity(Channel::from_unitary(u), u), 1.0, 1e-10);
+  // Depolarizing vs identity: F = 1 − p·(1 − 1/d²) = 1 − (3/4)p for qubits.
+  const Real p = 0.4;
+  EXPECT_NEAR(process_fidelity(depolarizing(p), Matrix::identity(2)), 1.0 - 0.75 * p, 1e-10);
+}
+
+TEST(Channel, QuasiMixReconstruction) {
+  // X = 2·(½(ρ + XρX))·... simple check: I = (1+ε)I − εI as channels.
+  Rng rng(8);
+  const Matrix rho = random_density(2, rng);
+  const std::vector<Real> coeffs = {1.5, -0.5};
+  const std::vector<Channel> chans = {Channel::identity(2), Channel::identity(2)};
+  expect_matrix_near(quasi_mix(coeffs, chans, rho), rho, 1e-12);
+  EXPECT_THROW(quasi_mix({1.0}, chans, rho), Error);
+}
+
+TEST(Channel, InconsistentKrausShapesThrow) {
+  EXPECT_THROW(Channel({Matrix::identity(2), Matrix::identity(4)}), Error);
+  EXPECT_THROW(Channel(std::vector<Matrix>{}), Error);
+}
+
+TEST(Channel, NonSquareKrausDimensions) {
+  // A 2→1-dim "trace out into |0⟩" style map with rectangular Kraus ops.
+  Matrix k0(1, 2);
+  k0(0, 0) = Cplx{1, 0};
+  Matrix k1(1, 2);
+  k1(0, 1) = Cplx{1, 0};
+  const Channel e({k0, k1});
+  EXPECT_EQ(e.dim_in(), 2);
+  EXPECT_EQ(e.dim_out(), 1);
+  Rng rng(9);
+  const Matrix rho = random_density(2, rng);
+  const Matrix out = e.apply(rho);
+  EXPECT_NEAR(out(0, 0).real(), 1.0, 1e-10);  // trace-preserving collapse
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,183 @@
+// Generic circuit cutting: splicing gadgets into arbitrary unitary circuits.
+// The master property: for every protocol, cut position, wire, and Pauli
+// observable, the QPD's exact value equals the uncut circuit's expectation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcut/common/stats.hpp"
+#include "qcut/cut/circuit_cutter.hpp"
+#include "qcut/cut/distill_cut.hpp"
+#include "qcut/cut/harada_cut.hpp"
+#include "qcut/cut/mixed_cut.hpp"
+#include "qcut/cut/nme_cut.hpp"
+#include "qcut/cut/peng_cut.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/qpd/estimator.hpp"
+#include "qcut/sim/gates.hpp"
+#include "qcut/sim/noise.hpp"
+
+namespace qcut {
+namespace {
+
+Circuit random_unitary_circuit(int n, int depth, Rng& rng) {
+  Circuit c(n, 0);
+  for (int d = 0; d < depth; ++d) {
+    if (n >= 2 && rng.bernoulli(0.5)) {
+      const int q = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n - 1)));
+      c.gate(haar_unitary(4, rng), {q, q + 1}, "U2");
+    } else {
+      const int q = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+      c.gate(haar_unitary(2, rng), {q}, "U1");
+    }
+  }
+  return c;
+}
+
+TEST(CircuitCutter, GhzCircuitCutInTheMiddle) {
+  // H(0), CX(0,1), CX(1,2): cut the q1 wire between the CXs.
+  Circuit ghz(3, 0);
+  ghz.h(0).cx(0, 1).cx(1, 2);
+  const NmeCut proto(0.7);
+  for (const std::string& obs : {"ZZZ", "ZIZ", "IZZ", "XXX"}) {
+    const Qpd qpd = cut_circuit(ghz, {/*after_op=*/2, /*qubit=*/1}, proto, obs);
+    EXPECT_NEAR(exact_value(qpd), uncut_circuit_expectation(ghz, obs), 1e-9) << obs;
+  }
+}
+
+TEST(CircuitCutter, GhzKnownValues) {
+  Circuit ghz(3, 0);
+  ghz.h(0).cx(0, 1).cx(1, 2);
+  // GHZ: ⟨ZZZ⟩ = 0, ⟨XXX⟩ = 1, ⟨ZZI⟩ = 1.
+  EXPECT_NEAR(uncut_circuit_expectation(ghz, "ZZZ"), 0.0, 1e-10);
+  EXPECT_NEAR(uncut_circuit_expectation(ghz, "XXX"), 1.0, 1e-10);
+  const HaradaCut proto;
+  EXPECT_NEAR(exact_value(cut_circuit(ghz, {2, 1}, proto, "XXX")), 1.0, 1e-9);
+  EXPECT_NEAR(exact_value(cut_circuit(ghz, {2, 1}, proto, "ZZI")), 1.0, 1e-9);
+}
+
+struct CutCase {
+  const char* proto_name;
+  Real k;
+};
+
+class CutterProtocolTest : public ::testing::TestWithParam<CutCase> {
+ protected:
+  std::unique_ptr<WireCutProtocol> make() const {
+    const auto& pc = GetParam();
+    const std::string n = pc.proto_name;
+    if (n == "harada") return std::make_unique<HaradaCut>();
+    if (n == "peng") return std::make_unique<PengCut>();
+    if (n == "teleport") return std::make_unique<TeleportCut>();
+    if (n == "nme") return std::make_unique<NmeCut>(pc.k);
+    if (n == "distill") return std::make_unique<DistillCut>(pc.k);
+    if (n == "mixed") return std::make_unique<MixedNmeCut>(noisy_phi_k(1.0, pc.k));
+    throw Error("unknown");
+  }
+};
+
+TEST_P(CutterProtocolTest, RandomCircuitsAllPositionsExact) {
+  const auto proto = make();
+  Rng rng(91);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int n = 3;
+    Circuit circ = random_unitary_circuit(n, 4, rng);
+    for (int wire = 0; wire < n; ++wire) {
+      const std::size_t pos = 1 + rng.uniform_u64(circ.size() - 1);
+      const Qpd qpd = cut_circuit(circ, {pos, wire}, *proto, "ZXZ");
+      EXPECT_NEAR(exact_value(qpd), uncut_circuit_expectation(circ, "ZXZ"), 1e-8)
+          << "wire=" << wire << " pos=" << pos;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, CutterProtocolTest,
+    ::testing::Values(CutCase{"harada", 0}, CutCase{"peng", 0}, CutCase{"teleport", 1},
+                      CutCase{"nme", 0.5}, CutCase{"nme", 1.0}, CutCase{"distill", 0.5},
+                      CutCase{"mixed", 0.3}),
+    [](const ::testing::TestParamInfo<CutCase>& info) {
+      return std::string(info.param.proto_name) +
+             std::to_string(static_cast<int>(info.param.k * 100));
+    });
+
+TEST(CircuitCutter, CutAtCircuitBoundaries) {
+  Rng rng(92);
+  Circuit circ = random_unitary_circuit(2, 3, rng);
+  const NmeCut proto(0.8);
+  // Cut before any op (the wire starts in |0⟩) and after the last op.
+  for (std::size_t pos : {std::size_t{0}, circ.size()}) {
+    const Qpd qpd = cut_circuit(circ, {pos, 0}, proto, "ZZ");
+    EXPECT_NEAR(exact_value(qpd), uncut_circuit_expectation(circ, "ZZ"), 1e-9) << pos;
+  }
+}
+
+TEST(CircuitCutter, EstimatorConvergesOnCutGhz) {
+  Circuit ghz(3, 0);
+  ghz.h(0).cx(0, 1).cx(1, 2);
+  const NmeCut proto(0.9);
+  const Qpd qpd = cut_circuit(ghz, {2, 1}, proto, "XXX");
+  const auto probs = exact_term_prob_one(qpd);
+  RunningStats stats;
+  for (int t = 0; t < 200; ++t) {
+    Rng rng(93, static_cast<std::uint64_t>(t));
+    stats.add(estimate_sampled_fast(qpd, probs, 500, rng).estimate);
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 5.0 * stats.sem() + 1e-6);
+}
+
+TEST(CircuitCutter, ObservableOnCutWireOnly) {
+  // Only the cut wire is measured: the estimate must still be exact.
+  Rng rng(94);
+  Circuit circ = random_unitary_circuit(3, 5, rng);
+  const HaradaCut proto;
+  const Qpd qpd = cut_circuit(circ, {3, 2}, proto, "IIZ");
+  EXPECT_NEAR(exact_value(qpd), uncut_circuit_expectation(circ, "IIZ"), 1e-9);
+}
+
+TEST(CircuitCutter, MultiTermObservablesViaSeparateCuts) {
+  // ⟨H⟩ for H = 0.5·ZZ + 0.25·XI decomposes into two cut estimates.
+  Circuit circ(2, 0);
+  circ.h(0).cx(0, 1).rz(1, 0.7);
+  const NmeCut proto(0.6);
+  const Real est = 0.5 * exact_value(cut_circuit(circ, {2, 1}, proto, "ZZ")) +
+                   0.25 * exact_value(cut_circuit(circ, {2, 1}, proto, "XI"));
+  const Real ref = 0.5 * uncut_circuit_expectation(circ, "ZZ") +
+                   0.25 * uncut_circuit_expectation(circ, "XI");
+  EXPECT_NEAR(est, ref, 1e-9);
+}
+
+TEST(CircuitCutter, GadgetTermCountsMatchProtocol) {
+  Circuit circ(2, 0);
+  circ.h(0).cx(0, 1);
+  EXPECT_EQ(cut_circuit(circ, {1, 0}, HaradaCut{}, "ZZ").size(), 3u);
+  EXPECT_EQ(cut_circuit(circ, {1, 0}, PengCut{}, "ZZ").size(), 8u);
+  EXPECT_EQ(cut_circuit(circ, {1, 0}, NmeCut{1.0}, "ZZ").size(), 2u);
+  EXPECT_EQ(cut_circuit(circ, {1, 0}, TeleportCut{}, "ZZ").size(), 1u);
+}
+
+TEST(CircuitCutter, RejectsInvalidRequests) {
+  Circuit circ(2, 0);
+  circ.h(0).cx(0, 1);
+  const HaradaCut proto;
+  EXPECT_THROW(cut_circuit(circ, {1, 5}, proto, "ZZ"), Error);    // bad wire
+  EXPECT_THROW(cut_circuit(circ, {9, 0}, proto, "ZZ"), Error);    // bad position
+  EXPECT_THROW(cut_circuit(circ, {1, 0}, proto, "Z"), Error);     // wrong length
+  EXPECT_THROW(cut_circuit(circ, {1, 0}, proto, "II"), Error);    // identity obs
+  EXPECT_THROW(cut_circuit(circ, {1, 0}, proto, "ZQ"), Error);    // bad Pauli
+  Circuit with_meas(2, 1);
+  with_meas.h(0).measure(0, 0);
+  EXPECT_THROW(cut_circuit(with_meas, {1, 0}, proto, "ZZ"), Error);
+}
+
+TEST(CircuitCutter, KappaIndependentOfHostCircuit) {
+  Rng rng(95);
+  const NmeCut proto(0.45);
+  Circuit small = random_unitary_circuit(2, 2, rng);
+  Circuit large = random_unitary_circuit(4, 8, rng);
+  EXPECT_NEAR(cut_circuit(small, {1, 0}, proto, "ZZ").kappa(), proto.kappa(), 1e-10);
+  EXPECT_NEAR(cut_circuit(large, {4, 2}, proto, "ZZZZ").kappa(), proto.kappa(), 1e-10);
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,171 @@
+// Decompositions: QR, Hermitian eigensolver, SVD.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "qcut/linalg/decomp.hpp"
+#include "qcut/linalg/random.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+
+class QrSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrSizes, ReconstructsAndIsUnitary) {
+  const Index n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  const Matrix a = ginibre(n, rng);
+  const QrResult f = qr(a);
+  EXPECT_TRUE(f.q.is_unitary(1e-9)) << "n=" << n;
+  expect_matrix_near(f.q * f.r, a, 1e-9, "QR reconstruction");
+  // R upper triangular.
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < i; ++j) {
+      EXPECT_LT(std::abs(f.r(i, j)), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, QrSizes, ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(Qr, TallMatrix) {
+  Rng rng(17);
+  const Matrix a = ginibre(6, 3, rng);
+  const QrResult f = qr(a);
+  EXPECT_TRUE(f.q.is_unitary(1e-9));
+  expect_matrix_near(f.q * f.r, a, 1e-9);
+}
+
+TEST(Qr, RankDeficientColumn) {
+  Matrix a(3, 3);  // second column zero
+  a(0, 0) = Cplx{1, 0};
+  a(2, 2) = Cplx{2, 0};
+  const QrResult f = qr(a);
+  expect_matrix_near(f.q * f.r, a, 1e-10);
+}
+
+class EighSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(EighSizes, ReconstructsHermitian) {
+  const Index n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(100 + n));
+  Matrix g = ginibre(n, rng);
+  const Matrix h = g + g.dagger();  // Hermitian
+  const EighResult eg = eigh(h, 1e-8);
+
+  // Eigenvalues descending.
+  for (std::size_t i = 1; i < eg.values.size(); ++i) {
+    EXPECT_GE(eg.values[i - 1], eg.values[i] - 1e-10);
+  }
+  // Vectors orthonormal.
+  EXPECT_TRUE(eg.vectors.is_unitary(1e-8));
+  // Reconstruction V D V† = H.
+  Matrix d(n, n);
+  for (Index i = 0; i < n; ++i) {
+    d(i, i) = Cplx{eg.values[static_cast<std::size_t>(i)], 0.0};
+  }
+  expect_matrix_near(eg.vectors * d * eg.vectors.dagger(), h, 1e-8, "eigh reconstruction");
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EighSizes, ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(Eigh, KnownEigenvalues) {
+  // Pauli X has eigenvalues ±1.
+  Matrix x(2, 2);
+  x(0, 1) = Cplx{1, 0};
+  x(1, 0) = Cplx{1, 0};
+  const EighResult eg = eigh(x);
+  EXPECT_NEAR(eg.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eg.values[1], -1.0, 1e-10);
+}
+
+TEST(Eigh, RejectsNonHermitian) {
+  Matrix a(2, 2);
+  a(0, 1) = Cplx{1, 0};
+  EXPECT_THROW(eigh(a), Error);
+}
+
+TEST(Eigh, DegenerateSpectrum) {
+  // Identity: all eigenvalues 1, any orthonormal basis acceptable.
+  const EighResult eg = eigh(Matrix::identity(4));
+  for (Real v : eg.values) {
+    EXPECT_NEAR(v, 1.0, 1e-12);
+  }
+  EXPECT_TRUE(eg.vectors.is_unitary(1e-10));
+}
+
+class SvdShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdShapes, Reconstructs) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 31 + n));
+  const Matrix a = ginibre(m, n, rng);
+  const SvdResult f = svd(a);
+  EXPECT_TRUE(f.u.is_unitary(1e-7)) << m << "x" << n;
+  EXPECT_TRUE(f.v.is_unitary(1e-7)) << m << "x" << n;
+  // Singular values descending and non-negative.
+  for (std::size_t i = 0; i < f.singular.size(); ++i) {
+    EXPECT_GE(f.singular[i], 0.0);
+    if (i > 0) {
+      EXPECT_GE(f.singular[i - 1], f.singular[i] - 1e-10);
+    }
+  }
+  // A = U S V†.
+  Matrix s(m, n);
+  for (std::size_t i = 0; i < f.singular.size(); ++i) {
+    s(static_cast<Index>(i), static_cast<Index>(i)) = Cplx{f.singular[i], 0.0};
+  }
+  expect_matrix_near(f.u * s * f.v.dagger(), a, 1e-7, "SVD reconstruction");
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapes,
+                         ::testing::Values(std::pair<int, int>{2, 2}, std::pair<int, int>{4, 4},
+                                           std::pair<int, int>{4, 2}, std::pair<int, int>{2, 4},
+                                           std::pair<int, int>{8, 8}, std::pair<int, int>{1, 4}));
+
+TEST(Svd, KnownSingularValues) {
+  // diag(3, -2): singular values {3, 2}.
+  Matrix a(2, 2);
+  a(0, 0) = Cplx{3, 0};
+  a(1, 1) = Cplx{-2, 0};
+  const SvdResult f = svd(a);
+  EXPECT_NEAR(f.singular[0], 3.0, 1e-10);
+  EXPECT_NEAR(f.singular[1], 2.0, 1e-10);
+}
+
+TEST(Svd, RankDeficient) {
+  Matrix a(3, 3);
+  a(0, 0) = Cplx{1, 0};  // rank 1
+  const SvdResult f = svd(a);
+  EXPECT_NEAR(f.singular[0], 1.0, 1e-9);
+  EXPECT_NEAR(f.singular[1], 0.0, 1e-9);
+  EXPECT_TRUE(f.u.is_unitary(1e-7));
+  Matrix s(3, 3);
+  s(0, 0) = Cplx{f.singular[0], 0};
+  expect_matrix_near(f.u * s * f.v.dagger(), a, 1e-8);
+}
+
+TEST(Svd, UnitaryInputHasUnitSingularValues) {
+  Rng rng(55);
+  const Matrix u = haar_unitary(4, rng);
+  const SvdResult f = svd(u);
+  for (Real s : f.singular) {
+    EXPECT_NEAR(s, 1.0, 1e-8);
+  }
+}
+
+TEST(IsPsd, ClassifiesCorrectly) {
+  Rng rng(56);
+  EXPECT_TRUE(random_density(4, rng).is_psd());
+  Matrix neg(2, 2);
+  neg(0, 0) = Cplx{1, 0};
+  neg(1, 1) = Cplx{-0.5, 0};
+  EXPECT_FALSE(neg.is_psd());
+  EXPECT_TRUE(Matrix::identity(3).is_psd());
+}
+
+}  // namespace
+}  // namespace qcut

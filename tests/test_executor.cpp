@@ -1,0 +1,207 @@
+// Circuit execution: stochastic shots, exact branch enumeration, density
+// evolution with mid-circuit measurement + feed-forward, channel extraction.
+#include <gtest/gtest.h>
+
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/pauli.hpp"
+#include "qcut/linalg/ptrace.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/sim/executor.hpp"
+#include "qcut/sim/gates.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+
+TEST(Executor, ShotOnDeterministicCircuit) {
+  Circuit c(1, 1);
+  c.x(0).measure(0, 0);
+  Rng rng(1);
+  for (int t = 0; t < 10; ++t) {
+    const ShotOutcome out = run_shot(c, rng);
+    EXPECT_EQ(out.cbits[0], 1);
+  }
+}
+
+TEST(Executor, CountsMatchBellStatistics) {
+  Circuit c(2, 2);
+  c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+  Rng rng(2);
+  const auto counts = run_counts(c, 10000, rng);
+  // Only 00 and 11 occur, roughly equally.
+  EXPECT_EQ(counts.count("01"), 0u);
+  EXPECT_EQ(counts.count("10"), 0u);
+  EXPECT_NEAR(static_cast<Real>(counts.at("00")) / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(static_cast<Real>(counts.at("11")) / 10000.0, 0.5, 0.03);
+}
+
+TEST(Executor, BranchesEnumerateOutcomes) {
+  Circuit c(2, 2);
+  c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+  const auto branches = run_branches(c);
+  ASSERT_EQ(branches.size(), 2u);
+  Real total = 0.0;
+  for (const auto& b : branches) {
+    EXPECT_EQ(b.cbits[0], b.cbits[1]);  // correlated outcomes
+    EXPECT_NEAR(b.prob, 0.5, 1e-12);
+    total += b.prob;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Executor, BranchProbabilitiesAlwaysSumToOne) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    Circuit c(3, 3);
+    c.gate(haar_unitary(8, rng), {0, 1, 2}, "U");
+    c.measure(0, 0);
+    c.gate_if(0, haar_unitary(2, rng), {1}, "V?");
+    c.measure(1, 1);
+    c.measure(2, 2);
+    Real total = 0.0;
+    for (const auto& b : run_branches(c)) {
+      total += b.prob;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+  }
+}
+
+TEST(Executor, ClassicalControlFlipsConditionally) {
+  // Measure |1⟩, then X-if: the target must flip.
+  Circuit c(2, 1);
+  c.x(0).measure(0, 0).x_if(0, 1);
+  const auto branches = run_branches(c);
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_NEAR(branches[0].state.prob_one(1), 1.0, 1e-12);
+
+  // Measure |0⟩: no flip.
+  Circuit c2(2, 1);
+  c2.measure(0, 0).x_if(0, 1);
+  const auto branches2 = run_branches(c2);
+  ASSERT_EQ(branches2.size(), 1u);
+  EXPECT_NEAR(branches2[0].state.prob_one(1), 0.0, 1e-12);
+}
+
+TEST(Executor, ResetBranchingKeepsNormalization) {
+  Circuit c(1, 0);
+  c.h(0).reset(0).h(0);
+  const auto branches = run_branches(c);
+  Real total = 0.0;
+  for (const auto& b : branches) {
+    total += b.prob;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Executor, ExactExpectationMatchesShotAverage) {
+  Rng rng(4);
+  Circuit c(2, 2);
+  c.gate(haar_unitary(4, rng), {0, 1}, "U");
+  c.measure(0, 0);
+  c.gate_if(0, gates::x(), {1}, "X?");
+  c.measure(1, 1);
+
+  const Real exact = exact_prob_cbit(c, 1, basis_vector(4, 0));
+  int ones = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    ones += run_shot(c, rng).cbits[1];
+  }
+  EXPECT_NEAR(static_cast<Real>(ones) / trials, exact, 0.02);
+}
+
+TEST(Executor, ExactExpectationPauliOnUnitaryCircuit) {
+  Rng rng(5);
+  const Matrix w = haar_unitary(2, rng);
+  Circuit c(1, 0);
+  c.gate(w, {0}, "W");
+  const Vector psi = w * basis_vector(2, 0);
+  EXPECT_NEAR(exact_expectation_pauli(c, "Z"), expectation(pauli_string("Z"), psi).real(),
+              1e-10);
+}
+
+TEST(Executor, CbitSignConvention) {
+  Circuit c(1, 1);
+  c.x(0).measure(0, 0);
+  EXPECT_NEAR(exact_expectation_cbit_sign(c, 0, basis_vector(2, 0)), -1.0, 1e-12);
+}
+
+TEST(Executor, RunDensityMatchesBranchAverage) {
+  Rng rng(6);
+  Circuit c(2, 1);
+  c.gate(haar_unitary(4, rng), {0, 1}, "U");
+  c.measure(0, 0);
+  c.z_if(0, 1);
+
+  const Matrix out = run_density(c, density(basis_vector(4, 0)));
+  Matrix expected(4, 4);
+  for (const auto& b : run_branches(c)) {
+    expected += Cplx{b.prob, 0.0} * density(b.state.amplitudes());
+  }
+  expect_matrix_near(out, expected, 1e-9, "density vs branch average");
+}
+
+TEST(Executor, RunDensityIsLinear) {
+  // Needed for Choi-based channel extraction: run on matrix units.
+  Rng rng(7);
+  Circuit c(1, 1);
+  c.h(0).measure(0, 0).x_if(0, 0);
+  Matrix e01(2, 2);
+  e01(0, 1) = Cplx{1, 0};
+  const Matrix r_a = run_density(c, density(basis_vector(2, 0)));
+  const Matrix r_b = run_density(c, density(basis_vector(2, 1)));
+  const Matrix r_mix =
+      run_density(c, Cplx{0.5, 0} * density(basis_vector(2, 0)) +
+                         Cplx{0.5, 0} * density(basis_vector(2, 1)));
+  expect_matrix_near(r_mix, 0.5 * r_a + 0.5 * r_b, 1e-10, "linearity");
+  (void)e01;
+}
+
+TEST(Executor, CircuitChannelOfUnitary) {
+  Rng rng(8);
+  const Matrix u = haar_unitary(2, rng);
+  Circuit c(1, 0);
+  c.gate(u, {0}, "U");
+  const Channel e = circuit_channel(c, {});
+  const Matrix rho = random_density(2, rng);
+  expect_matrix_near(e.apply(rho), u * rho * u.dagger(), 1e-9, "unitary channel");
+}
+
+TEST(Executor, CircuitChannelOfMeasureAndDiscard) {
+  // Measure + trace out the measured qubit: channel on the other qubit is id.
+  Circuit c(2, 1);
+  c.measure(0, 0);
+  const Channel e = circuit_channel(c, {0});
+  Rng rng(9);
+  const Matrix rho = random_density(2, rng);
+  expect_matrix_near(e.apply(rho), rho, 1e-9, "spectator unaffected");
+}
+
+TEST(Executor, CircuitChannelMeasurementDephases) {
+  Circuit c(1, 1);
+  c.measure(0, 0);
+  const Channel e = circuit_channel(c, {});
+  Rng rng(10);
+  const Matrix rho = random_density(2, rng);
+  Matrix expected = rho;
+  expected(0, 1) = Cplx{0, 0};
+  expected(1, 0) = Cplx{0, 0};
+  expect_matrix_near(e.apply(rho), expected, 1e-9, "measurement dephasing");
+}
+
+TEST(Executor, InitializeOpInsideCircuit) {
+  Rng rng(11);
+  const Vector target = random_statevector(2, rng);
+  Circuit c(2, 1);
+  c.h(0).measure(0, 0);
+  c.initialize({1}, target);
+  for (const auto& b : run_branches(c)) {
+    const Matrix red = reduced_density(b.state.amplitudes(), {1}, 2);
+    expect_matrix_near(red, density(target), 1e-9, "initialized qubit");
+  }
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,130 @@
+// Gate library and circuit IR.
+#include <gtest/gtest.h>
+
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/sim/circuit.hpp"
+#include "qcut/sim/gates.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+
+TEST(Gates, AllUnitary) {
+  for (const Matrix& g : {gates::h(), gates::x(), gates::y(), gates::z(), gates::s(),
+                          gates::sdg(), gates::t(), gates::tdg(), gates::cx(), gates::cz(),
+                          gates::swap(), gates::rx(0.7), gates::ry(1.3), gates::rz(-2.1),
+                          gates::phase(0.4), gates::u3(0.3, 1.1, -0.6)}) {
+    EXPECT_TRUE(g.is_unitary(1e-12));
+  }
+}
+
+TEST(Gates, KnownIdentities) {
+  expect_matrix_near(gates::h() * gates::h(), Matrix::identity(2), 1e-12);
+  expect_matrix_near(gates::s() * gates::sdg(), Matrix::identity(2), 1e-12);
+  expect_matrix_near(gates::t() * gates::t(), gates::s(), 1e-12);
+  // HZH = X.
+  expect_matrix_near(gates::h() * gates::z() * gates::h(), gates::x(), 1e-12);
+  // (SH) Z (SH)† = Y — the identity behind U2 in Theorem 2 (Eq. 65).
+  const Matrix u2 = gates::s() * gates::h();
+  expect_matrix_near(u2 * gates::z() * u2.dagger(), gates::y(), 1e-12);
+}
+
+TEST(Gates, RotationsAtSpecialAngles) {
+  expect_matrix_near(gates::rx(0.0), Matrix::identity(2), 1e-12);
+  // Ry(π)|0⟩ = |1⟩.
+  const Vector v = gates::ry(kPi) * basis_vector(2, 0);
+  EXPECT_NEAR(std::abs(v[1]), 1.0, 1e-12);
+  // Rz(θ) is diagonal.
+  const Matrix rz = gates::rz(0.8);
+  EXPECT_NEAR(std::abs(rz(0, 1)), 0.0, 1e-14);
+}
+
+TEST(Gates, ControlledConstruction) {
+  expect_matrix_near(gates::controlled(gates::x()), gates::cx(), 1e-12);
+  expect_matrix_near(gates::controlled(gates::z()), gates::cz(), 1e-12);
+  EXPECT_THROW(gates::controlled(Matrix::identity(4)), Error);
+}
+
+TEST(Gates, PrepUnitaryMapsZeroToState) {
+  Rng rng(1);
+  for (Index dim : {2, 4, 8}) {
+    const Vector target = random_statevector(dim, rng);
+    const Matrix u = gates::prep_unitary(target);
+    EXPECT_TRUE(u.is_unitary(1e-9)) << "dim=" << dim;
+    const Vector got = u * basis_vector(dim, 0);
+    for (std::size_t i = 0; i < target.size(); ++i) {
+      EXPECT_NEAR(std::abs(got[i] - target[i]), 0.0, 1e-9);
+    }
+  }
+  EXPECT_THROW(gates::prep_unitary(Vector{Cplx{2, 0}, Cplx{0, 0}}), Error);
+  EXPECT_THROW(gates::prep_unitary(Vector{Cplx{1, 0}, Cplx{0, 0}, Cplx{0, 0}}), Error);
+}
+
+TEST(Circuit, BuilderValidation) {
+  Circuit c(2, 1);
+  EXPECT_THROW(c.h(2), Error);
+  EXPECT_THROW(c.measure(0, 1), Error);
+  EXPECT_THROW(c.cx(0, 0), Error);
+  EXPECT_THROW(c.gate(Matrix::identity(4), {0}), Error);
+  EXPECT_THROW(c.gate_if(1, gates::x(), {0}), Error);
+  EXPECT_THROW(c.initialize({0}, Vector{Cplx{1, 0}, Cplx{1, 0}}), Error);  // unnormalized
+}
+
+TEST(Circuit, ToUnitaryComposesInOrder) {
+  Circuit c(1, 0);
+  c.h(0).z(0);
+  // Z·H applied in circuit order.
+  expect_matrix_near(c.to_unitary(), gates::z() * gates::h(), 1e-12);
+}
+
+TEST(Circuit, ToUnitaryMultiQubit) {
+  Circuit c(2, 0);
+  c.h(0).cx(0, 1);
+  const Matrix expected = gates::cx() * kron(gates::h(), Matrix::identity(2));
+  expect_matrix_near(c.to_unitary(), expected, 1e-12);
+}
+
+TEST(Circuit, ToUnitaryRejectsMeasurement) {
+  Circuit c(1, 1);
+  c.measure(0, 0);
+  EXPECT_THROW(c.to_unitary(), Error);
+}
+
+TEST(Circuit, AppendOffsetsIndices) {
+  Circuit inner(1, 1);
+  inner.h(0).measure(0, 0);
+  Circuit outer(3, 2);
+  outer.append(inner, /*qubit_offset=*/2, /*cbit_offset=*/1);
+  ASSERT_EQ(outer.size(), 2u);
+  EXPECT_EQ(outer.ops()[0].qubits[0], 2);
+  EXPECT_EQ(outer.ops()[1].cbit, 1);
+  EXPECT_THROW(outer.append(inner, 3, 0), Error);
+}
+
+TEST(Circuit, CountMeasurements) {
+  Circuit c(2, 2);
+  c.h(0).measure(0, 0).measure(1, 1);
+  EXPECT_EQ(c.count_measurements(), 2);
+}
+
+TEST(Circuit, ToStringListsOps) {
+  Circuit c(2, 1);
+  c.h(0).cx(0, 1).measure(1, 0).x_if(0, 0);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("H"), std::string::npos);
+  EXPECT_NE(s.find("CX"), std::string::npos);
+  EXPECT_NE(s.find("measure -> c0"), std::string::npos);
+  EXPECT_NE(s.find("if c0"), std::string::npos);
+}
+
+TEST(Circuit, RejectsUnsupportedSizes) {
+  EXPECT_THROW(Circuit(0, 0), Error);
+  EXPECT_THROW(Circuit(21, 0), Error);
+  EXPECT_THROW(Circuit(1, -1), Error);
+}
+
+}  // namespace
+}  // namespace qcut

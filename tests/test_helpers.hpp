@@ -1,0 +1,27 @@
+// Shared test utilities.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "qcut/linalg/matrix.hpp"
+
+namespace qcut::testing {
+
+inline void expect_matrix_near(const Matrix& a, const Matrix& b, Real tol = 1e-9,
+                               const char* what = "") {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  EXPECT_TRUE(a.approx_equal(b, tol)) << what << "\nlhs =\n"
+                                      << a.to_string() << "\nrhs =\n"
+                                      << b.to_string();
+}
+
+inline void expect_vector_near(const Vector& a, const Vector& b, Real tol = 1e-9) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "entry " << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "entry " << i;
+  }
+}
+
+}  // namespace qcut::testing

@@ -1,0 +1,148 @@
+// Kronecker products, operator embedding, and partial traces.
+#include <gtest/gtest.h>
+
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/pauli.hpp"
+#include "qcut/linalg/ptrace.hpp"
+#include "qcut/linalg/random.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+using testing::expect_vector_near;
+
+TEST(Kron, DimensionsAndValues) {
+  const Matrix a{{Cplx{1, 0}, Cplx{2, 0}}, {Cplx{3, 0}, Cplx{4, 0}}};
+  const Matrix b{{Cplx{0, 1}}};
+  const Matrix k = kron(a, b);
+  EXPECT_EQ(k.rows(), 2);
+  EXPECT_EQ(k.cols(), 2);
+  EXPECT_EQ(k(1, 0), (Cplx{0, 3}));
+}
+
+TEST(Kron, PauliAlgebraIdentity) {
+  // (X ⊗ Z)(X ⊗ Z) = I ⊗ I.
+  const Matrix xz = kron(pauli_x(), pauli_z());
+  expect_matrix_near(xz * xz, Matrix::identity(4), 1e-12);
+}
+
+TEST(Kron, MixedProductProperty) {
+  Rng rng(1);
+  const Matrix a = haar_unitary(2, rng);
+  const Matrix b = haar_unitary(2, rng);
+  const Matrix c = haar_unitary(2, rng);
+  const Matrix d = haar_unitary(2, rng);
+  // (A⊗B)(C⊗D) = (AC)⊗(BD)
+  expect_matrix_near(kron(a, b) * kron(c, d), kron(a * c, b * d), 1e-10);
+}
+
+TEST(Kron, Vectors) {
+  const Vector u = {Cplx{1, 0}, Cplx{0, 0}};
+  const Vector v = {Cplx{0, 0}, Cplx{1, 0}};
+  const Vector k = kron(u, v);  // |01>
+  expect_vector_near(k, basis_vector(4, 1));
+}
+
+TEST(Kron, KronAll) {
+  const Matrix x3 = kron_all({pauli_x(), pauli_x(), pauli_x()});
+  EXPECT_EQ(x3.rows(), 8);
+  expect_matrix_near(x3, pauli_string("XXX"), 1e-12);
+  EXPECT_THROW(kron_all(std::vector<Matrix>{}), Error);
+}
+
+TEST(Embed, SingleQubitMatchesKron) {
+  // Qubit 0 is the most significant bit: embed on qubit 0 of 2 = U ⊗ I.
+  const Matrix u = pauli_x();
+  expect_matrix_near(embed(u, {0}, 2), kron(u, Matrix::identity(2)), 1e-12);
+  expect_matrix_near(embed(u, {1}, 2), kron(Matrix::identity(2), u), 1e-12);
+}
+
+TEST(Embed, TwoQubitOrdering) {
+  Rng rng(2);
+  const Matrix u = haar_unitary(4, rng);
+  // Embedding on (0,1) of a 2-qubit system is the matrix itself.
+  expect_matrix_near(embed(u, {0, 1}, 2), u, 1e-12);
+  // Embedding on (1,0) swaps the tensor factors.
+  const Matrix sw{{Cplx{1, 0}, Cplx{0, 0}, Cplx{0, 0}, Cplx{0, 0}},
+                  {Cplx{0, 0}, Cplx{0, 0}, Cplx{1, 0}, Cplx{0, 0}},
+                  {Cplx{0, 0}, Cplx{1, 0}, Cplx{0, 0}, Cplx{0, 0}},
+                  {Cplx{0, 0}, Cplx{0, 0}, Cplx{0, 0}, Cplx{1, 0}}};
+  expect_matrix_near(embed(u, {1, 0}, 2), sw * u * sw, 1e-12);
+}
+
+TEST(Embed, ThreeQubitMiddle) {
+  const Matrix z = pauli_z();
+  expect_matrix_near(embed(z, {1}, 3), pauli_string("IZI"), 1e-12);
+}
+
+TEST(Embed, RejectsBadArguments) {
+  EXPECT_THROW(embed(pauli_x(), {0, 0}, 2), Error);   // duplicate
+  EXPECT_THROW(embed(pauli_x(), {2}, 2), Error);      // out of range
+  EXPECT_THROW(embed(Matrix::identity(4), {0}, 2), Error);  // dim mismatch
+}
+
+TEST(PartialTrace, ProductStateFactorizes) {
+  Rng rng(3);
+  const Matrix rho_a = random_density(2, rng);
+  const Matrix rho_b = random_density(2, rng);
+  const Matrix joint = kron(rho_a, rho_b);
+  expect_matrix_near(partial_trace(joint, {1}, 2), rho_a, 1e-10);
+  expect_matrix_near(partial_trace(joint, {0}, 2), rho_b, 1e-10);
+}
+
+TEST(PartialTrace, PreservesTrace) {
+  Rng rng(4);
+  const Matrix rho = random_density(8, rng);
+  for (const auto& traced : std::vector<std::vector<int>>{{0}, {1}, {2}, {0, 2}}) {
+    const Matrix red = partial_trace(rho, traced, 3);
+    EXPECT_NEAR(red.trace().real(), 1.0, 1e-10);
+  }
+}
+
+TEST(PartialTrace, BellStateGivesMaximallyMixed) {
+  const Vector bell = {Cplx{kInvSqrt2, 0}, Cplx{0, 0}, Cplx{0, 0}, Cplx{kInvSqrt2, 0}};
+  const Matrix red = partial_trace(density(bell), {0}, 2);
+  expect_matrix_near(red, 0.5 * Matrix::identity(2), 1e-12);
+}
+
+TEST(PartialTrace, TraceAllButOneOfGhz) {
+  // GHZ: reduced single-qubit state is the classical mixture of |0>,|1>.
+  Vector ghz(8, Cplx{0, 0});
+  ghz[0] = Cplx{kInvSqrt2, 0};
+  ghz[7] = Cplx{kInvSqrt2, 0};
+  const Matrix red = partial_trace(density(ghz), {0, 1}, 3);
+  Matrix expected(2, 2);
+  expected(0, 0) = Cplx{0.5, 0};
+  expected(1, 1) = Cplx{0.5, 0};
+  expect_matrix_near(red, expected, 1e-12);
+}
+
+TEST(ReducedDensity, KeepsRequestedOrder) {
+  Rng rng(5);
+  const Matrix rho_a = random_density(2, rng);
+  const Matrix rho_b = random_density(2, rng);
+  const Matrix joint = kron(rho_a, rho_b);
+  // Keeping {1, 0} must swap the factors.
+  const Matrix red = reduced_density(joint, {1, 0}, 2);
+  expect_matrix_near(red, kron(rho_b, rho_a), 1e-10);
+}
+
+TEST(ReducedDensity, PureStateOverload) {
+  Rng rng(6);
+  const Vector a = random_statevector(2, rng);
+  const Vector b = random_statevector(2, rng);
+  const Vector joint = kron(a, b);
+  expect_matrix_near(reduced_density(joint, {0}, 2), density(a), 1e-10);
+}
+
+TEST(PartialTrace, RejectsBadArguments) {
+  const Matrix rho = Matrix::identity(4);
+  EXPECT_THROW(partial_trace(rho, {2}, 2), Error);
+  EXPECT_THROW(partial_trace(rho, {0, 0}, 2), Error);
+  EXPECT_THROW(partial_trace(Matrix::identity(3), {0}, 2), Error);
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,158 @@
+// Dense matrix/vector layer.
+#include <gtest/gtest.h>
+
+#include "qcut/linalg/matrix.hpp"
+#include "qcut/linalg/random.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  m(1, 2) = Cplx{3.0, -1.0};
+  EXPECT_EQ(m(1, 2), (Cplx{3.0, -1.0}));
+  EXPECT_EQ(m(0, 0), (Cplx{0.0, 0.0}));
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{Cplx{1, 0}, Cplx{2, 0}}, {Cplx{3, 0}, Cplx{4, 0}}};
+  EXPECT_EQ(m(0, 1).real(), 2.0);
+  EXPECT_EQ(m(1, 0).real(), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{Cplx{1, 0}}, {Cplx{1, 0}, Cplx{2, 0}}}), Error);
+}
+
+TEST(Matrix, IdentityAndDiag) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_EQ(i3.trace().real(), 3.0);
+  const Matrix d = Matrix::diag({Cplx{1, 0}, Cplx{2, 0}});
+  EXPECT_EQ(d(1, 1).real(), 2.0);
+  EXPECT_EQ(d(0, 1).real(), 0.0);
+}
+
+TEST(Matrix, Arithmetic) {
+  const Matrix a{{Cplx{1, 0}, Cplx{0, 1}}, {Cplx{0, 0}, Cplx{2, 0}}};
+  const Matrix b{{Cplx{1, 0}, Cplx{1, 0}}, {Cplx{1, 0}, Cplx{1, 0}}};
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 0).real(), 2.0);
+  const Matrix diff = sum - b;
+  expect_matrix_near(diff, a, 1e-14);
+  const Matrix scaled = a * Cplx{2.0, 0.0};
+  EXPECT_EQ(scaled(1, 1).real(), 4.0);
+  const Matrix neg = -a;
+  EXPECT_EQ(neg(1, 1).real(), -2.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW(a -= b, Error);
+  EXPECT_THROW(b * a, Error);
+}
+
+TEST(Matrix, ProductAgainstHandComputation) {
+  const Matrix a{{Cplx{1, 0}, Cplx{2, 0}}, {Cplx{3, 0}, Cplx{4, 0}}};
+  const Matrix b{{Cplx{0, 1}, Cplx{1, 0}}, {Cplx{1, 0}, Cplx{0, -1}}};
+  const Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), (Cplx{2, 1}));
+  EXPECT_EQ(c(0, 1), (Cplx{1, -2}));
+  EXPECT_EQ(c(1, 0), (Cplx{4, 3}));
+  EXPECT_EQ(c(1, 1), (Cplx{3, -4}));
+}
+
+TEST(Matrix, MatVec) {
+  const Matrix a{{Cplx{1, 0}, Cplx{2, 0}}, {Cplx{0, 1}, Cplx{0, 0}}};
+  const Vector x = {Cplx{1, 0}, Cplx{1, 0}};
+  const Vector y = a * x;
+  EXPECT_EQ(y[0], (Cplx{3, 0}));
+  EXPECT_EQ(y[1], (Cplx{0, 1}));
+}
+
+TEST(Matrix, DaggerTransposeConj) {
+  const Matrix a{{Cplx{1, 2}, Cplx{3, 4}}, {Cplx{5, 6}, Cplx{7, 8}}};
+  EXPECT_EQ(a.dagger()(0, 1), (Cplx{5, -6}));
+  EXPECT_EQ(a.transpose()(0, 1), (Cplx{5, 6}));
+  EXPECT_EQ(a.conj()(0, 1), (Cplx{3, -4}));
+  expect_matrix_near(a.dagger().dagger(), a, 1e-14);
+}
+
+TEST(Matrix, HermitianAndUnitaryPredicates) {
+  const Matrix h{{Cplx{1, 0}, Cplx{0, -1}}, {Cplx{0, 1}, Cplx{2, 0}}};
+  EXPECT_TRUE(h.is_hermitian());
+  const Matrix nh{{Cplx{1, 0}, Cplx{1, 0}}, {Cplx{0, 0}, Cplx{1, 0}}};
+  EXPECT_FALSE(nh.is_hermitian());
+
+  Rng rng(2);
+  const Matrix u = haar_unitary(4, rng);
+  EXPECT_TRUE(u.is_unitary(1e-9));
+  EXPECT_FALSE(nh.is_unitary(1e-9));
+}
+
+TEST(Matrix, TraceAndNorm) {
+  const Matrix a{{Cplx{3, 0}, Cplx{0, 0}}, {Cplx{0, 0}, Cplx{-1, 0}}};
+  EXPECT_EQ(a.trace().real(), 2.0);
+  EXPECT_NEAR(a.norm(), std::sqrt(10.0), 1e-12);
+  EXPECT_EQ(a.max_abs(), 3.0);
+}
+
+TEST(Matrix, OuterAndProjector) {
+  const Vector u = {Cplx{1, 0}, Cplx{0, 0}};
+  const Vector v = {Cplx{0, 0}, Cplx{0, 1}};
+  const Matrix o = Matrix::outer(u, v);  // |u><v|
+  EXPECT_EQ(o(0, 1), (Cplx{0, -1}));     // conj on the right argument
+  const Matrix p = Matrix::projector(normalized(Vector{Cplx{1, 0}, Cplx{1, 0}}));
+  EXPECT_NEAR(p.trace().real(), 1.0, 1e-12);
+  expect_matrix_near(p * p, p, 1e-12);  // idempotent
+}
+
+TEST(VectorOps, InnerNormNormalize) {
+  const Vector u = {Cplx{1, 1}, Cplx{0, 0}};
+  const Vector v = {Cplx{1, 0}, Cplx{2, 0}};
+  EXPECT_EQ(inner(u, v), (Cplx{1, -1}));
+  EXPECT_NEAR(vec_norm(u), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(vec_norm(normalized(v)), 1.0, 1e-12);
+  EXPECT_THROW(normalized(Vector{Cplx{0, 0}}), Error);
+}
+
+TEST(VectorOps, BasisVector) {
+  const Vector e2 = basis_vector(4, 2);
+  EXPECT_EQ(e2[2], (Cplx{1, 0}));
+  EXPECT_EQ(e2[0], (Cplx{0, 0}));
+  EXPECT_THROW(basis_vector(4, 4), Error);
+}
+
+TEST(VectorOps, ExpectationConsistency) {
+  Rng rng(3);
+  const Vector psi = random_statevector(4, rng);
+  const Matrix rho = density(psi);
+  const Matrix a = haar_unitary(4, rng);  // any operator works
+  const Cplx via_vec = expectation(a, psi);
+  const Cplx via_rho = expectation(a, rho);
+  EXPECT_NEAR(via_vec.real(), via_rho.real(), 1e-10);
+  EXPECT_NEAR(via_vec.imag(), via_rho.imag(), 1e-10);
+}
+
+TEST(VectorOps, FidelityPureStates) {
+  Rng rng(4);
+  const Vector psi = random_statevector(2, rng);
+  EXPECT_NEAR(fidelity(psi, density(psi)), 1.0, 1e-12);
+  const Vector phi = random_statevector(2, rng);
+  const Real f = fidelity(psi, density(phi));
+  EXPECT_NEAR(f, norm2(inner(psi, phi)), 1e-12);
+}
+
+TEST(Matrix, ToStringRendersSomething) {
+  const Matrix a = Matrix::identity(2);
+  const std::string s = a.to_string();
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qcut

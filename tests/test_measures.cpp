@@ -1,0 +1,141 @@
+// Entanglement measures: f(Φk) (Eq. 10), LOCC invariance, FEF, concurrence,
+// entropy, negativity.
+#include <gtest/gtest.h>
+
+#include "qcut/ent/measures.hpp"
+#include "qcut/ent/schmidt.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/sim/noise.hpp"
+
+namespace qcut {
+namespace {
+
+TEST(MaxOverlap, ClosedFormEq10) {
+  for (Real k : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(f_phi_k(k), (k + 1) * (k + 1) / (2 * (k * k + 1)), 1e-12);
+    EXPECT_NEAR(max_overlap(phi_k_state(k)), f_phi_k(k), 1e-9) << "k=" << k;
+  }
+  EXPECT_THROW(f_phi_k(-1.0), Error);
+}
+
+TEST(MaxOverlap, RangeEndpoints) {
+  EXPECT_NEAR(f_phi_k(0.0), 0.5, 1e-12);  // separable
+  EXPECT_NEAR(f_phi_k(1.0), 1.0, 1e-12);  // maximally entangled
+}
+
+TEST(MaxOverlap, SymmetricUnderKInversion) {
+  // |Φk⟩ and |Φ_{1/k}⟩ are locally equivalent: same f.
+  for (Real k : {0.25, 0.5, 0.8}) {
+    EXPECT_NEAR(f_phi_k(k), f_phi_k(1.0 / k), 1e-12);
+  }
+}
+
+TEST(MaxOverlap, LocalUnitaryInvariance) {
+  // Eqs. (7)-(8): f(ψ) = f(Φk) for ψ = (UA⊗UB)|Φk⟩.
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Real k = rng.uniform();
+    const Vector psi = kron(haar_unitary(2, rng), haar_unitary(2, rng)) * phi_k_state(k);
+    EXPECT_NEAR(max_overlap(psi), f_phi_k(k), 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(MaxOverlap, MonotoneInK) {
+  Real prev = 0.0;
+  for (Real k = 0.0; k <= 1.0 + 1e-12; k += 0.05) {
+    const Real f = f_phi_k(k);
+    EXPECT_GE(f, prev - 1e-12);
+    prev = f;
+  }
+}
+
+TEST(Fef, MatchesFForPureStates) {
+  // For Φk the fully entangled fraction equals the max overlap: the magic-
+  // basis maximum is attained at |Φ⟩ itself.
+  for (Real k : {0.0, 0.3, 0.6, 1.0}) {
+    EXPECT_NEAR(fully_entangled_fraction(phi_k_density(k)), f_phi_k(k), 1e-8) << "k=" << k;
+  }
+}
+
+TEST(Fef, LocalUnitaryInvariance) {
+  Rng rng(2);
+  const Real k = 0.6;
+  const Matrix rot = kron(haar_unitary(2, rng), haar_unitary(2, rng));
+  const Matrix rho = rot * phi_k_density(k) * rot.dagger();
+  EXPECT_NEAR(fully_entangled_fraction(rho), f_phi_k(k), 1e-8);
+}
+
+TEST(Fef, WernerStateLinearInP) {
+  // (1−p)|Φ⟩⟨Φ| + p I/4: FEF = (1−p) + p/4.
+  for (Real p : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_NEAR(fully_entangled_fraction(noisy_phi_k(1.0, p)), 1.0 - 0.75 * p, 1e-8);
+  }
+}
+
+TEST(Entropy, ProductZeroBellOne) {
+  Rng rng(3);
+  const Vector prod = kron(random_statevector(2, rng), random_statevector(2, rng));
+  EXPECT_NEAR(entanglement_entropy(prod, 1, 1), 0.0, 1e-8);
+  EXPECT_NEAR(entanglement_entropy(bell_phi(), 1, 1), 1.0, 1e-9);
+}
+
+TEST(Entropy, PhiKFormula) {
+  for (Real k : {0.2, 0.5, 0.9}) {
+    const Real p = 1.0 / (1.0 + k * k);  // larger Schmidt probability
+    const Real expected = -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+    EXPECT_NEAR(entanglement_entropy(phi_k_state(k), 1, 1), expected, 1e-9);
+  }
+}
+
+TEST(Concurrence, KnownValues) {
+  EXPECT_NEAR(concurrence(phi_k_density(1.0)), 1.0, 1e-7);
+  EXPECT_NEAR(concurrence(phi_k_density(0.0)), 0.0, 1e-7);
+  // Pure |Φk⟩: C = 2 k/(1+k²) (product of the two Schmidt coefficients × 2).
+  for (Real k : {0.3, 0.6, 0.9}) {
+    EXPECT_NEAR(concurrence(phi_k_density(k)), 2.0 * k / (1.0 + k * k), 1e-7) << "k=" << k;
+  }
+}
+
+TEST(Concurrence, SeparableMixedIsZero) {
+  Rng rng(4);
+  const Matrix rho = kron(random_density(2, rng), random_density(2, rng));
+  EXPECT_NEAR(concurrence(rho), 0.0, 1e-6);
+}
+
+TEST(Negativity, DetectsEntanglement) {
+  EXPECT_NEAR(negativity(phi_k_density(1.0)), 0.5, 1e-8);
+  EXPECT_NEAR(negativity(phi_k_density(0.0)), 0.0, 1e-8);
+  // Pure |Φk⟩: N = k/(1+k²) (product of Schmidt coefficients).
+  for (Real k : {0.4, 0.8}) {
+    EXPECT_NEAR(negativity(phi_k_density(k)), k / (1.0 + k * k), 1e-8);
+  }
+}
+
+TEST(Negativity, ZeroForSeparableMixtures) {
+  Rng rng(5);
+  Matrix rho(4, 4);
+  for (int i = 0; i < 4; ++i) {
+    rho += Cplx{0.25, 0.0} * kron(random_density(2, rng), random_density(2, rng));
+  }
+  EXPECT_NEAR(negativity(rho), 0.0, 1e-7);
+}
+
+TEST(PartialTransposeB, InvolutionAndHermiticity) {
+  Rng rng(6);
+  const Matrix rho = random_density(4, rng);
+  const Matrix pt = partial_transpose_b(rho);
+  EXPECT_TRUE(pt.is_hermitian(1e-10));
+  const Matrix back = partial_transpose_b(pt);
+  EXPECT_TRUE(back.approx_equal(rho, 1e-12));
+}
+
+TEST(Measures, RejectWrongDimensions) {
+  EXPECT_THROW(concurrence(Matrix::identity(2)), Error);
+  EXPECT_THROW(fully_entangled_fraction(Matrix::identity(8)), Error);
+  EXPECT_THROW(max_overlap(Vector(2, Cplx{0, 0})), Error);
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,117 @@
+// Noise channels (the mixed-resource extension machinery).
+#include <gtest/gtest.h>
+
+#include "qcut/ent/measures.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/pauli.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/sim/noise.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+
+TEST(Noise, AllTracePreserving) {
+  for (const Channel& e : {depolarizing(0.3), depolarizing2(0.4), dephasing(0.7), bit_flip(0.2),
+                           amplitude_damping(0.5), pauli_channel(0.1, 0.2, 0.3)}) {
+    EXPECT_TRUE(e.is_trace_preserving(1e-10));
+  }
+}
+
+TEST(Noise, DepolarizingFixedPoint) {
+  // The maximally mixed state is invariant for any p.
+  const Matrix mixed = 0.5 * Matrix::identity(2);
+  for (Real p : {0.0, 0.5, 1.0}) {
+    expect_matrix_near(depolarizing(p).apply(mixed), mixed, 1e-12);
+  }
+}
+
+TEST(Noise, DepolarizingShrinksBlochVector) {
+  Rng rng(1);
+  const Matrix rho = random_density(2, rng);
+  const Real p = 0.4;
+  const Matrix out = depolarizing(p).apply(rho);
+  // ⟨σ⟩ shrinks by (1−p) for every Pauli.
+  for (const auto& s : {pauli_x(), pauli_y(), pauli_z()}) {
+    const Real before = expectation(s, rho).real();
+    const Real after = expectation(s, out).real();
+    EXPECT_NEAR(after, (1.0 - p) * before, 1e-10);
+  }
+}
+
+TEST(Noise, Depolarizing2FullyMixesAtOne) {
+  Rng rng(2);
+  const Matrix rho = random_density(4, rng);
+  expect_matrix_near(depolarizing2(1.0).apply(rho), 0.25 * Matrix::identity(4), 1e-10);
+}
+
+TEST(Noise, DephasingKillsOffDiagonals) {
+  Rng rng(3);
+  const Matrix rho = random_density(2, rng);
+  const Matrix out = dephasing(1.0).apply(rho);
+  EXPECT_NEAR(std::abs(out(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(out(0, 0).real(), rho(0, 0).real(), 1e-12);
+}
+
+TEST(Noise, BitFlipAtOneIsX) {
+  Rng rng(4);
+  const Matrix rho = random_density(2, rng);
+  expect_matrix_near(bit_flip(1.0).apply(rho), pauli_x() * rho * pauli_x(), 1e-12);
+}
+
+TEST(Noise, AmplitudeDampingDecaysExcitedState) {
+  Matrix exc(2, 2);
+  exc(1, 1) = Cplx{1, 0};
+  const Real g = 0.6;
+  const Matrix out = amplitude_damping(g).apply(exc);
+  EXPECT_NEAR(out(0, 0).real(), g, 1e-12);
+  EXPECT_NEAR(out(1, 1).real(), 1.0 - g, 1e-12);
+}
+
+TEST(Noise, PauliChannelWeights) {
+  Rng rng(5);
+  const Matrix rho = random_density(2, rng);
+  const Real px = 0.1, py = 0.15, pz = 0.2;
+  const Matrix out = pauli_channel(px, py, pz).apply(rho);
+  const Matrix expected = (1.0 - px - py - pz) * rho + px * (pauli_x() * rho * pauli_x()) +
+                          py * (pauli_y() * rho * pauli_y()) +
+                          pz * (pauli_z() * rho * pauli_z());
+  expect_matrix_near(out, expected, 1e-12);
+  EXPECT_THROW(pauli_channel(0.5, 0.4, 0.3), Error);
+}
+
+TEST(Noise, NoisyPhiKIsValidDensity) {
+  for (Real k : {0.0, 0.5, 1.0}) {
+    for (Real p : {0.0, 0.3, 1.0}) {
+      const Matrix rho = noisy_phi_k(k, p);
+      EXPECT_TRUE(rho.is_hermitian(1e-10));
+      EXPECT_NEAR(rho.trace().real(), 1.0, 1e-10);
+      EXPECT_TRUE(rho.is_psd(1e-8));
+    }
+  }
+}
+
+TEST(Noise, NoisyPhiKDegradesEntanglement) {
+  // Werner mixing reduces the fully entangled fraction monotonically.
+  Real prev = 1.1;
+  for (Real p : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const Real fef = fully_entangled_fraction(noisy_phi_k(1.0, p));
+    EXPECT_LT(fef, prev + 1e-10);
+    prev = fef;
+  }
+  // At p = 1 (maximally mixed) the FEF is 1/4... but the overlap with ANY
+  // maximally entangled state is exactly 1/4.
+  EXPECT_NEAR(fully_entangled_fraction(noisy_phi_k(1.0, 1.0)), 0.25, 1e-8);
+}
+
+TEST(Noise, RejectsInvalidProbabilities) {
+  EXPECT_THROW(depolarizing(-0.1), Error);
+  EXPECT_THROW(depolarizing(1.1), Error);
+  EXPECT_THROW(amplitude_damping(2.0), Error);
+  EXPECT_THROW(noisy_phi_k(0.5, -0.2), Error);
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,102 @@
+// Theorem 1 / Corollary 1 formulas and the continuum analysis.
+#include <gtest/gtest.h>
+
+#include "qcut/core/continuum.hpp"
+#include "qcut/core/overhead.hpp"
+#include "qcut/ent/measures.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/random.hpp"
+
+namespace qcut {
+namespace {
+
+TEST(Overhead, Theorem1Endpoints) {
+  EXPECT_NEAR(optimal_overhead_from_f(0.5), 3.0, 1e-12);  // γ(I) = 3 without entanglement
+  EXPECT_NEAR(optimal_overhead_from_f(1.0), 1.0, 1e-12);  // free teleportation
+  EXPECT_THROW(optimal_overhead_from_f(0.4), Error);
+  EXPECT_THROW(optimal_overhead_from_f(1.2), Error);
+}
+
+TEST(Overhead, Corollary1MatchesTheorem1ThroughEq10) {
+  for (Real k = 0.0; k <= 1.0 + 1e-12; k += 0.1) {
+    EXPECT_NEAR(optimal_overhead_phi_k(k), optimal_overhead_from_f(f_phi_k(k)), 1e-10)
+        << "k=" << k;
+  }
+}
+
+TEST(Overhead, PureStateOverheadIsLocalUnitaryInvariant) {
+  Rng rng(1);
+  const Real k = 0.45;
+  const Vector psi = kron(haar_unitary(2, rng), haar_unitary(2, rng)) * phi_k_state(k);
+  EXPECT_NEAR(optimal_overhead_pure(psi), optimal_overhead_phi_k(k), 1e-7);
+}
+
+TEST(Overhead, VirtualDistillationSharesTheFormula) {
+  // Eq. 17 and Theorem 1 agree — that equality is the theorem's content.
+  for (Real f : {0.5, 0.7, 0.9, 1.0}) {
+    EXPECT_EQ(virtual_distillation_overhead(f), optimal_overhead_from_f(f));
+  }
+}
+
+TEST(Overhead, ShotAccuracyRelations) {
+  EXPECT_NEAR(shots_for_accuracy(3.0, 0.1), 900.0, 1e-9);
+  EXPECT_NEAR(accuracy_for_shots(3.0, 900.0), 0.1, 1e-12);
+  // Round trip.
+  const Real eps = accuracy_for_shots(1.8, shots_for_accuracy(1.8, 0.05));
+  EXPECT_NEAR(eps, 0.05, 1e-12);
+  EXPECT_THROW(shots_for_accuracy(3.0, 0.0), Error);
+  EXPECT_THROW(accuracy_for_shots(3.0, 0.0), Error);
+}
+
+TEST(Overhead, PairConsumptionIdentities) {
+  // 2a = 1/f (Sec. III): the paper's ⟨Φ|Φk|Φ⟩⁻¹ pair weight.
+  for (Real k : {0.0, 0.3, 0.7, 1.0}) {
+    EXPECT_NEAR(pair_consumption_weight(k), 1.0 / f_phi_k(k), 1e-12);
+  }
+  // At k = 1 every sample teleports: exactly one pair per sample.
+  EXPECT_NEAR(expected_pairs_per_sample_phi_k(1.0), 1.0, 1e-12);
+  // At k = 0: 2a/κ = 2/3 of samples are (useless) teleport branches.
+  EXPECT_NEAR(expected_pairs_per_sample_phi_k(0.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Continuum, PointFieldsConsistent) {
+  for (Real f : {0.5, 0.6, 0.75, 0.9, 1.0}) {
+    const ContinuumPoint p = continuum_point(f);
+    EXPECT_NEAR(p.f, f, 1e-12);
+    EXPECT_NEAR(f_phi_k(p.k), f, 1e-9);
+    EXPECT_NEAR(p.kappa, 2.0 / f - 1.0, 1e-10);
+    EXPECT_NEAR(p.shots_rel, p.kappa * p.kappa, 1e-9);
+    EXPECT_NEAR(p.pairs_weight, 1.0 / f, 1e-9);
+  }
+}
+
+TEST(Continuum, SweepIsMonotone) {
+  const auto sweep = continuum_sweep(11);
+  ASSERT_EQ(sweep.size(), 11u);
+  EXPECT_NEAR(sweep.front().f, 0.5, 1e-12);
+  EXPECT_NEAR(sweep.back().f, 1.0, 1e-12);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].kappa, sweep[i - 1].kappa);       // overhead falls
+    EXPECT_GT(sweep[i].k, sweep[i - 1].k);               // entanglement rises
+    EXPECT_LT(sweep[i].pairs_weight, sweep[i - 1].pairs_weight);  // fewer pairs per estimate
+  }
+  EXPECT_THROW(continuum_sweep(1), Error);
+}
+
+TEST(Continuum, BudgetPlanner) {
+  // High entanglement: ε = 0.1 needs κ²/ε² = 100 shots, 1 pair each.
+  const BudgetPlan rich = plan_budget(1.0, 0.1, 200.0);
+  EXPECT_NEAR(rich.shots_needed, 100.0, 1e-9);
+  EXPECT_NEAR(rich.pairs_needed, 100.0, 1e-9);
+  EXPECT_TRUE(rich.feasible);
+
+  // Same accuracy with f = 0.6 costs κ = 2/0.6−1 ≈ 2.33 → ~544 shots.
+  const BudgetPlan poor = plan_budget(0.6, 0.1, 200.0);
+  EXPECT_GT(poor.shots_needed, rich.shots_needed);
+  EXPECT_FALSE(poor.feasible);
+  EXPECT_THROW(plan_budget(0.9, 0.1, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace qcut

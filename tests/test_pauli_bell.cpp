@@ -1,0 +1,141 @@
+// Pauli algebra and Bell/NME state utilities (Eqs. 6, 10, 55-58).
+#include <gtest/gtest.h>
+
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/pauli.hpp"
+#include "qcut/linalg/random.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+
+TEST(Pauli, MatricesSatisfyAlgebra) {
+  expect_matrix_near(pauli_x() * pauli_x(), Matrix::identity(2), 1e-14);
+  expect_matrix_near(pauli_y() * pauli_y(), Matrix::identity(2), 1e-14);
+  expect_matrix_near(pauli_z() * pauli_z(), Matrix::identity(2), 1e-14);
+  // XY = iZ.
+  expect_matrix_near(pauli_x() * pauli_y(), kI * pauli_z(), 1e-14);
+  // Anticommutation {X, Z} = 0.
+  expect_matrix_near(pauli_x() * pauli_z() + pauli_z() * pauli_x(), Matrix::zero(2, 2), 1e-14);
+}
+
+TEST(Pauli, CharRoundTrip) {
+  for (Pauli p : {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z}) {
+    EXPECT_EQ(pauli_from_char(pauli_char(p)), p);
+  }
+  EXPECT_THROW(pauli_from_char('W'), Error);
+}
+
+TEST(Pauli, StringBuildsKron) {
+  expect_matrix_near(pauli_string("XZ"), kron(pauli_x(), pauli_z()), 1e-14);
+  expect_matrix_near(pauli_string("I"), Matrix::identity(2), 1e-14);
+  EXPECT_THROW(pauli_string(""), Error);
+  EXPECT_THROW(pauli_string("AB"), Error);
+}
+
+TEST(Pauli, AllStringsEnumeration) {
+  const auto s1 = all_pauli_strings(1);
+  EXPECT_EQ(s1.size(), 4u);
+  EXPECT_EQ(s1[0], "I");
+  EXPECT_EQ(s1[3], "Z");
+  const auto s2 = all_pauli_strings(2);
+  EXPECT_EQ(s2.size(), 16u);
+  EXPECT_EQ(s2[1], "IX");
+  EXPECT_EQ(s2[4], "XI");
+}
+
+TEST(Pauli, CoefficientsRoundTrip) {
+  Rng rng(1);
+  for (int n : {1, 2}) {
+    const Index dim = Index{1} << n;
+    Matrix g = ginibre(dim, rng);
+    const auto coeffs = pauli_coefficients(g);
+    expect_matrix_near(from_pauli_coefficients(coeffs, n), g, 1e-10, "Pauli round trip");
+  }
+}
+
+TEST(Pauli, CoefficientsOfPauliAreDelta) {
+  const auto coeffs = pauli_coefficients(pauli_string("XZ"));
+  const auto strings = all_pauli_strings(2);
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    const Real expected = strings[i] == "XZ" ? 1.0 : 0.0;
+    EXPECT_NEAR(coeffs[i].real(), expected, 1e-12) << strings[i];
+    EXPECT_NEAR(coeffs[i].imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Bell, StatesAreOrthonormal) {
+  const auto basis = bell_basis();
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      const Cplx ip = inner(basis[a], basis[b]);
+      EXPECT_NEAR(std::abs(ip), a == b ? 1.0 : 0.0, 1e-12) << a << "," << b;
+    }
+  }
+}
+
+TEST(Bell, PhiSigmaDefinition) {
+  // |Φ_X⟩ = (X ⊗ I)|Φ⟩ = (|10⟩+|01⟩)/√2.
+  const Vector phix = bell_state(Pauli::X);
+  EXPECT_NEAR(phix[1].real(), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(phix[2].real(), kInvSqrt2, 1e-12);
+}
+
+TEST(PhiK, NormalizationAndLimits) {
+  for (Real k : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_NEAR(vec_norm(phi_k_state(k)), 1.0, 1e-12) << "k=" << k;
+  }
+  // k = 0 is the product state |00⟩; k = 1 is |Φ⟩.
+  testing::expect_vector_near(phi_k_state(0.0), basis_vector(4, 0));
+  testing::expect_vector_near(phi_k_state(1.0), bell_phi());
+  EXPECT_THROW(phi_k_state(-0.5), Error);
+}
+
+TEST(PhiK, OverlapWithPhiMatchesEq10) {
+  // ⟨Φ|Φk|Φ⟩ = (k+1)²/(2(k²+1)) — and by Appendix A this equals f(Φk).
+  for (Real k : {0.0, 0.1, 0.4, 0.7, 1.0}) {
+    const Real overlap = fidelity(bell_phi(), phi_k_density(k));
+    const Real closed = (k + 1.0) * (k + 1.0) / (2.0 * (k * k + 1.0));
+    EXPECT_NEAR(overlap, closed, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(PhiK, BellOverlapsSumToOne) {
+  for (Real k : {0.0, 0.3, 0.8, 1.0}) {
+    const auto w = phi_k_bell_overlaps(k);
+    EXPECT_NEAR(w[0] + w[1] + w[2] + w[3], 1.0, 1e-12);
+  }
+}
+
+TEST(BellOverlaps, GenericStateSumsToTrace) {
+  Rng rng(2);
+  const Matrix rho = random_density(4, rng);
+  const auto w = bell_overlaps(rho);
+  EXPECT_NEAR(w[0] + w[1] + w[2] + w[3], 1.0, 1e-10);
+  for (Real x : w) {
+    EXPECT_GE(x, -1e-12);
+  }
+}
+
+TEST(KForOverlap, InvertsEq10) {
+  for (Real f : {0.5, 0.55, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}) {
+    const Real k = k_for_overlap(f);
+    EXPECT_GE(k, 0.0);
+    EXPECT_LE(k, 1.0);
+    const Real fk = (k + 1.0) * (k + 1.0) / (2.0 * (k * k + 1.0));
+    EXPECT_NEAR(fk, f, 1e-10) << "f=" << f;
+  }
+  EXPECT_THROW(k_for_overlap(0.4), Error);
+  EXPECT_THROW(k_for_overlap(1.1), Error);
+}
+
+TEST(KForOverlap, Endpoints) {
+  EXPECT_NEAR(k_for_overlap(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(k_for_overlap(1.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,80 @@
+// Purification of mixed states.
+#include <gtest/gtest.h>
+
+#include "qcut/ent/purify.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/ptrace.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/sim/noise.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+
+TEST(Purify, RoundTripsRandomDensities) {
+  Rng rng(1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Matrix rho = random_density(4, rng);
+    const Vector psi = purify(rho, 2);
+    ASSERT_EQ(psi.size(), 16u);
+    EXPECT_NEAR(vec_norm(psi), 1.0, 1e-10);
+    // Tracing out the two ancillas (qubits 2, 3 in big-endian layout)
+    // recovers rho.
+    const Matrix back = partial_trace(density(psi), {2, 3}, 4);
+    expect_matrix_near(back, rho, 1e-7, "purification round trip");
+  }
+}
+
+TEST(Purify, PureStateNeedsNoAncilla) {
+  Rng rng(2);
+  const Vector psi = random_statevector(4, rng);
+  const Vector purified = purify(density(psi), 0);
+  // Equal up to a global phase: overlap magnitude 1.
+  EXPECT_NEAR(std::abs(inner(psi, purified)), 1.0, 1e-8);
+}
+
+TEST(Purify, SingleQubitMixedState) {
+  Rng rng(3);
+  const Matrix rho = random_density(2, rng);
+  const Vector psi = purify(rho, 1);
+  const Matrix back = partial_trace(density(psi), {1}, 2);
+  expect_matrix_near(back, rho, 1e-8);
+}
+
+TEST(Purify, WernerStates) {
+  for (Real p : {0.0, 0.3, 0.7, 1.0}) {
+    const Matrix rho = noisy_phi_k(1.0, p);
+    const Vector psi = purify(rho, 2);
+    const Matrix back = partial_trace(density(psi), {2, 3}, 4);
+    expect_matrix_near(back, rho, 1e-7, "Werner purification");
+  }
+}
+
+TEST(Purify, AncillaCountByRank) {
+  Rng rng(4);
+  // Pure state: rank 1 → 0 ancillas.
+  EXPECT_EQ(purification_ancillas(density(random_statevector(4, rng))), 0);
+  // Rank-2 mixture → 1 ancilla.
+  const Matrix rank2 = random_density(4, rng, 2);
+  EXPECT_EQ(purification_ancillas(rank2), 1);
+  // Full-rank four-dimensional state → 2 ancillas.
+  EXPECT_EQ(purification_ancillas(random_density(4, rng)), 2);
+}
+
+TEST(Purify, RejectsInsufficientAncillas) {
+  Rng rng(5);
+  const Matrix full_rank = random_density(4, rng);
+  EXPECT_THROW(purify(full_rank, 1), Error);
+}
+
+TEST(Purify, RejectsNonPsd) {
+  Matrix bad = Matrix::identity(2);
+  bad(1, 1) = Cplx{-0.5, 0};
+  EXPECT_THROW(purify(bad, 1), Error);
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,114 @@
+// Random quantum objects: Haar unitaries (Mezzadri), random states and
+// densities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcut/ent/schmidt.hpp"
+#include "qcut/linalg/random.hpp"
+
+namespace qcut {
+namespace {
+
+TEST(HaarUnitary, IsUnitary) {
+  Rng rng(1);
+  for (Index n : {1, 2, 3, 4, 8}) {
+    EXPECT_TRUE(haar_unitary(n, rng).is_unitary(1e-9)) << "n=" << n;
+  }
+}
+
+TEST(HaarUnitary, FirstMomentVanishes) {
+  // E[U_{00}] = 0 for the Haar measure.
+  Rng rng(2);
+  Cplx acc{0, 0};
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    acc += haar_unitary(2, rng)(0, 0);
+  }
+  EXPECT_NEAR(std::abs(acc) / trials, 0.0, 0.03);
+}
+
+TEST(HaarUnitary, SecondMomentIsOneOverN) {
+  // E[|U_{ij}|²] = 1/n for the Haar measure — the signature Mezzadri's phase
+  // fix restores (plain QR of a Ginibre matrix fails this for off-diagonals).
+  Rng rng(3);
+  const Index n = 4;
+  Real acc = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    const Matrix u = haar_unitary(n, rng);
+    acc += norm2(u(1, 2));
+  }
+  EXPECT_NEAR(acc / trials, 1.0 / static_cast<Real>(n), 0.02);
+}
+
+TEST(HaarUnitary, ColumnGivesUniformState) {
+  // ⟨Z⟩ of W|0⟩ must average to 0 over the Haar measure.
+  Rng rng(4);
+  Real acc = 0.0;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    const Matrix w = haar_unitary(2, rng);
+    acc += norm2(w(0, 0)) - norm2(w(1, 0));
+  }
+  EXPECT_NEAR(acc / trials, 0.0, 0.05);
+}
+
+TEST(RandomStatevector, NormalizedAndCoversSphere) {
+  Rng rng(5);
+  Real z_acc = 0.0;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    const Vector psi = random_statevector(2, rng);
+    ASSERT_NEAR(vec_norm(psi), 1.0, 1e-10);
+    z_acc += norm2(psi[0]) - norm2(psi[1]);
+  }
+  EXPECT_NEAR(z_acc / trials, 0.0, 0.05);
+}
+
+TEST(RandomDensity, ValidDensityOperator) {
+  Rng rng(6);
+  for (Index dim : {2, 4}) {
+    for (int t = 0; t < 5; ++t) {
+      const Matrix rho = random_density(dim, rng);
+      EXPECT_TRUE(rho.is_hermitian(1e-9));
+      EXPECT_NEAR(rho.trace().real(), 1.0, 1e-10);
+      EXPECT_TRUE(rho.is_psd(1e-8));
+    }
+  }
+}
+
+TEST(RandomDensity, RankControl) {
+  Rng rng(7);
+  const Matrix rho = random_density(4, rng, /*rank=*/1);
+  // Rank-1 density: purity Tr[ρ²] = 1.
+  EXPECT_NEAR((rho * rho).trace().real(), 1.0, 1e-9);
+}
+
+TEST(RandomTwoQubitPure, NormalizedWithFullSchmidtSpread) {
+  Rng rng(8);
+  Real min_k = 1.0, max_k = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    const Vector psi = random_two_qubit_pure(rng);
+    ASSERT_NEAR(vec_norm(psi), 1.0, 1e-9);
+    const Real k = schmidt_k(psi);
+    min_k = std::min(min_k, k);
+    max_k = std::max(max_k, k);
+  }
+  EXPECT_LT(min_k, 0.2);  // near-product states appear
+  EXPECT_GT(max_k, 0.8);  // near-maximally-entangled states appear
+}
+
+TEST(Ginibre, MomentsMatchComplexGaussian) {
+  Rng rng(9);
+  Real acc = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const Matrix g = ginibre(2, rng);
+    acc += norm2(g(0, 1));  // E[|g|²] = 1 for unit complex Gaussian
+  }
+  EXPECT_NEAR(acc / trials, 1.0, 0.07);
+}
+
+}  // namespace
+}  // namespace qcut

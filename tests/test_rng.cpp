@@ -1,0 +1,196 @@
+// RNG: determinism, stream independence, and distributional sanity of the
+// samplers the Monte-Carlo machinery relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcut/common/rng.hpp"
+
+namespace qcut {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a() == b()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, StreamsAreDistinct) {
+  Rng a(42, 0), b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a() == b()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const Real u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(8);
+  Real sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const Real u = rng.uniform();
+    sum += u;
+    sumsq += u * u;
+  }
+  const Real mean = sum / n;
+  const Real var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(9);
+  const std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int total = 70000;
+  for (int i = 0; i < total; ++i) {
+    ++counts[rng.uniform_u64(n)];
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(static_cast<Real>(counts[i]) / total, 1.0 / static_cast<Real>(n), 0.01);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  Real sum = 0.0, sumsq = 0.0, sumc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const Real x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+    sumc += x * x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+  EXPECT_NEAR(sumc / n, 0.0, 0.05);  // symmetry
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+class BinomialMomentsTest : public ::testing::TestWithParam<std::pair<std::uint64_t, Real>> {};
+
+TEST_P(BinomialMomentsTest, MeanAndVariance) {
+  const auto [n, p] = GetParam();
+  Rng rng(12);
+  const int trials = 20000;
+  Real sum = 0.0, sumsq = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const Real x = static_cast<Real>(rng.binomial(n, p));
+    ASSERT_LE(x, static_cast<Real>(n));
+    sum += x;
+    sumsq += x * x;
+  }
+  const Real mean = sum / trials;
+  const Real var = sumsq / trials - mean * mean;
+  const Real true_mean = static_cast<Real>(n) * p;
+  const Real true_var = true_mean * (1.0 - p);
+  const Real mean_tol = 5.0 * std::sqrt(true_var / trials) + 1e-9;
+  EXPECT_NEAR(mean, true_mean, std::max(mean_tol, 0.02 * true_mean + 0.01));
+  EXPECT_NEAR(var, true_var, std::max(0.08 * true_var, 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLarge, BinomialMomentsTest,
+                         ::testing::Values(std::pair<std::uint64_t, Real>{10, 0.5},
+                                           std::pair<std::uint64_t, Real>{10, 0.05},
+                                           std::pair<std::uint64_t, Real>{1000, 0.01},
+                                           std::pair<std::uint64_t, Real>{1000, 0.5},
+                                           std::pair<std::uint64_t, Real>{5000, 0.9},
+                                           std::pair<std::uint64_t, Real>{100, 0.99}));
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(13);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+}
+
+TEST(Rng, CategoricalMatchesWeights) {
+  Rng rng(14);
+  const std::vector<Real> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(w.size(), 0);
+  const int total = 100000;
+  for (int i = 0; i < total; ++i) {
+    ++counts[rng.categorical(w)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<Real>(total), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<Real>(total), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<Real>(total), 0.6, 0.01);
+}
+
+TEST(Rng, MultinomialSumsToN) {
+  Rng rng(15);
+  const std::vector<Real> p = {0.2, 0.5, 0.3};
+  for (int t = 0; t < 100; ++t) {
+    const auto counts = multinomial(rng, 1234, p);
+    std::uint64_t sum = 0;
+    for (auto c : counts) {
+      sum += c;
+    }
+    ASSERT_EQ(sum, 1234u);
+  }
+}
+
+TEST(Rng, MultinomialMarginals) {
+  Rng rng(16);
+  const std::vector<Real> p = {0.25, 0.5, 0.25};
+  std::vector<Real> mean(p.size(), 0.0);
+  const int trials = 5000;
+  const std::uint64_t n = 400;
+  for (int t = 0; t < trials; ++t) {
+    const auto counts = multinomial(rng, n, p);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      mean[i] += static_cast<Real>(counts[i]);
+    }
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(mean[i] / trials, static_cast<Real>(n) * p[i], 1.5);
+  }
+}
+
+TEST(Rng, JumpProducesDisjointStream) {
+  Rng a(77);
+  Rng b = a;
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a() == b()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitmixKnownValue) {
+  // First output from state 0 is a fixed published value of splitmix64.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64_next(s), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,118 @@
+// Schmidt decomposition (Eqs. 3-6).
+#include <gtest/gtest.h>
+
+#include "qcut/ent/schmidt.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/random.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_vector_near;
+
+TEST(Schmidt, ProductStateHasRankOne) {
+  Rng rng(1);
+  const Vector a = random_statevector(2, rng);
+  const Vector b = random_statevector(2, rng);
+  const Vector psi = kron(a, b);
+  const SchmidtResult s = schmidt_decompose(psi, 1, 1);
+  // The Gram-matrix SVD resolves vanishing singular values only to ~sqrt(eps)
+  // of the eigensolver tolerance.
+  EXPECT_NEAR(s.coeffs[0], 1.0, 1e-8);
+  EXPECT_NEAR(s.coeffs[1], 0.0, 1e-6);
+  EXPECT_EQ(schmidt_rank(psi, 1, 1, 1e-5), 1);
+}
+
+TEST(Schmidt, BellStateIsMaximal) {
+  const SchmidtResult s = schmidt_decompose(bell_phi(), 1, 1);
+  EXPECT_NEAR(s.coeffs[0], kInvSqrt2, 1e-10);
+  EXPECT_NEAR(s.coeffs[1], kInvSqrt2, 1e-10);
+  EXPECT_EQ(schmidt_rank(bell_phi(), 1, 1), 2);
+}
+
+TEST(Schmidt, PhiKCoefficients) {
+  for (Real k : {0.0, 0.3, 0.7, 1.0}) {
+    const SchmidtResult s = schmidt_decompose(phi_k_state(k), 1, 1);
+    const Real kcap = 1.0 / std::sqrt(1.0 + k * k);
+    EXPECT_NEAR(s.coeffs[0], kcap, 1e-9) << "k=" << k;
+    EXPECT_NEAR(s.coeffs[1], k * kcap, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Schmidt, KParameterOfPhiK) {
+  for (Real k : {0.0, 0.2, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(schmidt_k(phi_k_state(k)), k, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Schmidt, KIsLocalUnitaryInvariant) {
+  // Eq. (5): local unitaries do not change Schmidt coefficients.
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Real k = rng.uniform();
+    const Matrix ua = haar_unitary(2, rng);
+    const Matrix ub = haar_unitary(2, rng);
+    const Vector rotated = kron(ua, ub) * phi_k_state(k);
+    EXPECT_NEAR(schmidt_k(rotated), k, 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(Schmidt, ReconstructionProperty) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vector psi = random_statevector(4, rng);
+    const SchmidtResult s = schmidt_decompose(psi, 1, 1);
+    const Vector back = schmidt_reconstruct(s);
+    // Equality up to nothing — the decomposition is exact, not up to phase,
+    // because basis vectors absorb all phases.
+    expect_vector_near(back, psi, 1e-8);
+  }
+}
+
+TEST(Schmidt, CoefficientsNormalized) {
+  Rng rng(4);
+  const Vector psi = random_statevector(8, rng);  // 1 + 2 qubit split
+  const SchmidtResult s = schmidt_decompose(psi, 1, 2);
+  Real sq = 0.0;
+  for (Real c : s.coeffs) {
+    EXPECT_GE(c, 0.0);
+    sq += c * c;
+  }
+  EXPECT_NEAR(sq, 1.0, 1e-9);
+}
+
+TEST(Schmidt, AsymmetricBipartitions) {
+  Rng rng(5);
+  const Vector psi = random_statevector(16, rng);
+  // 1|3 split: at most 2 coefficients; 2|2 split: at most 4.
+  EXPECT_EQ(schmidt_decompose(psi, 1, 3).coeffs.size(), 2u);
+  EXPECT_EQ(schmidt_decompose(psi, 2, 2).coeffs.size(), 4u);
+  EXPECT_EQ(schmidt_decompose(psi, 3, 1).coeffs.size(), 2u);
+}
+
+TEST(Schmidt, BasisVectorsOrthonormal) {
+  Rng rng(6);
+  const Vector psi = random_statevector(4, rng);
+  const SchmidtResult s = schmidt_decompose(psi, 1, 1);
+  for (Index i = 0; i < 2; ++i) {
+    for (Index j = 0; j < 2; ++j) {
+      Cplx ip_a{0, 0}, ip_b{0, 0};
+      for (Index r = 0; r < 2; ++r) {
+        ip_a += std::conj(s.basis_a(r, i)) * s.basis_a(r, j);
+        ip_b += std::conj(s.basis_b(r, i)) * s.basis_b(r, j);
+      }
+      EXPECT_NEAR(std::abs(ip_a), i == j ? 1.0 : 0.0, 1e-8);
+      EXPECT_NEAR(std::abs(ip_b), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Schmidt, RejectsBadArguments) {
+  EXPECT_THROW(schmidt_decompose(Vector(3, Cplx{0, 0}), 1, 1), Error);
+  EXPECT_THROW(schmidt_k(Vector(8, Cplx{0, 0})), Error);
+}
+
+}  // namespace
+}  // namespace qcut

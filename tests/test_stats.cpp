@@ -1,0 +1,134 @@
+// Streaming statistics used by the experiment harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcut/common/error.hpp"
+#include "qcut/common/rng.hpp"
+#include "qcut/common/stats.hpp"
+
+namespace qcut {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<Real> xs = {1.0, 2.5, -3.0, 4.25, 0.0, 7.5};
+  RunningStats rs;
+  for (Real x : xs) {
+    rs.add(x);
+  }
+  Real mean = 0.0;
+  for (Real x : xs) {
+    mean += x;
+  }
+  mean /= static_cast<Real>(xs.size());
+  Real var = 0.0;
+  for (Real x : xs) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<Real>(xs.size() - 1);
+
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_NEAR(rs.sem(), std::sqrt(var / static_cast<Real>(xs.size())), 1e-12);
+  EXPECT_EQ(rs.min(), -3.0);
+  EXPECT_EQ(rs.max(), 7.5);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.add(5.0);
+  EXPECT_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const Real x = rng.normal() * 3.0 + 1.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(WeightedStats, TracksWeightedSamples) {
+  WeightedStats ws;
+  ws.add(1.0, 3.0);   // 3
+  ws.add(-1.0, 3.0);  // -3
+  EXPECT_NEAR(ws.estimate(), 0.0, 1e-12);
+  EXPECT_NEAR(ws.variance(), 18.0, 1e-12);  // samples 3, -3
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<Real> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<Real> y = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+  Rng rng(4);
+  std::vector<Real> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const Real xi = static_cast<Real>(i) / 50.0;
+    x.push_back(xi);
+    y.push_back(-0.5 * xi + 2.0 + 0.01 * rng.normal());
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, -0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 2.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  EXPECT_THROW(linear_fit({1.0}, {2.0}), Error);
+  EXPECT_THROW(linear_fit({1.0, 2.0}, {1.0}), Error);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.3);   // bin 1
+  h.add(0.77);  // bin 3
+  h.add(-5.0);  // clamps to bin 0
+  h.add(5.0);   // clamps to bin 3
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+  EXPECT_EQ(h.bin_count(3), 2u);
+  EXPECT_NEAR(h.bin_lo(1), 0.25, 1e-12);
+  EXPECT_NEAR(h.bin_hi(1), 0.5, 1e-12);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace qcut

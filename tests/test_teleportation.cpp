@@ -1,0 +1,165 @@
+// Teleportation (Sec. II-E): circuit correctness, the E^ρ_tel channel of
+// Eq. (22), and the Φk Bell overlaps of Eqs. (55)-(58).
+#include <gtest/gtest.h>
+
+#include "qcut/cut/teleportation.hpp"
+#include "qcut/linalg/bell.hpp"
+#include "qcut/linalg/kron.hpp"
+#include "qcut/linalg/ptrace.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/sim/executor.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+
+Circuit teleport_circuit_with_resource(Real k) {
+  Circuit c(3, 2);
+  append_phi_k_prep(c, 1, 2, k);
+  append_teleport(c, 0, 1, 2, 0, 1);
+  return c;
+}
+
+TEST(Teleportation, ExactWithBellPair) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vector psi = random_statevector(2, rng);
+    Circuit c = teleport_circuit_with_resource(1.0);
+    const Vector initial = kron(psi, basis_vector(4, 0));
+    // All four measurement branches must deliver psi on the receiver qubit.
+    for (const auto& b : run_branches(c, initial)) {
+      const Matrix red = reduced_density(b.state.amplitudes(), {2}, 3);
+      expect_matrix_near(red, density(psi), 1e-9, "teleported state");
+    }
+  }
+}
+
+TEST(Teleportation, BranchProbabilitiesAreUniformForBellResource) {
+  Rng rng(8);
+  const Vector psi = random_statevector(2, rng);
+  Circuit c = teleport_circuit_with_resource(1.0);
+  const auto branches = run_branches(c, kron(psi, basis_vector(4, 0)));
+  ASSERT_EQ(branches.size(), 4u);
+  for (const auto& b : branches) {
+    EXPECT_NEAR(b.prob, 0.25, 1e-9);
+  }
+}
+
+TEST(Teleportation, ChannelMatchesEq22ForRandomResources) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix rho_res = random_density(4, rng);
+    // Analytic channel (Eq. 22).
+    const Channel analytic = teleport_channel(rho_res);
+    // Circuit-level channel: run the protocol with the resource as input
+    // density and trace out sender qubits.
+    const Matrix w = haar_unitary(2, rng);
+    const Matrix phi = w * density(w.dagger().dagger() * Vector{Cplx{1, 0}, Cplx{0, 0}});
+    (void)phi;
+    const Vector psi = random_statevector(2, rng);
+    Circuit c(3, 2);
+    append_teleport(c, 0, 1, 2, 0, 1);
+    const Matrix initial = kron(density(psi), rho_res);
+    const Matrix out_full = run_density(c, initial);
+    const Matrix out = partial_trace(out_full, {0, 1}, 3);
+    expect_matrix_near(out, analytic.apply(density(psi)), 1e-9, "Eq. 22");
+  }
+}
+
+TEST(Teleportation, PhiKChannelClosedForm) {
+  for (Real k : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const Channel closed = teleport_channel_phi_k(k);
+    const Channel generic = teleport_channel(phi_k_density(k));
+    Rng rng(10);
+    for (int trial = 0; trial < 5; ++trial) {
+      const Matrix rho = random_density(2, rng);
+      expect_matrix_near(closed.apply(rho), generic.apply(rho), 1e-10, "Eq. 59");
+    }
+  }
+}
+
+TEST(Teleportation, PhiKBellOverlapsMatchEqs55to58) {
+  for (Real k : {0.0, 0.1, 0.3, 0.7, 1.0}) {
+    const auto numeric = bell_overlaps(phi_k_density(k));
+    const auto closed = phi_k_bell_overlaps(k);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_NEAR(numeric[static_cast<std::size_t>(i)], closed[static_cast<std::size_t>(i)],
+                  1e-12)
+          << "sigma index " << i << " k=" << k;
+    }
+    // Only I and Z errors occur (Eqs. 56, 57 are zero).
+    EXPECT_NEAR(numeric[1], 0.0, 1e-12);
+    EXPECT_NEAR(numeric[2], 0.0, 1e-12);
+  }
+}
+
+TEST(Teleportation, CircuitMatchesChannelForPhiK) {
+  // The full teleport circuit with resource |Φk⟩ must realize E^{Φk}_tel.
+  Rng rng(11);
+  for (Real k : {0.0, 0.4, 0.9, 1.0}) {
+    const Channel analytic = teleport_channel_phi_k(k);
+    for (int trial = 0; trial < 5; ++trial) {
+      const Vector psi = random_statevector(2, rng);
+      Circuit c = teleport_circuit_with_resource(k);
+      const Matrix out_full = run_density(c, kron(density(psi), density(basis_vector(4, 0))));
+      const Matrix out = partial_trace(out_full, {0, 1}, 3);
+      expect_matrix_near(out, analytic.apply(density(psi)), 1e-9, "teleport circuit channel");
+    }
+  }
+}
+
+TEST(Teleportation, FidelityIsOneOnlyForMaximalEntanglement) {
+  Rng rng(12);
+  const Vector psi = normalized(Vector{Cplx{0.6, 0.1}, Cplx{0.4, -0.5}});
+  EXPECT_NEAR(teleport_fidelity(psi, phi_k_density(1.0)), 1.0, 1e-10);
+  for (Real k : {0.0, 0.3, 0.7}) {
+    const Real f = teleport_fidelity(psi, phi_k_density(k));
+    EXPECT_LT(f, 1.0);
+    EXPECT_GT(f, 0.0);
+  }
+  (void)rng;
+}
+
+TEST(Teleportation, FidelityFormulaAgainstBellWeights) {
+  // E_tel(ψ) = pI ψ + pZ ZψZ ⇒ F = pI + pZ |⟨ψ|Z|ψ⟩|².
+  Rng rng(13);
+  for (Real k : {0.2, 0.6}) {
+    const auto w = phi_k_bell_overlaps(k);
+    for (int trial = 0; trial < 10; ++trial) {
+      const Vector psi = random_statevector(2, rng);
+      const Real z = norm2(psi[0]) - norm2(psi[1]);  // ⟨ψ|Z|ψ⟩ real part; |·|²:
+      // careful: ⟨ψ|Z|ψ⟩ is real; |⟨ψ|Zψ⟩|² with Zψ not proportional to ψ in
+      // general — compute via inner product.
+      const Vector zpsi = {psi[0], -psi[1]};
+      const Cplx ov = inner(psi, zpsi);
+      const Real expected = w[0] + w[3] * norm2(ov);
+      EXPECT_NEAR(teleport_fidelity(psi, phi_k_density(k)), expected, 1e-10);
+      (void)z;
+    }
+  }
+}
+
+TEST(Teleportation, PauliMeasurementBases) {
+  // X basis: |+⟩ must always yield bit 0, |−⟩ bit 1; Y similar.
+  Circuit cx(1, 1);
+  append_pauli_measurement(cx, 0, 'X', 0);
+  const Vector plus = {Cplx{kInvSqrt2, 0}, Cplx{kInvSqrt2, 0}};
+  const Vector minus = {Cplx{kInvSqrt2, 0}, Cplx{-kInvSqrt2, 0}};
+  EXPECT_NEAR(exact_prob_cbit(cx, 0, plus), 0.0, 1e-12);
+  EXPECT_NEAR(exact_prob_cbit(cx, 0, minus), 1.0, 1e-12);
+
+  Circuit cy(1, 1);
+  append_pauli_measurement(cy, 0, 'Y', 0);
+  const Vector plus_i = {Cplx{kInvSqrt2, 0}, Cplx{0, kInvSqrt2}};
+  EXPECT_NEAR(exact_prob_cbit(cy, 0, plus_i), 0.0, 1e-12);
+}
+
+TEST(Teleportation, InvalidBasisThrows) {
+  Circuit c(1, 1);
+  EXPECT_THROW(append_pauli_measurement(c, 0, 'Q', 0), Error);
+}
+
+}  // namespace
+}  // namespace qcut

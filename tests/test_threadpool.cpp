@@ -1,0 +1,93 @@
+// Thread pool: correctness, exception propagation, and schedule-independent
+// results with per-task RNG streams.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "qcut/common/error.hpp"
+#include "qcut/common/rng.hpp"
+#include "qcut/common/threadpool.hpp"
+
+namespace qcut {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(256);
+  pool.parallel_for(0, 256, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForChunkedCoversRange) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_chunked(0, 1000, 37, [&hits](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw Error("boom");
+                                   }
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, ResultsIndependentOfPoolSize) {
+  // Sum of per-task RNG draws must not depend on scheduling.
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<Real> results(64, 0.0);
+    pool.parallel_for(0, 64, [&results](std::size_t i) {
+      Rng rng(999, static_cast<std::uint64_t>(i));
+      Real acc = 0.0;
+      for (int j = 0; j < 100; ++j) {
+        acc += rng.uniform();
+      }
+      results[i] = acc;
+    });
+    return std::accumulate(results.begin(), results.end(), 0.0);
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(4));
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> counter{0};
+  global_pool().parallel_for(0, 10, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace qcut
