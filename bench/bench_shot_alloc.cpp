@@ -2,6 +2,11 @@
 // subcircuits proportionally to |c_i| (Sec. IV); we compare that against
 // largest-remainder rounding and Neyman allocation (which uses the exact
 // per-term outcome variances — the statistically optimal split).
+//
+// All three rules run through the execution engine's plan abstraction:
+// ShotPlan::allocated handles the split (including Neyman's σ weights) and a
+// shared BatchedBranchBackend serves every budget from one branch
+// enumeration per state.
 #include <cmath>
 #include <cstdio>
 
@@ -9,9 +14,9 @@
 #include "qcut/common/csv.hpp"
 #include "qcut/common/stats.hpp"
 #include "qcut/cut/nme_cut.hpp"
+#include "qcut/exec/engine.hpp"
 #include "qcut/linalg/bell.hpp"
 #include "qcut/linalg/random.hpp"
-#include "qcut/qpd/estimator.hpp"
 
 int main(int argc, char** argv) {
   using qcut::Real;
@@ -31,48 +36,49 @@ int main(int argc, char** argv) {
       {qcut::AllocRule::kLargestRemainder, "largest-remainder"},
       {qcut::AllocRule::kNeyman, "neyman"},
   };
+  const std::vector<std::uint64_t> budgets = {200, 1000, 5000};
 
-  for (std::uint64_t shots : {200ULL, 1000ULL, 5000ULL}) {
-    for (const auto& [rule, label] : rules) {
-      qcut::RunningStats err;
-      for (int s = 0; s < n_states; ++s) {
-        qcut::Rng rng(808, static_cast<std::uint64_t>(s));
-        qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
-        const Real exact = qcut::uncut_expectation(input);
-        const qcut::Qpd qpd = proto.build_qpd(input);
-        const auto probs = qcut::exact_term_prob_one(qpd);
+  // err[budget][rule]
+  std::vector<std::vector<qcut::RunningStats>> err(
+      budgets.size(), std::vector<qcut::RunningStats>(rules.size()));
 
-        qcut::EstimationResult res;
-        if (rule == qcut::AllocRule::kNeyman) {
-          // Neyman needs per-term outcome std deviations: σ_i = 2√(p(1−p)).
-          std::vector<Real> sigmas;
-          std::vector<Real> weights;
-          for (std::size_t i = 0; i < qpd.size(); ++i) {
-            sigmas.push_back(2.0 * std::sqrt(probs[i] * (1.0 - probs[i])));
-            weights.push_back(std::abs(qpd.terms()[i].coefficient));
-          }
-          const auto alloc = qcut::allocate_shots(weights, shots, rule, &sigmas);
-          // Recombine manually with the custom allocation.
-          Real estimate = 0.0;
-          for (std::size_t i = 0; i < qpd.size(); ++i) {
-            if (alloc[i] == 0) {
-              continue;
-            }
-            const std::uint64_t ones = rng.binomial(alloc[i], probs[i]);
-            estimate += qpd.terms()[i].coefficient *
-                        (1.0 - 2.0 * static_cast<Real>(ones) / static_cast<Real>(alloc[i]));
-          }
-          res.estimate = estimate;
-        } else {
-          res = qcut::estimate_allocated_fast(qpd, probs, shots, rng, rule);
-        }
-        err.add(std::abs(res.estimate - exact));
+  for (int s = 0; s < n_states; ++s) {
+    qcut::Rng state_rng(808, static_cast<std::uint64_t>(s));
+    const qcut::CutInput input{qcut::haar_unitary(2, state_rng), 'Z'};
+    const Real exact = qcut::uncut_expectation(input);
+    const qcut::Qpd qpd = proto.build_qpd(input);
+    const qcut::BatchedBranchBackend backend(qpd);
+    const auto probs = backend.cache().all_prob_one();
+
+    // Neyman weights: per-term outcome std deviations σ_i = 2√(p(1−p)).
+    std::vector<Real> sigmas;
+    sigmas.reserve(qpd.size());
+    for (Real p : probs) {
+      sigmas.push_back(2.0 * std::sqrt(p * (1.0 - p)));
+    }
+
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      for (std::size_t r = 0; r < rules.size(); ++r) {
+        const auto plan = qcut::ShotPlan::allocated(
+            qpd, budgets[b], rules[r].first,
+            rules[r].first == qcut::AllocRule::kNeyman ? &sigmas : nullptr,
+            qcut::ShotPlan::kNoSplit);
+        // Identical rng per rule at fixed (state, budget): paired comparison.
+        qcut::Rng rng(808 + budgets[b], static_cast<std::uint64_t>(s));
+        const auto res = qcut::run_plan_with_rng(qpd, plan, backend, rng);
+        err[b][r].add(std::abs(res.estimate - exact));
       }
-      std::printf("%8llu %-18s %12.6f %10.6f\n", static_cast<unsigned long long>(shots), label,
-                  err.mean(), err.sem());
-      csv.row(std::vector<std::string>{std::to_string(shots), label,
-                                       qcut::format_real(err.mean()),
-                                       qcut::format_real(err.sem())});
+    }
+  }
+
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      std::printf("%8llu %-18s %12.6f %10.6f\n",
+                  static_cast<unsigned long long>(budgets[b]), rules[r].second,
+                  err[b][r].mean(), err[b][r].sem());
+      csv.row(std::vector<std::string>{std::to_string(budgets[b]), rules[r].second,
+                                       qcut::format_real(err[b][r].mean()),
+                                       qcut::format_real(err[b][r].sem())});
     }
   }
   std::printf(

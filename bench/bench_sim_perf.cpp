@@ -1,112 +1,206 @@
-// Engine micro-benchmarks (google-benchmark): statevector gate throughput,
-// shot execution of the Theorem-2 fragment circuits, exact branch
-// enumeration, and end-to-end estimation. These document the substrate cost
-// of the experiment harness (DESIGN.md row "engine perf").
-#include <benchmark/benchmark.h>
+// Engine performance harness: shots/sec of every execution path on the
+// Theorem-2 workload, plus statevector gate-kernel throughput.
+//
+// Backends measured on one NmeCut(f=0.6) QPD (Haar-random input, observable
+// Z, proportional allocation):
+//  * serial           — SerialShotBackend, single stream (legacy semantics);
+//  * batched          — BatchedBranchBackend through the engine, pool size 1;
+//  * parallel         — BatchedBranchBackend through the engine on an
+//    N-thread pool (same bit-identical result by construction);
+//  * parallel-serial  — SerialShotBackend through the engine on the pool
+//    (per-shot simulation, batch-parallel).
+//
+// Output: aligned table on stdout plus machine-readable sim_perf.json so
+// future PRs have a perf trajectory to regress against. The headline number
+// is speedup_batched_over_serial (acceptance floor: >= 10x).
+//
+// Usage: bench_sim_perf [--serial-shots N] [--batched-shots N] [--threads N]
+//                       [--json PATH] [--seed N]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "qcut/common/cli.hpp"
 #include "qcut/cut/nme_cut.hpp"
+#include "qcut/exec/engine.hpp"
 #include "qcut/linalg/random.hpp"
-#include "qcut/qpd/estimator.hpp"
-#include "qcut/sim/executor.hpp"
 #include "qcut/sim/gates.hpp"
 #include "qcut/sim/statevector.hpp"
 
 namespace {
 
-void BM_SingleQubitGate(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  qcut::Rng rng(1);
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct BackendRow {
+  std::string name;
+  std::uint64_t shots = 0;
+  std::size_t threads = 1;
+  double seconds = 0.0;
+  double shots_per_sec = 0.0;
+  qcut::Real estimate = 0.0;
+};
+
+BackendRow measure(const std::string& name, const qcut::Qpd& qpd, const qcut::ShotPlan& plan,
+                   const qcut::ExecutionBackend& backend, const qcut::ExecutionEngine& engine,
+                   std::size_t threads, std::uint64_t seed) {
+  BackendRow row;
+  row.name = name;
+  row.shots = plan.total_shots;
+  row.threads = threads;
+  const auto start = Clock::now();
+  const qcut::EstimationResult res = engine.run(qpd, plan, backend, seed);
+  row.seconds = seconds_since(start);
+  row.shots_per_sec = row.seconds > 0.0 ? static_cast<double>(row.shots) / row.seconds : 0.0;
+  row.estimate = res.estimate;
+  return row;
+}
+
+struct KernelRow {
+  std::string name;
+  int qubits = 0;
+  double amps_per_sec = 0.0;  ///< amplitude updates per second
+};
+
+KernelRow measure_kernel(const std::string& name, int n, const qcut::Matrix& u,
+                         const std::vector<int>& qubits_step, int reps) {
+  qcut::Rng rng(17);
   qcut::Statevector sv(n, qcut::random_statevector(qcut::Index{1} << n, rng));
-  const qcut::Matrix h = qcut::gates::h();
-  int q = 0;
-  for (auto _ : state) {
-    sv.apply(h, {q});
-    q = (q + 1) % n;
-    benchmark::DoNotOptimize(sv.amplitudes().data());
+  const auto start = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    std::vector<int> qs = qubits_step;
+    for (auto& q : qs) {
+      q = (q + r) % n;
+    }
+    sv.apply(u, qs);
   }
-  state.SetItemsProcessed(state.iterations() * (qcut::Index{1} << n));
+  const double secs = seconds_since(start);
+  KernelRow row;
+  row.name = name;
+  row.qubits = n;
+  row.amps_per_sec =
+      secs > 0.0 ? static_cast<double>(reps) * static_cast<double>(qcut::Index{1} << n) / secs
+                 : 0.0;
+  return row;
 }
-BENCHMARK(BM_SingleQubitGate)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
-
-void BM_TwoQubitGate(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  qcut::Rng rng(2);
-  qcut::Statevector sv(n, qcut::random_statevector(qcut::Index{1} << n, rng));
-  const qcut::Matrix cx = qcut::gates::cx();
-  int q = 0;
-  for (auto _ : state) {
-    sv.apply(cx, {q, (q + 1) % n});
-    q = (q + 1) % n;
-    benchmark::DoNotOptimize(sv.amplitudes().data());
-  }
-  state.SetItemsProcessed(state.iterations() * (qcut::Index{1} << n));
-}
-BENCHMARK(BM_TwoQubitGate)->Arg(4)->Arg(8)->Arg(12);
-
-void BM_NmeFragmentShot(benchmark::State& state) {
-  // One stochastic shot of a Theorem-2 teleport fragment (3 qubits, 2
-  // measurements, feed-forward).
-  qcut::Rng rng(3);
-  const qcut::NmeCut proto(0.6);
-  const qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
-  const qcut::Qpd qpd = proto.build_qpd(input);
-  const qcut::Circuit& c = qpd.terms()[0].circuit;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(qcut::run_shot(c, rng));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_NmeFragmentShot);
-
-void BM_BranchEnumeration(benchmark::State& state) {
-  qcut::Rng rng(4);
-  const qcut::NmeCut proto(0.6);
-  const qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
-  const qcut::Qpd qpd = proto.build_qpd(input);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(qcut::exact_term_prob_one(qpd));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BranchEnumeration);
-
-void BM_EstimateAllocatedFast(benchmark::State& state) {
-  const std::uint64_t shots = static_cast<std::uint64_t>(state.range(0));
-  qcut::Rng rng(5);
-  const qcut::NmeCut proto(0.6);
-  const qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
-  const qcut::Qpd qpd = proto.build_qpd(input);
-  const auto probs = qcut::exact_term_prob_one(qpd);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(qcut::estimate_allocated_fast(qpd, probs, shots, rng));
-  }
-  state.SetItemsProcessed(state.iterations() * shots);
-}
-BENCHMARK(BM_EstimateAllocatedFast)->Arg(1000)->Arg(5000);
-
-void BM_EstimateAllocatedSlow(benchmark::State& state) {
-  // Full per-shot statevector path, for the fast/slow cost ratio.
-  const std::uint64_t shots = static_cast<std::uint64_t>(state.range(0));
-  qcut::Rng rng(6);
-  const qcut::NmeCut proto(0.6);
-  const qcut::CutInput input{qcut::haar_unitary(2, rng), 'Z'};
-  const qcut::Qpd qpd = proto.build_qpd(input);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(qcut::estimate_allocated(qpd, shots, rng));
-  }
-  state.SetItemsProcessed(state.iterations() * shots);
-}
-BENCHMARK(BM_EstimateAllocatedSlow)->Arg(200);
-
-void BM_HaarUnitary(benchmark::State& state) {
-  const qcut::Index n = state.range(0);
-  qcut::Rng rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(qcut::haar_unitary(n, rng));
-  }
-}
-BENCHMARK(BM_HaarUnitary)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  qcut::Cli cli(argc, argv);
+  const std::uint64_t serial_shots = static_cast<std::uint64_t>(cli.get_int("serial-shots", 20000));
+  const std::uint64_t batched_shots =
+      static_cast<std::uint64_t>(cli.get_int("batched-shots", 2000000));
+  const std::size_t threads = static_cast<std::size_t>(cli.get_int("threads", 4));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::string json_path = cli.get("json", "sim_perf.json");
+
+  // The Theorem-2 workload of the paper's experiment.
+  qcut::Rng setup_rng(3);
+  const qcut::NmeCut proto(0.6);
+  const qcut::CutInput input{qcut::haar_unitary(2, setup_rng), 'Z'};
+  const qcut::Qpd qpd = proto.build_qpd(input);
+
+  std::printf("=== Engine perf: NmeCut(0.6) workload, %zu QPD terms ===\n\n", qpd.size());
+  std::printf("%-16s %12s %8s %12s %16s\n", "backend", "shots", "threads", "seconds",
+              "shots/sec");
+
+  std::vector<BackendRow> rows;
+  qcut::ThreadPool pool1(1), poolN(threads);
+
+  {
+    const qcut::SerialShotBackend serial(qpd);
+    qcut::EngineConfig ec;
+    ec.pool = &pool1;  // backend object is passed to run() explicitly
+    const qcut::ExecutionEngine engine(ec);
+    const auto plan = qcut::ShotPlan::allocated(qpd, serial_shots, qcut::AllocRule::kProportional);
+    rows.push_back(measure("serial", qpd, plan, serial, engine, 1, seed));
+
+    qcut::EngineConfig ecp = ec;
+    ecp.pool = &poolN;
+    const qcut::ExecutionEngine engine_par(ecp);
+    rows.push_back(measure("parallel-serial", qpd, plan, serial, engine_par, poolN.size(), seed));
+  }
+  {
+    const qcut::BatchedBranchBackend batched(qpd);
+    // Prewarm: force the one-time branch enumeration out of the timed region
+    // so the batched and parallel rows measure steady-state sampling cost
+    // symmetrically (the JSON is a perf trajectory — keep it unbiased).
+    batched.cache().all_prob_one();
+    qcut::EngineConfig ec;
+    ec.pool = &pool1;
+    const qcut::ExecutionEngine engine(ec);
+    const auto plan = qcut::ShotPlan::allocated(qpd, batched_shots, qcut::AllocRule::kProportional);
+    rows.push_back(measure("batched", qpd, plan, batched, engine, 1, seed));
+
+    qcut::EngineConfig ecp = ec;
+    ecp.pool = &poolN;
+    const qcut::ExecutionEngine engine_par(ecp);
+    rows.push_back(measure("parallel", qpd, plan, batched, engine_par, poolN.size(), seed));
+  }
+
+  for (const auto& r : rows) {
+    std::printf("%-16s %12llu %8zu %12.4f %16.0f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.shots), r.threads, r.seconds, r.shots_per_sec);
+  }
+
+  const double speedup = rows[0].shots_per_sec > 0.0
+                             ? rows[2].shots_per_sec / rows[0].shots_per_sec
+                             : 0.0;
+  std::printf("\nspeedup batched/serial: %.1fx (acceptance floor: 10x)\n", speedup);
+
+  std::printf("\n=== Statevector kernel throughput ===\n");
+  std::printf("%-16s %8s %18s\n", "kernel", "qubits", "amp-updates/sec");
+  std::vector<KernelRow> kernels;
+  for (int n : {8, 12, 16}) {
+    kernels.push_back(measure_kernel("1q-hadamard", n, qcut::gates::h(), {0}, 2000));
+  }
+  for (int n : {8, 12, 16}) {
+    kernels.push_back(measure_kernel("2q-cnot", n, qcut::gates::cx(), {0, 1}, 2000));
+  }
+  for (const auto& kr : kernels) {
+    std::printf("%-16s %8d %18.0f\n", kr.name.c_str(), kr.qubits, kr.amps_per_sec);
+  }
+
+  // Machine-readable record for perf-trajectory tracking across PRs.
+  std::ofstream json(json_path);
+  json << "{\n  \"workload\": \"nme_f0.6_haar_Z\",\n  \"backends\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"name\": \"" << r.name << "\", \"shots\": " << r.shots
+         << ", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+         << ", \"shots_per_sec\": " << r.shots_per_sec << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"speedup_batched_over_serial\": " << speedup << ",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto& kr = kernels[i];
+    json << "    {\"name\": \"" << kr.name << "\", \"qubits\": " << kr.qubits
+         << ", \"amps_per_sec\": " << kr.amps_per_sec << "}"
+         << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  // Gates LAST, after the JSON record is on disk — a regressing run must
+  // still leave its perf trajectory behind for diagnosis.
+  // (1) Same seed + same plan must give bit-identical estimates across pool
+  // sizes. (2) The batched backend must clear the 10x acceptance floor,
+  // unless a degenerate budget makes the ratio meaningless.
+  if (rows[0].estimate != rows[1].estimate || rows[2].estimate != rows[3].estimate) {
+    std::printf("ERROR: parallel estimate differs from single-thread estimate\n");
+    return 1;
+  }
+  if (serial_shots > 0 && batched_shots > 0 && speedup < 10.0) {
+    std::printf("ERROR: batched/serial speedup %.1fx is below the 10x acceptance floor\n",
+                speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -29,6 +29,17 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  // workers_ is immutable after construction, so no lock is needed.
+  const auto id = std::this_thread::get_id();
+  for (const auto& w : workers_) {
+    if (w.get_id() == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   std::future<void> fut = pt.get_future();

@@ -28,6 +28,12 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers. Used by
+  /// nested-parallelism guards: parallel_for from a worker would deadlock
+  /// (it blocks on futures only the blocked workers could serve), so callers
+  /// fall back to inline execution instead.
+  bool on_worker_thread() const noexcept;
+
   /// Enqueues a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 

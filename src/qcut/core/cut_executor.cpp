@@ -9,6 +9,25 @@
 
 namespace qcut {
 
+namespace {
+
+EngineConfig engine_config(const CutRunConfig& cfg) {
+  EngineConfig ec;
+  ec.backend = cfg.effective_backend();
+  ec.pool = cfg.pool;
+  ec.max_batch_shots = cfg.max_batch_shots;
+  return ec;
+}
+
+/// Independent master seed per trial, derived deterministically from the
+/// run seed (batch substreams are carved from the trial seed by the engine).
+std::uint64_t trial_seed(std::uint64_t seed, std::uint64_t trial) {
+  std::uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1));
+  return splitmix64_next(sm);
+}
+
+}  // namespace
+
 CutExecutor::CutExecutor(std::shared_ptr<const WireCutProtocol> protocol)
     : protocol_(std::move(protocol)) {
   QCUT_CHECK(protocol_ != nullptr, "CutExecutor: null protocol");
@@ -18,13 +37,8 @@ CutRunResult CutExecutor::run(const CutInput& input, const CutRunConfig& cfg) co
   CutRunResult res;
   res.exact = uncut_expectation(input);
   const Qpd qpd = protocol_->build_qpd(input);
-  Rng rng(cfg.seed);
-  if (cfg.fast) {
-    const auto probs = exact_term_prob_one(qpd);
-    res.details = estimate_allocated_fast(qpd, probs, cfg.shots, rng, cfg.rule);
-  } else {
-    res.details = estimate_allocated(qpd, cfg.shots, rng, cfg.rule);
-  }
+  const ExecutionEngine engine(engine_config(cfg));
+  res.details = engine.estimate_allocated(qpd, cfg.shots, cfg.seed, cfg.rule);
   res.estimate = res.details.estimate;
   res.abs_error = std::abs(res.estimate - res.exact);
   return res;
@@ -35,13 +49,16 @@ Real CutExecutor::mean_abs_error(const CutInput& input, const CutRunConfig& cfg,
   QCUT_CHECK(trials >= 1, "mean_abs_error: need at least one trial");
   const Real exact = uncut_expectation(input);
   const Qpd qpd = protocol_->build_qpd(input);
-  const auto probs = exact_term_prob_one(qpd);
+  const ExecutionEngine engine(engine_config(cfg));
+  // Plan and backend (with its branch cache) are shared across trials: the
+  // term circuits are enumerated at most once for the whole sweep.
+  const ShotPlan plan = ShotPlan::allocated(qpd, cfg.shots, cfg.rule, /*sigmas=*/nullptr,
+                                            cfg.max_batch_shots);
+  const auto backend = make_backend(cfg.effective_backend(), qpd);
   Real acc = 0.0;
   for (int t = 0; t < trials; ++t) {
-    Rng rng(cfg.seed, static_cast<std::uint64_t>(t));
-    EstimationResult er =
-        cfg.fast ? estimate_allocated_fast(qpd, probs, cfg.shots, rng, cfg.rule)
-                 : estimate_allocated(qpd, cfg.shots, rng, cfg.rule);
+    const EstimationResult er =
+        engine.run(qpd, plan, *backend, trial_seed(cfg.seed, static_cast<std::uint64_t>(t)));
     acc += std::abs(er.estimate - exact);
   }
   return acc / static_cast<Real>(trials);

@@ -1,11 +1,18 @@
 // High-level façade: pick a protocol, run a cut experiment, get estimate and
 // error. This is the API the examples and the Fig. 6 harness sit on.
+//
+// Estimation runs on the qcut::exec engine: shots are planned as term
+// batches, executed on the configured ExecutionBackend, and recombined
+// deterministically. BatchedBranchBackend (branch-cached binomial sampling,
+// statistically identical in law to per-shot simulation) is the default;
+// SerialShotBackend is the full per-shot statevector reference.
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "qcut/cut/wire_cut.hpp"
+#include "qcut/exec/engine.hpp"
 #include "qcut/qpd/estimator.hpp"
 
 namespace qcut {
@@ -13,10 +20,21 @@ namespace qcut {
 struct CutRunConfig {
   std::uint64_t shots = 1000;
   AllocRule rule = AllocRule::kProportional;  ///< the paper's allocation
-  /// true: per-term binomial fast path (statistically identical, far faster);
-  /// false: full per-shot statevector simulation.
+  /// Legacy switch kept for compatibility: false forces
+  /// BackendKind::kSerialShot regardless of `backend`.
   bool fast = true;
   std::uint64_t seed = 1234;
+  /// Execution backend (when `fast` is true).
+  BackendKind backend = BackendKind::kBatchedBranch;
+  /// Thread pool for the engine's batch-parallel driver; nullptr → global.
+  ThreadPool* pool = nullptr;
+  /// Shots per term batch (parallelism granularity, never affects the law).
+  std::uint64_t max_batch_shots = ShotPlan::kDefaultMaxBatchShots;
+
+  /// The backend actually used, honoring the legacy `fast` switch.
+  BackendKind effective_backend() const noexcept {
+    return fast ? backend : BackendKind::kSerialShot;
+  }
 };
 
 struct CutRunResult {
@@ -35,7 +53,8 @@ class CutExecutor {
   /// One estimation run with the given shot budget.
   CutRunResult run(const CutInput& input, const CutRunConfig& cfg) const;
 
-  /// Mean absolute error over `trials` independent runs (fixed input).
+  /// Mean absolute error over `trials` independent runs (fixed input). The
+  /// QPD, plan, and branch cache are built once and shared across trials.
   Real mean_abs_error(const CutInput& input, const CutRunConfig& cfg, int trials) const;
 
  private:

@@ -1,13 +1,12 @@
 #include "qcut/core/experiment.hpp"
 
 #include <cmath>
-#include <mutex>
 #include <sstream>
 
 #include "qcut/common/stats.hpp"
 #include "qcut/cut/nme_cut.hpp"
+#include "qcut/exec/engine.hpp"
 #include "qcut/linalg/random.hpp"
-#include "qcut/qpd/estimator.hpp"
 
 namespace qcut {
 
@@ -31,14 +30,17 @@ std::vector<Fig6Row> run_fig6(const Fig6Config& cfg, ThreadPool* pool) {
     const auto protocol = factory(f);
     const Real kappa = protocol->kappa();
 
-    // Accumulators: one per shot-grid entry, merged across states.
-    std::vector<RunningStats> stats(cfg.shot_grid.size());
-    std::mutex merge_mutex;
-
+    // Accumulators: one slot per chunk, merged in chunk order afterwards.
+    // Chunk size is pool-size independent and each task writes only its own
+    // slot, so mean/sem are bit-identical for any pool size (RunningStats
+    // merges are floating-point and therefore order-sensitive).
     const std::size_t n_states = static_cast<std::size_t>(cfg.n_states);
-    const std::size_t chunk = std::max<std::size_t>(1, n_states / (4 * pool->size()));
+    const std::size_t chunk = 8;
+    const std::size_t n_chunks = (n_states + chunk - 1) / chunk;
+    std::vector<std::vector<RunningStats>> chunk_stats(
+        n_chunks, std::vector<RunningStats>(cfg.shot_grid.size()));
     pool->parallel_for_chunked(0, n_states, chunk, [&](std::size_t lo, std::size_t hi) {
-      std::vector<RunningStats> local(cfg.shot_grid.size());
+      std::vector<RunningStats>& local = chunk_stats[lo / chunk];
       for (std::size_t s = lo; s < hi; ++s) {
         // One deterministic stream per (overlap, state): reproducible
         // regardless of scheduling.
@@ -50,18 +52,27 @@ std::vector<Fig6Row> run_fig6(const Fig6Config& cfg, ThreadPool* pool) {
 
         const Real exact = uncut_expectation(input);
         const Qpd qpd = protocol->build_qpd(input);
-        const auto probs = exact_term_prob_one(qpd);
+        // Branch-cached backend: each term circuit is enumerated once and
+        // then serves every shot-grid entry of this state. The serial driver
+        // keeps the per-state rng stream (we are already inside a pool task —
+        // the engine's batch-parallel driver must not be nested here).
+        const BatchedBranchBackend backend(qpd);
 
         for (std::size_t g = 0; g < cfg.shot_grid.size(); ++g) {
-          const auto er = estimate_allocated_fast(qpd, probs, cfg.shot_grid[g], rng, cfg.rule);
+          const ShotPlan plan = ShotPlan::allocated(qpd, cfg.shot_grid[g], cfg.rule,
+                                                    /*sigmas=*/nullptr, ShotPlan::kNoSplit);
+          const auto er = run_plan_with_rng(qpd, plan, backend, rng);
           local[g].add(std::abs(er.estimate - exact));
         }
       }
-      std::lock_guard<std::mutex> lock(merge_mutex);
-      for (std::size_t g = 0; g < local.size(); ++g) {
-        stats[g].merge(local[g]);
-      }
     });
+
+    std::vector<RunningStats> stats(cfg.shot_grid.size());
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      for (std::size_t g = 0; g < cfg.shot_grid.size(); ++g) {
+        stats[g].merge(chunk_stats[c][g]);
+      }
+    }
 
     for (std::size_t g = 0; g < cfg.shot_grid.size(); ++g) {
       Fig6Row row;

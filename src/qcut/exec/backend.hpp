@@ -1,0 +1,80 @@
+// Execution backends: how a TermBatch turns into an outcome count.
+//
+// Both backends produce the number of −1 outcomes ("ones") among the batch's
+// shots. They are interchangeable in law:
+//  * SerialShotBackend    — the reference semantics: every shot is a full
+//    stochastic statevector simulation of the term circuit (what a quantum
+//    device does). Kept for validation and as the honest-cost baseline.
+//  * BatchedBranchBackend — enumerates the term's measurement branches once
+//    (through a shared BranchCache) and services the whole batch with a
+//    single binomial draw. Orders of magnitude fewer statevector evolutions;
+//    the engine-equivalence tests pin the distributional match.
+//
+// Backends are bound to one Qpd and must be callable concurrently from many
+// threads (they are — SerialShotBackend is stateless, BatchedBranchBackend's
+// cache is thread-safe).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "qcut/common/rng.hpp"
+#include "qcut/exec/branch_cache.hpp"
+#include "qcut/exec/shot_plan.hpp"
+#include "qcut/qpd/qpd.hpp"
+
+namespace qcut {
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs `batch.shots` executions of term `batch.term`, drawing all
+  /// randomness from `rng`; returns the count of −1 outcomes.
+  virtual std::uint64_t run_batch(const TermBatch& batch, Rng& rng) const = 0;
+};
+
+/// Per-shot stochastic statevector simulation (legacy semantics).
+class SerialShotBackend final : public ExecutionBackend {
+ public:
+  explicit SerialShotBackend(const Qpd& qpd);
+
+  std::string name() const override { return "serial-shot"; }
+  std::uint64_t run_batch(const TermBatch& batch, Rng& rng) const override;
+
+ private:
+  const Qpd* qpd_;
+};
+
+/// Branch-cached binomial sampling (the fast default).
+class BatchedBranchBackend final : public ExecutionBackend {
+ public:
+  explicit BatchedBranchBackend(const Qpd& qpd);
+  /// Reuses precomputed per-term probabilities (e.g. across repetitions).
+  BatchedBranchBackend(const Qpd& qpd, std::vector<Real> prob_one);
+  /// Shares an existing cache (e.g. across shot-grid entries of one input).
+  BatchedBranchBackend(const Qpd& qpd, std::shared_ptr<BranchCache> cache);
+
+  std::string name() const override { return "batched-branch"; }
+  std::uint64_t run_batch(const TermBatch& batch, Rng& rng) const override;
+
+  const BranchCache& cache() const noexcept { return *cache_; }
+
+ private:
+  const Qpd* qpd_;
+  std::shared_ptr<BranchCache> cache_;
+};
+
+enum class BackendKind {
+  kSerialShot,
+  kBatchedBranch,
+};
+
+const char* to_string(BackendKind kind);
+
+/// Factory bound to `qpd` (which must outlive the backend).
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd);
+
+}  // namespace qcut

@@ -1,0 +1,52 @@
+#include "qcut/exec/branch_cache.hpp"
+
+#include "qcut/sim/executor.hpp"
+
+namespace qcut {
+
+Real term_prob_one(const QpdTerm& term) {
+  Real acc = 0.0;
+  for (const auto& b : run_branches(term.circuit)) {
+    int parity = 0;
+    for (int cb : term.estimate_cbits) {
+      parity ^= b.cbits[static_cast<std::size_t>(cb)];
+    }
+    if (parity == 1) {
+      acc += b.prob;
+    }
+  }
+  return acc;
+}
+
+BranchCache::BranchCache(const Qpd& qpd)
+    : qpd_(&qpd), prob_(qpd.size(), 0.0), once_(new std::once_flag[qpd.size()]) {
+  QCUT_CHECK(!qpd.empty(), "BranchCache: empty QPD");
+}
+
+BranchCache::BranchCache(const Qpd& qpd, std::vector<Real> prob_one)
+    : qpd_(&qpd), preseeded_(true), prob_(std::move(prob_one)) {
+  QCUT_CHECK(!qpd.empty(), "BranchCache: empty QPD");
+  QCUT_CHECK(prob_.size() == qpd.size(), "BranchCache: prob/term count mismatch");
+  computed_.store(prob_.size(), std::memory_order_relaxed);
+}
+
+Real BranchCache::prob_one(std::size_t term) const {
+  QCUT_CHECK(term < prob_.size(), "BranchCache::prob_one: term out of range");
+  if (!preseeded_) {
+    std::call_once(once_[term], [this, term] {
+      prob_[term] = term_prob_one(qpd_->terms()[term]);
+      computed_.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  return prob_[term];
+}
+
+std::vector<Real> BranchCache::all_prob_one() const {
+  std::vector<Real> all(prob_.size());
+  for (std::size_t i = 0; i < prob_.size(); ++i) {
+    all[i] = prob_one(i);
+  }
+  return all;
+}
+
+}  // namespace qcut

@@ -1,0 +1,114 @@
+#include "qcut/exec/engine.hpp"
+
+#include <cmath>
+
+#include "qcut/common/error.hpp"
+
+namespace qcut {
+
+namespace {
+
+/// Substream id for randomness consumed during plan construction (the sampled
+/// plan's multinomial split). Far outside the dense batch-id range, so it can
+/// never collide with a batch stream.
+constexpr std::uint64_t kPlanStream = 0x706c616e2d69644cULL;  // "plan-idL"
+}  // namespace
+
+EstimationResult combine_counts(const Qpd& qpd, const ShotPlan& plan,
+                                const std::vector<std::uint64_t>& ones_per_term) {
+  QCUT_CHECK(ones_per_term.size() == qpd.size(), "combine_counts: count/term mismatch");
+  EstimationResult res;
+  res.kappa = qpd.kappa();
+  res.shots_per_term = plan.shots_per_term;
+  res.shots_used = plan.total_shots;
+
+  Real acc = 0.0;
+  for (std::size_t i = 0; i < qpd.size(); ++i) {
+    const std::uint64_t n = plan.shots_per_term[i];
+    if (n == 0) {
+      continue;  // term contributes nothing at this budget (matches practice)
+    }
+    const std::uint64_t ones = ones_per_term[i];
+    const QpdTerm& term = qpd.terms()[i];
+    if (plan.kind == PlanKind::kAllocated) {
+      // outcome mean: (+1)(n-ones) + (-1)(ones) over n
+      const Real mean = 1.0 - 2.0 * static_cast<Real>(ones) / static_cast<Real>(n);
+      acc += term.coefficient * mean;
+    } else {
+      const Real sign = term.coefficient >= 0.0 ? 1.0 : -1.0;
+      acc += res.kappa * sign *
+             (static_cast<Real>(n) - 2.0 * static_cast<Real>(ones));
+    }
+    res.entangled_pairs_used += n * static_cast<std::uint64_t>(term.entangled_pairs);
+  }
+  if (plan.kind == PlanKind::kSampled && plan.total_shots > 0) {
+    acc /= static_cast<Real>(plan.total_shots);
+  }
+  res.estimate = acc;
+  return res;
+}
+
+EstimationResult run_plan_with_rng(const Qpd& qpd, const ShotPlan& plan,
+                                   const ExecutionBackend& backend, Rng& rng) {
+  std::vector<std::uint64_t> ones_per_term(qpd.size(), 0);
+  for (const TermBatch& batch : plan.batches) {
+    ones_per_term[batch.term] += backend.run_batch(batch, rng);
+  }
+  return combine_counts(qpd, plan, ones_per_term);
+}
+
+ExecutionEngine::ExecutionEngine(EngineConfig cfg) : cfg_(cfg) {
+  QCUT_CHECK(cfg_.max_batch_shots >= 1, "ExecutionEngine: max_batch_shots must be >= 1");
+}
+
+EstimationResult ExecutionEngine::run(const Qpd& qpd, const ShotPlan& plan,
+                                      const ExecutionBackend& backend,
+                                      std::uint64_t seed) const {
+  QCUT_CHECK(!qpd.empty(), "ExecutionEngine::run: empty QPD");
+  QCUT_CHECK(plan.shots_per_term.size() == qpd.size(),
+             "ExecutionEngine::run: plan built for a different QPD");
+
+  // Per-batch counts first (integer, order-independent), reduced per term in
+  // index order afterwards — the estimate is bit-identical for any pool size.
+  std::vector<std::uint64_t> batch_ones(plan.batches.size(), 0);
+  const auto run_batch = [&](std::size_t b) {
+    Rng rng(seed, plan.batches[b].stream);
+    batch_ones[b] = backend.run_batch(plan.batches[b], rng);
+  };
+
+  // Inline fallback when already on one of the pool's workers: re-entering
+  // parallel_for there would deadlock (the blocked worker is needed to serve
+  // its own subtasks). Same bits either way — streams are per batch.
+  ThreadPool* pool = cfg_.pool != nullptr ? cfg_.pool : &global_pool();
+  if (plan.batches.size() < cfg_.min_batches_to_parallelize || pool->on_worker_thread()) {
+    for (std::size_t b = 0; b < plan.batches.size(); ++b) {
+      run_batch(b);
+    }
+  } else {
+    pool->parallel_for(0, plan.batches.size(), run_batch);
+  }
+
+  std::vector<std::uint64_t> ones_per_term(qpd.size(), 0);
+  for (std::size_t b = 0; b < plan.batches.size(); ++b) {
+    ones_per_term[plan.batches[b].term] += batch_ones[b];
+  }
+  return combine_counts(qpd, plan, ones_per_term);
+}
+
+EstimationResult ExecutionEngine::estimate_allocated(const Qpd& qpd, std::uint64_t shots,
+                                                     std::uint64_t seed, AllocRule rule) const {
+  const ShotPlan plan =
+      ShotPlan::allocated(qpd, shots, rule, /*sigmas=*/nullptr, cfg_.max_batch_shots);
+  const auto backend = make_backend(cfg_.backend, qpd);
+  return run(qpd, plan, *backend, seed);
+}
+
+EstimationResult ExecutionEngine::estimate_sampled(const Qpd& qpd, std::uint64_t shots,
+                                                   std::uint64_t seed) const {
+  Rng plan_rng(seed, kPlanStream);
+  const ShotPlan plan = ShotPlan::sampled(qpd, shots, plan_rng, cfg_.max_batch_shots);
+  const auto backend = make_backend(cfg_.backend, qpd);
+  return run(qpd, plan, *backend, seed);
+}
+
+}  // namespace qcut

@@ -1,0 +1,78 @@
+// The execution engine: one batched, parallel, cache-aware driver behind
+// every shot-consuming path in qcut.
+//
+// An ExecutionEngine runs a ShotPlan against an ExecutionBackend:
+//  * each TermBatch gets its own counter-based RNG substream
+//    Rng(seed, batch.stream), so the estimate is bit-identical for any
+//    thread-pool size (including 1) — randomness never depends on scheduling;
+//  * per-batch outcome counts are integers, reduced per term in a fixed
+//    order, so the floating-point recombination is also deterministic;
+//  * the combine step implements both estimator laws (allocated / sampled)
+//    from the per-term counts alone.
+//
+// Nesting note: the engine parallelizes over batches of ONE estimate. When
+// run() is invoked from a worker of its own pool (an outer sweep already
+// distributes work), it detects the re-entry and falls back to inline
+// execution — same bits, no deadlock. Outer sweeps that drive a single rng
+// through many estimates (e.g. run_fig6's per-state loop) use
+// run_plan_with_rng instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "qcut/common/threadpool.hpp"
+#include "qcut/exec/backend.hpp"
+#include "qcut/exec/shot_plan.hpp"
+#include "qcut/qpd/estimator.hpp"
+
+namespace qcut {
+
+struct EngineConfig {
+  BackendKind backend = BackendKind::kBatchedBranch;
+  /// nullptr → qcut::global_pool().
+  ThreadPool* pool = nullptr;
+  /// Plan split granularity (shots per batch) for the convenience entry
+  /// points. Affects parallelism and stream layout, never the law.
+  std::uint64_t max_batch_shots = ShotPlan::kDefaultMaxBatchShots;
+  /// Plans with fewer batches run inline on the calling thread.
+  std::size_t min_batches_to_parallelize = 2;
+};
+
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(EngineConfig cfg = {});
+
+  const EngineConfig& config() const noexcept { return cfg_; }
+
+  /// Paper's Sec. IV scheme on the configured backend.
+  EstimationResult estimate_allocated(const Qpd& qpd, std::uint64_t shots, std::uint64_t seed,
+                                      AllocRule rule = AllocRule::kProportional) const;
+
+  /// Eq. 12 importance sampling on the configured backend. The multinomial
+  /// term split draws from a dedicated plan substream of `seed`.
+  EstimationResult estimate_sampled(const Qpd& qpd, std::uint64_t shots,
+                                    std::uint64_t seed) const;
+
+  /// Core driver: runs every batch of `plan` against `backend` with per-batch
+  /// substreams of `seed`, then recombines. Bit-identical across pool sizes.
+  EstimationResult run(const Qpd& qpd, const ShotPlan& plan, const ExecutionBackend& backend,
+                       std::uint64_t seed) const;
+
+ private:
+  EngineConfig cfg_;
+};
+
+/// Recombines per-term −1-outcome counts into an EstimationResult according
+/// to the plan's kind. Exposed for drivers and tests.
+EstimationResult combine_counts(const Qpd& qpd, const ShotPlan& plan,
+                                const std::vector<std::uint64_t>& ones_per_term);
+
+/// Legacy serial driver: runs the plan's batches in order, drawing every
+/// batch from the single caller-supplied `rng`. This reproduces the exact
+/// random stream of the pre-engine estimators (and is safe inside ThreadPool
+/// tasks — it never touches a pool).
+EstimationResult run_plan_with_rng(const Qpd& qpd, const ShotPlan& plan,
+                                   const ExecutionBackend& backend, Rng& rng);
+
+}  // namespace qcut

@@ -1,0 +1,75 @@
+// Shot planning: turning a Qpd plus a shot budget into a deterministic batch
+// of independent work units.
+//
+// A ShotPlan fixes, up front and independently of how it will be executed,
+// (a) how many shots each QPD term receives and (b) how those shots are split
+// into TermBatch work units. Each batch carries its own RNG substream id, so
+// a parallel driver produces bit-identical results for any thread-pool size
+// (including 1): the randomness consumed by a batch depends only on
+// (master seed, batch.stream), never on scheduling order.
+//
+// Two plan kinds mirror the two estimators of the paper:
+//  * kAllocated — the Sec. IV experiment: the budget is split across terms by
+//    an AllocRule (proportional to |c_i| by default) and the term means are
+//    recombined as Σ c_i ⟨outcome⟩_i;
+//  * kSampled   — textbook Eq. 12 importance sampling: term counts are drawn
+//    from a multinomial over p_i = |c_i|/κ (identical in law to per-shot
+//    categorical sampling) and recombined as κ·sign(c_i)·outcome averages.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "qcut/common/rng.hpp"
+#include "qcut/qpd/qpd.hpp"
+#include "qcut/qpd/shot_alloc.hpp"
+
+namespace qcut {
+
+/// One independent work unit: `shots` executions of QPD term `term`, driven
+/// by RNG substream `stream` of the run's master seed.
+struct TermBatch {
+  std::size_t term = 0;
+  std::uint64_t shots = 0;
+  std::uint64_t stream = 0;
+};
+
+enum class PlanKind {
+  kAllocated,  ///< fixed per-term budget, recombine Σ c_i ⟨o⟩_i
+  kSampled,    ///< multinomial term counts, recombine κ Σ sign_i ⟨o⟩
+};
+
+struct ShotPlan {
+  PlanKind kind = PlanKind::kAllocated;
+  std::uint64_t total_shots = 0;
+  std::vector<std::uint64_t> shots_per_term;  ///< one entry per QPD term
+  std::vector<TermBatch> batches;             ///< only terms with shots > 0
+
+  /// Default split granularity: large enough that per-batch overhead is
+  /// negligible, small enough that typical budgets yield several batches per
+  /// term for the parallel driver to spread.
+  static constexpr std::uint64_t kDefaultMaxBatchShots = 4096;
+  /// One batch per term (no splitting) — exact legacy shot ordering.
+  static constexpr std::uint64_t kNoSplit = std::numeric_limits<std::uint64_t>::max();
+
+  /// The paper's allocation scheme. `sigmas` is only consulted for
+  /// AllocRule::kNeyman (per-term outcome standard deviations).
+  static ShotPlan allocated(const Qpd& qpd, std::uint64_t shots, AllocRule rule,
+                            const std::vector<Real>* sigmas = nullptr,
+                            std::uint64_t max_batch_shots = kDefaultMaxBatchShots);
+
+  /// Eq. 12 importance sampling: the multinomial term split is drawn from
+  /// `rng` (plan construction is the only place a sampled plan consumes
+  /// randomness outside its batches).
+  static ShotPlan sampled(const Qpd& qpd, std::uint64_t shots, Rng& rng,
+                          std::uint64_t max_batch_shots = kDefaultMaxBatchShots);
+
+  /// Wraps an externally computed allocation (one entry per term) into a
+  /// plan. Used by ablation benches that roll their own split.
+  static ShotPlan from_allocation(PlanKind kind, const Qpd& qpd,
+                                  std::vector<std::uint64_t> shots_per_term,
+                                  std::uint64_t max_batch_shots = kDefaultMaxBatchShots);
+};
+
+}  // namespace qcut

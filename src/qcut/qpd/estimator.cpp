@@ -1,99 +1,37 @@
+// The estimator entry points are thin wrappers over the qcut::exec layer:
+// plans come from ShotPlan, shot execution from the ExecutionBackend
+// implementations, and recombination from combine_counts. Single-batch-per-
+// term plans driven by the caller's rng (run_plan_with_rng) reproduce the
+// exact random streams of the original hand-rolled loops on the fast paths.
 #include "qcut/qpd/estimator.hpp"
 
 #include <cmath>
 
-#include "qcut/qpd/alias_sampler.hpp"
-#include "qcut/sim/executor.hpp"
+#include "qcut/exec/engine.hpp"
 
 namespace qcut {
 
-namespace {
-
-std::vector<Real> abs_coefficients(const Qpd& qpd) {
-  std::vector<Real> w;
-  w.reserve(qpd.size());
-  for (const auto& t : qpd.terms()) {
-    w.push_back(std::abs(t.coefficient));
-  }
-  return w;
-}
-
-}  // namespace
-
 EstimationResult estimate_sampled(const Qpd& qpd, std::uint64_t shots, Rng& rng) {
   QCUT_CHECK(!qpd.empty(), "estimate_sampled: empty QPD");
-  EstimationResult res;
-  res.kappa = qpd.kappa();
-  res.shots_per_term.assign(qpd.size(), 0);
-  if (shots == 0) {
-    return res;
-  }
-  const AliasSampler sampler(abs_coefficients(qpd));
-  Real acc = 0.0;
-  for (std::uint64_t s = 0; s < shots; ++s) {
-    const std::size_t i = sampler.sample(rng);
-    const QpdTerm& term = qpd.terms()[i];
-    const ShotOutcome out = run_shot(term.circuit, rng);
-    int parity = 0;
-    for (int cb : term.estimate_cbits) {
-      parity ^= out.cbits[static_cast<std::size_t>(cb)];
-    }
-    const Real o = parity ? -1.0 : 1.0;
-    const Real sign = term.coefficient >= 0.0 ? 1.0 : -1.0;
-    acc += res.kappa * sign * o;
-    ++res.shots_per_term[i];
-    res.entangled_pairs_used += static_cast<std::uint64_t>(term.entangled_pairs);
-  }
-  res.estimate = acc / static_cast<Real>(shots);
-  res.shots_used = shots;
-  return res;
+  const ShotPlan plan = ShotPlan::sampled(qpd, shots, rng, ShotPlan::kNoSplit);
+  const SerialShotBackend backend(qpd);
+  return run_plan_with_rng(qpd, plan, backend, rng);
 }
 
 EstimationResult estimate_allocated(const Qpd& qpd, std::uint64_t shots, Rng& rng,
                                     AllocRule rule) {
   QCUT_CHECK(!qpd.empty(), "estimate_allocated: empty QPD");
-  EstimationResult res;
-  res.kappa = qpd.kappa();
-  res.shots_per_term = allocate_shots(abs_coefficients(qpd), shots, rule);
-  Real estimate = 0.0;
-  for (std::size_t i = 0; i < qpd.size(); ++i) {
-    const QpdTerm& term = qpd.terms()[i];
-    const std::uint64_t n = res.shots_per_term[i];
-    if (n == 0) {
-      continue;  // term contributes nothing at this budget (matches practice)
-    }
-    Real sum = 0.0;
-    for (std::uint64_t s = 0; s < n; ++s) {
-      const ShotOutcome out = run_shot(term.circuit, rng);
-      int parity = 0;
-      for (int cb : term.estimate_cbits) {
-        parity ^= out.cbits[static_cast<std::size_t>(cb)];
-      }
-      sum += parity ? -1.0 : 1.0;
-    }
-    estimate += term.coefficient * (sum / static_cast<Real>(n));
-    res.entangled_pairs_used += n * static_cast<std::uint64_t>(term.entangled_pairs);
-  }
-  res.estimate = estimate;
-  res.shots_used = shots;
-  return res;
+  const ShotPlan plan =
+      ShotPlan::allocated(qpd, shots, rule, /*sigmas=*/nullptr, ShotPlan::kNoSplit);
+  const SerialShotBackend backend(qpd);
+  return run_plan_with_rng(qpd, plan, backend, rng);
 }
 
 std::vector<Real> exact_term_prob_one(const Qpd& qpd) {
   std::vector<Real> p;
   p.reserve(qpd.size());
   for (const auto& t : qpd.terms()) {
-    Real acc = 0.0;
-    for (const auto& b : run_branches(t.circuit)) {
-      int parity = 0;
-      for (int cb : t.estimate_cbits) {
-        parity ^= b.cbits[static_cast<std::size_t>(cb)];
-      }
-      if (parity == 1) {
-        acc += b.prob;
-      }
-    }
-    p.push_back(acc);
+    p.push_back(term_prob_one(t));
   }
   return p;
 }
@@ -102,57 +40,19 @@ EstimationResult estimate_allocated_fast(const Qpd& qpd, const std::vector<Real>
                                          std::uint64_t shots, Rng& rng, AllocRule rule) {
   QCUT_CHECK(!qpd.empty(), "estimate_allocated_fast: empty QPD");
   QCUT_CHECK(prob_one.size() == qpd.size(), "estimate_allocated_fast: prob/term mismatch");
-  EstimationResult res;
-  res.kappa = qpd.kappa();
-  res.shots_per_term = allocate_shots(abs_coefficients(qpd), shots, rule);
-  Real estimate = 0.0;
-  for (std::size_t i = 0; i < qpd.size(); ++i) {
-    const QpdTerm& term = qpd.terms()[i];
-    const std::uint64_t n = res.shots_per_term[i];
-    if (n == 0) {
-      continue;
-    }
-    const std::uint64_t ones = rng.binomial(n, prob_one[i]);
-    // outcome mean: (+1)(n-ones) + (-1)(ones) over n
-    const Real mean = 1.0 - 2.0 * static_cast<Real>(ones) / static_cast<Real>(n);
-    estimate += term.coefficient * mean;
-    res.entangled_pairs_used += n * static_cast<std::uint64_t>(term.entangled_pairs);
-  }
-  res.estimate = estimate;
-  res.shots_used = shots;
-  return res;
+  const ShotPlan plan =
+      ShotPlan::allocated(qpd, shots, rule, /*sigmas=*/nullptr, ShotPlan::kNoSplit);
+  const BatchedBranchBackend backend(qpd, prob_one);
+  return run_plan_with_rng(qpd, plan, backend, rng);
 }
 
 EstimationResult estimate_sampled_fast(const Qpd& qpd, const std::vector<Real>& prob_one,
                                        std::uint64_t shots, Rng& rng) {
   QCUT_CHECK(!qpd.empty(), "estimate_sampled_fast: empty QPD");
   QCUT_CHECK(prob_one.size() == qpd.size(), "estimate_sampled_fast: prob/term mismatch");
-  EstimationResult res;
-  res.kappa = qpd.kappa();
-  res.shots_per_term.assign(qpd.size(), 0);
-  if (shots == 0) {
-    return res;
-  }
-  // Multinomial split of the budget over terms, then binomial outcomes per
-  // term — identical in law to per-shot categorical sampling.
-  const auto counts = multinomial(rng, shots, qpd.probabilities());
-  const auto signs = qpd.signs();
-  Real acc = 0.0;
-  for (std::size_t i = 0; i < qpd.size(); ++i) {
-    const std::uint64_t n = counts[i];
-    res.shots_per_term[i] = n;
-    if (n == 0) {
-      continue;
-    }
-    const std::uint64_t ones = rng.binomial(n, prob_one[i]);
-    const Real sum = static_cast<Real>(n) - 2.0 * static_cast<Real>(ones);
-    acc += res.kappa * signs[i] * sum;
-    res.entangled_pairs_used +=
-        n * static_cast<std::uint64_t>(qpd.terms()[i].entangled_pairs);
-  }
-  res.estimate = acc / static_cast<Real>(shots);
-  res.shots_used = shots;
-  return res;
+  const ShotPlan plan = ShotPlan::sampled(qpd, shots, rng, ShotPlan::kNoSplit);
+  const BatchedBranchBackend backend(qpd, prob_one);
+  return run_plan_with_rng(qpd, plan, backend, rng);
 }
 
 Real exact_value(const Qpd& qpd) {

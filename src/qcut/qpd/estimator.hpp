@@ -12,6 +12,10 @@
 //    the exact single-shot probability computed once per term. This is what
 //    lets the benches run the paper's 1000-state × 6-entanglement sweep in
 //    seconds; a gtest asserts its distribution matches the slow path.
+//
+// All entry points are thin wrappers over the qcut::exec execution engine
+// (ShotPlan + ExecutionBackend + combine_counts); use ExecutionEngine
+// directly for batch-parallel, pool-size-invariant estimation.
 #pragma once
 
 #include <cstdint>

@@ -29,6 +29,11 @@ void Statevector::apply(const Matrix& u, const std::vector<int>& qubits) {
   for (int q : qubits) {
     QCUT_CHECK(q >= 0 && q < n_qubits_, "Statevector::apply: qubit out of range");
   }
+  for (std::size_t a = 0; a < qubits.size(); ++a) {
+    for (std::size_t b = a + 1; b < qubits.size(); ++b) {
+      QCUT_CHECK(qubits[a] != qubits[b], "Statevector::apply: duplicate qubit");
+    }
+  }
 
   if (k == 1) {
     // Fast path: single-qubit gate.
@@ -45,6 +50,37 @@ void Statevector::apply(const Matrix& u, const std::vector<int>& qubits) {
       const Cplx a1 = amp_[static_cast<std::size_t>(i1)];
       amp_[static_cast<std::size_t>(i0)] = u00 * a0 + u01 * a1;
       amp_[static_cast<std::size_t>(i1)] = u10 * a0 + u11 * a1;
+    }
+    return;
+  }
+
+  if (k == 2) {
+    // Fast path: two-qubit gate (the CNOT-heavy cut gadgets hit this on
+    // every entangling gate). Sub-index convention matches the generic path:
+    // qubits[0] is the high bit, qubits[1] the low bit.
+    const Index s0 = Index{1} << bitpos(qubits[0]);
+    const Index s1 = Index{1} << bitpos(qubits[1]);
+    const Index mask = s0 | s1;
+    Cplx m[4][4];
+    for (Index r = 0; r < 4; ++r) {
+      for (Index c = 0; c < 4; ++c) {
+        m[r][c] = u(r, c);
+      }
+    }
+    const Index dim_ = dim();
+    for (Index base = 0; base < dim_; ++base) {
+      if (base & mask) {
+        continue;
+      }
+      const std::size_t i00 = static_cast<std::size_t>(base);
+      const std::size_t i01 = static_cast<std::size_t>(base | s1);
+      const std::size_t i10 = static_cast<std::size_t>(base | s0);
+      const std::size_t i11 = static_cast<std::size_t>(base | mask);
+      const Cplx a0 = amp_[i00], a1 = amp_[i01], a2 = amp_[i10], a3 = amp_[i11];
+      amp_[i00] = m[0][0] * a0 + m[0][1] * a1 + m[0][2] * a2 + m[0][3] * a3;
+      amp_[i01] = m[1][0] * a0 + m[1][1] * a1 + m[1][2] * a2 + m[1][3] * a3;
+      amp_[i10] = m[2][0] * a0 + m[2][1] * a1 + m[2][2] * a2 + m[2][3] * a3;
+      amp_[i11] = m[3][0] * a0 + m[3][1] * a1 + m[3][2] * a2 + m[3][3] * a3;
     }
     return;
   }

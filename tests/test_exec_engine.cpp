@@ -1,0 +1,287 @@
+// The execution-engine layer: shot planning, branch caching, backend
+// equivalence in law, and bit-identical parallel execution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "qcut/common/stats.hpp"
+#include "qcut/core/cut_executor.hpp"
+#include "qcut/cut/harada_cut.hpp"
+#include "qcut/cut/nme_cut.hpp"
+#include "qcut/exec/engine.hpp"
+#include "qcut/qpd/estimator.hpp"
+
+namespace qcut {
+namespace {
+
+CutInput fixed_input() {
+  CutInput input;
+  // W = Ry(1.1): ⟨Z⟩ = cos(1.1), deterministic for reproducible statistics.
+  const Real theta = 1.1;
+  const Real c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
+  input.prep = Matrix{{Cplx{c, 0}, Cplx{-s, 0}}, {Cplx{s, 0}, Cplx{c, 0}}};
+  input.observable = 'Z';
+  return input;
+}
+
+TEST(ShotPlanTest, AllocationSumsToBudgetAndSplitsIntoBatches) {
+  const Qpd qpd = NmeCut{0.5}.build_qpd(fixed_input());
+  const ShotPlan plan = ShotPlan::allocated(qpd, 10000, AllocRule::kProportional,
+                                            /*sigmas=*/nullptr, /*max_batch_shots=*/256);
+  EXPECT_EQ(plan.total_shots, 10000u);
+  ASSERT_EQ(plan.shots_per_term.size(), qpd.size());
+
+  std::uint64_t from_terms = 0;
+  for (auto n : plan.shots_per_term) {
+    from_terms += n;
+  }
+  EXPECT_EQ(from_terms, 10000u);
+
+  std::vector<std::uint64_t> from_batches(qpd.size(), 0);
+  std::set<std::uint64_t> streams;
+  for (const auto& b : plan.batches) {
+    EXPECT_GE(b.shots, 1u);
+    EXPECT_LE(b.shots, 256u);
+    from_batches[b.term] += b.shots;
+    streams.insert(b.stream);
+  }
+  for (std::size_t i = 0; i < qpd.size(); ++i) {
+    EXPECT_EQ(from_batches[i], plan.shots_per_term[i]) << "term " << i;
+  }
+  // Substream ids must be unique — that is what makes parallel draws
+  // independent and scheduling-invariant.
+  EXPECT_EQ(streams.size(), plan.batches.size());
+}
+
+TEST(ShotPlanTest, NoSplitGivesOneBatchPerActiveTerm) {
+  const Qpd qpd = HaradaCut{}.build_qpd(fixed_input());
+  const ShotPlan plan =
+      ShotPlan::allocated(qpd, 900, AllocRule::kProportional, nullptr, ShotPlan::kNoSplit);
+  std::size_t active = 0;
+  for (auto n : plan.shots_per_term) {
+    active += (n > 0);
+  }
+  EXPECT_EQ(plan.batches.size(), active);
+}
+
+TEST(ShotPlanTest, SampledMatchesMultinomialLaw) {
+  const Qpd qpd = NmeCut{0.6}.build_qpd(fixed_input());
+  Rng rng(3);
+  const ShotPlan plan = ShotPlan::sampled(qpd, 5000, rng);
+  EXPECT_EQ(plan.kind, PlanKind::kSampled);
+  EXPECT_EQ(plan.total_shots, 5000u);
+  // Counts should roughly follow p_i = |c_i|/κ.
+  const auto probs = qpd.probabilities();
+  for (std::size_t i = 0; i < qpd.size(); ++i) {
+    const Real expected = probs[i] * 5000.0;
+    const Real sd = std::sqrt(5000.0 * probs[i] * (1.0 - probs[i])) + 1.0;
+    EXPECT_NEAR(static_cast<Real>(plan.shots_per_term[i]), expected, 6.0 * sd) << i;
+  }
+}
+
+TEST(BranchCacheTest, LazyAndMatchesExactEnumeration) {
+  const Qpd qpd = NmeCut{0.5}.build_qpd(fixed_input());
+  const BranchCache cache(qpd);
+  EXPECT_EQ(cache.computed_terms(), 0u);
+  const Real p0 = cache.prob_one(0);
+  EXPECT_EQ(cache.computed_terms(), 1u);
+  EXPECT_EQ(cache.prob_one(0), p0);  // served from cache, no recompute
+  EXPECT_EQ(cache.computed_terms(), 1u);
+
+  const auto reference = exact_term_prob_one(qpd);
+  const auto all = cache.all_prob_one();
+  ASSERT_EQ(all.size(), reference.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_NEAR(all[i], reference[i], 1e-12) << "term " << i;
+  }
+  EXPECT_EQ(cache.computed_terms(), qpd.size());
+}
+
+TEST(BranchCacheTest, PreseededCacheNeverEnumerates) {
+  const Qpd qpd = HaradaCut{}.build_qpd(fixed_input());
+  const auto probs = exact_term_prob_one(qpd);
+  const BranchCache cache(qpd, probs);
+  EXPECT_EQ(cache.computed_terms(), qpd.size());
+  for (std::size_t i = 0; i < qpd.size(); ++i) {
+    EXPECT_EQ(cache.prob_one(i), probs[i]);
+  }
+}
+
+TEST(EngineTest, BackendsAgreeInDistribution) {
+  // SerialShotBackend vs BatchedBranchBackend on fixed seeds: same mean and
+  // same variance (they realize the same estimator law).
+  const Qpd qpd = NmeCut{0.5}.build_qpd(fixed_input());
+  const Real target = std::cos(1.1);
+  const std::uint64_t shots = 300;
+  const int trials = 200;
+
+  EngineConfig serial_cfg;
+  serial_cfg.backend = BackendKind::kSerialShot;
+  EngineConfig batched_cfg;
+  batched_cfg.backend = BackendKind::kBatchedBranch;
+  const ExecutionEngine serial_engine(serial_cfg), batched_engine(batched_cfg);
+
+  RunningStats serial_stats, batched_stats;
+  for (int t = 0; t < trials; ++t) {
+    const auto seed = static_cast<std::uint64_t>(t);
+    serial_stats.add(serial_engine.estimate_allocated(qpd, shots, seed).estimate);
+    batched_stats.add(batched_engine.estimate_allocated(qpd, shots, 1000000 + seed).estimate);
+  }
+  EXPECT_NEAR(serial_stats.mean(), target, 5.0 * serial_stats.sem() + 1e-6);
+  EXPECT_NEAR(batched_stats.mean(), target, 5.0 * batched_stats.sem() + 1e-6);
+  EXPECT_NEAR(serial_stats.mean(), batched_stats.mean(),
+              4.0 * (serial_stats.sem() + batched_stats.sem()) + 1e-6);
+  EXPECT_NEAR(serial_stats.variance(), batched_stats.variance(),
+              0.35 * serial_stats.variance() + 1e-6);
+}
+
+TEST(EngineTest, SampledPathIsUnbiasedOnBothBackends) {
+  const Qpd qpd = HaradaCut{}.build_qpd(fixed_input());
+  const Real target = std::cos(1.1);
+  for (BackendKind kind : {BackendKind::kSerialShot, BackendKind::kBatchedBranch}) {
+    EngineConfig cfg;
+    cfg.backend = kind;
+    const ExecutionEngine engine(cfg);
+    RunningStats stats;
+    const int trials = kind == BackendKind::kSerialShot ? 150 : 400;
+    for (int t = 0; t < trials; ++t) {
+      stats.add(engine.estimate_sampled(qpd, 200, static_cast<std::uint64_t>(17 + t)).estimate);
+    }
+    EXPECT_NEAR(stats.mean(), target, 5.0 * stats.sem() + 1e-6) << to_string(kind);
+  }
+}
+
+TEST(EngineTest, BitIdenticalAcrossPoolSizes) {
+  // The tentpole determinism guarantee: same seed + same plan → the same
+  // bits, for pool sizes 1, 2, and 8, on both backends.
+  const Qpd qpd = NmeCut{0.6}.build_qpd(fixed_input());
+  ThreadPool p1(1), p2(2), p8(8);
+
+  for (BackendKind kind : {BackendKind::kBatchedBranch, BackendKind::kSerialShot}) {
+    const std::uint64_t shots = kind == BackendKind::kSerialShot ? 600 : 100000;
+    const ShotPlan plan = ShotPlan::allocated(qpd, shots, AllocRule::kProportional,
+                                              /*sigmas=*/nullptr, /*max_batch_shots=*/64);
+    ASSERT_GE(plan.batches.size(), 8u);  // enough work units to actually spread
+    const auto backend = make_backend(kind, qpd);
+
+    std::vector<Real> estimates;
+    for (ThreadPool* pool : {&p1, &p2, &p8}) {
+      EngineConfig cfg;
+      cfg.backend = kind;
+      cfg.pool = pool;
+      const ExecutionEngine engine(cfg);
+      estimates.push_back(engine.run(qpd, plan, *backend, /*seed=*/20240320).estimate);
+    }
+    EXPECT_EQ(estimates[0], estimates[1]) << to_string(kind);
+    EXPECT_EQ(estimates[0], estimates[2]) << to_string(kind);
+  }
+}
+
+TEST(EngineTest, BatchSplitDoesNotChangeTheLaw) {
+  // Different max_batch_shots give different streams but the same statistics.
+  const Qpd qpd = NmeCut{0.5}.build_qpd(fixed_input());
+  const Real target = std::cos(1.1);
+  for (std::uint64_t split : {std::uint64_t{64}, std::uint64_t{1024}, ShotPlan::kNoSplit}) {
+    EngineConfig cfg;
+    cfg.max_batch_shots = split;
+    const ExecutionEngine engine(cfg);
+    RunningStats stats;
+    for (int t = 0; t < 300; ++t) {
+      stats.add(engine.estimate_allocated(qpd, 2000, static_cast<std::uint64_t>(t)).estimate);
+    }
+    EXPECT_NEAR(stats.mean(), target, 5.0 * stats.sem() + 1e-6) << "split=" << split;
+  }
+}
+
+TEST(EngineTest, CombineCountsImplementsBothLaws) {
+  const Qpd qpd = NmeCut{0.0}.build_qpd(fixed_input());  // |c| = {1, 1, 1}
+  ShotPlan plan = ShotPlan::from_allocation(PlanKind::kAllocated, qpd, {100, 100, 100});
+  const auto res = combine_counts(qpd, plan, {0, 50, 100});
+  // means: +1, 0, −1 → Σ c_i·mean_i
+  const auto& c = qpd.terms();
+  EXPECT_NEAR(res.estimate, c[0].coefficient - c[2].coefficient, 1e-12);
+  EXPECT_EQ(res.shots_used, 300u);
+
+  plan.kind = PlanKind::kSampled;
+  const auto sampled = combine_counts(qpd, plan, {0, 50, 100});
+  Real expected = 0.0;
+  const auto signs = qpd.signs();
+  expected += qpd.kappa() * signs[0] * 100.0;  // all +1
+  expected += qpd.kappa() * signs[1] * 0.0;
+  expected += qpd.kappa() * signs[2] * -100.0;  // all −1
+  EXPECT_NEAR(sampled.estimate, expected / 300.0, 1e-12);
+}
+
+TEST(EngineTest, ResultAccountingMatchesLegacyEstimators) {
+  // The wrappers in estimator.cpp run on this layer with single-term batches:
+  // identical streams, so identical results — pinned here bit-for-bit.
+  const Qpd qpd = NmeCut{0.5}.build_qpd(fixed_input());
+  const auto probs = exact_term_prob_one(qpd);
+
+  Rng rng_a(77), rng_b(77);
+  const ShotPlan plan =
+      ShotPlan::allocated(qpd, 1200, AllocRule::kProportional, nullptr, ShotPlan::kNoSplit);
+  const BatchedBranchBackend backend(qpd, probs);
+  const auto via_engine = run_plan_with_rng(qpd, plan, backend, rng_a);
+  const auto via_wrapper = estimate_allocated_fast(qpd, probs, 1200, rng_b);
+  EXPECT_EQ(via_engine.estimate, via_wrapper.estimate);
+  EXPECT_EQ(via_engine.shots_used, via_wrapper.shots_used);
+  EXPECT_EQ(via_engine.entangled_pairs_used, via_wrapper.entangled_pairs_used);
+  EXPECT_EQ(via_engine.shots_per_term, via_wrapper.shots_per_term);
+}
+
+TEST(EngineTest, CutExecutorDefaultsToBatchedBackend) {
+  CutRunConfig cfg;
+  EXPECT_EQ(cfg.effective_backend(), BackendKind::kBatchedBranch);
+  cfg.fast = false;  // legacy switch still forces the per-shot reference
+  EXPECT_EQ(cfg.effective_backend(), BackendKind::kSerialShot);
+
+  cfg = CutRunConfig{};
+  cfg.shots = 20000;
+  cfg.seed = 5;
+  CutExecutor exec(make_protocol("nme", 0.7));
+  const auto res = exec.run(fixed_input(), cfg);
+  EXPECT_NEAR(res.estimate, res.exact, 0.1);
+  EXPECT_EQ(res.details.shots_used, 20000u);
+}
+
+TEST(EngineTest, NestedRunFromPoolWorkerFallsBackInline) {
+  // Calling engine.run from a task of its own pool must not deadlock (the
+  // engine detects the re-entry and executes inline) and must return the
+  // same bits as a top-level run.
+  const Qpd qpd = NmeCut{0.6}.build_qpd(fixed_input());
+  ThreadPool pool(2);
+  const ShotPlan plan = ShotPlan::allocated(qpd, 10000, AllocRule::kProportional,
+                                            /*sigmas=*/nullptr, /*max_batch_shots=*/128);
+  const BatchedBranchBackend backend(qpd);
+  EngineConfig cfg;
+  cfg.pool = &pool;
+  const ExecutionEngine engine(cfg);
+
+  const Real top_level = engine.run(qpd, plan, backend, /*seed=*/7).estimate;
+  std::vector<Real> nested(4, 0.0);
+  pool.parallel_for(0, nested.size(), [&](std::size_t i) {
+    nested[i] = engine.run(qpd, plan, backend, /*seed=*/7).estimate;
+  });
+  for (Real e : nested) {
+    EXPECT_EQ(e, top_level);
+  }
+}
+
+TEST(EngineTest, CutExecutorRunIsPoolSizeInvariant) {
+  ThreadPool p1(1), p8(8);
+  CutRunConfig cfg;
+  cfg.shots = 50000;
+  cfg.seed = 99;
+  cfg.max_batch_shots = 128;
+  CutExecutor exec(make_protocol("nme", 0.6));
+  cfg.pool = &p1;
+  const auto r1 = exec.run(fixed_input(), cfg);
+  cfg.pool = &p8;
+  const auto r8 = exec.run(fixed_input(), cfg);
+  EXPECT_EQ(r1.estimate, r8.estimate);
+}
+
+}  // namespace
+}  // namespace qcut

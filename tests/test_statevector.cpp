@@ -44,6 +44,25 @@ TEST(Statevector, TwoQubitGateMatchesDenseEmbed) {
   }
 }
 
+TEST(Statevector, TwoQubitKernelAllPairsOnFourQubits) {
+  // Stresses the specialized k==2 kernel across every stride combination
+  // (adjacent, non-adjacent, both orders) on a larger register.
+  Rng rng(12);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a == b) {
+        continue;
+      }
+      const Matrix u = haar_unitary(4, rng);
+      const Vector psi = random_statevector(16, rng);
+      Statevector sv(4, psi);
+      sv.apply(u, {a, b});
+      const Vector expected = embed(u, {a, b}, 4) * psi;
+      expect_vector_near(sv.amplitudes(), expected, 1e-10);
+    }
+  }
+}
+
 TEST(Statevector, ThreeQubitGateMatchesDenseEmbed) {
   Rng rng(3);
   const Matrix u = haar_unitary(8, rng);
@@ -167,6 +186,13 @@ TEST(Statevector, SampleFollowsDistribution) {
     zeros += (sv.sample(rng) == 0) ? 1 : 0;
   }
   EXPECT_NEAR(static_cast<Real>(zeros) / trials, 0.3, 0.015);
+}
+
+TEST(Statevector, RejectsDuplicateQubits) {
+  Rng rng(13);
+  Statevector sv(3);
+  EXPECT_THROW(sv.apply(haar_unitary(4, rng), {1, 1}), Error);
+  EXPECT_THROW(sv.apply(haar_unitary(8, rng), {0, 2, 0}), Error);
 }
 
 TEST(Statevector, RejectsBadConstruction) {
