@@ -1,0 +1,238 @@
+// Cut-planner harness: plan quality and planned-vs-uncut estimation error
+// across circuit families.
+//
+// Families:
+//  * ghz      — GHZ lines h(0), cx(0,1), ..., cx(n-2,n-1): one candidate per
+//    wire, the paper's canonical chain workload;
+//  * qft      — QFT-like ladders h(q) + nearest-neighbor controlled-phase
+//    chain: denser timelines, more candidates per wire;
+//  * brick    — random brickwork of Haar 2-qubit gates (alternating pairs).
+//
+// For every instance the planner runs under a width cap; reported per row:
+// candidate count, chosen cuts, total κ, overhead Π κ_i², search nodes,
+// planning time, and (small instances) the measured |estimate − exact| of the
+// planned multi-cut execution at the predicted κ²/ε² budget, plus an
+// optimality check against brute-force subset enumeration.
+//
+// Usage: bench_planner [--smoke] [--eps 0.05] [--f 0.85] [--budget 2]
+//                      [--json planner_bench.json] [--seed N]
+// --smoke runs the small deterministic subset and exits non-zero when a plan
+// misses brute-force optimality or the executed error leaves the 3ε band —
+// the CI gate.
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "qcut/common/cli.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/plan/circuit_graph.hpp"
+#include "qcut/plan/cut_planner.hpp"
+#include "qcut/plan/planned_executor.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace qcut;
+
+Circuit ghz_line(int n) {
+  Circuit c(n, 0);
+  c.h(0);
+  for (int q = 0; q + 1 < n; ++q) {
+    c.cx(q, q + 1);
+  }
+  return c;
+}
+
+Matrix cphase(Real theta) {
+  Matrix m = Matrix::identity(4);
+  m(3, 3) = std::polar<Real>(1.0, theta);
+  return m;
+}
+
+Circuit qft_ladder(int n) {
+  Circuit c(n, 0);
+  for (int q = 0; q < n; ++q) {
+    c.h(q);
+    if (q + 1 < n) {
+      c.gate(cphase(kPi / 2.0), {q, q + 1}, "cp");
+    }
+  }
+  return c;
+}
+
+Circuit brickwork(int n, int depth, Rng& rng) {
+  Circuit c(n, 0);
+  for (int d = 0; d < depth; ++d) {
+    for (int q = d % 2; q + 1 < n; q += 2) {
+      c.gate(haar_unitary(4, rng), {q, q + 1}, "U2");
+    }
+  }
+  return c;
+}
+
+struct Row {
+  std::string family;
+  int n = 0;
+  int width_cap = 0;
+  std::size_t candidates = 0;
+  std::size_t cuts = 0;
+  Real kappa = 0.0;
+  Real overhead = 0.0;
+  Real predicted_shots = 0.0;
+  std::size_t nodes = 0;
+  double plan_ms = 0.0;
+  bool brute_checked = false;
+  bool brute_optimal = true;
+  bool executed = false;
+  Real abs_error = 0.0;
+};
+
+std::string all_z(int n) { return std::string(static_cast<std::size_t>(n), 'Z'); }
+
+Row run_instance(const std::string& family, const Circuit& circ, const PlannerConfig& pcfg,
+                 bool execute, bool brute_check, std::uint64_t seed) {
+  Row row;
+  row.family = family;
+  row.n = circ.n_qubits();
+  row.width_cap = pcfg.max_fragment_width;
+
+  const CutPlanner planner(circ, pcfg);
+  row.candidates = planner.graph().candidates().size();
+  const auto start = Clock::now();
+  const CutPlan plan = planner.plan();
+  row.plan_ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  row.cuts = plan.cuts.size();
+  row.kappa = plan.total_kappa;
+  row.overhead = plan.total_overhead;
+  row.predicted_shots = plan.predicted_shots;
+  row.nodes = plan.nodes_explored;
+
+  if (brute_check && row.candidates <= 16) {
+    row.brute_checked = true;
+    const Real ref = planner.reference_overhead();  // bitmask scan of all subsets
+    row.brute_optimal = std::abs(plan.total_overhead - ref) <= 1e-9 * (1.0 + ref);
+  }
+  if (execute) {
+    const PlannedExecutor exec(circ, plan);
+    CutRunConfig rcfg;
+    rcfg.shots = 0;  // planner-predicted budget
+    rcfg.seed = seed;
+    row.executed = true;
+    row.abs_error = exec.run(all_z(circ.n_qubits()), rcfg).abs_error;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  const Real eps = cli.get_real("eps", 0.05);
+  const Real f = cli.get_real("f", 0.85);
+  const int budget = static_cast<int>(cli.get_int("budget", 2));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const std::string json_path = cli.get("json", "planner_bench.json");
+
+  PlannerConfig base;
+  base.resource_overlap = f;
+  base.pair_budget = budget;
+  base.target_accuracy = eps;
+
+  Rng brick_rng(11);
+  std::vector<Row> rows;
+
+  // Small instances: brute-force-checked and executed end-to-end.
+  for (int n : {4, 5, 6}) {
+    PlannerConfig cfg = base;
+    cfg.max_fragment_width = (n + 1) / 2;
+    rows.push_back(run_instance("ghz", ghz_line(n), cfg, /*execute=*/true,
+                                /*brute_check=*/true, seed));
+  }
+  {
+    PlannerConfig cfg = base;
+    cfg.max_fragment_width = 3;
+    rows.push_back(run_instance("qft", qft_ladder(5), cfg, true, true, seed));
+    rows.push_back(run_instance("brick", brickwork(5, 2, brick_rng), cfg, true, true, seed));
+  }
+
+  if (!smoke) {
+    // Larger planning-only instances (execution cost grows exponentially with
+    // the spliced width; the planner itself stays cheap).
+    for (int n : {10, 14, 18, 20}) {  // the circuit IR caps at 20 wires
+      PlannerConfig cfg = base;
+      cfg.max_fragment_width = (n + 2) / 3;
+      cfg.max_cuts = 10;
+      rows.push_back(run_instance("ghz", ghz_line(n), cfg, false, n <= 14, seed));
+    }
+    for (int n : {8, 10, 12}) {
+      PlannerConfig cfg = base;
+      cfg.max_fragment_width = (n + 1) / 2;
+      rows.push_back(run_instance("qft", qft_ladder(n), cfg, false, n <= 10, seed));
+    }
+    {
+      PlannerConfig cfg = base;
+      cfg.max_fragment_width = 4;
+      rows.push_back(run_instance("brick", brickwork(7, 2, brick_rng), cfg, false, true, seed));
+    }
+  }
+
+  std::printf("=== Cut planner: overhead-optimal multi-cut discovery ===\n");
+  std::printf("eps=%.3f  resource f=%.2f  pair budget=%d\n\n", eps, f, budget);
+  std::printf("%-6s %4s %5s %6s %5s %9s %10s %12s %7s %9s %8s %8s\n", "family", "n", "cap",
+              "cands", "cuts", "kappa", "overhead", "pred.shots", "nodes", "plan(ms)", "optimal",
+              "|error|");
+  bool all_optimal = true;
+  bool all_within_band = true;
+  for (const auto& r : rows) {
+    if (r.brute_checked && !r.brute_optimal) {
+      all_optimal = false;
+    }
+    if (r.executed && r.abs_error > 3.0 * eps) {
+      all_within_band = false;
+    }
+    char err_buf[16] = "-";
+    if (r.executed) {
+      std::snprintf(err_buf, sizeof(err_buf), "%.4f", r.abs_error);
+    }
+    std::printf("%-6s %4d %5d %6zu %5zu %9.4f %10.3f %12.0f %7zu %9.3f %8s %8s\n",
+                r.family.c_str(), r.n, r.width_cap, r.candidates, r.cuts, r.kappa, r.overhead,
+                r.predicted_shots, r.nodes, r.plan_ms,
+                r.brute_checked ? (r.brute_optimal ? "yes" : "NO") : "-", err_buf);
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"eps\": " << eps << ",\n  \"resource_f\": " << f
+       << ",\n  \"pair_budget\": " << budget << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"family\": \"" << r.family << "\", \"n\": " << r.n
+         << ", \"width_cap\": " << r.width_cap << ", \"candidates\": " << r.candidates
+         << ", \"cuts\": " << r.cuts << ", \"kappa\": " << r.kappa
+         << ", \"overhead\": " << r.overhead << ", \"predicted_shots\": " << r.predicted_shots
+         << ", \"nodes\": " << r.nodes << ", \"plan_ms\": " << r.plan_ms
+         << ", \"brute_optimal\": " << (r.brute_checked ? (r.brute_optimal ? "true" : "false")
+                                                        : "null")
+         << ", \"abs_error\": " << (r.executed ? r.abs_error : -1.0) << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  if (!all_optimal) {
+    std::printf("ERROR: a plan missed the brute-force optimum\n");
+    return 1;
+  }
+  if (!all_within_band) {
+    std::printf("ERROR: an executed plan left the 3*eps error band at the predicted budget\n");
+    return 1;
+  }
+  std::printf("all plans brute-force optimal; executed errors within 3*eps at predicted "
+              "budgets\n");
+  return 0;
+}

@@ -28,20 +28,23 @@ std::uint64_t trial_seed(std::uint64_t seed, std::uint64_t trial) {
 
 }  // namespace
 
+CutRunResult run_qpd_estimate(const Qpd& qpd, Real exact, const CutRunConfig& cfg) {
+  CutRunResult res;
+  res.exact = exact;
+  const ExecutionEngine engine(engine_config(cfg));
+  res.details = engine.estimate_allocated(qpd, cfg.shots, cfg.seed, cfg.rule);
+  res.estimate = res.details.estimate;
+  res.abs_error = std::abs(res.estimate - res.exact);
+  return res;
+}
+
 CutExecutor::CutExecutor(std::shared_ptr<const WireCutProtocol> protocol)
     : protocol_(std::move(protocol)) {
   QCUT_CHECK(protocol_ != nullptr, "CutExecutor: null protocol");
 }
 
 CutRunResult CutExecutor::run(const CutInput& input, const CutRunConfig& cfg) const {
-  CutRunResult res;
-  res.exact = uncut_expectation(input);
-  const Qpd qpd = protocol_->build_qpd(input);
-  const ExecutionEngine engine(engine_config(cfg));
-  res.details = engine.estimate_allocated(qpd, cfg.shots, cfg.seed, cfg.rule);
-  res.estimate = res.details.estimate;
-  res.abs_error = std::abs(res.estimate - res.exact);
-  return res;
+  return run_qpd_estimate(protocol_->build_qpd(input), uncut_expectation(input), cfg);
 }
 
 Real CutExecutor::mean_abs_error(const CutInput& input, const CutRunConfig& cfg,

@@ -44,6 +44,11 @@ struct CutRunResult {
   EstimationResult details;
 };
 
+/// Estimates `qpd` on the engine `cfg` configures and packages the result
+/// against the caller-supplied exact reference value. The shared backend of
+/// CutExecutor::run and the planner's PlannedExecutor.
+CutRunResult run_qpd_estimate(const Qpd& qpd, Real exact, const CutRunConfig& cfg);
+
 class CutExecutor {
  public:
   explicit CutExecutor(std::shared_ptr<const WireCutProtocol> protocol);

@@ -1,94 +1,215 @@
 #include "qcut/cut/circuit_cutter.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "qcut/cut/teleportation.hpp"
 #include "qcut/sim/executor.hpp"
 #include "qcut/sim/gates.hpp"
 
 namespace qcut {
 
-Qpd cut_circuit(const Circuit& circ, const CutPoint& point, const WireCutProtocol& protocol,
-                const std::string& observable) {
-  const int n_orig = circ.n_qubits();
-  QCUT_CHECK(circ.n_cbits() == 0, "cut_circuit: input circuit must be purely quantum");
-  QCUT_CHECK(point.qubit >= 0 && point.qubit < n_orig, "cut_circuit: cut qubit out of range");
-  QCUT_CHECK(point.after_op <= circ.size(), "cut_circuit: cut position out of range");
-  QCUT_CHECK(static_cast<int>(observable.size()) == n_orig,
-             "cut_circuit: observable length must match circuit width");
-  for (const auto& op : circ.ops()) {
-    QCUT_CHECK(op.kind == OpKind::kUnitary || op.kind == OpKind::kInitialize,
-               "cut_circuit: input circuit must contain only unitary/initialize ops");
-  }
+namespace {
 
-  // Observable sites to measure (original indexing).
+/// Observable sites to measure (original indexing), validated. `ctx` names
+/// the entry point for the error messages.
+std::vector<std::pair<int, char>> parse_observable(const std::string& observable, int n_orig,
+                                                   const std::string& ctx) {
+  QCUT_CHECK(static_cast<int>(observable.size()) == n_orig,
+             ctx + ": observable length must match circuit width");
   std::vector<std::pair<int, char>> sites;
   for (int q = 0; q < n_orig; ++q) {
     const char p = observable[static_cast<std::size_t>(q)];
     if (p == 'I') {
       continue;
     }
-    QCUT_CHECK(p == 'X' || p == 'Y' || p == 'Z', "cut_circuit: invalid Pauli character");
+    QCUT_CHECK(p == 'X' || p == 'Y' || p == 'Z', ctx + ": invalid Pauli character");
     sites.emplace_back(q, p);
   }
-  QCUT_CHECK(!sites.empty(), "cut_circuit: observable is the identity");
+  QCUT_CHECK(!sites.empty(), ctx + ": observable is the identity");
+  return sites;
+}
 
-  const int dst = n_orig;  // the receiver wire the cut state lands on
+/// True iff the state `wire` carries at op index `pos` is ever observed by a
+/// later op: the first op from `pos` on that touches the wire must consume
+/// it, not overwrite it — an initialize covering the wire discards the state,
+/// so a cut feeding only into an initialize is as dead as one feeding nothing.
+bool wire_used_from(const Circuit& circ, std::size_t pos, int wire) {
+  for (std::size_t t = pos; t < circ.size(); ++t) {
+    const Operation& op = circ.ops()[t];
+    if (std::find(op.qubits.begin(), op.qubits.end(), wire) != op.qubits.end()) {
+      return op.kind != OpKind::kInitialize;
+    }
+  }
+  return false;
+}
+
+void append_original_op(Circuit& c, const Operation& op, const std::vector<int>& cur) {
+  std::vector<int> qs = op.qubits;
+  for (int& q : qs) {
+    q = cur[static_cast<std::size_t>(q)];
+  }
+  if (op.kind == OpKind::kInitialize) {
+    c.initialize(qs, op.init_state, op.label);
+  } else {
+    c.gate(op.matrix, qs, op.label);
+  }
+}
+
+}  // namespace
+
+Qpd cut_circuit_multi(const Circuit& circ, const std::vector<CutPoint>& points,
+                      const std::vector<const WireCutProtocol*>& protocols,
+                      const std::string& observable) {
+  const int n_orig = circ.n_qubits();
+  const std::size_t n_cuts = points.size();
+  QCUT_CHECK(n_cuts > 0, "cut_circuit: no cut points");
+  QCUT_CHECK(protocols.size() == n_cuts, "cut_circuit: cut/protocol count mismatch");
+  QCUT_CHECK(circ.n_cbits() == 0, "cut_circuit: input circuit must be purely quantum");
+  for (const auto& op : circ.ops()) {
+    QCUT_CHECK(op.kind == OpKind::kUnitary || op.kind == OpKind::kInitialize,
+               "cut_circuit: input circuit must contain only unitary/initialize ops");
+  }
+  const auto sites = parse_observable(observable, n_orig, "cut_circuit");
+
+  for (std::size_t j = 0; j < n_cuts; ++j) {
+    QCUT_CHECK(protocols[j] != nullptr, "cut_circuit: null protocol");
+    QCUT_CHECK(points[j].qubit >= 0 && points[j].qubit < n_orig,
+               "cut_circuit: cut qubit out of range");
+    QCUT_CHECK(points[j].after_op <= circ.size(), "cut_circuit: cut position out of range");
+    // Dead-cut check: after the cut, the wire must be touched by some op or
+    // measured by the observable — otherwise the teleported state is never
+    // observed and the cut only inflates the sampling overhead by κ².
+    const bool measured = observable[static_cast<std::size_t>(points[j].qubit)] != 'I';
+    QCUT_CHECK(measured || wire_used_from(circ, points[j].after_op, points[j].qubit),
+               "cut_circuit: cut wire has no operations or observable after the cut");
+  }
+
+  // Per-cut gadget lists and the product-term count.
+  std::vector<std::vector<CutGadget>> gadget_sets;
+  gadget_sets.reserve(n_cuts);
+  std::size_t total_terms = 1;
+  for (std::size_t j = 0; j < n_cuts; ++j) {
+    gadget_sets.push_back(protocols[j]->gadgets());
+    for (const CutGadget& g : gadget_sets.back()) {
+      QCUT_CHECK(g.append != nullptr, "cut_circuit: gadget without append function");
+    }
+    total_terms *= gadget_sets.back().size();
+    QCUT_CHECK(total_terms <= 100000, "cut_circuit: term explosion");
+  }
+
+  // Splice order: by position, ties in input order (stable). Receiver wire
+  // and classical-bit layout stay keyed to the input order so the term
+  // structure is independent of how the cuts are sorted.
+  std::vector<std::size_t> order(n_cuts);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&points](std::size_t a, std::size_t b) {
+    return points[a].after_op < points[b].after_op;
+  });
 
   Qpd qpd;
-  for (const CutGadget& g : protocol.gadgets()) {
-    QCUT_CHECK(g.append != nullptr, "cut_circuit: gadget without append function");
-    const int n_qubits = n_orig + 1 + g.extra_qubits;
-    const int n_cbits = g.cbits + static_cast<int>(sites.size());
-    Circuit c(n_qubits, n_cbits);
-
-    // Pre-cut segment, untouched.
-    std::size_t idx = 0;
-    for (; idx < point.after_op; ++idx) {
-      const Operation& op = circ.ops()[idx];
-      if (op.kind == OpKind::kInitialize) {
-        c.initialize(op.qubits, op.init_state, op.label);
-      } else {
-        c.gate(op.matrix, op.qubits, op.label);
-      }
+  std::vector<std::size_t> idx(n_cuts, 0);  // current gadget per cut
+  for (std::size_t t = 0; t < total_terms; ++t) {
+    // Layout for this gadget tuple: receivers, then per-cut helper blocks,
+    // then per-cut classical-bit blocks followed by the observable bits.
+    int n_qubits = n_orig + static_cast<int>(n_cuts);
+    std::vector<int> helper_base(n_cuts), cbit_base(n_cuts);
+    int cbit = 0;
+    Real coeff = 1.0;
+    int pairs = 0;
+    std::string label;
+    for (std::size_t j = 0; j < n_cuts; ++j) {
+      const CutGadget& g = gadget_sets[j][idx[j]];
+      helper_base[j] = n_qubits;
+      n_qubits += g.extra_qubits;
+      cbit_base[j] = cbit;
+      cbit += g.cbits;
+      coeff *= g.coefficient;
+      pairs += g.entangled_pairs;
+      label += (j ? "*" : "") + g.label;
     }
+    Circuit c(n_qubits, cbit + static_cast<int>(sites.size()));
 
-    // The gadget: consumes `point.qubit`, delivers onto `dst`.
-    std::vector<int> helpers;
-    for (int h = 0; h < g.extra_qubits; ++h) {
-      helpers.push_back(n_orig + 1 + h);
-    }
-    g.append(c, point.qubit, dst, helpers, /*cbit0=*/0);
+    // Current carrier wire of each original qubit.
+    std::vector<int> cur(static_cast<std::size_t>(n_orig));
+    std::iota(cur.begin(), cur.end(), 0);
 
-    // Post-cut segment: the cut wire now lives on `dst`.
-    for (; idx < circ.size(); ++idx) {
-      Operation op = circ.ops()[idx];
-      for (int& q : op.qubits) {
-        if (q == point.qubit) {
-          q = dst;
+    std::size_t next_cut = 0;
+    for (std::size_t pos = 0; pos <= circ.size(); ++pos) {
+      while (next_cut < n_cuts && points[order[next_cut]].after_op == pos) {
+        const std::size_t j = order[next_cut];
+        const CutGadget& g = gadget_sets[j][idx[j]];
+        const int dst = n_orig + static_cast<int>(j);
+        std::vector<int> helpers;
+        for (int h = 0; h < g.extra_qubits; ++h) {
+          helpers.push_back(helper_base[j] + h);
         }
+        const int src = cur[static_cast<std::size_t>(points[j].qubit)];
+        g.append(c, src, dst, helpers, cbit_base[j]);
+        cur[static_cast<std::size_t>(points[j].qubit)] = dst;
+        ++next_cut;
       }
-      if (op.kind == OpKind::kInitialize) {
-        c.initialize(op.qubits, op.init_state, op.label);
-      } else {
-        c.gate(op.matrix, op.qubits, op.label);
+      if (pos < circ.size()) {
+        append_original_op(c, circ.ops()[pos], cur);
       }
     }
 
     // Observable measurements; estimate = parity of the recorded bits.
     QpdTerm term;
-    int cbit = g.cbits;
     term.estimate_cbits.clear();
     for (const auto& [q, p] : sites) {
-      const int wire = (q == point.qubit) ? dst : q;
-      append_pauli_measurement(c, wire, p, cbit);
+      append_pauli_measurement(c, cur[static_cast<std::size_t>(q)], p, cbit);
       term.estimate_cbits.push_back(cbit);
       ++cbit;
     }
-    term.coefficient = g.coefficient;
+    term.coefficient = coeff;
     term.circuit = std::move(c);
-    term.entangled_pairs = g.entangled_pairs;
-    term.label = g.label;
+    term.entangled_pairs = pairs;
+    term.label = std::move(label);
     qpd.add(std::move(term));
+
+    // Advance the gadget-index tuple (last cut fastest).
+    for (std::size_t j = n_cuts; j-- > 0;) {
+      if (++idx[j] < gadget_sets[j].size()) {
+        break;
+      }
+      idx[j] = 0;
+    }
   }
+  return qpd;
+}
+
+Qpd cut_circuit(const Circuit& circ, const CutPoint& point, const WireCutProtocol& protocol,
+                const std::string& observable) {
+  return cut_circuit_multi(circ, {point}, {&protocol}, observable);
+}
+
+Qpd uncut_qpd(const Circuit& circ, const std::string& observable) {
+  QCUT_CHECK(circ.n_cbits() == 0, "uncut_qpd: input circuit must be purely quantum");
+  for (const auto& op : circ.ops()) {
+    QCUT_CHECK(op.kind == OpKind::kUnitary || op.kind == OpKind::kInitialize,
+               "uncut_qpd: input circuit must contain only unitary/initialize ops");
+  }
+  const auto sites = parse_observable(observable, circ.n_qubits(), "uncut_qpd");
+  Circuit c(circ.n_qubits(), static_cast<int>(sites.size()));
+  std::vector<int> cur(static_cast<std::size_t>(circ.n_qubits()));
+  std::iota(cur.begin(), cur.end(), 0);
+  for (const auto& op : circ.ops()) {
+    append_original_op(c, op, cur);
+  }
+  QpdTerm term;
+  term.coefficient = 1.0;
+  term.estimate_cbits.clear();
+  int cbit = 0;
+  for (const auto& [q, p] : sites) {
+    append_pauli_measurement(c, q, p, cbit);
+    term.estimate_cbits.push_back(cbit);
+    ++cbit;
+  }
+  term.circuit = std::move(c);
+  term.label = "uncut";
+  Qpd qpd;
+  qpd.add(std::move(term));
   return qpd;
 }
 

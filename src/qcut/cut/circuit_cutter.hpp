@@ -1,4 +1,4 @@
-// Generic circuit cutting: splice a wire-cut protocol's gadgets into an
+// Generic circuit cutting: splice wire-cut protocol gadgets into an
 // arbitrary unitary circuit, producing the executable QPD for a Pauli
 // observable on the cut circuit's output.
 //
@@ -10,9 +10,17 @@
 // After the cut, everything the original circuit did on the cut wire happens
 // on a fresh receiver wire (a different device); the sender-side wire is
 // consumed by the gadget.
+//
+// cut_circuit_multi is the n-cut generalization: each cut consumes the
+// current carrier of its wire and delivers onto a fresh receiver, so cuts may
+// chain along one wire. The joint QPD is the product decomposition — Π m_i
+// terms, coefficient products, κ = Π κ_i — exactly product_qpd's semantics
+// realized inside one host circuit. This is what the automatic planner
+// (qcut/plan/) executes.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "qcut/cut/wire_cut.hpp"
 
@@ -23,12 +31,36 @@ struct CutPoint {
   int qubit = 0;             ///< the wire being cut
 };
 
+inline bool operator==(const CutPoint& a, const CutPoint& b) {
+  return a.after_op == b.after_op && a.qubit == b.qubit;
+}
+
 /// Cuts `circ` (unitary ops only, no classical bits) at `point` with
 /// `protocol`, measuring the n-qubit Pauli string `observable` (indexed by
 /// the original circuit's qubits) on the final state. Each QPD term's
 /// estimate is the parity of the per-site measurement bits.
+///
+/// Rejects (qcut::Error) out-of-range positions/wires and dead cuts: a cut
+/// on a wire that no later op touches and the observable does not measure
+/// would silently burn a κ² shot-cost factor on a state nobody looks at.
 Qpd cut_circuit(const Circuit& circ, const CutPoint& point, const WireCutProtocol& protocol,
                 const std::string& observable);
+
+/// Cuts `circ` at every `points[i]` with `protocols[i]`, producing the
+/// product QPD of the n independent single-wire decompositions spliced into
+/// one host circuit. Receiver wire i is `circ.n_qubits() + i`; gadget helper
+/// qubits follow the receivers. Cuts are spliced in time order (ties: input
+/// order), so two cuts on one wire chain sender → receiver → receiver.
+/// Validation is the same as cut_circuit, applied per cut.
+Qpd cut_circuit_multi(const Circuit& circ, const std::vector<CutPoint>& points,
+                      const std::vector<const WireCutProtocol*>& protocols,
+                      const std::string& observable);
+
+/// The single-term "QPD" of the uncut circuit: coefficient 1, κ = 1, the
+/// observable's parity measured directly. What planned execution runs when
+/// the circuit already fits on one device; shares cut_circuit's observable
+/// validation.
+Qpd uncut_qpd(const Circuit& circ, const std::string& observable);
 
 /// The reference value ⟨observable⟩ on the uncut circuit, computed exactly.
 Real uncut_circuit_expectation(const Circuit& circ, const std::string& observable);

@@ -1,0 +1,128 @@
+#include "qcut/plan/circuit_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace qcut {
+
+namespace {
+
+/// Plain union-find over segment ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+CircuitGraph::CircuitGraph(const Circuit& circ) : circ_(&circ) {
+  for (const auto& op : circ.ops()) {
+    QCUT_CHECK(op.kind == OpKind::kUnitary || op.kind == OpKind::kInitialize,
+               "CircuitGraph: circuit must contain only unitary/initialize ops");
+    min_reachable_width_ =
+        std::max(min_reachable_width_, static_cast<int>(op.qubits.size()));
+  }
+
+  wire_ops_.resize(static_cast<std::size_t>(circ.n_qubits()));
+  for (std::size_t t = 0; t < circ.size(); ++t) {
+    for (int q : circ.ops()[t].qubits) {
+      wire_ops_[static_cast<std::size_t>(q)].push_back(t);
+    }
+  }
+
+  // One candidate per inter-op gap, placed directly after the earlier op.
+  // Gaps whose next op on the wire is an initialize are skipped: the
+  // initialize overwrites the wire, so a cut there teleports a state that is
+  // immediately discarded — the cutter rejects it as dead, and the width
+  // split it buys is free anyway (the continuation is independent of the
+  // sender side without any QPD).
+  for (int q = 0; q < circ.n_qubits(); ++q) {
+    const auto& ops = wire_ops_[static_cast<std::size_t>(q)];
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      if (circ.ops()[ops[i]].kind == OpKind::kInitialize) {
+        continue;
+      }
+      candidates_.push_back(CutPoint{ops[i - 1] + 1, q});
+    }
+  }
+  std::sort(candidates_.begin(), candidates_.end(), [](const CutPoint& a, const CutPoint& b) {
+    return a.after_op != b.after_op ? a.after_op < b.after_op : a.qubit < b.qubit;
+  });
+}
+
+const std::vector<std::size_t>& CircuitGraph::wire_ops(int q) const {
+  QCUT_CHECK(q >= 0 && q < circ_->n_qubits(), "CircuitGraph: wire out of range");
+  return wire_ops_[static_cast<std::size_t>(q)];
+}
+
+std::vector<int> CircuitGraph::fragment_widths(const std::vector<CutPoint>& cuts) const {
+  const int n = circ_->n_qubits();
+  // Cut positions per wire, sorted, deduplicated (cutting the same spot twice
+  // chains receivers without refining the partition).
+  std::vector<std::vector<std::size_t>> wire_cuts(static_cast<std::size_t>(n));
+  for (const CutPoint& cp : cuts) {
+    QCUT_CHECK(cp.qubit >= 0 && cp.qubit < n, "fragment_widths: cut qubit out of range");
+    QCUT_CHECK(cp.after_op <= circ_->size(), "fragment_widths: cut position out of range");
+    wire_cuts[static_cast<std::size_t>(cp.qubit)].push_back(cp.after_op);
+  }
+  std::size_t n_segments = 0;
+  std::vector<std::size_t> seg_base(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    auto& pos = wire_cuts[static_cast<std::size_t>(q)];
+    std::sort(pos.begin(), pos.end());
+    pos.erase(std::unique(pos.begin(), pos.end()), pos.end());
+    seg_base[static_cast<std::size_t>(q)] = n_segments;
+    n_segments += pos.size() + 1;
+  }
+
+  // Segment of wire q at op position t: #cuts on q at positions <= t.
+  const auto segment_at = [&](int q, std::size_t t) {
+    const auto& pos = wire_cuts[static_cast<std::size_t>(q)];
+    const std::size_t k = static_cast<std::size_t>(
+        std::upper_bound(pos.begin(), pos.end(), t) - pos.begin());
+    return seg_base[static_cast<std::size_t>(q)] + k;
+  };
+
+  UnionFind uf(n_segments);
+  for (std::size_t t = 0; t < circ_->size(); ++t) {
+    const auto& qs = circ_->ops()[t].qubits;
+    for (std::size_t i = 1; i < qs.size(); ++i) {
+      uf.unite(segment_at(qs[0], t), segment_at(qs[i], t));
+    }
+  }
+
+  std::vector<int> width(n_segments, 0);
+  for (std::size_t s = 0; s < n_segments; ++s) {
+    ++width[uf.find(s)];
+  }
+  std::vector<int> out;
+  for (std::size_t s = 0; s < n_segments; ++s) {
+    if (width[s] > 0) {
+      out.push_back(width[s]);
+    }
+  }
+  std::sort(out.begin(), out.end(), std::greater<int>());
+  return out;
+}
+
+int CircuitGraph::max_fragment_width(const std::vector<CutPoint>& cuts) const {
+  const std::vector<int> widths = fragment_widths(cuts);
+  return widths.empty() ? 0 : widths.front();
+}
+
+}  // namespace qcut

@@ -1,0 +1,64 @@
+// Circuit analysis for the cut planner: the qubit-interaction timeline of a
+// Circuit, the candidate wire-cut locations, and the fragment partition a
+// cut set induces.
+//
+// Model: cutting wire q at position t splits q's timeline into a sender
+// segment (ops before t) and a receiver segment (ops from t on). Wire
+// segments are the vertices of the fragment graph; every multi-qubit op
+// connects the segments its qubits occupy at that moment. A fragment is a
+// connected component, and its width — the number of segments it contains —
+// is the physical qubit count a device needs to run it (gadget helper or
+// resource qubits are the protocol's business, not the partition's).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qcut/cut/circuit_cutter.hpp"
+#include "qcut/sim/circuit.hpp"
+
+namespace qcut {
+
+class CircuitGraph {
+ public:
+  /// Analyzes `circ` (unitary/initialize ops only). The circuit must outlive
+  /// the graph.
+  explicit CircuitGraph(const Circuit& circ);
+
+  const Circuit& circuit() const noexcept { return *circ_; }
+  int n_qubits() const noexcept { return circ_->n_qubits(); }
+
+  /// Indices (into circuit().ops()) of the ops acting on wire q, time-ordered.
+  const std::vector<std::size_t>& wire_ops(int q) const;
+
+  /// The canonical candidate cut locations: one CutPoint per gap between two
+  /// consecutive ops on a wire, placed directly after the earlier op (any
+  /// other position inside the gap yields the identical partition). Gaps
+  /// before a wire's first op or after its last are excluded — cutting there
+  /// can never separate anything — and so are gaps feeding into an
+  /// initialize, which would discard the teleported state (the cutter's
+  /// dead-cut rule). Ordered by (after_op, qubit).
+  const std::vector<CutPoint>& candidates() const noexcept { return candidates_; }
+
+  /// Widths of the fragments induced by `cuts` (any subset of positions, not
+  /// just candidates), sorted descending. Wires without any op count as
+  /// width-1 fragments of their own. No cuts → one fragment per component of
+  /// the plain interaction graph.
+  std::vector<int> fragment_widths(const std::vector<CutPoint>& cuts) const;
+
+  /// max(fragment_widths(cuts)).
+  int max_fragment_width(const std::vector<CutPoint>& cuts) const;
+
+  /// The smallest width any cut set could reach: the widest single op (a
+  /// k-qubit gate is never separable), floor for the planner's feasibility
+  /// pre-check.
+  int min_reachable_width() const noexcept { return min_reachable_width_; }
+
+ private:
+  const Circuit* circ_;
+  std::vector<std::vector<std::size_t>> wire_ops_;  // per wire, time-ordered
+  std::vector<CutPoint> candidates_;
+  int min_reachable_width_ = 1;
+};
+
+}  // namespace qcut

@@ -1,0 +1,249 @@
+#include "qcut/plan/cut_planner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "qcut/core/overhead.hpp"
+#include "qcut/linalg/bell.hpp"
+
+namespace qcut {
+
+namespace {
+
+constexpr Real kHalfTol = 1e-12;
+
+}  // namespace
+
+std::vector<CutPoint> CutPlan::points() const {
+  std::vector<CutPoint> out;
+  out.reserve(cuts.size());
+  for (const PlannedCut& c : cuts) {
+    out.push_back(c.point);
+  }
+  return out;
+}
+
+std::string CutPlan::to_string() const {
+  std::ostringstream os;
+  os << "CutPlan: " << cuts.size() << " cut(s), total kappa " << total_kappa
+     << ", overhead factor " << total_overhead << "\n";
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    const PlannedCut& c = cuts[i];
+    os << "  cut " << i << ": wire " << c.point.qubit << " after op " << c.point.after_op
+       << "  protocol=" << c.protocol;
+    if (c.entangled) {
+      os << "(k=" << c.k << ", 1 pair/sample)";
+    }
+    os << "  kappa=" << c.kappa << "\n";
+  }
+  os << "  fragment widths:";
+  for (int w : fragment_widths) {
+    os << " " << w;
+  }
+  os << " (max " << max_width << ")\n";
+  os << "  predicted shots for eps=" << target_accuracy << ": " << predicted_shots << "\n";
+  return os.str();
+}
+
+CutPlanner::CutPlanner(const Circuit& circ, PlannerConfig cfg)
+    : circ_(circ), graph_(circ_), cfg_(cfg) {
+  QCUT_CHECK(cfg_.max_fragment_width >= 1, "CutPlanner: max_fragment_width must be >= 1");
+  QCUT_CHECK(cfg_.resource_overlap >= 0.5 - kTightTol && cfg_.resource_overlap <= 1.0 + kTightTol,
+             "CutPlanner: resource_overlap must lie in [1/2, 1]");
+  QCUT_CHECK(cfg_.pair_budget >= 0, "CutPlanner: pair_budget must be non-negative");
+  QCUT_CHECK(cfg_.target_accuracy > 0.0, "CutPlanner: target_accuracy must be positive");
+  use_entanglement_ = cfg_.pair_budget > 0 && cfg_.resource_overlap > 0.5 + kHalfTol;
+  if (use_entanglement_) {
+    kappa_nme_ = optimal_overhead_from_f(cfg_.resource_overlap);
+    k_nme_ = k_for_overlap(std::min<Real>(cfg_.resource_overlap, 1.0));
+  }
+}
+
+Real CutPlanner::cut_kappa(std::size_t cut_index) const {
+  const bool entangled =
+      use_entanglement_ && cut_index < static_cast<std::size_t>(cfg_.pair_budget);
+  return entangled ? kappa_nme_ : 3.0;
+}
+
+Real CutPlanner::set_overhead(std::size_t n_cuts) const {
+  Real cost = 1.0;
+  for (std::size_t i = 0; i < n_cuts; ++i) {
+    cost *= cut_kappa(i) * cut_kappa(i);
+  }
+  return cost;
+}
+
+namespace {
+
+/// Shared DFS over candidate subsets in lexicographic index order. With
+/// `prune` false this is the plain exhaustive scan; with it true, the
+/// branch-and-bound (cost lower bound + width-reachability bound).
+class SubsetSearch {
+ public:
+  SubsetSearch(const CutPlanner& planner, bool prune)
+      : planner_(planner),
+        graph_(planner.graph()),
+        cands_(graph_.candidates()),
+        width_cap_(planner.config().max_fragment_width),
+        max_cuts_(planner.config().max_cuts),
+        max_nodes_(planner.config().max_nodes),
+        prune_(prune) {}
+
+  void run() { dfs(0); }
+
+  bool found() const noexcept { return found_; }
+  const std::vector<std::size_t>& best() const noexcept { return best_; }
+  std::size_t nodes() const noexcept { return nodes_; }
+  bool budget_exhausted() const noexcept { return aborted_; }
+
+ private:
+  std::vector<CutPoint> current_points() const {
+    std::vector<CutPoint> pts;
+    pts.reserve(current_.size());
+    for (std::size_t i : current_) {
+      pts.push_back(cands_[i]);
+    }
+    return pts;
+  }
+
+  void dfs(std::size_t start) {
+    if (aborted_) {
+      return;
+    }
+    if (nodes_ >= max_nodes_) {
+      aborted_ = true;
+      return;
+    }
+    ++nodes_;
+    // Cost first: set_overhead depends only on the cut count, so a node that
+    // cannot beat the incumbent never needs the (much more expensive)
+    // union-find feasibility check — recording only strict improvements makes
+    // the skip behavior-identical.
+    const Real cost = planner_.set_overhead(current_.size());
+    const bool can_improve = !found_ || cost < best_cost_;
+    if (can_improve && graph_.max_fragment_width(current_points()) <= width_cap_) {
+      found_ = true;
+      best_cost_ = cost;
+      best_ = current_;
+    }
+    if (current_.size() >= max_cuts_ || start >= cands_.size()) {
+      return;
+    }
+    if (prune_) {
+      // Cost bound: every strict extension has >= size+1 cuts, and
+      // set_overhead is non-decreasing in the cut count. (No width-based
+      // prune: fragment width is NOT monotone under adding cuts — a split
+      // segment's halves can reconnect through other wires and grow a
+      // component — so only the cost bound is sound.)
+      if (found_ && planner_.set_overhead(current_.size() + 1) >= best_cost_) {
+        return;
+      }
+    }
+    for (std::size_t i = start; i < cands_.size(); ++i) {
+      current_.push_back(i);
+      dfs(i + 1);
+      current_.pop_back();
+    }
+  }
+
+  const CutPlanner& planner_;
+  const CircuitGraph& graph_;
+  const std::vector<CutPoint>& cands_;
+  int width_cap_;
+  std::size_t max_cuts_;
+  std::size_t max_nodes_;
+  bool prune_;
+
+  std::vector<std::size_t> current_;
+  std::vector<std::size_t> best_;
+  Real best_cost_ = std::numeric_limits<Real>::infinity();
+  bool found_ = false;
+  bool aborted_ = false;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+CutPlan CutPlanner::make_plan(const std::vector<std::size_t>& chosen, std::size_t nodes) const {
+  CutPlan plan;
+  plan.nodes_explored = nodes;
+  // `chosen` holds increasing indices into the (time-ordered) candidate
+  // list, so the plan's cuts come out time-ordered and the greedy pair grant
+  // favors the earliest cuts.
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    PlannedCut pc;
+    pc.point = graph_.candidates()[chosen[i]];
+    pc.entangled = use_entanglement_ && i < static_cast<std::size_t>(cfg_.pair_budget);
+    pc.protocol = pc.entangled ? "nme" : "harada";
+    pc.k = pc.entangled ? k_nme_ : 0.0;
+    pc.kappa = cut_kappa(i);
+    plan.total_kappa *= pc.kappa;
+    plan.cuts.push_back(std::move(pc));
+  }
+  plan.total_overhead = plan.total_kappa * plan.total_kappa;
+  plan.target_accuracy = cfg_.target_accuracy;
+  plan.predicted_shots = shots_for_accuracy(plan.total_kappa, cfg_.target_accuracy);
+  plan.fragment_widths = graph_.fragment_widths(plan.points());
+  plan.max_width = plan.fragment_widths.empty() ? 0 : plan.fragment_widths.front();
+  return plan;
+}
+
+Real CutPlanner::reference_overhead() const {
+  const auto& cands = graph_.candidates();
+  const std::size_t m = cands.size();
+  QCUT_CHECK(m <= 20, "reference_overhead: too many candidates for the 2^m scan");
+  Real best = -1.0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
+    std::vector<CutPoint> pts;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1) {
+        pts.push_back(cands[i]);
+        ++count;
+      }
+    }
+    if (count > cfg_.max_cuts) {
+      continue;
+    }
+    if (graph_.max_fragment_width(pts) > cfg_.max_fragment_width) {
+      continue;
+    }
+    const Real cost = set_overhead(count);
+    if (best < 0.0 || cost < best) {
+      best = cost;
+    }
+  }
+  return best;
+}
+
+CutPlan CutPlanner::plan() const {
+  const std::size_t m = graph_.candidates().size();
+  // O(1) infeasibility pre-check: a fragment containing a k-qubit op always
+  // holds at least k segments, so no cut set can beat the widest single op —
+  // without this, a hopeless width cap would enumerate the entire subset
+  // tree before it could throw.
+  if (graph_.min_reachable_width() <= cfg_.max_fragment_width) {
+    SubsetSearch search(*this, /*prune=*/m > cfg_.exhaustive_limit);
+    search.run();
+    if (search.found()) {
+      CutPlan plan = make_plan(search.best(), search.nodes());
+      plan.budget_exhausted = search.budget_exhausted();
+      return plan;
+    }
+    if (search.budget_exhausted()) {
+      std::ostringstream os;
+      os << "CutPlanner: search hit max_nodes = " << cfg_.max_nodes
+         << " without a feasible cut set (width cap " << cfg_.max_fragment_width << ", " << m
+         << " candidates) — the instance is likely infeasible; raise max_nodes to be sure";
+      throw Error(os.str());
+    }
+  }
+  std::ostringstream os;
+  os << "CutPlanner: no cut set of <= " << cfg_.max_cuts << " cuts reaches max fragment width "
+     << cfg_.max_fragment_width << " (widest single op needs " << graph_.min_reachable_width()
+     << " qubits, " << m << " candidate cuts)";
+  throw Error(os.str());
+}
+
+}  // namespace qcut

@@ -1,0 +1,122 @@
+// The automatic cut planner: given a circuit, a device width cap, and an
+// entanglement budget, find the cut set minimizing the total sampling
+// overhead Π κ_i² (Theorem 1 / Corollary 1 give κ_i per cut as a function of
+// the resource overlap f) and report the predicted shot cost for a target
+// accuracy (N ≈ κ²/ε², Temme et al.).
+//
+// Search: subsets of the canonical candidate cuts (CircuitGraph). Small
+// candidate sets are scanned exhaustively; larger ones run a depth-first
+// branch-and-bound where the partial product Π κ_i² is a valid lower bound
+// for every extension (each additional cut multiplies the overhead by
+// κ² ≥ 1). Fragment width is deliberately NOT used as a bound: it is not
+// monotone under adding cuts (the halves of a split segment can reconnect
+// through other wires, growing a component by a segment), so width only ever
+// decides feasibility of the concrete subset at hand.
+// Ties in cost resolve to the first subset in lexicographic candidate order,
+// so the result is deterministic and brute-force reproducible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qcut/plan/circuit_graph.hpp"
+
+namespace qcut {
+
+struct PlannerConfig {
+  /// Hard cap on the width (physical qubit count) of every fragment.
+  int max_fragment_width = 0;
+  /// Maximal overlap f = ⟨Φ|ρ|Φ⟩ of the NME resource pairs the hardware can
+  /// share, in [1/2, 1]. f = 1/2 means no useful entanglement.
+  Real resource_overlap = 0.5;
+  /// How many cuts may each consume one NME pair per QPD sample. Cuts inside
+  /// the budget use the Theorem-2 protocol at `resource_overlap`
+  /// (κ = 2/f − 1); cuts beyond it use the entanglement-free optimum (κ = 3).
+  int pair_budget = 0;
+  /// Target absolute accuracy ε for the predicted shot budget.
+  Real target_accuracy = 0.05;
+  /// Search depth cap (more cuts than this are never considered).
+  std::size_t max_cuts = 8;
+  /// Candidate counts up to this limit use the exhaustive subset scan;
+  /// beyond it the branch-and-bound search runs.
+  std::size_t exhaustive_limit = 12;
+  /// Hard cap on search-tree nodes. The min_reachable_width pre-check cannot
+  /// detect every infeasible instance (width is not monotone), and a hopeless
+  /// cap would otherwise enumerate Σ_k C(m, k) subsets before throwing. When
+  /// the budget runs out, the best feasible set found so far is returned
+  /// (plan.budget_exhausted = true); with none found, plan() throws.
+  std::size_t max_nodes = 1000000;
+};
+
+/// One cut of the final plan, with its assigned protocol.
+struct PlannedCut {
+  CutPoint point;
+  std::string protocol;     ///< make_protocol name: "nme" or "harada"
+  Real k = 0.0;             ///< Schmidt parameter of |Φk⟩ for "nme"
+  Real kappa = 1.0;         ///< per-cut sampling overhead κ_i
+  bool entangled = false;   ///< consumes one NME pair per sample
+};
+
+struct CutPlan {
+  std::vector<PlannedCut> cuts;        ///< time-ordered
+  Real total_kappa = 1.0;              ///< Π κ_i
+  Real total_overhead = 1.0;           ///< Π κ_i² (shot-cost inflation)
+  Real target_accuracy = 0.0;          ///< ε the prediction is for
+  Real predicted_shots = 0.0;          ///< κ²/ε²
+  std::vector<int> fragment_widths;    ///< descending
+  int max_width = 0;
+  std::size_t nodes_explored = 0;      ///< search-tree nodes visited
+  /// True when the search stopped at PlannerConfig::max_nodes: the plan is
+  /// the best feasible set found, not necessarily the global optimum.
+  bool budget_exhausted = false;
+
+  std::vector<CutPoint> points() const;
+  /// Multi-line human-readable report.
+  std::string to_string() const;
+};
+
+class CutPlanner {
+ public:
+  /// Keeps its own copy of the circuit, so the planner is self-contained
+  /// (temporaries are fine). Non-copyable: the analysis references the copy.
+  CutPlanner(const Circuit& circ, PlannerConfig cfg);
+
+  CutPlanner(const CutPlanner&) = delete;
+  CutPlanner& operator=(const CutPlanner&) = delete;
+
+  const CircuitGraph& graph() const noexcept { return graph_; }
+  const PlannerConfig& config() const noexcept { return cfg_; }
+
+  /// κ of the i-th cut (0-based, time order) of any chosen set: pairs are
+  /// granted greedily, so cuts [0, pair_budget) get the NME protocol and the
+  /// rest the entanglement-free optimum. Exposed so tests can brute-force the
+  /// identical cost model.
+  Real cut_kappa(std::size_t cut_index) const;
+
+  /// Π κ_i² of an n-cut set under cut_kappa's assignment. Non-decreasing in
+  /// n — the branch-and-bound lower bound.
+  Real set_overhead(std::size_t n_cuts) const;
+
+  /// Runs the search. Throws qcut::Error when no cut set within max_cuts
+  /// satisfies the width cap.
+  CutPlan plan() const;
+
+  /// Validation oracle, independent of plan()'s DFS: bitmask-enumerates ALL
+  /// candidate subsets (2^m — requires m <= 20 candidates) and returns the
+  /// minimal feasible Π κ_i², or -1 when no subset is feasible. The bench's
+  /// optimality gate; tests pin plan() against their own copy of this scan.
+  Real reference_overhead() const;
+
+ private:
+  CutPlan make_plan(const std::vector<std::size_t>& chosen, std::size_t nodes) const;
+
+  Circuit circ_;       ///< owned copy; graph_ points into it
+  CircuitGraph graph_;
+  PlannerConfig cfg_;
+  bool use_entanglement_ = false;  ///< f > 1/2 and budget > 0
+  Real kappa_nme_ = 3.0;           ///< κ of an in-budget cut
+  Real k_nme_ = 0.0;               ///< Schmidt parameter of the resource
+};
+
+}  // namespace qcut

@@ -1,0 +1,52 @@
+#include "qcut/plan/planned_executor.hpp"
+
+#include <cmath>
+
+namespace qcut {
+
+PlannedExecutor::PlannedExecutor(Circuit circ, CutPlan plan)
+    : circ_(std::move(circ)), plan_(std::move(plan)) {
+  protocols_.reserve(plan_.cuts.size());
+  for (const PlannedCut& pc : plan_.cuts) {
+    protocols_.push_back(make_protocol(pc.protocol, pc.k));
+  }
+}
+
+Qpd PlannedExecutor::build_qpd(const std::string& observable) const {
+  if (plan_.cuts.empty()) {
+    return uncut_qpd(circ_, observable);
+  }
+  std::vector<const WireCutProtocol*> protos;
+  protos.reserve(protocols_.size());
+  for (const auto& p : protocols_) {
+    protos.push_back(p.get());
+  }
+  return cut_circuit_multi(circ_, plan_.points(), protos, observable);
+}
+
+CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunConfig& cfg) const {
+  CutRunConfig eff = cfg;
+  if (eff.shots == 0) {
+    const Real predicted = std::ceil(plan_.predicted_shots);
+    // κ²/ε² grows without bound; casting past the integer range would be UB
+    // and silently run a garbage shot count.
+    QCUT_CHECK(predicted <= 1e18,
+               "PlannedExecutor: predicted shot budget exceeds 1e18 — loosen target_accuracy "
+               "or pass an explicit shot count");
+    eff.shots = static_cast<std::uint64_t>(predicted);
+  }
+  return run_qpd_estimate(build_qpd(observable), uncut_circuit_expectation(circ_, observable),
+                          eff);
+}
+
+PlannedRunResult plan_and_run(const Circuit& circ, const std::string& observable,
+                              const PlannerConfig& pcfg, const CutRunConfig& rcfg) {
+  const CutPlanner planner(circ, pcfg);
+  PlannedRunResult out;
+  out.plan = planner.plan();
+  const PlannedExecutor executor(circ, out.plan);
+  out.run = executor.run(observable, rcfg);
+  return out;
+}
+
+}  // namespace qcut

@@ -1,0 +1,53 @@
+// End-to-end planned execution: turn a CutPlan into a runnable estimate.
+//
+// The executor instantiates the plan's per-cut protocols, splices every
+// gadget into the host circuit via cut_circuit_multi (the product QPD of the
+// n cuts, κ = Π κ_i), and estimates the observable on the batched execution
+// engine — the same engine-backed path CutExecutor uses for single-wire
+// experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qcut/core/cut_executor.hpp"
+#include "qcut/plan/cut_planner.hpp"
+
+namespace qcut {
+
+class PlannedExecutor {
+ public:
+  /// Takes ownership of copies of the circuit and plan; protocols are
+  /// instantiated once here and reused across runs.
+  PlannedExecutor(Circuit circ, CutPlan plan);
+
+  const CutPlan& plan() const noexcept { return plan_; }
+  const Circuit& circuit() const noexcept { return circ_; }
+
+  /// The joint (product) QPD realizing all planned cuts for `observable`.
+  /// A plan with zero cuts yields the single-term "QPD" that just runs the
+  /// circuit and measures the observable.
+  Qpd build_qpd(const std::string& observable) const;
+
+  /// One estimation run against the exact uncut expectation. cfg.shots = 0
+  /// uses the plan's predicted budget κ²/ε² (rounded up).
+  CutRunResult run(const std::string& observable, const CutRunConfig& cfg) const;
+
+ private:
+  Circuit circ_;
+  CutPlan plan_;
+  std::vector<std::shared_ptr<const WireCutProtocol>> protocols_;
+};
+
+struct PlannedRunResult {
+  CutPlan plan;
+  CutRunResult run;
+};
+
+/// One call from circuit to answer: analyze, plan (throws if infeasible),
+/// and execute. rcfg.shots = 0 runs at the planner-predicted budget.
+PlannedRunResult plan_and_run(const Circuit& circ, const std::string& observable,
+                              const PlannerConfig& pcfg, const CutRunConfig& rcfg);
+
+}  // namespace qcut

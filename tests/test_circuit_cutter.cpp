@@ -16,23 +16,12 @@
 #include "qcut/qpd/estimator.hpp"
 #include "qcut/sim/gates.hpp"
 #include "qcut/sim/noise.hpp"
+#include "test_helpers.hpp"
 
 namespace qcut {
 namespace {
 
-Circuit random_unitary_circuit(int n, int depth, Rng& rng) {
-  Circuit c(n, 0);
-  for (int d = 0; d < depth; ++d) {
-    if (n >= 2 && rng.bernoulli(0.5)) {
-      const int q = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n - 1)));
-      c.gate(haar_unitary(4, rng), {q, q + 1}, "U2");
-    } else {
-      const int q = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
-      c.gate(haar_unitary(2, rng), {q}, "U1");
-    }
-  }
-  return c;
-}
+using testing::random_unitary_circuit;
 
 TEST(CircuitCutter, GhzCircuitCutInTheMiddle) {
   // H(0), CX(0,1), CX(1,2): cut the q1 wire between the CXs.
@@ -168,6 +157,42 @@ TEST(CircuitCutter, RejectsInvalidRequests) {
   Circuit with_meas(2, 1);
   with_meas.h(0).measure(0, 0);
   EXPECT_THROW(cut_circuit(with_meas, {1, 0}, proto, "ZZ"), Error);
+}
+
+TEST(CircuitCutter, RejectsDeadCut) {
+  // A cut on a wire that no later op touches and the observable ignores
+  // would sample a κ²-inflated estimator of a state nobody measures.
+  Circuit c(2, 0);
+  c.h(0).cx(0, 1);
+  const HaradaCut proto;
+  EXPECT_THROW(cut_circuit(c, {2, 1}, proto, "ZI"), Error);
+  // Measuring the cut wire keeps an end-of-circuit cut legal...
+  EXPECT_NO_THROW(cut_circuit(c, {2, 1}, proto, "ZZ"));
+  // ...and so does a later op on the wire, even with observable 'I' there.
+  const Qpd qpd = cut_circuit(c, {1, 1}, proto, "ZI");
+  EXPECT_NEAR(exact_value(qpd), uncut_circuit_expectation(c, "ZI"), 1e-9);
+
+  // An initialize overwrites the wire, so a cut feeding only into it is just
+  // as dead as one feeding nothing.
+  Circuit reinit(2, 0);
+  Vector zero(2);
+  zero[0] = Cplx{1.0, 0.0};
+  reinit.h(0).cz(0, 1).initialize({1}, zero, "reset1");
+  EXPECT_THROW(cut_circuit(reinit, {2, 1}, proto, "ZI"), Error);
+  EXPECT_NO_THROW(cut_circuit(reinit, {2, 1}, proto, "ZZ"));  // measured: live
+}
+
+TEST(CircuitCutter, RejectsOutOfRangeMultiCut) {
+  Circuit c(3, 0);
+  c.h(0).cx(0, 1).cx(1, 2);
+  const HaradaCut proto;
+  const NmeCut nme(0.7);
+  // Out-of-range members of a multi-cut set fail with the same errors as the
+  // single-cut path.
+  EXPECT_THROW(cut_circuit_multi(c, {{1, 0}, {2, 7}}, {&proto, &nme}, "ZZZ"), Error);
+  EXPECT_THROW(cut_circuit_multi(c, {{9, 0}, {2, 1}}, {&proto, &nme}, "ZZZ"), Error);
+  // A dead member is rejected even when the other cut is live.
+  EXPECT_THROW(cut_circuit_multi(c, {{2, 1}, {3, 0}}, {&proto, &nme}, "IZZ"), Error);
 }
 
 TEST(CircuitCutter, KappaIndependentOfHostCircuit) {

@@ -1,0 +1,481 @@
+// The automatic cut planner: circuit analysis, overhead-optimal search
+// (pinned against brute-force subset enumeration), and end-to-end planned
+// execution on the batched engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "qcut/core/overhead.hpp"
+#include "qcut/cut/harada_cut.hpp"
+#include "qcut/cut/nme_cut.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/plan/circuit_graph.hpp"
+#include "qcut/plan/cut_planner.hpp"
+#include "qcut/plan/planned_executor.hpp"
+#include "qcut/qpd/estimator.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace {
+
+using testing::ghz_line;
+using testing::random_unitary_circuit;
+
+// ---- circuit analysis -------------------------------------------------------
+
+TEST(CircuitGraph, GhzLineCandidates) {
+  // h(0), cx(0,1), cx(1,2), ..., cx(n-2,n-1): wire q < n-1 has exactly one
+  // gap, between its two ops (q and q+1) → candidate {q + 1, q}. The last
+  // wire sees a single op, so it contributes none.
+  const Circuit ghz = ghz_line(6);
+  const CircuitGraph graph(ghz);
+  const auto& cands = graph.candidates();
+  ASSERT_EQ(cands.size(), 5u);
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    EXPECT_EQ(cands[i].qubit, static_cast<int>(i));
+    EXPECT_EQ(cands[i].after_op, i + 1);
+  }
+}
+
+TEST(CircuitGraph, WireZeroGapIsACandidateWhenOpsAreSeparated) {
+  // h(0), cx(1,2), cx(0,1): wire 0's two ops leave a gap covering op 1.
+  Circuit c(3, 0);
+  c.h(0).cx(1, 2).cx(0, 1);
+  const CircuitGraph graph(c);
+  const auto& cands = graph.candidates();
+  const bool has_wire0 =
+      std::any_of(cands.begin(), cands.end(), [](const CutPoint& p) { return p.qubit == 0; });
+  EXPECT_TRUE(has_wire0);
+}
+
+TEST(CircuitGraph, FragmentWidthsGhz) {
+  const Circuit ghz = ghz_line(6);
+  const CircuitGraph graph(ghz);
+  EXPECT_EQ(graph.max_fragment_width({}), 6);
+  // One cut on wire 2 after cx(1,2) (op 3): {w0,w1,w2a} and {w2b,w3,w4,w5}.
+  EXPECT_EQ(graph.fragment_widths({CutPoint{3, 2}}), (std::vector<int>{4, 3}));
+  // Cuts on wires 2 and 4: 3 + 3 + 2.
+  EXPECT_EQ(graph.fragment_widths({CutPoint{3, 2}, CutPoint{5, 4}}),
+            (std::vector<int>{3, 3, 2}));
+  EXPECT_EQ(graph.min_reachable_width(), 2);
+}
+
+TEST(CircuitGraph, GapsFeedingAnInitializeAreNotCandidates) {
+  // Regression: cutting right before an initialize would teleport a state the
+  // initialize immediately discards — the cutter rejects that as a dead cut,
+  // so the planner must never propose it. The gap AFTER the initialize stays
+  // a valid candidate, and planning + QPD construction succeed end-to-end
+  // even with observable 'I' on the reinitialized wire.
+  Vector zero(2);
+  zero[0] = Cplx{1.0, 0.0};
+  Circuit c(4, 0);
+  c.h(0).cx(0, 1).cx(2, 3);
+  c.initialize({1}, zero, "reset1");
+  c.cx(1, 2);
+  const CircuitGraph graph(c);
+  for (const CutPoint& cp : graph.candidates()) {
+    EXPECT_FALSE(cp.qubit == 1 && cp.after_op <= 3)
+        << "candidate {" << cp.after_op << ", 1} feeds into the initialize";
+  }
+  const bool has_post_init = std::any_of(
+      graph.candidates().begin(), graph.candidates().end(),
+      [](const CutPoint& p) { return p.qubit == 1 && p.after_op == 4; });
+  EXPECT_TRUE(has_post_init);
+
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 3;
+  const CutPlanner planner(c, cfg);
+  const CutPlan plan = planner.plan();
+  ASSERT_FALSE(plan.cuts.empty());
+  const PlannedExecutor exec(c, plan);
+  EXPECT_NO_THROW(exec.build_qpd("ZIZZ"));
+}
+
+TEST(CircuitGraph, IdleWireIsItsOwnFragment) {
+  Circuit c(3, 0);
+  c.h(0).cx(0, 1);  // wire 2 untouched
+  const CircuitGraph graph(c);
+  EXPECT_EQ(graph.fragment_widths({}), (std::vector<int>{2, 1}));
+}
+
+TEST(CircuitGraph, WidthIsNotMonotoneUnderAddingCuts) {
+  // cx(0,1), cx(1,2), cx(2,3), cx(0,1): cutting wire 0 between its two ops
+  // splits a segment whose halves reconnect through wires 1-3, so the single
+  // component grows from 4 to 5 segments. This is why the planner's search
+  // never uses width as a branch-and-bound pruning bound.
+  Circuit c(4, 0);
+  c.cx(0, 1).cx(1, 2).cx(2, 3).cx(0, 1);
+  const CircuitGraph graph(c);
+  EXPECT_EQ(graph.max_fragment_width({}), 4);
+  EXPECT_EQ(graph.max_fragment_width({CutPoint{1, 0}}), 5);
+}
+
+TEST(CircuitGraph, RejectsNonUnitaryCircuits) {
+  Circuit c(2, 1);
+  c.h(0).measure(0, 0);
+  EXPECT_THROW(CircuitGraph{c}, Error);
+}
+
+// ---- planner vs. brute force ------------------------------------------------
+
+struct BruteResult {
+  bool found = false;
+  Real cost = std::numeric_limits<Real>::infinity();
+  std::vector<std::size_t> set;
+};
+
+/// Reference enumeration of ALL candidate subsets: minimal Π κ_i² under the
+/// width cap, ties to the lexicographically smallest index sequence — the
+/// planner's documented tie-break.
+BruteResult brute_force(const CutPlanner& planner) {
+  const auto& cands = planner.graph().candidates();
+  const std::size_t m = cands.size();
+  BruteResult best;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
+    std::vector<std::size_t> idxs;
+    std::vector<CutPoint> pts;
+    for (std::size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1) {
+        idxs.push_back(i);
+        pts.push_back(cands[i]);
+      }
+    }
+    if (idxs.size() > planner.config().max_cuts) {
+      continue;
+    }
+    if (planner.graph().max_fragment_width(pts) > planner.config().max_fragment_width) {
+      continue;
+    }
+    const Real cost = planner.set_overhead(idxs.size());
+    const bool better =
+        !best.found || cost < best.cost - 1e-12 ||
+        (std::abs(cost - best.cost) <= 1e-12 &&
+         std::lexicographical_compare(idxs.begin(), idxs.end(), best.set.begin(),
+                                      best.set.end()));
+    if (better) {
+      best.found = true;
+      best.cost = cost;
+      best.set = idxs;
+    }
+  }
+  return best;
+}
+
+void expect_plan_matches_brute(const Circuit& circ, const PlannerConfig& cfg) {
+  const CutPlanner planner(circ, cfg);
+  const CutPlan plan = planner.plan();
+  const BruteResult ref = brute_force(planner);
+  ASSERT_TRUE(ref.found);
+  EXPECT_NEAR(plan.total_overhead, ref.cost, 1e-9);
+  // The library's own reference scan must agree with this test's oracle.
+  EXPECT_NEAR(planner.reference_overhead(), ref.cost, 1e-9);
+  ASSERT_EQ(plan.cuts.size(), ref.set.size());
+  for (std::size_t i = 0; i < ref.set.size(); ++i) {
+    EXPECT_TRUE(plan.cuts[i].point == planner.graph().candidates()[ref.set[i]])
+        << "cut " << i << " differs from brute force";
+  }
+  EXPECT_LE(plan.max_width, cfg.max_fragment_width);
+}
+
+TEST(CutPlanner, WidthCappedGhzMatchesBruteForce) {
+  for (int n : {4, 5, 6, 7, 8}) {
+    for (int cap : {2, 3, 4}) {
+      PlannerConfig cfg;
+      cfg.max_fragment_width = cap;
+      expect_plan_matches_brute(ghz_line(n), cfg);
+    }
+  }
+}
+
+TEST(CutPlanner, BudgetedGhzMatchesBruteForce) {
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 3;
+  cfg.resource_overlap = 0.85;
+  cfg.pair_budget = 1;
+  expect_plan_matches_brute(ghz_line(7), cfg);
+}
+
+TEST(CutPlanner, BranchAndBoundAgreesWithExhaustive) {
+  // Same instance through both search paths: forcing exhaustive_limit to 0
+  // switches on the pruned branch-and-bound; the chosen set must not change.
+  const Circuit ghz = ghz_line(8);
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 3;
+  PlannerConfig bnb = cfg;
+  bnb.exhaustive_limit = 0;
+  const CutPlan full = CutPlanner(ghz, cfg).plan();
+  const CutPlan pruned = CutPlanner(ghz, bnb).plan();
+  ASSERT_EQ(full.cuts.size(), pruned.cuts.size());
+  for (std::size_t i = 0; i < full.cuts.size(); ++i) {
+    EXPECT_TRUE(full.cuts[i].point == pruned.cuts[i].point);
+  }
+  EXPECT_NEAR(full.total_overhead, pruned.total_overhead, 1e-12);
+  EXPECT_LT(pruned.nodes_explored, full.nodes_explored);
+}
+
+TEST(CutPlanner, BranchAndBoundHandlesReconnectingSegments) {
+  // Regression: on circuits where splitting a segment does NOT shrink any
+  // fragment (the halves reconnect through other wires), a width-based prune
+  // would cut off the feasible subtrees and return a grossly suboptimal
+  // plan. The fixed search must match brute force and the exhaustive path.
+  Circuit c(5, 0);
+  c.cx(3, 4).cx(2, 3).cx(1, 2).cx(3, 4).cx(2, 3);
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 3;
+  cfg.resource_overlap = 0.85;
+  cfg.pair_budget = 1;
+  expect_plan_matches_brute(c, cfg);
+
+  PlannerConfig bnb = cfg;
+  bnb.exhaustive_limit = 0;  // force the pruned search
+  const CutPlan full = CutPlanner(c, cfg).plan();
+  const CutPlan pruned = CutPlanner(c, bnb).plan();
+  ASSERT_EQ(full.cuts.size(), pruned.cuts.size());
+  for (std::size_t i = 0; i < full.cuts.size(); ++i) {
+    EXPECT_TRUE(full.cuts[i].point == pruned.cuts[i].point);
+  }
+  EXPECT_NEAR(full.total_overhead, pruned.total_overhead, 1e-12);
+}
+
+TEST(CutPlanner, EntanglementBudgetSetsKappa) {
+  const Circuit ghz = ghz_line(6);  // needs 2 cuts at cap 3
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 3;
+
+  const CutPlan no_budget = CutPlanner(ghz, cfg).plan();
+  ASSERT_EQ(no_budget.cuts.size(), 2u);
+  EXPECT_NEAR(no_budget.total_kappa, 9.0, 1e-12);  // 3 * 3, entanglement-free
+  for (const auto& c : no_budget.cuts) {
+    EXPECT_EQ(c.protocol, "harada");
+    EXPECT_FALSE(c.entangled);
+  }
+
+  cfg.resource_overlap = 1.0;  // maximally entangled pairs: free cuts
+  cfg.pair_budget = 2;
+  const CutPlan free_pairs = CutPlanner(ghz, cfg).plan();
+  EXPECT_NEAR(free_pairs.total_kappa, 1.0, 1e-12);
+  for (const auto& c : free_pairs.cuts) {
+    EXPECT_EQ(c.protocol, "nme");
+    EXPECT_TRUE(c.entangled);
+    EXPECT_NEAR(c.k, 1.0, 1e-9);
+  }
+
+  cfg.pair_budget = 1;  // one pair only: 1 * 3
+  const CutPlan one_pair = CutPlanner(ghz, cfg).plan();
+  EXPECT_NEAR(one_pair.total_kappa, 3.0, 1e-12);
+  EXPECT_TRUE(one_pair.cuts[0].entangled);
+  EXPECT_FALSE(one_pair.cuts[1].entangled);
+
+  cfg.pair_budget = 2;
+  cfg.resource_overlap = 0.8;  // kappa per cut = 2/f - 1 = 1.5
+  const CutPlan partial = CutPlanner(ghz, cfg).plan();
+  EXPECT_NEAR(partial.total_kappa, 2.25, 1e-12);
+  EXPECT_NEAR(partial.predicted_shots,
+              shots_for_accuracy(partial.total_kappa, cfg.target_accuracy), 1e-9);
+}
+
+TEST(CutPlanner, ZeroCutsWhenCircuitFits) {
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 4;
+  const CutPlan plan = CutPlanner(ghz_line(4), cfg).plan();
+  EXPECT_TRUE(plan.cuts.empty());
+  EXPECT_NEAR(plan.total_kappa, 1.0, 1e-12);
+  EXPECT_EQ(plan.max_width, 4);
+}
+
+TEST(CutPlanner, SelfContainedAfterConstruction) {
+  // The planner keeps its own copy of the circuit: constructing from a
+  // temporary and planning in a later statement must be safe.
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 3;
+  const CutPlanner planner(ghz_line(5), cfg);
+  const CutPlan plan = planner.plan();
+  EXPECT_EQ(plan.cuts.size(), 1u);
+  EXPECT_EQ(planner.graph().n_qubits(), 5);
+  EXPECT_FALSE(plan.budget_exhausted);
+}
+
+TEST(CutPlanner, NodeBudgetBoundsHopelessSearches) {
+  // A deep brickwork passes the min_reachable_width pre-check (widest op is
+  // 2 qubits) but no <= 8-cut set can reach a width cap of 2: without the
+  // node budget the search would enumerate Σ_k C(m, k) subsets before
+  // throwing. With the budget it must fail fast with a distinct error.
+  Rng rng(33);
+  const Circuit deep = random_unitary_circuit(6, 30, rng);
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 2;
+  cfg.max_nodes = 500;
+  try {
+    CutPlanner(deep, cfg).plan();
+    FAIL() << "expected the node-budget error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("max_nodes"), std::string::npos);
+  }
+}
+
+TEST(CutPlanner, ThrowsWhenInfeasible) {
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 1;  // a CX can never be split
+  const CutPlanner hopeless(ghz_line(4), cfg);
+  EXPECT_THROW(hopeless.plan(), Error);
+  EXPECT_EQ(hopeless.reference_overhead(), -1.0);
+
+  // The width pre-check must fire in O(1) even with a huge candidate set:
+  // an 8-wire brickwork with dozens of candidates would otherwise enumerate
+  // the whole subset tree before throwing.
+  Rng rng(31);
+  const Circuit wide = random_unitary_circuit(8, 40, rng);
+  EXPECT_THROW(CutPlanner(wide, cfg).plan(), Error);
+
+  PlannerConfig tight;
+  tight.max_fragment_width = 2;
+  tight.max_cuts = 1;  // GHZ(8) at cap 2 needs 3 cuts
+  EXPECT_THROW(CutPlanner(ghz_line(8), tight).plan(), Error);
+
+  PlannerConfig bad;
+  bad.max_fragment_width = 0;
+  EXPECT_THROW(CutPlanner(ghz_line(4), bad), Error);
+}
+
+// ---- multi-cut splicing -----------------------------------------------------
+
+TEST(CutCircuitMulti, TwoCutExactValueAndKappa) {
+  Rng rng(21);
+  const NmeCut nme(0.7);
+  const HaradaCut harada;
+  for (int trial = 0; trial < 3; ++trial) {
+    const Circuit circ = random_unitary_circuit(4, 6, rng);
+    const std::vector<CutPoint> points = {{2, 1}, {4, 2}};
+    const Qpd qpd = cut_circuit_multi(circ, points, {&nme, &harada}, "ZXZY");
+    EXPECT_NEAR(exact_value(qpd), uncut_circuit_expectation(circ, "ZXZY"), 1e-8)
+        << "trial " << trial;
+    EXPECT_NEAR(qpd.kappa(), nme.kappa() * harada.kappa(), 1e-9);
+    EXPECT_NEAR(qpd.coefficient_sum(), 1.0, 1e-9);
+    EXPECT_EQ(qpd.size(), 9u);  // 3 nme gadgets x 3 harada gadgets
+  }
+}
+
+TEST(CutCircuitMulti, ChainedCutsOnOneWire) {
+  // Two cuts on the same wire: the second consumes the first's receiver.
+  Rng rng(22);
+  const Circuit circ = random_unitary_circuit(3, 6, rng);
+  const NmeCut a(0.9), b(0.6);
+  const Qpd qpd = cut_circuit_multi(circ, {{2, 1}, {4, 1}}, {&a, &b}, "ZZZ");
+  EXPECT_NEAR(exact_value(qpd), uncut_circuit_expectation(circ, "ZZZ"), 1e-8);
+  EXPECT_NEAR(qpd.kappa(), a.kappa() * b.kappa(), 1e-9);
+}
+
+TEST(CutCircuitMulti, SinglePointReproducesCutCircuit) {
+  Rng rng(23);
+  const Circuit circ = random_unitary_circuit(3, 5, rng);
+  const NmeCut proto(0.55);
+  const Qpd single = cut_circuit(circ, {3, 1}, proto, "ZXZ");
+  const Qpd multi = cut_circuit_multi(circ, {{3, 1}}, {&proto}, "ZXZ");
+  ASSERT_EQ(single.size(), multi.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single.terms()[i].coefficient, multi.terms()[i].coefficient);
+    EXPECT_EQ(single.terms()[i].estimate_cbits, multi.terms()[i].estimate_cbits);
+    EXPECT_EQ(single.terms()[i].label, multi.terms()[i].label);
+    EXPECT_EQ(single.terms()[i].circuit.size(), multi.terms()[i].circuit.size());
+  }
+}
+
+TEST(CutCircuitMulti, RejectsBadArguments) {
+  const HaradaCut h;
+  Circuit c(2, 0);
+  c.h(0).cx(0, 1);
+  EXPECT_THROW(cut_circuit_multi(c, {}, {}, "ZZ"), Error);
+  EXPECT_THROW(cut_circuit_multi(c, {{1, 0}}, {&h, &h}, "ZZ"), Error);
+  EXPECT_THROW(cut_circuit_multi(c, {{1, 0}}, {nullptr}, "ZZ"), Error);
+}
+
+// ---- end-to-end planned execution ------------------------------------------
+
+TEST(PlannedExecutor, GhzConvergesWithinThreeSigmaAtPredictedBudget) {
+  // The acceptance-criterion experiment: plan a width-capped GHZ(6) line,
+  // execute the planned multi-cut QPD at the predicted κ²/ε² shot budget, and
+  // require the estimate within 3σ (σ = ε at that budget) of the exact value.
+  const Circuit ghz = ghz_line(6);
+  PlannerConfig pcfg;
+  pcfg.max_fragment_width = 3;
+  pcfg.resource_overlap = 0.85;
+  pcfg.pair_budget = 2;
+  pcfg.target_accuracy = 0.05;
+  const CutPlanner planner(ghz, pcfg);
+  const CutPlan plan = planner.plan();
+  ASSERT_EQ(plan.cuts.size(), 2u);
+  EXPECT_LE(plan.max_width, 3);
+
+  const PlannedExecutor exec(ghz, plan);
+  for (const std::string obs : {"XXXXXX", "ZZZZZZ"}) {
+    const Real exact = uncut_circuit_expectation(ghz, obs);
+    const Qpd qpd = exec.build_qpd(obs);
+    EXPECT_NEAR(exact_value(qpd), exact, 1e-8) << obs;
+    EXPECT_NEAR(qpd.kappa(), plan.total_kappa, 1e-9) << obs;
+
+    CutRunConfig rcfg;
+    rcfg.shots = 0;  // the planner-predicted budget
+    rcfg.seed = 20240731;
+    const CutRunResult res = exec.run(obs, rcfg);
+    EXPECT_EQ(res.exact, exact);
+    EXPECT_GE(res.details.shots_used,
+              static_cast<std::uint64_t>(plan.predicted_shots * 0.99));
+    EXPECT_LE(res.abs_error, 3.0 * pcfg.target_accuracy) << obs;
+  }
+}
+
+TEST(PlannedExecutor, MeanErrorOverTrialsTracksTargetAccuracy) {
+  // Average |error| over independent seeds stays near/below ε (the single-run
+  // bound is κ/√N = ε; the mean of |N(0,ε)| is ε·√(2/π) ≈ 0.8ε).
+  const Circuit ghz = ghz_line(5);
+  PlannerConfig pcfg;
+  pcfg.max_fragment_width = 3;
+  pcfg.target_accuracy = 0.1;
+  const PlannedRunResult first = plan_and_run(ghz, "XXXXX", pcfg, CutRunConfig{});
+  ASSERT_EQ(first.plan.cuts.size(), 1u);
+
+  const PlannedExecutor exec(ghz, first.plan);
+  Real acc = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    CutRunConfig rcfg;
+    rcfg.shots = 0;
+    rcfg.seed = 1000 + static_cast<std::uint64_t>(t);
+    acc += exec.run("XXXXX", rcfg).abs_error;
+  }
+  EXPECT_LE(acc / trials, 1.5 * pcfg.target_accuracy);
+}
+
+TEST(PlannedExecutor, RejectsOverflowingPredictedBudget) {
+  // κ²/ε² can exceed any 64-bit shot count; the predicted-budget path must
+  // fail loudly instead of casting out of range.
+  const Circuit ghz = ghz_line(6);
+  PlannerConfig pcfg;
+  pcfg.max_fragment_width = 3;
+  pcfg.target_accuracy = 1e-10;  // κ = 9 → κ²/ε² ≈ 8.1e21
+  const CutPlan plan = CutPlanner(ghz, pcfg).plan();
+  const PlannedExecutor exec(ghz, plan);
+  CutRunConfig rcfg;
+  rcfg.shots = 0;
+  EXPECT_THROW(exec.run("XXXXXX", rcfg), Error);
+  // An explicit shot count keeps working regardless of ε.
+  rcfg.shots = 500;
+  EXPECT_NO_THROW(exec.run("XXXXXX", rcfg));
+}
+
+TEST(PlannedExecutor, ZeroCutPlanRunsDirectly) {
+  const Circuit ghz = ghz_line(3);
+  PlannerConfig pcfg;
+  pcfg.max_fragment_width = 3;
+  CutRunConfig rcfg;
+  rcfg.shots = 4000;
+  const PlannedRunResult res = plan_and_run(ghz, "XXX", pcfg, rcfg);
+  EXPECT_TRUE(res.plan.cuts.empty());
+  EXPECT_NEAR(res.run.exact, 1.0, 1e-10);
+  EXPECT_LE(res.run.abs_error, 0.1);  // κ = 1: plain sampling noise only
+}
+
+}  // namespace
+}  // namespace qcut

@@ -4,8 +4,36 @@
 #include <gtest/gtest.h>
 
 #include "qcut/linalg/matrix.hpp"
+#include "qcut/linalg/random.hpp"
+#include "qcut/sim/circuit.hpp"
 
 namespace qcut::testing {
+
+/// h(0), cx(0,1), ..., cx(n-2,n-1): the canonical chain workload of the
+/// cutter and planner suites.
+inline Circuit ghz_line(int n) {
+  Circuit c(n, 0);
+  c.h(0);
+  for (int q = 0; q + 1 < n; ++q) {
+    c.cx(q, q + 1);
+  }
+  return c;
+}
+
+/// Random mix of Haar 1- and 2-qubit (nearest-neighbor) gates.
+inline Circuit random_unitary_circuit(int n, int depth, Rng& rng) {
+  Circuit c(n, 0);
+  for (int d = 0; d < depth; ++d) {
+    if (n >= 2 && rng.bernoulli(0.5)) {
+      const int q = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n - 1)));
+      c.gate(haar_unitary(4, rng), {q, q + 1}, "U2");
+    } else {
+      const int q = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+      c.gate(haar_unitary(2, rng), {q}, "U1");
+    }
+  }
+  return c;
+}
 
 inline void expect_matrix_near(const Matrix& a, const Matrix& b, Real tol = 1e-9,
                                const char* what = "") {

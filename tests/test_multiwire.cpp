@@ -2,11 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "qcut/common/stats.hpp"
+#include "qcut/cut/distill_cut.hpp"
 #include "qcut/cut/harada_cut.hpp"
 #include "qcut/cut/multiwire.hpp"
 #include "qcut/cut/nme_cut.hpp"
+#include "qcut/cut/peng_cut.hpp"
 #include "qcut/linalg/random.hpp"
 #include "qcut/qpd/estimator.hpp"
 
@@ -94,6 +97,44 @@ TEST(MultiWire, HigherEntanglementTamesExponentialCost) {
   const NmeCut none(0.0);
   EXPECT_NEAR(product_kappa({&free_res, &free_res, &free_res, &free_res}), 1.0, 1e-12);
   EXPECT_NEAR(product_kappa({&none, &none, &none, &none}), 81.0, 1e-9);
+}
+
+TEST(MultiWire, ProductKappaMatchesJointCoefficientsForRandomMixes) {
+  // Property: for any protocol mix, κ recomputed from the joint QPD's
+  // coefficients (Σ|Π c|) equals the closed-form product Π κ_i.
+  Rng rng(71);
+  const HaradaCut harada;
+  const PengCut peng;
+  const TeleportCut teleport;
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n_wires = 2 + static_cast<int>(rng.uniform_u64(3));  // 2..4
+    std::vector<std::unique_ptr<WireCutProtocol>> owned;
+    std::vector<const WireCutProtocol*> protos;
+    std::vector<CutInput> inputs;
+    for (int w = 0; w < n_wires; ++w) {
+      switch (rng.uniform_u64(4)) {
+        case 0:
+          protos.push_back(&harada);
+          break;
+        case 1:
+          protos.push_back(&peng);
+          break;
+        case 2:
+          protos.push_back(&teleport);
+          break;
+        default:
+          owned.push_back(std::make_unique<NmeCut>(rng.uniform()));
+          protos.push_back(owned.back().get());
+          break;
+      }
+      const char obs = "XYZ"[rng.uniform_u64(3)];
+      inputs.push_back(CutInput{haar_unitary(2, rng), obs});
+    }
+    const Qpd joint = product_qpd(protos, inputs);
+    EXPECT_NEAR(joint.kappa(), product_kappa(protos), 1e-9)
+        << "trial " << trial << " wires " << n_wires;
+    EXPECT_NEAR(joint.coefficient_sum(), 1.0, 1e-9) << "trial " << trial;
+  }
 }
 
 TEST(MultiWire, RejectsBadArguments) {

@@ -1,6 +1,8 @@
 // ZYZ synthesis and OpenQASM 2.0 export.
 #include <gtest/gtest.h>
 
+#include "qcut/cut/circuit_cutter.hpp"
+#include "qcut/cut/harada_cut.hpp"
 #include "qcut/cut/nme_cut.hpp"
 #include "qcut/linalg/random.hpp"
 #include "qcut/linalg/zyz.hpp"
@@ -126,6 +128,45 @@ TEST(Qasm, FullNmeFragmentExports) {
     if (term.entangled_pairs > 0) {
       EXPECT_NE(q.find("cx"), std::string::npos) << "resource prep missing";
     }
+  }
+}
+
+TEST(Qasm, CutFragmentWithConditionalsAndInitializeExports) {
+  // Golden structure test for a gadget fragment spliced into a host circuit:
+  // the NmeCut teleport branch carries a two-qubit `initialize` (the |Φk⟩
+  // resource) and classically controlled feed-forward corrections, and must
+  // export deterministically without throwing.
+  Circuit ghz(3, 0);
+  ghz.h(0).cx(0, 1).cx(1, 2);
+  const NmeCut proto(0.6);
+  const Qpd qpd = cut_circuit(ghz, {2, 1}, proto, "ZZZ");
+  ASSERT_EQ(qpd.terms()[0].label, "teleport-H");
+  const Circuit& frag = qpd.terms()[0].circuit;
+
+  std::string q;
+  ASSERT_NO_THROW(q = to_qasm(frag));
+  // 3 host wires + 1 receiver + 1 resource helper; 2 teleport bits + 3 sites.
+  EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(q.find("qreg q[5];"), std::string::npos);
+  EXPECT_NE(q.find("creg c4[1];"), std::string::npos);
+  // The |Φk⟩ initialize synthesizes to ry + cx.
+  EXPECT_NE(q.find("ry("), std::string::npos);
+  // Feed-forward X/Z corrections on the receiver.
+  EXPECT_NE(q.find("if (c0 == 1)"), std::string::npos);
+  EXPECT_NE(q.find("if (c1 == 1)"), std::string::npos);
+  // The observable site measurements land in the trailing cregs.
+  EXPECT_NE(q.find("-> c2[0];"), std::string::npos);
+  EXPECT_NE(q.find("-> c4[0];"), std::string::npos);
+  // Round-trip determinism: a second export is byte-identical.
+  EXPECT_EQ(q, to_qasm(frag));
+
+  // And every fragment of a planned multi-cut QPD exports, too.
+  Circuit line(4, 0);
+  line.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+  const HaradaCut harada;
+  const Qpd multi = cut_circuit_multi(line, {{2, 1}, {3, 2}}, {&proto, &harada}, "ZZZZ");
+  for (const auto& term : multi.terms()) {
+    EXPECT_NO_THROW(to_qasm(term.circuit)) << term.label;
   }
 }
 
