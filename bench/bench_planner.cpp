@@ -15,7 +15,10 @@
 // optimality check against brute-force subset enumeration.
 //
 // Usage: bench_planner [--smoke] [--eps 0.05] [--f 0.85] [--budget 2]
-//                      [--json planner_bench.json] [--seed N]
+//                      [--out PATH] [--seed N]
+// The JSON record defaults to planner_bench.json *next to the executable*
+// (the build tree), so running from a source checkout leaves no stray file;
+// --out (or the legacy --json) overrides the destination.
 // --smoke runs the small deterministic subset and exits non-zero when a plan
 // misses brute-force optimality or the executed error leaves the 3ε band —
 // the CI gate.
@@ -136,7 +139,7 @@ int main(int argc, char** argv) {
   const Real f = cli.get_real("f", 0.85);
   const int budget = static_cast<int>(cli.get_int("budget", 2));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-  const std::string json_path = cli.get("json", "planner_bench.json");
+  const std::string json_path = cli.output_path("json", "planner_bench.json");
 
   PlannerConfig base;
   base.resource_overlap = f;
@@ -162,8 +165,10 @@ int main(int argc, char** argv) {
 
   if (!smoke) {
     // Larger planning-only instances (execution cost grows exponentially with
-    // the spliced width; the planner itself stays cheap).
-    for (int n : {10, 14, 18, 20}) {  // the circuit IR caps at 20 wires
+    // the spliced width; the planner itself stays cheap). The IR allows up to
+    // Circuit::kMaxQubits wires — wide plans are what the fragment-local
+    // execution path consumes.
+    for (int n : {10, 14, 18, 20, 30, 40}) {
       PlannerConfig cfg = base;
       cfg.max_fragment_width = (n + 2) / 3;
       cfg.max_cuts = 10;

@@ -15,7 +15,10 @@
 // is speedup_batched_over_serial (acceptance floor: >= 10x).
 //
 // Usage: bench_sim_perf [--serial-shots N] [--batched-shots N] [--threads N]
-//                       [--json PATH] [--seed N]
+//                       [--out PATH] [--seed N]
+// sim_perf.json defaults to the executable's directory (the build tree), so
+// running from a source checkout leaves no stray file; --out (or the legacy
+// --json) overrides the destination.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -98,7 +101,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("batched-shots", 2000000));
   const std::size_t threads = static_cast<std::size_t>(cli.get_int("threads", 4));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
-  const std::string json_path = cli.get("json", "sim_perf.json");
+  const std::string json_path = cli.output_path("json", "sim_perf.json");
 
   // The Theorem-2 workload of the paper's experiment.
   qcut::Rng setup_rng(3);

@@ -52,4 +52,23 @@ bool Cli::get_bool(const std::string& key, bool def) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+std::string Cli::output_path(const std::string& legacy_key, const std::string& filename) const {
+  if (has("out")) {
+    return get("out", filename);
+  }
+  if (!legacy_key.empty() && has(legacy_key)) {
+    return get(legacy_key, filename);
+  }
+  const std::string argv0 = positional_.empty() ? std::string() : positional_.front();
+  return path_beside_executable(argv0, filename);
+}
+
+std::string path_beside_executable(const std::string& argv0, const std::string& filename) {
+  const auto slash = argv0.find_last_of('/');
+  if (slash == std::string::npos) {
+    return filename;
+  }
+  return argv0.substr(0, slash + 1) + filename;
+}
+
 }  // namespace qcut

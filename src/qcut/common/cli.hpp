@@ -26,9 +26,19 @@ class Cli {
   /// argv entries not parsed as --options (including argv[0]).
   const std::vector<std::string>& positional() const noexcept { return positional_; }
 
+  /// Resolves where a bench/example should write its output file: --out if
+  /// given, then --<legacy_key> (e.g. the historical --json), then `filename`
+  /// next to the executable (argv[0]'s directory — i.e. the build tree, never
+  /// the caller's source checkout).
+  std::string output_path(const std::string& legacy_key, const std::string& filename) const;
+
  private:
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
 };
+
+/// `filename` placed in the directory of `argv0` ("<dir>/<filename>"); just
+/// `filename` when argv0 carries no directory component.
+std::string path_beside_executable(const std::string& argv0, const std::string& filename);
 
 }  // namespace qcut

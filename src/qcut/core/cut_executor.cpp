@@ -1,6 +1,7 @@
 #include "qcut/core/cut_executor.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "qcut/cut/distill_cut.hpp"
 #include "qcut/cut/harada_cut.hpp"
@@ -35,6 +36,12 @@ CutRunResult run_qpd_estimate(const Qpd& qpd, Real exact, const CutRunConfig& cf
   res.details = engine.estimate_allocated(qpd, cfg.shots, cfg.seed, cfg.rule);
   res.estimate = res.details.estimate;
   res.abs_error = std::abs(res.estimate - res.exact);
+  return res;
+}
+
+CutRunResult run_qpd_estimate(const Qpd& qpd, const CutRunConfig& cfg) {
+  CutRunResult res = run_qpd_estimate(qpd, std::numeric_limits<Real>::quiet_NaN(), cfg);
+  res.has_exact = false;
   return res;
 }
 

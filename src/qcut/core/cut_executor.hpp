@@ -30,6 +30,12 @@ struct CutRunConfig {
   ThreadPool* pool = nullptr;
   /// Shots per term batch (parallelism granularity, never affects the law).
   std::uint64_t max_batch_shots = ShotPlan::kDefaultMaxBatchShots;
+  /// Planned execution only: when the spliced term circuits are wider than
+  /// this many qubits and `backend` is the default BatchedBranch, the run is
+  /// automatically routed through BackendKind::kFragment (per-fragment
+  /// statevectors, memory bounded by the max *fragment* width). Set `backend`
+  /// explicitly to force either path. 0 → the statevector engine cap.
+  int auto_fragment_threshold = 0;
 
   /// The backend actually used, honoring the legacy `fast` switch.
   BackendKind effective_backend() const noexcept {
@@ -39,8 +45,12 @@ struct CutRunConfig {
 
 struct CutRunResult {
   Real estimate = 0.0;     ///< sampled cut estimate of ⟨O⟩
-  Real exact = 0.0;        ///< true ⟨O⟩ on the uncut wire
-  Real abs_error = 0.0;    ///< |estimate − exact| (Eq. 28)
+  Real exact = 0.0;        ///< true ⟨O⟩ on the uncut wire (NaN if !has_exact)
+  Real abs_error = 0.0;    ///< |estimate − exact| (Eq. 28; NaN if !has_exact)
+  /// False when the uncut reference is unavailable — a circuit too wide for
+  /// monolithic simulation has no cheap exact ⟨O⟩ (that is the point of the
+  /// fragment path); compare against an analytic value instead.
+  bool has_exact = true;
   EstimationResult details;
 };
 
@@ -48,6 +58,10 @@ struct CutRunResult {
 /// against the caller-supplied exact reference value. The shared backend of
 /// CutExecutor::run and the planner's PlannedExecutor.
 CutRunResult run_qpd_estimate(const Qpd& qpd, Real exact, const CutRunConfig& cfg);
+
+/// As above without a reference value (has_exact = false): for circuits too
+/// wide to simulate monolithically, where no exact ⟨O⟩ is computable.
+CutRunResult run_qpd_estimate(const Qpd& qpd, const CutRunConfig& cfg);
 
 class CutExecutor {
  public:

@@ -1,0 +1,254 @@
+#include "qcut/cut/fragment.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "qcut/common/union_find.hpp"
+#include "qcut/sim/executor.hpp"
+#include "qcut/sim/statevector.hpp"
+
+namespace qcut {
+
+namespace {
+
+void sort_unique(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+FragmentSplit split_term(const QpdTerm& term) {
+  const Circuit& c = term.circuit;
+  const int n = c.n_qubits();
+  const int n_cbits = c.n_cbits();
+
+  // Connected components of the qubit-interaction graph: every multi-qubit op
+  // (unitary or entangled-resource initialize alike) merges its wires.
+  UnionFind uf(static_cast<std::size_t>(n));
+  for (const Operation& op : c.ops()) {
+    for (std::size_t i = 1; i < op.qubits.size(); ++i) {
+      uf.unite(static_cast<std::size_t>(op.qubits[0]), static_cast<std::size_t>(op.qubits[i]));
+    }
+  }
+
+  // Fragment ids in order of each component's smallest wire; wires ascending.
+  std::vector<int> frag_of_root(static_cast<std::size_t>(n), -1);
+  std::vector<int> frag_of_wire(static_cast<std::size_t>(n), -1);
+  std::vector<int> local_index(static_cast<std::size_t>(n), -1);
+  std::vector<std::vector<int>> wires_of;
+  for (int q = 0; q < n; ++q) {
+    const int r = static_cast<int>(uf.find(static_cast<std::size_t>(q)));
+    if (frag_of_root[static_cast<std::size_t>(r)] < 0) {
+      frag_of_root[static_cast<std::size_t>(r)] = static_cast<int>(wires_of.size());
+      wires_of.emplace_back();
+    }
+    const int f = frag_of_root[static_cast<std::size_t>(r)];
+    frag_of_wire[static_cast<std::size_t>(q)] = f;
+    local_index[static_cast<std::size_t>(q)] = static_cast<int>(wires_of[static_cast<std::size_t>(f)].size());
+    wires_of[static_cast<std::size_t>(f)].push_back(q);
+  }
+  const std::size_t n_frags = wires_of.size();
+
+  // Classical-bit bookkeeping: who writes each cbit (measure) and who reads
+  // it (classically controlled gates), in host op order.
+  struct CbitInfo {
+    int writer_frag = -1;        ///< fragment of the first write, -1 = never written
+    int writes = 0;              ///< total measure ops targeting the bit
+    std::size_t write_op = 0;    ///< op index of the first write
+    bool multi_frag_write = false;
+  };
+  std::vector<CbitInfo> info(static_cast<std::size_t>(n_cbits));
+  struct Read {
+    int cbit;
+    int frag;
+    std::size_t op;
+  };
+  std::vector<Read> reads;
+  for (std::size_t t = 0; t < c.ops().size(); ++t) {
+    const Operation& op = c.ops()[t];
+    const int f = frag_of_wire[static_cast<std::size_t>(op.qubits[0])];
+    if (op.kind == OpKind::kMeasure) {
+      CbitInfo& ci = info[static_cast<std::size_t>(op.cbit)];
+      if (ci.writes == 0) {
+        ci.writer_frag = f;
+        ci.write_op = t;
+      } else if (ci.writer_frag != f) {
+        ci.multi_frag_write = true;
+      }
+      ++ci.writes;
+    } else if (op.kind == OpKind::kCondUnitary) {
+      reads.push_back({op.cbit, f, t});
+    }
+  }
+
+  FragmentSplit split;
+  split.fragments.resize(n_frags);
+  for (std::size_t f = 0; f < n_frags; ++f) {
+    TermFragment& tf = split.fragments[f];
+    tf.wires = wires_of[f];
+    tf.circuit = Circuit(static_cast<int>(tf.wires.size()), n_cbits);
+    split.max_width = std::max(split.max_width, static_cast<int>(tf.wires.size()));
+  }
+
+  // Cross-fragment bits: written in one fragment, read in another. The
+  // chain-rule recombination fixes one value per cross bit, so it needs the
+  // classical protocol structure the gadgets actually emit: a single write
+  // that precedes every foreign read.
+  for (const Read& rd : reads) {
+    const CbitInfo& ci = info[static_cast<std::size_t>(rd.cbit)];
+    if (ci.writer_frag < 0 || ci.writer_frag == rd.frag) {
+      continue;  // constant-0 bit or purely local feed-forward
+    }
+    QCUT_CHECK(!ci.multi_frag_write && ci.writes == 1,
+               "split_term: cross-fragment cbit written more than once");
+    QCUT_CHECK(ci.write_op < rd.op, "split_term: cross-fragment cbit read before written");
+    split.fragments[static_cast<std::size_t>(rd.frag)].reads.push_back(rd.cbit);
+    split.fragments[static_cast<std::size_t>(ci.writer_frag)].writes.push_back(rd.cbit);
+    split.cross_cbits.push_back(rd.cbit);
+  }
+  for (TermFragment& tf : split.fragments) {
+    sort_unique(tf.reads);
+    sort_unique(tf.writes);
+  }
+  sort_unique(split.cross_cbits);
+
+  // Estimate bits belong to the fragment that measures them; a bit no
+  // fragment writes is the constant 0 and drops out of the parity.
+  for (const int cb : term.estimate_cbits) {
+    QCUT_CHECK(cb >= 0 && cb < n_cbits, "split_term: estimate cbit out of range");
+    const CbitInfo& ci = info[static_cast<std::size_t>(cb)];
+    if (ci.writer_frag < 0) {
+      continue;
+    }
+    QCUT_CHECK(!ci.multi_frag_write, "split_term: estimate cbit written in two fragments");
+    split.fragments[static_cast<std::size_t>(ci.writer_frag)].estimate_cbits.push_back(cb);
+  }
+
+  // Replay the ops into their fragments, qubits remapped to local indices.
+  // Every op lands in exactly one fragment by construction of the components.
+  for (const Operation& op : c.ops()) {
+    const int f = frag_of_wire[static_cast<std::size_t>(op.qubits[0])];
+    Circuit& fc = split.fragments[static_cast<std::size_t>(f)].circuit;
+    std::vector<int> qs(op.qubits.size());
+    for (std::size_t i = 0; i < op.qubits.size(); ++i) {
+      qs[i] = local_index[static_cast<std::size_t>(op.qubits[i])];
+    }
+    switch (op.kind) {
+      case OpKind::kUnitary:
+        fc.gate(op.matrix, qs, op.label);
+        break;
+      case OpKind::kCondUnitary:
+        fc.gate_if(op.cbit, op.matrix, qs, op.label);
+        break;
+      case OpKind::kMeasure:
+        fc.measure(qs[0], op.cbit);
+        break;
+      case OpKind::kReset:
+        fc.reset(qs[0]);
+        break;
+      case OpKind::kInitialize:
+        fc.initialize(qs, op.init_state, op.label);
+        break;
+    }
+  }
+  return split;
+}
+
+Real fragment_term_prob_one(const FragmentSplit& split) {
+  const std::vector<int>& cross = split.cross_cbits;
+  const std::size_t n_cross = cross.size();
+  QCUT_CHECK(n_cross <= 20, "fragment_term_prob_one: too many cross-fragment cbits");
+  const auto cross_pos = [&cross](int cbit) {
+    return static_cast<std::size_t>(
+        std::lower_bound(cross.begin(), cross.end(), cbit) - cross.begin());
+  };
+
+  // Per fragment: one branch enumeration per assignment of its read bits,
+  // aggregated into P(write-bit pattern, estimate parity | read assignment).
+  // This is the per-fragment analogue of the BranchCache's per-term
+  // enumeration; each enumeration touches only a 2^{fragment width} state.
+  struct Table {
+    std::vector<std::vector<Real>> by_read;  ///< [read asg][write pattern * 2 + parity]
+  };
+  std::vector<Table> tables(split.fragments.size());
+  for (std::size_t f = 0; f < split.fragments.size(); ++f) {
+    const TermFragment& tf = split.fragments[f];
+    const std::size_t r = tf.reads.size();
+    const std::size_t w = tf.writes.size();
+    QCUT_CHECK(r <= 16, "fragment_term_prob_one: fragment reads too many cross bits");
+    QCUT_CHECK(tf.circuit.n_qubits() <= Statevector::kMaxQubits,
+               "fragment_term_prob_one: fragment wider than the statevector cap");
+    Vector initial(std::size_t{1} << tf.circuit.n_qubits(), Cplx{0.0, 0.0});
+    initial[0] = Cplx{1.0, 0.0};
+    auto& tab = tables[f].by_read;
+    tab.assign(std::size_t{1} << r,
+               std::vector<Real>((std::size_t{1} << w) * 2, 0.0));
+    for (std::size_t ra = 0; ra < (std::size_t{1} << r); ++ra) {
+      std::vector<int> init_cbits(static_cast<std::size_t>(tf.circuit.n_cbits()), 0);
+      for (std::size_t j = 0; j < r; ++j) {
+        init_cbits[static_cast<std::size_t>(tf.reads[j])] = static_cast<int>((ra >> j) & 1);
+      }
+      for (const Branch& b : run_branches(tf.circuit, initial, init_cbits)) {
+        std::size_t wp = 0;
+        for (std::size_t j = 0; j < w; ++j) {
+          wp |= static_cast<std::size_t>(b.cbits[static_cast<std::size_t>(tf.writes[j])] & 1)
+                << j;
+        }
+        int parity = 0;
+        for (const int cb : tf.estimate_cbits) {
+          parity ^= b.cbits[static_cast<std::size_t>(cb)];
+        }
+        tab[ra][wp * 2 + static_cast<std::size_t>(parity)] += b.prob;
+      }
+    }
+  }
+
+  // Cross-bit positions are loop-invariant: hoist them out of the 2^n_cross
+  // sigma sweep below.
+  std::vector<std::vector<std::size_t>> read_pos(split.fragments.size());
+  std::vector<std::vector<std::size_t>> write_pos(split.fragments.size());
+  for (std::size_t f = 0; f < split.fragments.size(); ++f) {
+    for (const int cb : split.fragments[f].reads) {
+      read_pos[f].push_back(cross_pos(cb));
+    }
+    for (const int cb : split.fragments[f].writes) {
+      write_pos[f].push_back(cross_pos(cb));
+    }
+  }
+
+  // Chain-rule product over fragments, summed over cross-bit assignments,
+  // with a running XOR of the per-fragment estimate parities.
+  Real acc = 0.0;
+  for (std::uint64_t sigma = 0; sigma < (std::uint64_t{1} << n_cross); ++sigma) {
+    Real p0 = 1.0;
+    Real p1 = 0.0;
+    for (std::size_t f = 0; f < split.fragments.size(); ++f) {
+      std::size_t ra = 0;
+      for (std::size_t j = 0; j < read_pos[f].size(); ++j) {
+        ra |= static_cast<std::size_t>((sigma >> read_pos[f][j]) & 1) << j;
+      }
+      std::size_t wp = 0;
+      for (std::size_t j = 0; j < write_pos[f].size(); ++j) {
+        wp |= static_cast<std::size_t>((sigma >> write_pos[f][j]) & 1) << j;
+      }
+      const Real f0 = tables[f].by_read[ra][wp * 2];
+      const Real f1 = tables[f].by_read[ra][wp * 2 + 1];
+      const Real n0 = p0 * f0 + p1 * f1;
+      const Real n1 = p0 * f1 + p1 * f0;
+      p0 = n0;
+      p1 = n1;
+      if (p0 + p1 <= 0.0) {
+        break;  // this cross-bit assignment never occurs
+      }
+    }
+    acc += p1;
+  }
+  return acc;
+}
+
+Real fragment_term_prob_one(const QpdTerm& term) {
+  return fragment_term_prob_one(split_term(term));
+}
+
+}  // namespace qcut

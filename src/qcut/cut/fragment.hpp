@@ -1,0 +1,82 @@
+// Fragment extraction: split one QPD term's spliced circuit into
+// independently simulable sub-circuits, so a cut circuit's execution cost is
+// bounded by the widest *fragment*, not the total spliced width.
+//
+// Model: the wire-cut gadgets couple the two sides of a cut only through
+// classical bits — the sender side *measures* (harada / peng measure-and-
+// prepare branches, the Bell-measurement half of a teleport) and the receiver
+// side *prepares*, via classically controlled gates reading the sender's
+// bits. Wires connected by a multi-qubit op must share a device; wires that
+// talk only classically need not. A fragment is therefore a connected
+// component of the term circuit's qubit-interaction graph, and every op lies
+// entirely inside one fragment by construction.
+//
+// Entangled-resource gadgets (NmeCut / DistillCut) splice a two-qubit
+// initialize spanning the sender helper and the receiver wire; that op merges
+// the two sides into one component — the split stays *correct*, the fragment
+// is just wider (shared entanglement genuinely cannot be simulated by
+// classical message passing). Entanglement-free protocols (harada, peng)
+// split fully.
+//
+// Recombination (fragment_term_prob_one): the joint distribution of the
+// term's classical bits factorizes over fragments by the chain rule,
+//   P(bits) = Π_F P_F(bits_F | cross bits F reads),
+// because a fragment's quantum state depends only on its own ops, its own
+// measurement outcomes, and the foreign bits its conditional gates read.
+// Each factor is one exact branch enumeration of a ≤ max-fragment-width
+// statevector (run_branches with the read bits preset); the product is summed
+// over assignments of the cross-fragment bits, tracking the estimate-bit
+// parity. The full spliced state is never materialized.
+#pragma once
+
+#include <vector>
+
+#include "qcut/qpd/qpd.hpp"
+
+namespace qcut {
+
+/// One independently simulable piece of a QPD term circuit.
+struct TermFragment {
+  /// The fragment's ops, qubits remapped onto [0, wires.size()). The
+  /// classical register keeps the term's full width so cbit indices stay
+  /// global across fragments.
+  Circuit circuit;
+  /// Host wires of the term circuit, ascending: local qubit q is host wire
+  /// wires[q].
+  std::vector<int> wires;
+  /// Foreign cbits this fragment's conditional gates read (ascending): the
+  /// cut-boundary *prepare* role.
+  std::vector<int> reads;
+  /// Own cbits read by other fragments (ascending): the cut-boundary
+  /// *measure* role.
+  std::vector<int> writes;
+  /// The term's estimate cbits measured inside this fragment.
+  std::vector<int> estimate_cbits;
+};
+
+/// A term circuit split into fragments.
+struct FragmentSplit {
+  std::vector<TermFragment> fragments;
+  /// Union of all cross-fragment cbits, ascending.
+  std::vector<int> cross_cbits;
+  /// Widest fragment — the statevector a device (or the simulator) needs.
+  int max_width = 0;
+};
+
+/// Splits `term`'s circuit into connected components of the qubit-interaction
+/// graph. Always succeeds for circuits the cutter emits; throws qcut::Error
+/// for circuits outside the supported classical-coupling structure (a
+/// cross-fragment cbit written more than once, written in two fragments, or
+/// read before it is written).
+FragmentSplit split_term(const QpdTerm& term);
+
+/// Exact P(outcome = −1) of the term — the parity-one probability of its
+/// estimate cbits — computed fragment-locally from `split`. Identical (up to
+/// float reassociation ≲ 1e-15) to term_prob_one on the spliced circuit, but
+/// memory-bounded by split.max_width instead of the spliced width.
+Real fragment_term_prob_one(const FragmentSplit& split);
+
+/// Convenience: split_term + fragment_term_prob_one.
+Real fragment_term_prob_one(const QpdTerm& term);
+
+}  // namespace qcut

@@ -1,7 +1,11 @@
 #include "qcut/exec/backend.hpp"
 
+#include <string>
+
 #include "qcut/common/error.hpp"
+#include "qcut/cut/fragment.hpp"
 #include "qcut/sim/executor.hpp"
+#include "qcut/sim/statevector.hpp"
 
 namespace qcut {
 
@@ -41,12 +45,38 @@ std::uint64_t BatchedBranchBackend::run_batch(const TermBatch& batch, Rng& rng) 
   return rng.binomial(batch.shots, cache_->prob_one(batch.term));
 }
 
+FragmentBackend::FragmentBackend(const Qpd& qpd, int max_fragment_width)
+    : qpd_(&qpd),
+      max_fragment_width_(max_fragment_width > 0 ? max_fragment_width
+                                                 : Statevector::kMaxQubits) {
+  QCUT_CHECK(max_fragment_width_ <= Statevector::kMaxQubits,
+             "FragmentBackend: width cap exceeds the statevector engine cap");
+  const int cap = max_fragment_width_;
+  cache_ = std::make_shared<BranchCache>(qpd, [cap](const QpdTerm& term) {
+    const FragmentSplit split = split_term(term);
+    QCUT_CHECK(split.max_width <= cap,
+               "FragmentBackend: a term fragment exceeds the width cap (" +
+                   std::to_string(split.max_width) + " > " + std::to_string(cap) +
+                   " qubits) — add cuts, and note that entangled-resource cuts "
+                   "(nme/distill) merge both sides into one fragment: wide runs "
+                   "need entanglement-free plans (pair_budget = 0)");
+    return fragment_term_prob_one(split);
+  });
+}
+
+std::uint64_t FragmentBackend::run_batch(const TermBatch& batch, Rng& rng) const {
+  QCUT_CHECK(batch.term < qpd_->size(), "FragmentBackend: term out of range");
+  return rng.binomial(batch.shots, cache_->prob_one(batch.term));
+}
+
 const char* to_string(BackendKind kind) {
   switch (kind) {
     case BackendKind::kSerialShot:
       return "serial-shot";
     case BackendKind::kBatchedBranch:
       return "batched-branch";
+    case BackendKind::kFragment:
+      return "fragment";
   }
   return "unknown";
 }
@@ -57,6 +87,8 @@ std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd)
       return std::make_unique<SerialShotBackend>(qpd);
     case BackendKind::kBatchedBranch:
       return std::make_unique<BatchedBranchBackend>(qpd);
+    case BackendKind::kFragment:
+      return std::make_unique<FragmentBackend>(qpd);
   }
   throw Error("make_backend: unknown backend kind");
 }

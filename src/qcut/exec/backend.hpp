@@ -67,9 +67,36 @@ class BatchedBranchBackend final : public ExecutionBackend {
   std::shared_ptr<BranchCache> cache_;
 };
 
+/// Fragment-local branch-cached sampling: each term's exact −1-outcome
+/// probability is computed by enumerating its *fragments* independently
+/// (qcut/cut/fragment.hpp) and recombining through the cross-fragment
+/// classical bits — the spliced state is never materialized, so memory is
+/// bounded by the widest fragment instead of the total spliced width. Batches
+/// then sample the same single binomial as BatchedBranchBackend, so the two
+/// backends are identical in law: the exact per-term probabilities agree up
+/// to float reassociation (the equivalence tests pin 1e-12).
+class FragmentBackend final : public ExecutionBackend {
+ public:
+  /// `max_fragment_width` caps the widest fragment this backend will
+  /// enumerate (defaults to the statevector engine's hard cap).
+  explicit FragmentBackend(const Qpd& qpd, int max_fragment_width = 0);
+
+  std::string name() const override { return "fragment"; }
+  std::uint64_t run_batch(const TermBatch& batch, Rng& rng) const override;
+
+  const BranchCache& cache() const noexcept { return *cache_; }
+  int max_fragment_width() const noexcept { return max_fragment_width_; }
+
+ private:
+  const Qpd* qpd_;
+  int max_fragment_width_ = 0;
+  std::shared_ptr<BranchCache> cache_;
+};
+
 enum class BackendKind {
   kSerialShot,
   kBatchedBranch,
+  kFragment,
 };
 
 const char* to_string(BackendKind kind);

@@ -18,9 +18,15 @@ Real term_prob_one(const QpdTerm& term) {
   return acc;
 }
 
-BranchCache::BranchCache(const Qpd& qpd)
-    : qpd_(&qpd), prob_(qpd.size(), 0.0), once_(new std::once_flag[qpd.size()]) {
+BranchCache::BranchCache(const Qpd& qpd) : BranchCache(qpd, ProbFn(&term_prob_one)) {}
+
+BranchCache::BranchCache(const Qpd& qpd, ProbFn prob_fn)
+    : qpd_(&qpd),
+      prob_fn_(std::move(prob_fn)),
+      prob_(qpd.size(), 0.0),
+      once_(new std::once_flag[qpd.size()]) {
   QCUT_CHECK(!qpd.empty(), "BranchCache: empty QPD");
+  QCUT_CHECK(prob_fn_ != nullptr, "BranchCache: null probability function");
 }
 
 BranchCache::BranchCache(const Qpd& qpd, std::vector<Real> prob_one)
@@ -34,7 +40,7 @@ Real BranchCache::prob_one(std::size_t term) const {
   QCUT_CHECK(term < prob_.size(), "BranchCache::prob_one: term out of range");
   if (!preseeded_) {
     std::call_once(once_[term], [this, term] {
-      prob_[term] = term_prob_one(qpd_->terms()[term]);
+      prob_[term] = prob_fn_(qpd_->terms()[term]);
       computed_.fetch_add(1, std::memory_order_relaxed);
     });
   }

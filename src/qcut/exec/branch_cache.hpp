@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -30,8 +31,16 @@ Real term_prob_one(const QpdTerm& term);
 
 class BranchCache {
  public:
+  /// Computes a term's exact P(outcome = −1). The default enumerates the
+  /// spliced term circuit (term_prob_one); FragmentBackend plugs in the
+  /// fragment-local computation instead — same cache semantics either way.
+  using ProbFn = std::function<Real(const QpdTerm&)>;
+
   /// Lazy cache: each term is enumerated on first use.
   explicit BranchCache(const Qpd& qpd);
+
+  /// Lazy cache with a custom per-term probability computation.
+  BranchCache(const Qpd& qpd, ProbFn prob_fn);
 
   /// Pre-seeded cache: `prob_one` (one entry per term) was computed
   /// externally; no enumeration will run.
@@ -51,6 +60,7 @@ class BranchCache {
 
  private:
   const Qpd* qpd_;
+  ProbFn prob_fn_;
   bool preseeded_ = false;
   mutable std::vector<Real> prob_;
   mutable std::unique_ptr<std::once_flag[]> once_;

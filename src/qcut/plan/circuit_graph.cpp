@@ -3,32 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "qcut/common/union_find.hpp"
+
 namespace qcut {
-
-namespace {
-
-/// Plain union-find over segment ids.
-class UnionFind {
- public:
-  explicit UnionFind(std::size_t n) : parent_(n) {
-    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
-  }
-
-  std::size_t find(std::size_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-
-  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
-
- private:
-  std::vector<std::size_t> parent_;
-};
-
-}  // namespace
 
 CircuitGraph::CircuitGraph(const Circuit& circ) : circ_(&circ) {
   for (const auto& op : circ.ops()) {

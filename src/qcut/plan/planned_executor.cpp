@@ -1,6 +1,9 @@
 #include "qcut/plan/planned_executor.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "qcut/sim/statevector.hpp"
 
 namespace qcut {
 
@@ -35,8 +38,26 @@ CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunCon
                "or pass an explicit shot count");
     eff.shots = static_cast<std::uint64_t>(predicted);
   }
-  return run_qpd_estimate(build_qpd(observable), uncut_circuit_expectation(circ_, observable),
-                          eff);
+
+  const Qpd qpd = build_qpd(observable);
+  int spliced_width = 0;
+  for (const QpdTerm& term : qpd.terms()) {
+    spliced_width = std::max(spliced_width, term.circuit.n_qubits());
+  }
+  // Route wide runs through the fragment-local backend; an explicit backend
+  // choice (anything but the BatchedBranch default) is left alone.
+  const int threshold = eff.auto_fragment_threshold > 0 ? eff.auto_fragment_threshold
+                                                        : Statevector::kMaxQubits;
+  if (eff.fast && eff.backend == BackendKind::kBatchedBranch && spliced_width > threshold) {
+    eff.backend = BackendKind::kFragment;
+  }
+
+  // The monolithic uncut reference only exists below the statevector cap —
+  // above it the analytic / fragment estimate IS the answer.
+  if (circ_.n_qubits() <= Statevector::kMaxQubits) {
+    return run_qpd_estimate(qpd, uncut_circuit_expectation(circ_, observable), eff);
+  }
+  return run_qpd_estimate(qpd, eff);
 }
 
 PlannedRunResult plan_and_run(const Circuit& circ, const std::string& observable,

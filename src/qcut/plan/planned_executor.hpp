@@ -5,6 +5,13 @@
 // n cuts, κ = Π κ_i), and estimates the observable on the batched execution
 // engine — the same engine-backed path CutExecutor uses for single-wire
 // experiments.
+//
+// The spliced term circuits are an IR, not an execution obligation: when they
+// are wider than the statevector cap (or the caller asks for it), run()
+// executes them on the fragment-local backend, which simulates each fragment
+// of every term independently and recombines through the cut boundaries'
+// classical bits. Total width is then bounded by the plan's max *fragment*
+// width — the whole point of cutting.
 #pragma once
 
 #include <memory>
@@ -30,8 +37,23 @@ class PlannedExecutor {
   /// circuit and measures the observable.
   Qpd build_qpd(const std::string& observable) const;
 
-  /// One estimation run against the exact uncut expectation. cfg.shots = 0
-  /// uses the plan's predicted budget κ²/ε² (rounded up).
+  /// One estimation run. cfg.shots = 0 uses the plan's predicted budget κ²/ε²
+  /// (rounded up).
+  ///
+  /// Backend routing: when the spliced term circuits are wider than
+  /// cfg.auto_fragment_threshold (default: the statevector cap) and the
+  /// backend is the default BatchedBranch, the run automatically switches to
+  /// the fragment-local backend — execution memory is then bounded by the max
+  /// *fragment* width, so total circuit width is unbounded by the simulator.
+  /// Choosing any non-default backend kind disables the rerouting; a
+  /// BatchedBranch request is indistinguishable from the default, so to force
+  /// the spliced batched path on a wide run raise auto_fragment_threshold
+  /// instead. Note that entangled-resource cuts (nme/distill) merge both
+  /// sides of the cut into one fragment, so wide runs require
+  /// entanglement-free plans (pair_budget = 0).
+  ///
+  /// The exact uncut expectation is attached when the circuit is narrow
+  /// enough to simulate monolithically; otherwise result.has_exact is false.
   CutRunResult run(const std::string& observable, const CutRunConfig& cfg) const;
 
  private:

@@ -9,7 +9,7 @@
 namespace qcut {
 
 Circuit::Circuit(int n_qubits, int n_cbits) : n_qubits_(n_qubits), n_cbits_(n_cbits) {
-  QCUT_CHECK(n_qubits >= 1 && n_qubits <= 20, "Circuit: unsupported qubit count");
+  QCUT_CHECK(n_qubits >= 1 && n_qubits <= kMaxQubits, "Circuit: unsupported qubit count");
   QCUT_CHECK(n_cbits >= 0, "Circuit: negative classical bit count");
 }
 
@@ -103,6 +103,7 @@ Circuit& Circuit::append(const Circuit& other, int qubit_offset, int cbit_offset
 }
 
 Matrix Circuit::to_unitary() const {
+  QCUT_CHECK(n_qubits_ <= 20, "Circuit::to_unitary: circuit too wide for a dense unitary");
   Matrix acc = Matrix::identity(Index{1} << n_qubits_);
   for (const auto& op : ops_) {
     QCUT_CHECK(op.kind == OpKind::kUnitary,

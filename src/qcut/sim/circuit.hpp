@@ -37,6 +37,14 @@ struct Operation {
 
 class Circuit {
  public:
+  /// IR width cap. The IR is an op list — no amplitudes — so it only needs to
+  /// keep basis-index arithmetic (Index{1} << n) well defined; Index is a
+  /// *signed* 64-bit type, so the largest shift that stays positive is 62.
+  /// Simulability is an engine property, not an IR property: monolithic
+  /// statevector execution caps at Statevector::kMaxQubits, wider circuits
+  /// run fragment-locally (qcut/cut/fragment.hpp).
+  static constexpr int kMaxQubits = 62;
+
   /// Default: a trivial one-qubit, one-cbit circuit (placeholder for
   /// aggregate members that are assigned before use).
   Circuit() : Circuit(1, 1) {}

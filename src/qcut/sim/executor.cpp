@@ -11,6 +11,11 @@ namespace qcut {
 namespace {
 
 Vector default_initial(int n_qubits) {
+  // Reject over-wide circuits before allocating 2^n amplitudes — the check
+  // must come first or a 30-qubit monolithic run dies on bad_alloc/OOM
+  // instead of the statevector cap's Error.
+  QCUT_CHECK(n_qubits >= 1 && n_qubits <= Statevector::kMaxQubits,
+             "run: circuit too wide for monolithic simulation — use the fragment path");
   Vector v(std::size_t{1} << n_qubits, Cplx{0.0, 0.0});
   v[0] = Cplx{1.0, 0.0};
   return v;
@@ -67,9 +72,16 @@ std::vector<Branch> run_branches(const Circuit& c, Real prune_tol) {
 }
 
 std::vector<Branch> run_branches(const Circuit& c, const Vector& initial, Real prune_tol) {
+  return run_branches(c, initial, std::vector<int>(static_cast<std::size_t>(c.n_cbits()), 0),
+                      prune_tol);
+}
+
+std::vector<Branch> run_branches(const Circuit& c, const Vector& initial,
+                                 const std::vector<int>& initial_cbits, Real prune_tol) {
+  QCUT_CHECK(initial_cbits.size() == static_cast<std::size_t>(c.n_cbits()),
+             "run_branches: initial_cbits/register size mismatch");
   std::vector<Branch> branches;
-  branches.push_back(
-      {1.0, std::vector<int>(static_cast<std::size_t>(c.n_cbits()), 0), Statevector(c.n_qubits(), initial)});
+  branches.push_back({1.0, initial_cbits, Statevector(c.n_qubits(), initial)});
 
   for (const auto& op : c.ops()) {
     switch (op.kind) {
@@ -99,7 +111,11 @@ std::vector<Branch> run_branches(const Circuit& c, const Vector& initial, Real p
           const Real p1 = b.state.prob_one(q);
           for (int outcome = 0; outcome <= 1; ++outcome) {
             const Real p = outcome ? p1 : 1.0 - p1;
-            if (p <= prune_tol) {
+            // `!(p > ...)` instead of `p <= ...`: a p = 0 branch must be
+            // dropped even when the caller passes prune_tol < 0 (project()
+            // would leave a zero state that renormalizes to NaN downstream),
+            // and a NaN p (corrupt upstream state) must not survive either.
+            if (!(p > prune_tol) || !(p > 0.0)) {
               continue;
             }
             Branch nb{b.prob * p, b.cbits, b.state};

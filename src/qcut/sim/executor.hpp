@@ -41,9 +41,17 @@ struct Branch {
 };
 
 /// Enumerates all measurement/reset branches exactly. Branches with
-/// probability below `prune_tol` are dropped.
+/// probability below `prune_tol` are dropped; exactly-zero branches are
+/// always dropped (even at prune_tol <= 0) so a p = 0 branch can never be
+/// renormalized into NaNs.
 std::vector<Branch> run_branches(const Circuit& c, Real prune_tol = 1e-14);
 std::vector<Branch> run_branches(const Circuit& c, const Vector& initial,
+                                 Real prune_tol = 1e-14);
+/// As above with the classical register preset to `initial_cbits` (one entry
+/// per cbit) instead of all-zero. Fragment-local execution uses this to fix
+/// the bits a fragment reads but another fragment writes.
+std::vector<Branch> run_branches(const Circuit& c, const Vector& initial,
+                                 const std::vector<int>& initial_cbits,
                                  Real prune_tol = 1e-14);
 
 /// Exact expectation of an n-qubit Pauli string on the final state, averaged

@@ -7,15 +7,27 @@
 
 namespace qcut {
 
+namespace {
+
+// Width must be validated BEFORE the 2^n amplitude vector is allocated: with
+// the Circuit IR now wider than the engine cap, a check placed after the
+// allocation would surface as an OOM kill / bad_alloc instead of the Error.
+std::size_t checked_dim(int n_qubits) {
+  QCUT_CHECK(n_qubits >= 1 && n_qubits <= Statevector::kMaxQubits,
+             "Statevector: unsupported qubit count");
+  return std::size_t{1} << n_qubits;
+}
+
+}  // namespace
+
 Statevector::Statevector(int n_qubits)
-    : n_qubits_(n_qubits), amp_(std::size_t{1} << n_qubits, Cplx{0.0, 0.0}) {
-  QCUT_CHECK(n_qubits >= 1 && n_qubits <= 20, "Statevector: unsupported qubit count");
+    : n_qubits_(n_qubits), amp_(checked_dim(n_qubits), Cplx{0.0, 0.0}) {
   amp_[0] = Cplx{1.0, 0.0};
 }
 
 Statevector::Statevector(int n_qubits, Vector amplitudes)
     : n_qubits_(n_qubits), amp_(std::move(amplitudes)) {
-  QCUT_CHECK(n_qubits >= 1 && n_qubits <= 20, "Statevector: unsupported qubit count");
+  (void)checked_dim(n_qubits);
   QCUT_CHECK(amp_.size() == (std::size_t{1} << n_qubits),
              "Statevector: amplitude count mismatch");
   QCUT_CHECK(approx_eq(vec_norm(amp_), 1.0, 1e-8), "Statevector: state must be normalized");
@@ -198,13 +210,17 @@ void Statevector::initialize(const std::vector<int>& qubits, const Vector& state
   }
   const Index dim_ = dim();
   // The qubits must currently be |0..0⟩: all amplitude weight on indices with
-  // zero bits under `mask`.
+  // zero bits under `mask`. Checked unconditionally — a violated precondition
+  // would silently scale surviving amplitudes by stale weight and corrupt
+  // every downstream probability. The masked-norm sweep is O(2^n), the same
+  // cost as the distribute loop below.
+  Real leaked = 0.0;
   for (Index i = 0; i < dim_; ++i) {
     if ((i & mask) != 0) {
-      QCUT_DCHECK(is_zero(amp_[static_cast<std::size_t>(i)], 1e-7),
-                  "initialize: qubits are not in |0..0⟩");
+      leaked += norm2(amp_[static_cast<std::size_t>(i)]);
     }
   }
+  QCUT_CHECK(leaked <= 1e-12, "initialize: qubits are not in |0..0⟩");
   // Distribute: amp[base | bits(sub)] = amp[base] * state[sub].
   for (Index base = 0; base < dim_; ++base) {
     if (base & mask) {

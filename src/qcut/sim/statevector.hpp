@@ -15,6 +15,12 @@ namespace qcut {
 
 class Statevector {
  public:
+  /// Hard cap on simulable width: 2^n amplitudes hit the exponential memory
+  /// wall (16 MiB at n = 20). Circuits wider than this must be executed
+  /// fragment-locally (see qcut/cut/fragment.hpp) — the Circuit IR itself
+  /// allows up to Circuit::kMaxQubits wires.
+  static constexpr int kMaxQubits = 20;
+
   /// |0...0⟩ on n qubits.
   explicit Statevector(int n_qubits);
   /// Takes ownership of explicit amplitudes (must have power-of-two size and
@@ -36,7 +42,9 @@ class Statevector {
   int measure(int qubit, Rng& rng);
 
   /// Deterministic projection: collapse `qubit` to `outcome` and renormalize;
-  /// returns the branch probability (caller handles zero-probability case).
+  /// returns the branch probability. A p = 0 branch is left as the all-zero
+  /// vector (never divided into NaNs) — the caller must drop it rather than
+  /// keep using the state (run_branches prunes such branches unconditionally).
   Real project(int qubit, int outcome);
 
   /// Collapses `qubit` and re-prepares it in |0⟩.

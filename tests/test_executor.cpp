@@ -2,6 +2,8 @@
 // evolution with mid-circuit measurement + feed-forward, channel extraction.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "qcut/linalg/kron.hpp"
 #include "qcut/linalg/pauli.hpp"
 #include "qcut/linalg/ptrace.hpp"
@@ -49,6 +51,38 @@ TEST(Executor, BranchesEnumerateOutcomes) {
     total += b.prob;
   }
   EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Executor, ZeroProbabilityBranchesAreDroppedEvenWithoutPruning) {
+  // Measuring a deterministic qubit yields one branch with probability
+  // exactly 0. Even at prune_tol = 0 (and below) that branch must be dropped
+  // — keeping it would renormalize a zero state into NaNs downstream.
+  Circuit c(2, 2);
+  c.x(0).measure(0, 0).measure(1, 1);
+  for (const Real tol : {1e-14, 0.0, -1.0}) {
+    const auto branches = run_branches(c, tol);
+    ASSERT_EQ(branches.size(), 1u) << "prune_tol=" << tol;
+    EXPECT_EQ(branches[0].cbits[0], 1);
+    EXPECT_EQ(branches[0].cbits[1], 0);
+    EXPECT_NEAR(branches[0].prob, 1.0, 1e-12);
+    for (const Cplx& a : branches[0].state.amplitudes()) {
+      EXPECT_TRUE(std::isfinite(a.real()) && std::isfinite(a.imag()));
+    }
+  }
+}
+
+TEST(Executor, BranchesHonorPresetClassicalBits) {
+  // The fragment path presets the bits a fragment reads but does not write.
+  Circuit c(1, 2);
+  c.gate_if(0, gates::x(), {0}, "X?").measure(0, 1);
+  const Vector zero{Cplx{1.0, 0.0}, Cplx{0.0, 0.0}};
+  const auto off = run_branches(c, zero, std::vector<int>{0, 0});
+  ASSERT_EQ(off.size(), 1u);
+  EXPECT_EQ(off[0].cbits[1], 0);
+  const auto on = run_branches(c, zero, std::vector<int>{1, 0});
+  ASSERT_EQ(on.size(), 1u);
+  EXPECT_EQ(on[0].cbits[1], 1);
+  EXPECT_EQ(on[0].cbits[0], 1);  // preset bits persist in the outcome record
 }
 
 TEST(Executor, BranchProbabilitiesAlwaysSumToOne) {

@@ -119,10 +119,13 @@ TEST(GateCut, TermStructure) {
   // θ generic: 6 branches; θ = 0: the rotation part vanishes.
   EXPECT_EQ(zz_gate_cut_terms(0.7).size(), 6u);
   EXPECT_EQ(zz_gate_cut_terms(0.0).size(), 2u);
-  // Gate-cut branches never consume entangled pairs.
+  // Gate-cut branches never consume entangled pairs. (The Qpd must be bound
+  // to a local: ranging over `temporary.terms()` dangles — the temporary dies
+  // before the loop body runs.)
   Circuit base(2, 0);
   base.h(0);
-  for (const auto& term : cut_zz_gate(base, 1, 0, 1, 0.5, "ZZ").terms()) {
+  const Qpd qpd = cut_zz_gate(base, 1, 0, 1, 0.5, "ZZ");
+  for (const auto& term : qpd.terms()) {
     EXPECT_EQ(term.entangled_pairs, 0);
   }
 }

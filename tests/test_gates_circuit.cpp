@@ -122,8 +122,21 @@ TEST(Circuit, ToStringListsOps) {
 
 TEST(Circuit, RejectsUnsupportedSizes) {
   EXPECT_THROW(Circuit(0, 0), Error);
-  EXPECT_THROW(Circuit(21, 0), Error);
+  EXPECT_THROW(Circuit(Circuit::kMaxQubits + 1, 0), Error);
   EXPECT_THROW(Circuit(1, -1), Error);
+}
+
+TEST(Circuit, IrWidthExceedsSimulableWidth) {
+  // The IR holds circuits far wider than any monolithic statevector: wide
+  // circuits are built here and *executed* fragment-locally. Dense-unitary
+  // conversion of a wide circuit must fail loudly, not bad_alloc.
+  Circuit wide(30, 0);
+  wide.h(0);
+  for (int q = 0; q + 1 < 30; ++q) {
+    wide.cx(q, q + 1);
+  }
+  EXPECT_EQ(wide.n_qubits(), 30);
+  EXPECT_THROW(wide.to_unitary(), Error);
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 // Statevector engine: gate kernels, measurement, projection, initialization.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "qcut/linalg/kron.hpp"
 #include "qcut/linalg/pauli.hpp"
 #include "qcut/linalg/random.hpp"
+#include "qcut/sim/circuit.hpp"
 #include "qcut/sim/gates.hpp"
 #include "qcut/sim/statevector.hpp"
 #include "test_helpers.hpp"
@@ -148,6 +151,35 @@ TEST(Statevector, InitializeFreshQubits) {
   expect_vector_near(sv.amplitudes(), expected, 1e-10);
 }
 
+TEST(Statevector, InitializeRejectsOccupiedQubits) {
+  // Regression: this precondition used to be a debug-only check, so release
+  // builds silently scaled the surviving amplitudes by stale weight. It must
+  // throw in every build configuration.
+  Rng rng(71);
+  const Vector target = random_statevector(2, rng);
+  Statevector sv(2);
+  sv.apply(gates::h(), {1});  // qubit 1 now carries weight on |1⟩
+  EXPECT_THROW(sv.initialize({1}, target), Error);
+  // The entangled case must be rejected too: after CX the target qubit has
+  // weight on |1⟩ through correlation with qubit 0.
+  Statevector bell(2);
+  bell.apply(gates::h(), {0});
+  bell.apply(gates::cx(), {0, 1});
+  EXPECT_THROW(bell.initialize({1}, target), Error);
+}
+
+TEST(Statevector, ProjectZeroProbabilityBranchHasNoNaNs) {
+  // project() onto an impossible outcome must return exactly 0 and leave the
+  // all-zero vector rather than renormalizing 0/0 into NaNs.
+  Statevector sv(1);  // |0⟩: outcome 1 has probability exactly 0
+  const Real p = sv.project(0, 1);
+  EXPECT_EQ(p, 0.0);
+  for (const Cplx& a : sv.amplitudes()) {
+    EXPECT_TRUE(std::isfinite(a.real()) && std::isfinite(a.imag()));
+    EXPECT_EQ(a, (Cplx{0.0, 0.0}));
+  }
+}
+
 TEST(Statevector, InitializeMultiQubit) {
   Rng rng(8);
   const Vector target = random_statevector(4, rng);
@@ -199,6 +231,12 @@ TEST(Statevector, RejectsBadConstruction) {
   EXPECT_THROW(Statevector(0), Error);
   EXPECT_THROW(Statevector(2, Vector{Cplx{1, 0}}), Error);
   EXPECT_THROW(Statevector(1, Vector{Cplx{2, 0}, Cplx{0, 0}}), Error);
+  // Widths above the cap must fail on the check, BEFORE the 2^n allocation:
+  // at 40 qubits a check-after-alloc would be a 16 TiB bad_alloc/OOM kill,
+  // not this Error. (Circuit IR legally holds such widths now.)
+  EXPECT_THROW(Statevector(Statevector::kMaxQubits + 1), Error);
+  EXPECT_THROW(Statevector(40), Error);
+  EXPECT_THROW(Statevector(Circuit::kMaxQubits), Error);
 }
 
 }  // namespace
