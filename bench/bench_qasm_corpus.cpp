@@ -1,0 +1,166 @@
+// QASM corpus round-trip gate — the deterministic CI check behind the
+// importer: every circuit in tests/qasm_corpus/ must import, re-export, and
+// re-import to an equivalent circuit; narrow measurement-free circuits must
+// additionally preserve their total unitary up to global phase.
+//
+// On failure the offending circuit and its diagnostic are copied into the
+// fail directory so CI can upload them as an artifact:
+//   ./bench_qasm_corpus [--corpus <dir>] [--fail-dir <dir>] [--out <json>]
+// Exit code: 0 = all green, 1 = at least one failure.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "qcut/common/cli.hpp"
+#include "qcut/sim/qasm.hpp"
+#include "qcut/sim/qasm_import.hpp"
+
+#ifndef QCUT_QASM_CORPUS_DIR
+#define QCUT_QASM_CORPUS_DIR "tests/qasm_corpus"
+#endif
+
+namespace fs = std::filesystem;
+using namespace qcut;
+
+namespace {
+
+/// Width cap for the total-unitary cross-check (dense 2^n matrices).
+constexpr int kUnitaryCheckMax = 10;
+
+bool unitary_only(const Circuit& c) {
+  for (const auto& op : c.ops()) {
+    if (op.kind != OpKind::kUnitary) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Failure {
+  fs::path file;
+  std::string diagnostic;
+};
+
+std::string check_file(const fs::path& path) {
+  Circuit c1;
+  try {
+    c1 = import_qasm_file(path.string());
+  } catch (const Error& e) {
+    return std::string("import failed: ") + e.what();
+  }
+  if (c1.size() == 0) {
+    return "import produced an empty circuit";
+  }
+  std::string exported;
+  try {
+    exported = to_qasm(c1);
+  } catch (const Error& e) {
+    return std::string("export of the imported circuit failed: ") + e.what();
+  }
+  Circuit c2;
+  try {
+    c2 = import_qasm(exported, path.filename().string() + ":reimport");
+  } catch (const Error& e) {
+    return std::string("re-import of export failed: ") + e.what() +
+           "\n--- exported program ---\n" + exported;
+  }
+  std::string why;
+  if (!circuits_equivalent(c1, c2, 1e-9, &why)) {
+    return "export(import(P)) is not re-import stable: " + why +
+           "\n--- exported program ---\n" + exported;
+  }
+  // Byte-identity across generations is not guaranteed — zyz_decompose can
+  // move an angle by one ulp when re-deriving it from the u3 matrix — but the
+  // drift must never accumulate into a semantic difference: every further
+  // generation still has to match the first import.
+  std::string exported2;
+  try {
+    exported2 = to_qasm(c2);
+  } catch (const Error& e) {
+    return std::string("second-generation export failed: ") + e.what();
+  }
+  if (exported2 != exported) {
+    Circuit c3;
+    try {
+      c3 = import_qasm(exported2, path.filename().string() + ":gen3");
+    } catch (const Error& e) {
+      return std::string("third-generation import failed: ") + e.what();
+    }
+    if (!circuits_equivalent(c1, c3, 1e-9, &why)) {
+      return "round-trip drift accumulated beyond tolerance: " + why;
+    }
+  }
+  if (unitary_only(c1) && c1.n_qubits() <= kUnitaryCheckMax) {
+    if (!matrix_equal_up_to_phase(c1.to_unitary(), c2.to_unitary(), 1e-8)) {
+      return "total unitary changed across the round trip";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const fs::path corpus = cli.get("corpus", QCUT_QASM_CORPUS_DIR);
+  const fs::path fail_dir = cli.get("fail-dir", "qasm_corpus_failures");
+  const std::string out_json = cli.output_path("json", "qasm_corpus.json");
+
+  std::vector<fs::path> files;
+  if (!fs::is_directory(corpus)) {
+    std::fprintf(stderr, "corpus directory '%s' does not exist\n", corpus.string().c_str());
+    return 1;
+  }
+  for (const auto& e : fs::directory_iterator(corpus)) {
+    if (e.path().extension() == ".qasm") {
+      files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.size() < 20) {
+    std::fprintf(stderr, "corpus has only %zu circuits (expected >= 20) — refusing to pass\n",
+                 files.size());
+    return 1;
+  }
+
+  std::vector<Failure> failures;
+  for (const auto& f : files) {
+    const std::string diag = check_file(f);
+    std::printf("%-28s %s\n", f.filename().string().c_str(), diag.empty() ? "ok" : "FAIL");
+    if (!diag.empty()) {
+      failures.push_back({f, diag});
+    }
+  }
+
+  if (!failures.empty()) {
+    fs::create_directories(fail_dir);
+    for (const auto& fail : failures) {
+      fs::copy_file(fail.file, fail_dir / fail.file.filename(),
+                    fs::copy_options::overwrite_existing);
+      std::ofstream diag(fail_dir / (fail.file.stem().string() + ".diag.txt"));
+      diag << fail.diagnostic << "\n";
+      std::fprintf(stderr, "\n%s:\n%s\n", fail.file.filename().string().c_str(),
+                   fail.diagnostic.c_str());
+    }
+    std::fprintf(stderr, "\n%zu/%zu corpus circuits failed; evidence in %s/\n", failures.size(),
+                 files.size(), fail_dir.string().c_str());
+  }
+
+  std::string corpus_escaped;
+  for (const char ch : corpus.string()) {
+    if (ch == '"' || ch == '\\') {
+      corpus_escaped += '\\';
+    }
+    corpus_escaped += ch;
+  }
+  std::ofstream json(out_json);
+  json << "{\n  \"corpus\": \"" << corpus_escaped << "\",\n  \"circuits\": " << files.size()
+       << ",\n  \"failures\": " << failures.size() << "\n}\n";
+  std::printf("\n%zu circuits, %zu failures (summary: %s)\n", files.size(), failures.size(),
+              out_json.c_str());
+  return failures.empty() ? 0 : 1;
+}

@@ -1,40 +1,75 @@
 // Automatic cutting: let the planner decide where to cut.
 //
-// A 6-qubit GHZ line does not fit on our 3-qubit "devices". The planner
-// derives the circuit's interaction timeline, searches the cut sets that keep
-// every fragment within 3 qubits, assigns each cut a protocol from the
-// entanglement budget (Theorem 2's |Φk⟩ cut inside the budget, the
-// entanglement-free optimum κ = 3 beyond it), and predicts the κ²/ε² shot
-// budget. We then execute the planned multi-cut QPD end-to-end on the batched
-// engine and compare against the exact uncut expectation.
+// Two entry points share the pipeline:
+//   * default: a 6-qubit GHZ line built with the C++ API — too wide for our
+//     3-qubit "devices";
+//   * --qasm <file>: any externally authored OpenQASM 2.0 circuit
+//     (sim/qasm_import.hpp). Trailing measurements are stripped — the
+//     estimation pipeline measures the observable itself — and the unitary
+//     part is planned, cut, and executed exactly like a native circuit.
+//
+// The planner derives the circuit's interaction timeline, searches the cut
+// sets that keep every fragment within the device cap, assigns each cut a
+// protocol from the entanglement budget (Theorem 2's |Φk⟩ cut inside the
+// budget, the entanglement-free optimum κ = 3 beyond it), and predicts the
+// κ²/ε² shot budget. We then execute the planned multi-cut QPD end-to-end on
+// the batched engine (fragment-locally when the spliced circuits outgrow the
+// statevector cap) and compare against the exact uncut expectation when one
+// is computable.
 //
 // Build & run:  ./examples/auto_cut [--n 6] [--cap 3] [--f 0.85] [--budget 2]
-//               [--eps 0.05]
+//               [--eps 0.05] [--qasm circuit.qasm] [--obs ZZZZZZ]
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "qcut/common/cli.hpp"
 #include "qcut/plan/cut_planner.hpp"
 #include "qcut/plan/planned_executor.hpp"
+#include "qcut/sim/qasm_import.hpp"
 
 int main(int argc, char** argv) {
   using namespace qcut;
   Cli cli(argc, argv);
-  const int n = static_cast<int>(cli.get_int("n", 6));
   const int cap = static_cast<int>(cli.get_int("cap", 3));
   const Real f = cli.get_real("f", 0.85);
   const int budget = static_cast<int>(cli.get_int("budget", 2));
   const Real eps = cli.get_real("eps", 0.05);
 
-  // 1. A circuit wider than any single device: the GHZ line.
-  Circuit circ(n, 0);
-  circ.h(0);
-  for (int q = 0; q + 1 < n; ++q) {
-    circ.cx(q, q + 1);
+  // 1. The circuit: imported from QASM, or the built-in GHZ line.
+  Circuit circ;
+  if (cli.has("qasm")) {
+    const std::string path = cli.get("qasm", "");
+    try {
+      circ = import_qasm_file(path);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    int stripped = 0;
+    circ = strip_trailing_measurements(circ, &stripped);
+    std::printf("circuit: %s (%d qubits, %zu ops%s), device cap %d qubits\n", path.c_str(),
+                circ.n_qubits(), circ.size(),
+                stripped > 0 ? ", trailing measurements stripped" : "", cap);
+  } else {
+    const int n = static_cast<int>(cli.get_int("n", 6));
+    circ = Circuit(n, 0);
+    circ.h(0);
+    for (int q = 0; q + 1 < n; ++q) {
+      circ.cx(q, q + 1);
+    }
+    std::printf("circuit: %d-qubit GHZ line, device cap %d qubits\n", n, cap);
   }
-  const std::string observable(static_cast<std::size_t>(n), 'X');
-  std::printf("circuit: %d-qubit GHZ line, observable X^%d, device cap %d qubits\n", n, n, cap);
+  const std::string observable =
+      cli.get("obs", std::string(static_cast<std::size_t>(circ.n_qubits()),
+                                 cli.has("qasm") ? 'Z' : 'X'));
+  if (observable.size() != static_cast<std::size_t>(circ.n_qubits())) {
+    std::fprintf(stderr, "--obs must name one Pauli per qubit (%d)\n", circ.n_qubits());
+    return 2;
+  }
+  std::printf("observable: %s\n", observable.c_str());
 
+  try {
   // 2. Plan: width-feasible cut set with minimal Π κ_i², protocols from the
   //    entanglement budget.
   PlannerConfig pcfg;
@@ -64,10 +99,21 @@ int main(int argc, char** argv) {
   rcfg.seed = 2024;
   const CutRunResult res = exec.run(observable, rcfg);
 
-  std::printf("exact   <O> = %+.6f\n", res.exact);
   std::printf("planned <O> = %+.6f   (%llu shots, %llu entangled pairs consumed)\n",
               res.estimate, static_cast<unsigned long long>(res.details.shots_used),
               static_cast<unsigned long long>(res.details.entangled_pairs_used));
+  if (!res.has_exact) {
+    std::printf("exact   <O> =  (circuit too wide for a monolithic reference)\n");
+    return 0;
+  }
+  std::printf("exact   <O> = %+.6f\n", res.exact);
   std::printf("|error|     =  %.6f   (target eps = %.3f)\n", res.abs_error, eps);
   return res.abs_error <= 3.0 * eps ? 0 : 1;
+  } catch (const Error& e) {
+    // Infeasible caps, mid-circuit measurement/feed-forward the planner
+    // cannot analyze, entangled cuts on fragment-only widths, ...: report,
+    // don't abort.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 }

@@ -1,6 +1,10 @@
 #include "qcut/common/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+
+#include "qcut/common/error.hpp"
 
 namespace qcut {
 
@@ -36,12 +40,35 @@ std::string Cli::get(const std::string& key, const std::string& def) const {
 
 std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
   auto it = options_.find(key);
-  return it == options_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == options_.end()) {
+    return def;
+  }
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t v = std::strtoll(s, &end, 10);
+  // A silent 0 from a typo'd value is a debugging trap; demand a full,
+  // in-range parse. "--key" without a value stores "true" and lands here too.
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    throw Error("Cli: --" + key + " expects an integer, got '" + it->second + "'");
+  }
+  return v;
 }
 
 Real Cli::get_real(const std::string& key, Real def) const {
   auto it = options_.find(key);
-  return it == options_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == options_.end()) {
+    return def;
+  }
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  const Real v = std::strtod(s, &end);
+  // Overflowed ("1e999") and non-finite ("inf", "nan") spellings would
+  // poison downstream budget math as silently as a typo'd 0.
+  if (end == s || *end != '\0' || !std::isfinite(v)) {
+    throw Error("Cli: --" + key + " expects a finite number, got '" + it->second + "'");
+  }
+  return v;
 }
 
 bool Cli::get_bool(const std::string& key, bool def) const {

@@ -19,6 +19,9 @@ class Cli {
 
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& def) const;
+  /// Typed getters return `def` when the option is absent and throw
+  /// qcut::Error when it is present but does not parse in full — a typo'd
+  /// value or a "--key" given without one must not silently become 0.
   std::int64_t get_int(const std::string& key, std::int64_t def) const;
   Real get_real(const std::string& key, Real def) const;
   bool get_bool(const std::string& key, bool def) const;

@@ -1,6 +1,8 @@
 #include "qcut/sim/qasm.hpp"
 
 #include <cmath>
+#include <limits>
+#include <locale>
 #include <sstream>
 
 #include "qcut/ent/schmidt.hpp"
@@ -11,12 +13,7 @@ namespace qcut {
 
 namespace {
 
-std::string fmt(Real x) {
-  std::ostringstream os;
-  os.precision(15);
-  os << x;
-  return os.str();
-}
+std::string fmt(Real x) { return qasm_format_real(x); }
 
 // u3(θ, φ, λ) in QASM equals e^{iα} Rz(φ) Ry(θ) Rz(λ) up to global phase,
 // so ZYZ angles map directly: θ = γ, φ = β, λ = δ.
@@ -26,17 +23,23 @@ void emit_u3(std::ostringstream& os, const Matrix& u, int q, const std::string& 
      << q << "];\n";
 }
 
-// Named two-qubit gates the builder produces.
+// Named two-qubit gates the builder produces. Conditional variants carry the
+// builder's '?' label suffix (e.g. an imported "if (c == 1) cx" is 'CX?');
+// conditionality is already encoded in op.kind, so the suffix is ignored.
 bool emit_named_two_qubit(std::ostringstream& os, const Operation& op, const std::string& cond) {
-  if (op.label == "CX") {
+  std::string label = op.label;
+  if (!label.empty() && label.back() == '?') {
+    label.pop_back();
+  }
+  if (label == "CX") {
     os << cond << "cx q[" << op.qubits[0] << "],q[" << op.qubits[1] << "];\n";
     return true;
   }
-  if (op.label == "CZ") {
+  if (label == "CZ") {
     os << cond << "cz q[" << op.qubits[0] << "],q[" << op.qubits[1] << "];\n";
     return true;
   }
-  if (op.label == "SWAP") {
+  if (label == "SWAP") {
     os << cond << "swap q[" << op.qubits[0] << "],q[" << op.qubits[1] << "];\n";
     return true;
   }
@@ -69,6 +72,18 @@ void emit_two_qubit_init(std::ostringstream& os, const Operation& op) {
 }
 
 }  // namespace
+
+// Round-trip-exact and locale-independent: max_digits10 significant digits
+// guarantee strtod of the spelling recovers x bit-identically, and the
+// classic locale pins '.' as the decimal separator whatever the
+// process-global locale says.
+std::string qasm_format_real(Real x) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(std::numeric_limits<Real>::max_digits10);
+  os << x;
+  return os.str();
+}
 
 std::string to_qasm(const Circuit& c) {
   std::ostringstream os;

@@ -19,4 +19,9 @@ namespace qcut {
 /// Serializes the circuit as an OpenQASM 2.0 program.
 std::string to_qasm(const Circuit& c);
 
+/// The exporter's number formatting: locale-independent (classic "C" locale)
+/// and round-trip exact — strtod(qasm_format_real(x)) == x bit-identically
+/// (max_digits10 significant digits). Exposed so tests can pin the property.
+std::string qasm_format_real(Real x);
+
 }  // namespace qcut

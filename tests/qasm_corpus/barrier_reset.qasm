@@ -1,0 +1,16 @@
+// Barriers (dropped on import) and mid-circuit reset with qubit reuse.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+barrier q;
+measure q[1] -> c[0];
+reset q[1];
+barrier q[0],q[2];
+h q[1];
+cx q[1],q[2];
+reset q;
+x q[0];
+measure q[0] -> c[1];

@@ -1,0 +1,32 @@
+// 1-bit full adder from an explicitly defined Toffoli (qelib1's ccx body) —
+// a long macro over the t/tdg/h/cx builtins.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate ccx a,b,c {
+  h c;
+  cx b,c;
+  tdg c;
+  cx a,c;
+  t c;
+  cx b,c;
+  tdg c;
+  cx a,c;
+  t b;
+  t c;
+  h c;
+  cx a,b;
+  t a;
+  tdg b;
+  cx a,b;
+}
+qreg q[4];
+creg c[2];
+x q[0];
+x q[1];
+ccx q[0],q[1],q[3];
+cx q[0],q[1];
+ccx q[1],q[2],q[3];
+cx q[1],q[2];
+cx q[0],q[1];
+measure q[2] -> c[0];
+measure q[3] -> c[1];

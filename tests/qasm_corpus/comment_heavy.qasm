@@ -1,0 +1,14 @@
+// Comment and whitespace stress: the token stream must be identical to the
+// compact spelling of the same program.
+OPENQASM 2.0; // trailing comment after the header
+include "qelib1.inc";
+// a register
+qreg q[2]; creg c[2];
+
+   h   q[0]   ;   // indented, padded
+cx // comment splitting an operation across lines
+  q[0],
+  q[1];
+rz( pi / 2 ) q[ 1 ];
+measure q[0]->c[0];
+measure q [ 1 ] -> c [ 1 ] ;

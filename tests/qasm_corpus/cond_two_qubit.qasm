@@ -1,0 +1,13 @@
+// Classically controlled two-qubit gates: the conditional path through the
+// named-gate (not u3) exporter branch.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg t[1];
+h q[0];
+measure q[0] -> t[0];
+if (t == 1) cx q[1],q[2];
+if (t == 1) cz q[2],q[3];
+if (t == 1) swap q[1],q[3];
+if (t == 1) h q[1];
+cx q[2],q[3];

@@ -1,0 +1,19 @@
+// Constant-expression torture: precedence, parentheses, unary minus,
+// power, and the qasm builtin functions.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rx(pi/2) q[0];
+ry(3*pi/4) q[1];
+rz(-pi/8+pi/16) q[0];
+rx(2*(pi-1)/3) q[1];
+ry(pi^2/10) q[0];
+rz(sin(pi/6)) q[1];
+rx(cos(0)) q[0];
+ry(sqrt(2)/2) q[1];
+rz(ln(2.718281828459045)) q[0];
+rx(exp(0.5)) q[1];
+ry(tan(pi/8)) q[0];
+rz(-(pi/3)) q[1];
+rx(1/2+1/4+1/8) q[0];
+cx q[0],q[1];

@@ -1,0 +1,17 @@
+// 8-qubit hardware-efficient ansatz defined through a layer macro — the
+// macro's body mixes parameterized and fixed gates.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate layer(a,b) x0,x1 {
+  ry(a) x0;
+  ry(b) x1;
+  cx x0,x1;
+}
+qreg q[8];
+layer(pi/4,pi/8) q[0],q[1];
+layer(pi/16,3*pi/16) q[2],q[3];
+layer(-pi/4,-pi/8) q[4],q[5];
+layer(pi/2,pi/3) q[6],q[7];
+layer(0.1,0.2) q[1],q[2];
+layer(0.3,0.4) q[3],q[4];
+layer(0.5,0.6) q[5],q[6];

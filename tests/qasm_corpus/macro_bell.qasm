@@ -1,0 +1,13 @@
+// Parameterless macro applied at several sites.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate bell a,b {
+  h a;
+  cx a,b;
+}
+qreg q[6];
+bell q[0],q[1];
+bell q[2],q[3];
+bell q[4],q[5];
+cz q[1],q[2];
+cz q[3],q[4];

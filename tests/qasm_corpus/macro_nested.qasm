@@ -1,0 +1,19 @@
+// Macros calling earlier macros, with parameter expressions flowing through
+// two levels of substitution.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate rot(t) a {
+  rz(t/2) a;
+  ry(t) a;
+  rz(-t/2) a;
+}
+gate entangle(t) a,b {
+  rot(t) a;
+  rot(2*t) b;
+  cx a,b;
+  rot(-t/3) b;
+}
+qreg q[3];
+entangle(pi/5) q[0],q[1];
+entangle(3*pi/7) q[1],q[2];
+rot(pi/2) q[0];

@@ -1,0 +1,25 @@
+// Every supported named gate at least once, including the U/CX primitive
+// spellings and the dropped `id`.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+x q[1];
+y q[2];
+z q[0];
+s q[1];
+sdg q[2];
+t q[0];
+tdg q[1];
+id q[2];
+rx(pi/7) q[0];
+ry(pi/11) q[1];
+rz(pi/13) q[2];
+u1(pi/3) q[0];
+u2(pi/5,-pi/5) q[1];
+u3(pi/2,pi/4,pi/8) q[2];
+U(0.1,0.2,0.3) q[0];
+cx q[0],q[1];
+CX q[1],q[2];
+cz q[0],q[2];
+swap q[1],q[2];

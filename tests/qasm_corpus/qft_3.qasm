@@ -1,0 +1,19 @@
+// 3-qubit QFT. qelib1's controlled-phase is not built in, so the file
+// defines it the way qelib1 does — exercising parameterized gate macros.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate cu1(lambda) a,b {
+  u1(lambda/2) a;
+  cx a,b;
+  u1(-lambda/2) b;
+  cx a,b;
+  u1(lambda/2) b;
+}
+qreg q[3];
+h q[0];
+cu1(pi/2) q[1],q[0];
+cu1(pi/4) q[2],q[0];
+h q[1];
+cu1(pi/2) q[2],q[1];
+h q[2];
+swap q[0],q[2];

@@ -1,0 +1,30 @@
+// 5-qubit QFT with final broadcast measurement, as benchmark suites emit it.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate cu1(lambda) a,b {
+  u1(lambda/2) a;
+  cx a,b;
+  u1(-lambda/2) b;
+  cx a,b;
+  u1(lambda/2) b;
+}
+qreg q[5];
+creg c[5];
+h q[0];
+cu1(pi/2) q[1],q[0];
+cu1(pi/4) q[2],q[0];
+cu1(pi/8) q[3],q[0];
+cu1(pi/16) q[4],q[0];
+h q[1];
+cu1(pi/2) q[2],q[1];
+cu1(pi/4) q[3],q[1];
+cu1(pi/8) q[4],q[1];
+h q[2];
+cu1(pi/2) q[3],q[2];
+cu1(pi/4) q[4],q[2];
+h q[3];
+cu1(pi/2) q[4],q[3];
+h q[4];
+swap q[0],q[4];
+swap q[1],q[3];
+measure q -> c;

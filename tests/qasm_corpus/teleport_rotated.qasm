@@ -1,0 +1,19 @@
+// Teleportation of an arbitrary rx/rz-prepared state, conditional
+// corrections on size-1 registers, plus a final verification measurement.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg m0[1];
+creg m1[1];
+creg out[1];
+rx(0.3) q[0];
+rz(5*pi/7) q[0];
+h q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+measure q[0] -> m0[0];
+measure q[1] -> m1[0];
+if (m1 == 1) x q[2];
+if (m0 == 1) z q[2];
+measure q[2] -> out[0];

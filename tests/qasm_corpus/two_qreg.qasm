@@ -1,0 +1,15 @@
+// Two quantum and two classical registers: flat-index mapping follows
+// declaration order (a -> wires 0-1, b -> wires 2-4).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[2];
+qreg b[3];
+creg m[2];
+creg n[3];
+h a[0];
+cx a[0],a[1];
+h b;
+cx a[1],b[0];
+cz b[1],b[2];
+measure a -> m;
+measure b -> n;

@@ -1,0 +1,17 @@
+// Hardware-efficient VQE ansatz: ry rotation layer, linear cx entangler,
+// second rotation layer. Angles are pi fractions a classical optimizer
+// might emit.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+ry(pi/8) q[0];
+ry(3*pi/8) q[1];
+ry(-pi/4) q[2];
+ry(7*pi/16) q[3];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+ry(pi/3) q[0];
+ry(-3*pi/5) q[1];
+ry(2*pi/7) q[2];
+ry(pi/9) q[3];

@@ -1,0 +1,13 @@
+// W state on 3 qubits via literal-angle ry cascades and controlled mixing
+// (the standard F-gate construction, cx-conjugated).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+ry(1.9106332362490186) q[0];
+cz q[0],q[1];
+ry(-0.78539816339744828) q[1];
+cz q[0],q[1];
+ry(0.78539816339744828) q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+x q[0];

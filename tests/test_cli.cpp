@@ -1,0 +1,123 @@
+// The Cli option parser every bench and example leans on: --key value /
+// --key=value / --flag forms, typed getters with strict-parse diagnostics,
+// and output-path resolution.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "qcut/common/cli.hpp"
+#include "qcut/common/error.hpp"
+
+namespace qcut {
+namespace {
+
+/// Builds a Cli from string literals (argv[0] included, as main() sees it).
+Cli make_cli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;  // keeps c_str()s alive per call
+  storage = std::move(args);
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (auto& s : storage) {
+    argv.push_back(s.data());
+  }
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesAllOptionForms) {
+  const Cli cli = make_cli({"prog", "--n", "6", "--eps=0.25", "positional", "--smoke"});
+  EXPECT_TRUE(cli.has("n"));
+  EXPECT_EQ(cli.get_int("n", 0), 6);
+  EXPECT_EQ(cli.get_real("eps", 0.0), 0.25);
+  EXPECT_TRUE(cli.get_bool("smoke", false));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "prog");
+  EXPECT_EQ(cli.positional()[1], "positional");
+}
+
+TEST(Cli, BareFlagBeforeANonOptionConsumesItAsValue) {
+  // Documented sharp edge of the --key value form: a bare flag directly
+  // followed by a positional token swallows it ("--smoke positional" is
+  // indistinguishable from "--key value"). Callers place flags last or use
+  // --key=value.
+  const Cli cli = make_cli({"prog", "--smoke", "positional"});
+  EXPECT_EQ(cli.get("smoke", ""), "positional");
+  EXPECT_EQ(cli.positional().size(), 1u);
+}
+
+TEST(Cli, UnknownFlagsFallBackToDefaults) {
+  const Cli cli = make_cli({"prog", "--present", "1"});
+  EXPECT_FALSE(cli.has("absent"));
+  EXPECT_EQ(cli.get("absent", "fallback"), "fallback");
+  EXPECT_EQ(cli.get_int("absent", 42), 42);
+  EXPECT_EQ(cli.get_real("absent", 2.5), 2.5);
+  EXPECT_TRUE(cli.get_bool("absent", true));
+  EXPECT_FALSE(cli.get_bool("absent", false));
+}
+
+TEST(Cli, MissingValueBecomesFlagAndTypedGettersDiagnoseIt) {
+  // "--n" at the end of argv (or before another option) has no value: it
+  // parses as a boolean flag, and asking for a number out of it must throw,
+  // not silently return 0.
+  const Cli tail = make_cli({"prog", "--n"});
+  EXPECT_TRUE(tail.get_bool("n", false));
+  EXPECT_THROW(tail.get_int("n", 1), Error);
+
+  const Cli mid = make_cli({"prog", "--n", "--eps", "0.5"});
+  EXPECT_TRUE(mid.get_bool("n", false));
+  EXPECT_THROW(mid.get_int("n", 1), Error);
+  EXPECT_EQ(mid.get_real("eps", 0.0), 0.5);
+}
+
+TEST(Cli, BadNumbersThrowWithTheOffendingValue) {
+  const Cli cli = make_cli({"prog", "--n", "6x", "--eps", "fast", "--k=0.5.1"});
+  try {
+    cli.get_int("n", 0);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("6x"), std::string::npos);
+  }
+  EXPECT_THROW(cli.get_real("eps", 0.0), Error);
+  EXPECT_THROW(cli.get_real("k", 0.0), Error);
+  // Out-of-range and non-finite values must throw, not saturate.
+  const Cli range = make_cli({"prog", "--big", "99999999999999999999999", "--ovf", "1e999",
+                              "--inf", "inf", "--nan", "nan"});
+  EXPECT_THROW(range.get_int("big", 0), Error);
+  EXPECT_THROW(range.get_real("ovf", 0.0), Error);
+  EXPECT_THROW(range.get_real("inf", 0.0), Error);
+  EXPECT_THROW(range.get_real("nan", 0.0), Error);
+  // Well-formed numbers still parse, including negatives and exponents.
+  const Cli ok = make_cli({"prog", "--a", "-12", "--b", "-2.5e-3"});
+  EXPECT_EQ(ok.get_int("a", 0), -12);
+  EXPECT_EQ(ok.get_real("b", 0.0), -2.5e-3);
+}
+
+TEST(Cli, GetBoolAcceptsTheUsualSpellings) {
+  const Cli cli = make_cli({"prog", "--a", "true", "--b", "1", "--c", "yes", "--d", "no"});
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(Cli, OutputPathPrecedence) {
+  // --out wins over the legacy key; the legacy key wins over the default
+  // beside-the-executable placement.
+  const Cli both = make_cli({"dir/prog", "--out", "a.json", "--json", "b.json"});
+  EXPECT_EQ(both.output_path("json", "def.json"), "a.json");
+  const Cli legacy = make_cli({"dir/prog", "--json", "b.json"});
+  EXPECT_EQ(legacy.output_path("json", "def.json"), "b.json");
+  const Cli neither = make_cli({"dir/prog"});
+  EXPECT_EQ(neither.output_path("json", "def.json"), "dir/def.json");
+}
+
+TEST(Cli, PathBesideExecutable) {
+  EXPECT_EQ(path_beside_executable("build/bench", "x.json"), "build/x.json");
+  EXPECT_EQ(path_beside_executable("/abs/path/bench", "x.json"), "/abs/path/x.json");
+  EXPECT_EQ(path_beside_executable("bench", "x.json"), "x.json");
+  EXPECT_EQ(path_beside_executable("", "x.json"), "x.json");
+}
+
+}  // namespace
+}  // namespace qcut

@@ -1,0 +1,428 @@
+// OpenQASM 2.0 import: parser subset, diagnostics, and the round-trip
+// properties gating the corpus — import(export(C)) ≡ C per op, and
+// export(import(P)) re-imports stably for every corpus program.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "qcut/linalg/random.hpp"
+#include "qcut/sim/executor.hpp"
+#include "qcut/sim/gates.hpp"
+#include "qcut/sim/qasm.hpp"
+#include "qcut/sim/qasm_import.hpp"
+#include "test_helpers.hpp"
+
+#ifndef QCUT_QASM_CORPUS_DIR
+#define QCUT_QASM_CORPUS_DIR "tests/qasm_corpus"
+#endif
+
+namespace qcut {
+namespace {
+
+using testing::expect_matrix_near;
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& e : std::filesystem::directory_iterator(QCUT_QASM_CORPUS_DIR)) {
+    if (e.path().extension() == ".qasm") {
+      files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Random builder circuit over the full importable op set: named gates,
+/// measure, reset, and classically controlled single-qubit gates.
+Circuit random_importable_circuit(int n_qubits, int n_cbits, int depth, Rng& rng) {
+  Circuit c(n_qubits, n_cbits);
+  int measured = 0;
+  for (int d = 0; d < depth; ++d) {
+    const int q = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n_qubits)));
+    switch (rng.uniform_u64(10)) {
+      case 0:
+        c.h(q);
+        break;
+      case 1:
+        c.rz(q, rng.uniform() * 4.0 - 2.0);
+        break;
+      case 2:
+        c.ry(q, rng.uniform() * 4.0 - 2.0);
+        break;
+      case 3:
+        c.gate(haar_unitary(2, rng), {q}, "U1q");
+        break;
+      case 4:
+        if (n_qubits >= 2) {
+          const int p = (q + 1) % n_qubits;
+          rng.bernoulli(0.5) ? c.cx(q, p) : c.cz(q, p);
+        }
+        break;
+      case 5:
+        if (n_qubits >= 2) {
+          c.swap_gate(q, (q + 1) % n_qubits);
+        }
+        break;
+      case 6:
+        if (measured < n_cbits) {
+          c.measure(q, measured++);
+        }
+        break;
+      case 7:
+        if (measured > 0) {
+          rng.bernoulli(0.5) ? c.x_if(measured - 1, q) : c.z_if(measured - 1, q);
+        }
+        break;
+      case 8:
+        c.reset(q);
+        break;
+      default:
+        c.t(q);
+        break;
+    }
+  }
+  return c;
+}
+
+// ---- parser basics ---------------------------------------------------------
+
+TEST(QasmImport, ParsesRegistersAndNamedGates) {
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\n"
+      "include \"qelib1.inc\";\n"
+      "qreg q[3];\n"
+      "creg c[2];\n"
+      "h q[0];\n"
+      "cx q[0],q[1];\n"
+      "rz(pi/2) q[2];\n"
+      "measure q[0] -> c[1];\n");
+  EXPECT_EQ(c.n_qubits(), 3);
+  EXPECT_EQ(c.n_cbits(), 2);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.ops()[0].label, "H");
+  expect_matrix_near(c.ops()[0].matrix, gates::h(), 1e-15);
+  EXPECT_EQ(c.ops()[1].label, "CX");
+  EXPECT_EQ(c.ops()[1].qubits, (std::vector<int>{0, 1}));
+  expect_matrix_near(c.ops()[2].matrix, gates::rz(kPi / 2.0), 1e-15);
+  EXPECT_EQ(c.ops()[3].kind, OpKind::kMeasure);
+  EXPECT_EQ(c.ops()[3].qubits, (std::vector<int>{0}));
+  EXPECT_EQ(c.ops()[3].cbit, 1);
+}
+
+TEST(QasmImport, MultipleRegistersMapToFlatOffsets) {
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\n"
+      "qreg a[2];\nqreg b[2];\ncreg m[1];\ncreg n[2];\n"
+      "x b[1];\ncx a[1],b[0];\nmeasure b[0] -> n[1];\n");
+  EXPECT_EQ(c.n_qubits(), 4);
+  EXPECT_EQ(c.n_cbits(), 3);
+  EXPECT_EQ(c.ops()[0].qubits, (std::vector<int>{3}));
+  EXPECT_EQ(c.ops()[1].qubits, (std::vector<int>{1, 2}));
+  EXPECT_EQ(c.ops()[2].cbit, 2);
+}
+
+TEST(QasmImport, BroadcastsWholeRegisterOperands) {
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\n"
+      "qreg q[3];\nqreg r[3];\ncreg c[3];\n"
+      "h q;\n"          // 3 ops
+      "cx q,r;\n"       // 3 ops, pairwise
+      "cx q[0],r;\n"    // 3 ops, fixed control
+      "measure q -> c;\n");
+  ASSERT_EQ(c.size(), 12u);
+  EXPECT_EQ(c.ops()[4].qubits, (std::vector<int>{1, 4}));
+  EXPECT_EQ(c.ops()[7].qubits, (std::vector<int>{0, 4}));
+  EXPECT_EQ(c.ops()[10].kind, OpKind::kMeasure);
+  EXPECT_EQ(c.ops()[10].qubits, (std::vector<int>{1}));
+  EXPECT_EQ(c.ops()[10].cbit, 1);
+}
+
+TEST(QasmImport, GateMacrosExpandWithParameterSubstitution) {
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\n"
+      "gate foo(t) a,b { ry(t) a; cx a,b; ry(-t/2) b; }\n"
+      "qreg q[2];\n"
+      "foo(pi/3) q[1],q[0];\n");
+  ASSERT_EQ(c.size(), 3u);
+  expect_matrix_near(c.ops()[0].matrix, gates::ry(kPi / 3.0), 1e-15);
+  EXPECT_EQ(c.ops()[0].qubits, (std::vector<int>{1}));
+  EXPECT_EQ(c.ops()[1].qubits, (std::vector<int>{1, 0}));
+  expect_matrix_near(c.ops()[2].matrix, gates::ry(-kPi / 6.0), 1e-15);
+}
+
+TEST(QasmImport, ConditionalTwoQubitGatesRoundTrip) {
+  // Regression: conditioned named two-qubit gates import with a '?' label
+  // suffix and must still export through the named-gate branch.
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\nqreg q[3];\ncreg t[1];\n"
+      "measure q[0] -> t[0];\n"
+      "if (t == 1) cx q[1],q[2];\nif (t == 1) swap q[0],q[2];\n");
+  std::string exported;
+  ASSERT_NO_THROW(exported = to_qasm(c));
+  EXPECT_NE(exported.find("if (c0 == 1) cx q[1],q[2];"), std::string::npos) << exported;
+  EXPECT_NE(exported.find("if (c0 == 1) swap q[0],q[2];"), std::string::npos) << exported;
+  std::string why;
+  EXPECT_TRUE(circuits_equivalent(c, import_qasm(exported), 1e-12, &why)) << why;
+}
+
+TEST(QasmImport, ConditionalGatesMapToCondUnitary) {
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\n"
+      "qreg q[2];\ncreg c0[1];\ncreg c1[1];\n"
+      "measure q[0] -> c1[0];\n"
+      "if (c1 == 1) x q[1];\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.ops()[1].kind, OpKind::kCondUnitary);
+  EXPECT_EQ(c.ops()[1].cbit, 1);
+  expect_matrix_near(c.ops()[1].matrix, gates::x(), 1e-15);
+}
+
+TEST(QasmImport, BarrierAndIdAreDropped) {
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\n"
+      "qreg q[2];\n"
+      "h q[0];\nbarrier q;\nid q[1];\nbarrier q[0],q[1];\ncx q[0],q[1];\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.ops()[0].label, "H");
+  EXPECT_EQ(c.ops()[1].label, "CX");
+}
+
+TEST(QasmImport, ConstantExpressionsEvaluate) {
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\nqreg q[1];\n"
+      "rx(3*pi/4) q[0];\n"
+      "ry(-pi/8+pi/16) q[0];\n"
+      "rz(pi^2/10) q[0];\n"
+      "rx(sqrt(2)/2) q[0];\n"
+      "ry(sin(pi/6)) q[0];\n");
+  expect_matrix_near(c.ops()[0].matrix, gates::rx(3.0 * kPi / 4.0), 1e-15);
+  expect_matrix_near(c.ops()[1].matrix, gates::ry(-kPi / 8.0 + kPi / 16.0), 1e-15);
+  expect_matrix_near(c.ops()[2].matrix, gates::rz(kPi * kPi / 10.0), 1e-15);
+  expect_matrix_near(c.ops()[3].matrix, gates::rx(std::sqrt(2.0) / 2.0), 1e-15);
+  expect_matrix_near(c.ops()[4].matrix, gates::ry(std::sin(kPi / 6.0)), 1e-15);
+}
+
+TEST(QasmImport, SkipsUtf8ByteOrderMark) {
+  const Circuit c = import_qasm("\xEF\xBB\xBFOPENQASM 2.0;\nqreg q[1];\nh q[0];\n");
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.ops()[0].label, "H");
+}
+
+TEST(QasmImport, SemanticsMatchExecutor) {
+  // The imported GHZ-3 must have the GHZ correlations, not just the op list.
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n");
+  EXPECT_NEAR(exact_expectation_pauli(c, "XXX"), 1.0, 1e-12);
+  EXPECT_NEAR(exact_expectation_pauli(c, "ZZI"), 1.0, 1e-12);
+  EXPECT_NEAR(exact_expectation_pauli(c, "ZII"), 0.0, 1e-12);
+}
+
+// ---- diagnostics -----------------------------------------------------------
+
+void expect_rejects(const std::string& src, const std::string& needle) {
+  try {
+    import_qasm(src);
+    FAIL() << "expected rejection containing '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+TEST(QasmImport, DiagnosticsCarryLineAndColumn) {
+  try {
+    import_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[5];\n");
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    // The bad index sits at line 3, column 5.
+    EXPECT_NE(std::string(e.what()).find("<qasm>:3:5"), std::string::npos) << e.what();
+  }
+}
+
+TEST(QasmImport, RejectsOutsideTheSubset) {
+  expect_rejects("OPENQASM 3.0;\nqreg q[1];\n", "version");
+  expect_rejects("qreg q[1];\n", "OPENQASM");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n", "unknown gate");
+  expect_rejects("OPENQASM 2.0;\nqreg q[2];\nh q[3];\n", "out of range");
+  expect_rejects("OPENQASM 2.0;\nqreg q[2];\ncx q[1],q[1];\n", "invalid operands");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\nrx() q[0];\n", "1 parameter");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\nrx(0.5,0.5) q[0];\n", "1 parameter");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\ncx q[0];\n", "2 qubit");
+  expect_rejects("OPENQASM 2.0;\nopaque magic a;\n", "opaque");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\nh r[0];\n", "unknown register");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\nqreg q[2];\n", "redefinition");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\nh q[0]\n", "expected ';'");
+  expect_rejects("OPENQASM 2.0;\nqreg q[63];\n", "exceeds the IR cap");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\ncreg c[2];\nif (c == 1) x q[0];\n",
+                 "multi-bit");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nif (c == 0) x q[0];\n",
+                 "only '== 1'");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nif (c == 1) measure q[0] -> c[0];\n",
+                 "cannot be classically conditioned");
+  expect_rejects("OPENQASM 2.0;\nqreg q[2];\nqreg r[3];\ncx q,r;\n", "sizes differ");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\nrx(1/0) q[0];\n", "not finite");
+  // Truncated input must diagnose, never loop (regression: the barrier skip
+  // inside a gate body used to spin at EOF).
+  expect_rejects("OPENQASM 2.0;\nqreg q[2];\ngate g a { barrier a", "expected ';'");
+  // Reserved expression names cannot be shadowed by macro parameters — that
+  // would silently import the wrong angle.
+  expect_rejects("OPENQASM 2.0;\ngate g(pi) a { rx(pi) a; }\nqreg q[1];\ng(0.5) q[0];\n",
+                 "reserved");
+  // Out-of-int-range literals are rejected, not cast (UB).
+  expect_rejects("OPENQASM 2.0;\nqreg q[9999999999];\n", "out of range");
+  expect_rejects("OPENQASM 2.0;\nqreg q[2];\nh q[9999999999];\n", "out of range");
+  // Duplicate macro formals would silently drop call-site qubits/params.
+  expect_rejects("OPENQASM 2.0;\ngate g a,a { h a; }\nqreg q[2];\ng q[0],q[1];\n",
+                 "duplicate argument");
+  expect_rejects("OPENQASM 2.0;\ngate g(t,t) a { rx(t) a; }\nqreg q[1];\ng(1,2) q[0];\n",
+                 "duplicate parameter");
+  // Barrier operand lists are comma-separated like everything else, and a
+  // body barrier must not blind-skip tokens the register prescan counts.
+  expect_rejects("OPENQASM 2.0;\nqreg q[2];\nbarrier q[0] q[1];\n", "expected ';'");
+  expect_rejects("OPENQASM 2.0;\nqreg q[2];\ngate g a { barrier qreg x[2]; h a; }\ng q[0];\n",
+                 "expected");
+  // Register widths near INT_MAX must diagnose, not overflow the accumulator.
+  expect_rejects("OPENQASM 2.0;\nqreg a[62];\nqreg b[2147483647];\n", "exceeds the IR cap");
+  expect_rejects("OPENQASM 2.0;\nqreg q[1];\ncreg c[2147483647];\n", "exceeds");
+  expect_rejects("OPENQASM 2.0;\ninclude \"qelib1.inc\nqreg q[1];\n", "unterminated");
+  expect_rejects("OPENQASM 2.0;\ngate g a { h b; }\nqreg q[1];\n", "not an argument");
+}
+
+// ---- round-trip properties -------------------------------------------------
+
+TEST(QasmImport, ExportedFloatsReimportBitIdentically) {
+  // The exporter's angle formatting is the substrate of every round-trip
+  // guarantee: strtod(qasm_format_real(x)) must be exactly x.
+  Rng rng(11);
+  std::vector<Real> xs = {0.0,        1.0,       -1.0,    kPi,     -kPi / 3.0, 1.0 / 3.0,
+                          1e-17,      -2.5e-13,  1e17,    0.1,     2.0 / 7.0,  std::sqrt(2.0),
+                          6.02214e23, 5e-324,    1.5e308};
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back((rng.uniform() * 2.0 - 1.0) * std::pow(10.0, rng.uniform() * 40.0 - 20.0));
+  }
+  for (const Real x : xs) {
+    const std::string s = qasm_format_real(x);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), x) << "spelling: " << s;
+  }
+}
+
+TEST(QasmImport, ImportOfExportIsEquivalentForRandomCircuits) {
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_u64(4));
+    const Circuit c = random_importable_circuit(n, 3, 12, rng);
+    const Circuit back = import_qasm(to_qasm(c));
+    std::string why;
+    EXPECT_TRUE(circuits_equivalent(c, back, 1e-9, &why))
+        << "trial " << trial << ": " << why << "\n" << to_qasm(c);
+  }
+}
+
+TEST(QasmImport, ImportOfExportPreservesTotalUnitary) {
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_u64(2));
+    Circuit c(n, 0);
+    for (int d = 0; d < 8; ++d) {
+      if (rng.bernoulli(0.5)) {
+        c.gate(haar_unitary(2, rng),
+               {static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)))}, "U1q");
+      } else {
+        const int q = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n - 1)));
+        c.cx(q, q + 1);
+      }
+    }
+    const Circuit back = import_qasm(to_qasm(c));
+    // The u3 serialization drops global phase by construction.
+    EXPECT_TRUE(matrix_equal_up_to_phase(c.to_unitary(), back.to_unitary(), 1e-8))
+        << "total unitary changed across the round trip (trial " << trial << ")";
+  }
+}
+
+TEST(QasmImport, CorpusImportsAndRoundTrips) {
+  const auto files = corpus_files();
+  ASSERT_GE(files.size(), 20u) << "corpus went missing from " << QCUT_QASM_CORPUS_DIR;
+  for (const auto& f : files) {
+    SCOPED_TRACE(f.string());
+    Circuit c1;
+    ASSERT_NO_THROW(c1 = import_qasm_file(f.string()));
+    EXPECT_GT(c1.size(), 0u);
+    // export(import(P)) must re-import to an equivalent circuit...
+    const std::string exported = to_qasm(c1);
+    Circuit c2;
+    ASSERT_NO_THROW(c2 = import_qasm(exported, f.filename().string() + ":reimport"));
+    std::string why;
+    EXPECT_TRUE(circuits_equivalent(c1, c2, 1e-9, &why)) << why;
+    // ...and the export itself is deterministic.
+    EXPECT_EQ(exported, to_qasm(c1));
+  }
+}
+
+TEST(QasmImport, CorpusCoversTheAdvertisedScenarios) {
+  const auto files = corpus_files();
+  std::size_t wide = 0, conditional = 0, macros = 0;
+  for (const auto& f : files) {
+    const Circuit c = import_qasm_file(f.string());
+    wide += (c.n_qubits() >= 30) ? 1 : 0;
+    for (const auto& op : c.ops()) {
+      if (op.kind == OpKind::kCondUnitary) {
+        ++conditional;
+        break;
+      }
+    }
+  }
+  for (const auto& f : files) {
+    std::ifstream in(f);
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    macros += (text.find("\ngate ") != std::string::npos) ? 1 : 0;
+  }
+  EXPECT_GE(wide, 2u) << "corpus must keep 30-qubit cases";
+  EXPECT_GE(conditional, 2u) << "corpus must keep classically controlled cases";
+  EXPECT_GE(macros, 4u) << "corpus must keep gate-macro cases";
+}
+
+// ---- plumbing helpers ------------------------------------------------------
+
+TEST(QasmImport, StripTrailingMeasurementsKeepsMidCircuitOnes) {
+  Circuit c(2, 2);
+  c.h(0).measure(0, 0).x_if(0, 1).cx(0, 1).measure(0, 0).measure(1, 1);
+  int stripped = 0;
+  const Circuit s = strip_trailing_measurements(c, &stripped);
+  EXPECT_EQ(stripped, 2);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.ops()[1].kind, OpKind::kMeasure);  // the mid-circuit one survives
+
+  const Circuit none = strip_trailing_measurements(s, &stripped);
+  EXPECT_EQ(stripped, 0);
+  EXPECT_EQ(none.size(), s.size());
+}
+
+TEST(QasmImport, CircuitsEquivalentDetectsMismatches) {
+  Circuit a(2, 0);
+  a.h(0).cx(0, 1);
+  Circuit b(2, 0);
+  b.h(0).cx(1, 0);
+  std::string why;
+  EXPECT_FALSE(circuits_equivalent(a, b, 1e-9, &why));
+  EXPECT_NE(why.find("qubit lists"), std::string::npos);
+
+  Circuit c(2, 0);
+  c.h(0).cz(0, 1);
+  EXPECT_FALSE(circuits_equivalent(a, c, 1e-9, &why));
+  EXPECT_NE(why.find("unitaries"), std::string::npos);
+
+  // Global phase alone is not a difference.
+  Circuit d(2, 0);
+  d.gate(Cplx{0.0, 1.0} * gates::h(), {0}, "H'").cx(0, 1);
+  EXPECT_TRUE(circuits_equivalent(a, d, 1e-9, &why)) << why;
+}
+
+}  // namespace
+}  // namespace qcut
