@@ -32,6 +32,18 @@ inline constexpr Real kDecompTol = 1e-9;
 /// Squared magnitude, |z|^2, without the sqrt detour of std::abs.
 inline Real norm2(Cplx z) noexcept { return z.real() * z.real() + z.imag() * z.imag(); }
 
+/// Parity (XOR-fold) of a 64-bit word — the estimate-bit arithmetic of the
+/// statevector and fragment fast paths.
+inline int parity64(std::uint64_t v) noexcept {
+  v ^= v >> 32;
+  v ^= v >> 16;
+  v ^= v >> 8;
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return static_cast<int>(v & 1);
+}
+
 /// True when |z| is numerically zero at tolerance `tol`.
 inline bool is_zero(Cplx z, Real tol = kTightTol) noexcept { return norm2(z) <= tol * tol; }
 

@@ -64,7 +64,7 @@ Real CutExecutor::mean_abs_error(const CutInput& input, const CutRunConfig& cfg,
   // term circuits are enumerated at most once for the whole sweep.
   const ShotPlan plan = ShotPlan::allocated(qpd, cfg.shots, cfg.rule, /*sigmas=*/nullptr,
                                             cfg.max_batch_shots);
-  const auto backend = make_backend(cfg.effective_backend(), qpd);
+  const auto backend = make_backend(cfg.effective_backend(), qpd, cfg.pool);
   Real acc = 0.0;
   for (int t = 0; t < trials; ++t) {
     const EstimationResult er =

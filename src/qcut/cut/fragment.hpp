@@ -27,10 +27,26 @@
 // statevector (run_branches with the read bits preset); the product is summed
 // over assignments of the cross-fragment bits, tracking the estimate-bit
 // parity. The full spliced state is never materialized.
+//
+// Fast path: all the structure above — components, local indices, classical-
+// bit roles — depends only on the op *skeleton* of the term circuit (kinds,
+// qubit lists, cbits), never on the gadget matrices. All gadget variants of
+// one cut plan share that skeleton, so FragmentBackend computes it once per
+// structure (SplitSkeletonCache) and per-term splitting reduces to replaying
+// ops with remapped qubits. Evaluation then simulates each fragment's
+// unconditioned prefix once, re-runs only the read-dependent suffix per
+// cross-bit assignment, and can distribute the (fragment, read-assignment)
+// work units over a ThreadPool — with a fixed-order reduction, so the result
+// is bit-identical for any pool size (including none).
 #pragma once
 
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "qcut/common/threadpool.hpp"
 #include "qcut/qpd/qpd.hpp"
 
 namespace qcut {
@@ -52,6 +68,11 @@ struct TermFragment {
   std::vector<int> writes;
   /// The term's estimate cbits measured inside this fragment.
   std::vector<int> estimate_cbits;
+  /// First fragment-local op index that reads a cross-fragment bit: ops
+  /// before it are identical for every read assignment (the unconditioned
+  /// prefix the evaluator simulates once). Equals circuit.size() when the
+  /// fragment reads nothing.
+  std::size_t cond_suffix_begin = 0;
 };
 
 /// A term circuit split into fragments.
@@ -63,20 +84,87 @@ struct FragmentSplit {
   int max_width = 0;
 };
 
+/// The term-independent structure of a split: fragment membership, local
+/// qubit indices, and classical-bit roles. These depend only on (a) the
+/// *set* of multi-qubit interactions (which wires must share a device) and
+/// (b) the ordered subsequence of classical events (measure and conditional
+/// ops with their cbits) — never on the gadget matrices, 1-qubit gates, or
+/// op counts. All gadget variants of one cut plan point that keep the same
+/// connectivity and classical protocol therefore share one skeleton.
+struct SplitSkeleton {
+  int n_qubits = 0;
+  int n_cbits = 0;
+  std::vector<int> frag_of_wire;             ///< host wire -> fragment id
+  std::vector<int> local_index;              ///< host wire -> fragment-local qubit
+  std::vector<std::vector<int>> wires_of;    ///< per fragment, ascending
+  std::vector<std::vector<int>> reads_of;    ///< per fragment, ascending
+  std::vector<std::vector<int>> writes_of;   ///< per fragment, ascending
+  std::vector<int> writer_frag;              ///< per cbit; -1 = never written
+  std::vector<char> multi_frag_write;        ///< per cbit
+  std::vector<int> cross_cbits;              ///< ascending
+  int max_width = 0;
+};
+
+/// Computes the split skeleton of `c`. Throws qcut::Error for circuits
+/// outside the supported classical-coupling structure (a cross-fragment cbit
+/// written more than once, written in two fragments, or read before it is
+/// written).
+SplitSkeleton build_split_skeleton(const Circuit& c);
+
 /// Splits `term`'s circuit into connected components of the qubit-interaction
-/// graph. Always succeeds for circuits the cutter emits; throws qcut::Error
-/// for circuits outside the supported classical-coupling structure (a
-/// cross-fragment cbit written more than once, written in two fragments, or
-/// read before it is written).
+/// graph. Equivalent to instantiating a freshly built skeleton.
 FragmentSplit split_term(const QpdTerm& term);
+
+/// Cheap split: replays `term`'s ops into fragments laid out by `skel`
+/// (which must have been built from a circuit with the same structural key —
+/// the replay re-checks that every op stays inside one fragment).
+FragmentSplit split_term(const QpdTerm& term, const SplitSkeleton& skel);
+
+/// Structural signature: equal keys guarantee interchangeable skeletons. The
+/// key encodes register sizes, the sorted-unique multi-qubit interaction
+/// sets, and the ordered classical-event subsequence (measure / conditional
+/// ops with their wire and cbit). Matrices, init states, single-qubit gates,
+/// and op counts are deliberately excluded — they do not affect the split
+/// structure, so gadget variants that only differ there share a skeleton.
+std::string split_structure_key(const Circuit& c);
+
+/// Thread-safe cache of split skeletons keyed by structure. One instance per
+/// QPD amortizes skeleton construction over all 8^K gadget variants.
+class SplitSkeletonCache {
+ public:
+  /// Returns the shared skeleton for circuits structurally identical to `c`,
+  /// building it on first use.
+  std::shared_ptr<const SplitSkeleton> get(const Circuit& c);
+
+  /// Distinct structures built so far (introspection for tests/benches).
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const SplitSkeleton>> by_key_;
+};
 
 /// Exact P(outcome = −1) of the term — the parity-one probability of its
 /// estimate cbits — computed fragment-locally from `split`. Identical (up to
 /// float reassociation ≲ 1e-15) to term_prob_one on the spliced circuit, but
 /// memory-bounded by split.max_width instead of the spliced width.
-Real fragment_term_prob_one(const FragmentSplit& split);
+///
+/// The evaluator simulates each fragment's unconditioned prefix once,
+/// re-runs only the read-dependent suffix per cross-bit assignment, and —
+/// when `pool` is non-null, has more than one worker, and the caller is not
+/// already one of its workers — distributes the (fragment, read-assignment)
+/// work units across the pool. Per-unit results land in preassigned slots
+/// and the final reduction runs in fixed index order, so the value is
+/// bit-identical for every pool size, including the serial fallback.
+Real fragment_term_prob_one(const FragmentSplit& split, ThreadPool* pool = nullptr);
 
-/// Convenience: split_term + fragment_term_prob_one.
+/// Convenience: split_term + fragment_term_prob_one (serial).
 Real fragment_term_prob_one(const QpdTerm& term);
+
+/// Reference evaluator retained from the pre-fast-path implementation: one
+/// full branch enumeration per (fragment, read assignment), no prefix
+/// sharing, strictly serial. The equivalence tests pin the fast path against
+/// it, and bench_sim_perf uses it as the serial-baseline yardstick.
+Real fragment_term_prob_one_baseline(const FragmentSplit& split);
 
 }  // namespace qcut

@@ -45,28 +45,39 @@ std::uint64_t BatchedBranchBackend::run_batch(const TermBatch& batch, Rng& rng) 
   return rng.binomial(batch.shots, cache_->prob_one(batch.term));
 }
 
-FragmentBackend::FragmentBackend(const Qpd& qpd, int max_fragment_width)
+FragmentBackend::FragmentBackend(const Qpd& qpd, int max_fragment_width, ThreadPool* pool)
     : qpd_(&qpd),
       max_fragment_width_(max_fragment_width > 0 ? max_fragment_width
-                                                 : Statevector::kMaxQubits) {
+                                                 : Statevector::kMaxQubits),
+      pool_(pool),
+      skeletons_(std::make_shared<SplitSkeletonCache>()) {
   QCUT_CHECK(max_fragment_width_ <= Statevector::kMaxQubits,
              "FragmentBackend: width cap exceeds the statevector engine cap");
   const int cap = max_fragment_width_;
-  cache_ = std::make_shared<BranchCache>(qpd, [cap](const QpdTerm& term) {
-    const FragmentSplit split = split_term(term);
+  const auto skeletons = skeletons_;
+  cache_ = std::make_shared<BranchCache>(qpd, [cap, pool, skeletons](const QpdTerm& term) {
+    const FragmentSplit split = split_term(term, *skeletons->get(term.circuit));
     QCUT_CHECK(split.max_width <= cap,
                "FragmentBackend: a term fragment exceeds the width cap (" +
                    std::to_string(split.max_width) + " > " + std::to_string(cap) +
                    " qubits) — add cuts, and note that entangled-resource cuts "
                    "(nme/distill) merge both sides into one fragment: wide runs "
                    "need entanglement-free plans (pair_budget = 0)");
-    return fragment_term_prob_one(split);
+    return fragment_term_prob_one(split, pool);
   });
 }
 
 std::uint64_t FragmentBackend::run_batch(const TermBatch& batch, Rng& rng) const {
   QCUT_CHECK(batch.term < qpd_->size(), "FragmentBackend: term out of range");
   return rng.binomial(batch.shots, cache_->prob_one(batch.term));
+}
+
+void FragmentBackend::prewarm() const {
+  if (pool_ != nullptr) {
+    cache_->prewarm(*pool_);
+  } else {
+    (void)cache_->all_prob_one();
+  }
 }
 
 const char* to_string(BackendKind kind) {
@@ -81,14 +92,18 @@ const char* to_string(BackendKind kind) {
   return "unknown";
 }
 
-std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd) {
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd,
+                                               ThreadPool* pool) {
   switch (kind) {
     case BackendKind::kSerialShot:
       return std::make_unique<SerialShotBackend>(qpd);
     case BackendKind::kBatchedBranch:
       return std::make_unique<BatchedBranchBackend>(qpd);
     case BackendKind::kFragment:
-      return std::make_unique<FragmentBackend>(qpd);
+      // The global pool is resolved here, not by the callers, so backends
+      // that never use a pool cannot construct it as a side effect.
+      return std::make_unique<FragmentBackend>(qpd, /*max_fragment_width=*/0,
+                                               pool != nullptr ? pool : &global_pool());
   }
   throw Error("make_backend: unknown backend kind");
 }

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "qcut/common/rng.hpp"
+#include "qcut/cut/fragment.hpp"
 #include "qcut/exec/branch_cache.hpp"
 #include "qcut/exec/shot_plan.hpp"
 #include "qcut/qpd/qpd.hpp"
@@ -78,18 +79,35 @@ class BatchedBranchBackend final : public ExecutionBackend {
 class FragmentBackend final : public ExecutionBackend {
  public:
   /// `max_fragment_width` caps the widest fragment this backend will
-  /// enumerate (defaults to the statevector engine's hard cap).
-  explicit FragmentBackend(const Qpd& qpd, int max_fragment_width = 0);
+  /// enumerate (0 defaults to the statevector engine's hard cap). When `pool`
+  /// is non-null, each term's (fragment, read-assignment) work units are
+  /// distributed across it *if* the caller is not already one of its workers
+  /// (calls arriving from the engine's batch-parallel driver run inline —
+  /// the engine already parallelizes across terms). Splitting reuses one
+  /// SplitSkeletonCache across all terms: the 8^K gadget variants of a cut
+  /// plan share their split structure, so per-term splitting is a cheap op
+  /// replay. Results are bit-identical for any pool (or none).
+  explicit FragmentBackend(const Qpd& qpd, int max_fragment_width = 0,
+                           ThreadPool* pool = nullptr);
 
   std::string name() const override { return "fragment"; }
   std::uint64_t run_batch(const TermBatch& batch, Rng& rng) const override;
 
+  /// Forces every term's fragment enumeration, distributing terms across the
+  /// constructor's pool (the serial sweep when none was given). Always the
+  /// same pool as the per-term work units — two different pools would evade
+  /// the worker-reentrancy guard and oversubscribe.
+  void prewarm() const;
+
   const BranchCache& cache() const noexcept { return *cache_; }
+  const SplitSkeletonCache& skeletons() const noexcept { return *skeletons_; }
   int max_fragment_width() const noexcept { return max_fragment_width_; }
 
  private:
   const Qpd* qpd_;
   int max_fragment_width_ = 0;
+  ThreadPool* pool_ = nullptr;
+  std::shared_ptr<SplitSkeletonCache> skeletons_;
   std::shared_ptr<BranchCache> cache_;
 };
 
@@ -101,7 +119,10 @@ enum class BackendKind {
 
 const char* to_string(BackendKind kind);
 
-/// Factory bound to `qpd` (which must outlive the backend).
-std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd);
+/// Factory bound to `qpd` (which must outlive the backend). `pool` is used
+/// only by kFragment (for within-term work-unit distribution); the other
+/// backends ignore it.
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd,
+                                               ThreadPool* pool = nullptr);
 
 }  // namespace qcut

@@ -29,7 +29,7 @@ Circuit& Circuit::gate(const Matrix& u, const std::vector<int>& qubits, std::str
   check_qubits(qubits);
   const Index dim = Index{1} << static_cast<Index>(qubits.size());
   QCUT_CHECK(u.rows() == dim && u.cols() == dim, "Circuit::gate: matrix/qubit-count mismatch");
-  ops_.push_back({OpKind::kUnitary, qubits, u, {}, -1, std::move(label)});
+  ops_.push_back({OpKind::kUnitary, qubits, u, {}, -1, std::move(label), classify_gate(u)});
   return *this;
 }
 
@@ -39,7 +39,7 @@ Circuit& Circuit::gate_if(int cbit, const Matrix& u, const std::vector<int>& qub
   check_cbit(cbit);
   const Index dim = Index{1} << static_cast<Index>(qubits.size());
   QCUT_CHECK(u.rows() == dim && u.cols() == dim, "Circuit::gate_if: matrix/qubit-count mismatch");
-  ops_.push_back({OpKind::kCondUnitary, qubits, u, {}, cbit, std::move(label)});
+  ops_.push_back({OpKind::kCondUnitary, qubits, u, {}, cbit, std::move(label), classify_gate(u)});
   return *this;
 }
 
@@ -63,13 +63,13 @@ Circuit& Circuit::z_if(int cbit, int q) { return gate_if(cbit, gates::z(), {q}, 
 Circuit& Circuit::measure(int q, int cbit) {
   check_qubits({q});
   check_cbit(cbit);
-  ops_.push_back({OpKind::kMeasure, {q}, Matrix{}, {}, cbit, "measure"});
+  ops_.push_back({OpKind::kMeasure, {q}, Matrix{}, {}, cbit, "measure", {}});
   return *this;
 }
 
 Circuit& Circuit::reset(int q) {
   check_qubits({q});
-  ops_.push_back({OpKind::kReset, {q}, Matrix{}, {}, -1, "reset"});
+  ops_.push_back({OpKind::kReset, {q}, Matrix{}, {}, -1, "reset", {}});
   return *this;
 }
 
@@ -80,7 +80,7 @@ Circuit& Circuit::initialize(const std::vector<int>& qubits, const Vector& state
   QCUT_CHECK(static_cast<Index>(state.size()) == dim,
              "Circuit::initialize: state/qubit-count mismatch");
   QCUT_CHECK(approx_eq(vec_norm(state), 1.0, 1e-9), "Circuit::initialize: unnormalized state");
-  ops_.push_back({OpKind::kInitialize, qubits, Matrix{}, state, -1, std::move(label)});
+  ops_.push_back({OpKind::kInitialize, qubits, Matrix{}, state, -1, std::move(label), {}});
   return *this;
 }
 
@@ -99,6 +99,35 @@ Circuit& Circuit::append(const Circuit& other, int qubit_offset, int cbit_offset
     }
     ops_.push_back(std::move(op));
   }
+  return *this;
+}
+
+Circuit& Circuit::push_op(Operation op) {
+  check_qubits(op.qubits);
+  const Index dim = Index{1} << static_cast<Index>(op.qubits.size());
+  switch (op.kind) {
+    case OpKind::kUnitary:
+      QCUT_CHECK(op.matrix.rows() == dim && op.matrix.cols() == dim,
+                 "Circuit::push_op: matrix/qubit-count mismatch");
+      break;
+    case OpKind::kCondUnitary:
+      QCUT_CHECK(op.matrix.rows() == dim && op.matrix.cols() == dim,
+                 "Circuit::push_op: matrix/qubit-count mismatch");
+      check_cbit(op.cbit);
+      break;
+    case OpKind::kMeasure:
+      QCUT_CHECK(op.qubits.size() == 1, "Circuit::push_op: measure takes one qubit");
+      check_cbit(op.cbit);
+      break;
+    case OpKind::kReset:
+      QCUT_CHECK(op.qubits.size() == 1, "Circuit::push_op: reset takes one qubit");
+      break;
+    case OpKind::kInitialize:
+      QCUT_CHECK(static_cast<Index>(op.init_state.size()) == dim,
+                 "Circuit::push_op: state/qubit-count mismatch");
+      break;
+  }
+  ops_.push_back(std::move(op));
   return *this;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "qcut/linalg/matrix.hpp"
+#include "qcut/sim/gate_class.hpp"
 
 namespace qcut {
 
@@ -33,6 +34,10 @@ struct Operation {
   Vector init_state;   ///< target state for kInitialize
   int cbit = -1;       ///< destination for kMeasure, condition for kCondUnitary
   std::string label;
+  /// Structure of `matrix` (diagonal / permutation / generic), classified
+  /// once when the op enters a Circuit; the statevector engine dispatches its
+  /// specialized kernels on this tag instead of re-inspecting the matrix.
+  GateClass gclass;
 };
 
 class Circuit {
@@ -87,6 +92,12 @@ class Circuit {
 
   /// Appends all ops of `other` with qubit/cbit index offsets.
   Circuit& append(const Circuit& other, int qubit_offset = 0, int cbit_offset = 0);
+
+  /// Appends a fully formed Operation (validated against this circuit's
+  /// registers), preserving its gate classification. This is the remap path
+  /// of the fragment splitter: replaying ops into per-fragment circuits must
+  /// not re-classify (or re-copy-check) every gadget matrix per QPD term.
+  Circuit& push_op(Operation op);
 
   /// Total unitary of a measurement-free circuit (throws otherwise).
   Matrix to_unitary() const;

@@ -33,11 +33,11 @@ ShotOutcome run_shot(const Circuit& c, Rng& rng, const Vector& initial) {
   for (const auto& op : c.ops()) {
     switch (op.kind) {
       case OpKind::kUnitary:
-        sv.apply(op.matrix, op.qubits);
+        sv.apply(op.matrix, op.qubits, op.gclass);
         break;
       case OpKind::kCondUnitary:
         if (cbits[static_cast<std::size_t>(op.cbit)] == 1) {
-          sv.apply(op.matrix, op.qubits);
+          sv.apply(op.matrix, op.qubits, op.gclass);
         }
         break;
       case OpKind::kMeasure:
@@ -82,18 +82,26 @@ std::vector<Branch> run_branches(const Circuit& c, const Vector& initial,
              "run_branches: initial_cbits/register size mismatch");
   std::vector<Branch> branches;
   branches.push_back({1.0, initial_cbits, Statevector(c.n_qubits(), initial)});
+  advance_branches(branches, c, 0, c.ops().size(), prune_tol);
+  return branches;
+}
 
-  for (const auto& op : c.ops()) {
+void advance_branches(std::vector<Branch>& branches, const Circuit& c, std::size_t op_begin,
+                      std::size_t op_end, Real prune_tol) {
+  QCUT_CHECK(op_begin <= op_end && op_end <= c.ops().size(),
+             "advance_branches: op range out of bounds");
+  for (std::size_t t = op_begin; t < op_end; ++t) {
+    const Operation& op = c.ops()[t];
     switch (op.kind) {
       case OpKind::kUnitary:
         for (auto& b : branches) {
-          b.state.apply(op.matrix, op.qubits);
+          b.state.apply(op.matrix, op.qubits, op.gclass);
         }
         break;
       case OpKind::kCondUnitary:
         for (auto& b : branches) {
           if (b.cbits[static_cast<std::size_t>(op.cbit)] == 1) {
-            b.state.apply(op.matrix, op.qubits);
+            b.state.apply(op.matrix, op.qubits, op.gclass);
           }
         }
         break;
@@ -112,14 +120,15 @@ std::vector<Branch> run_branches(const Circuit& c, const Vector& initial,
           for (int outcome = 0; outcome <= 1; ++outcome) {
             const Real p = outcome ? p1 : 1.0 - p1;
             // `!(p > ...)` instead of `p <= ...`: a p = 0 branch must be
-            // dropped even when the caller passes prune_tol < 0 (project()
-            // would leave a zero state that renormalizes to NaN downstream),
-            // and a NaN p (corrupt upstream state) must not survive either.
+            // dropped even when the caller passes prune_tol < 0 (a zero state
+            // would renormalize to NaN downstream), and a NaN p (corrupt
+            // upstream state) must not survive either.
             if (!(p > prune_tol) || !(p > 0.0)) {
               continue;
             }
-            Branch nb{b.prob * p, b.cbits, b.state};
-            nb.state.project(q, outcome);
+            // Projected copy in one pass — the measure-heavy path's dominant
+            // cost used to be copy + project + renormalize sweeps per branch.
+            Branch nb{b.prob * p, b.cbits, Statevector::projected(b.state, q, outcome)};
             if (op.kind == OpKind::kMeasure) {
               nb.cbits[static_cast<std::size_t>(op.cbit)] = outcome;
             } else if (outcome == 1) {
@@ -133,7 +142,6 @@ std::vector<Branch> run_branches(const Circuit& c, const Vector& initial,
       }
     }
   }
-  return branches;
 }
 
 Real exact_expectation_pauli(const Circuit& c, const std::string& pauli) {

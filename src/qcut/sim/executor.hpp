@@ -54,6 +54,15 @@ std::vector<Branch> run_branches(const Circuit& c, const Vector& initial,
                                  const std::vector<int>& initial_cbits,
                                  Real prune_tol = 1e-14);
 
+/// Advances `branches` through ops [op_begin, op_end) of `c` in place: the
+/// loop body of run_branches, exposed so enumeration can be *resumed* from a
+/// saved intermediate set. The fragment fast path simulates each fragment's
+/// unconditioned prefix once and re-runs only the suffix per read-assignment
+/// through this hook. Measure/reset ops split branches and prune exactly as
+/// run_branches does.
+void advance_branches(std::vector<Branch>& branches, const Circuit& c, std::size_t op_begin,
+                      std::size_t op_end, Real prune_tol = 1e-14);
+
 /// Exact expectation of an n-qubit Pauli string on the final state, averaged
 /// over measurement branches (i.e. the expectation a shot-average converges
 /// to).

@@ -18,6 +18,50 @@ std::size_t checked_dim(int n_qubits) {
   return std::size_t{1} << n_qubits;
 }
 
+/// Inserts a zero bit at the position of `stride` (a power of two): bits at or
+/// above the position shift up by one, bits below stay. Repeated over the
+/// participating qubits' strides in ascending order, this expands a dense
+/// group id into the canonical (all participating bits zero) basis index —
+/// the stride-based replacement for scanning all 2^n indices and skipping the
+/// masked ones.
+inline Index insert_zero(Index g, Index stride) {
+  return ((g & ~(stride - 1)) << 1) | (g & (stride - 1));
+}
+
+/// Calls f(base) for every basis index with zero bits at all of `sorted`
+/// (ascending strides). The k = 1 and k = 2 shapes unroll into contiguous
+/// inner runs, which is what the dense and specialized kernels want.
+template <typename F>
+inline void for_each_group_base(Index dim, const Index* sorted, int k, F&& f) {
+  if (k == 1) {
+    const Index s = sorted[0];
+    for (Index b = 0; b < dim; b += s << 1) {
+      for (Index i = b; i < b + s; ++i) {
+        f(i);
+      }
+    }
+  } else if (k == 2) {
+    const Index lo = sorted[0];
+    const Index hi = sorted[1];
+    for (Index b2 = 0; b2 < dim; b2 += hi << 1) {
+      for (Index b1 = b2; b1 < b2 + hi; b1 += lo << 1) {
+        for (Index i = b1; i < b1 + lo; ++i) {
+          f(i);
+        }
+      }
+    }
+  } else {
+    const Index groups = dim >> k;
+    for (Index g = 0; g < groups; ++g) {
+      Index idx = g;
+      for (int j = 0; j < k; ++j) {
+        idx = insert_zero(idx, sorted[j]);
+      }
+      f(idx);
+    }
+  }
+}
+
 }  // namespace
 
 Statevector::Statevector(int n_qubits)
@@ -34,6 +78,10 @@ Statevector::Statevector(int n_qubits, Vector amplitudes)
 }
 
 void Statevector::apply(const Matrix& u, const std::vector<int>& qubits) {
+  apply(u, qubits, classify_gate(u));
+}
+
+void Statevector::apply(const Matrix& u, const std::vector<int>& qubits, const GateClass& cls) {
   const int k = static_cast<int>(qubits.size());
   const Index subdim = Index{1} << k;
   QCUT_CHECK(u.rows() == subdim && u.cols() == subdim,
@@ -47,72 +95,73 @@ void Statevector::apply(const Matrix& u, const std::vector<int>& qubits) {
     }
   }
 
+  switch (cls.structure) {
+    case GateStructure::kDiagonal:
+      QCUT_CHECK(cls.dim == subdim && static_cast<Index>(cls.diag.size()) == subdim,
+                 "Statevector::apply: classification/matrix mismatch");
+      apply_diagonal(cls, qubits);
+      return;
+    case GateStructure::kPermutation:
+      QCUT_CHECK(cls.dim == subdim, "Statevector::apply: classification/matrix mismatch");
+      apply_permutation(cls, qubits);
+      return;
+    case GateStructure::kGeneric:
+      break;
+  }
+
+  const Index dim_ = dim();
   if (k == 1) {
-    // Fast path: single-qubit gate.
-    const Index stride = Index{1} << bitpos(qubits[0]);
+    // Dense single-qubit kernel: contiguous runs of the zero-bit half, no
+    // masked-skip trips over the other half.
+    const Index s = Index{1} << bitpos(qubits[0]);
     const Cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-    const Index dim_ = dim();
-    for (Index base = 0; base < dim_; ++base) {
-      if (base & stride) {
-        continue;
-      }
-      const Index i0 = base;
-      const Index i1 = base | stride;
-      const Cplx a0 = amp_[static_cast<std::size_t>(i0)];
-      const Cplx a1 = amp_[static_cast<std::size_t>(i1)];
-      amp_[static_cast<std::size_t>(i0)] = u00 * a0 + u01 * a1;
-      amp_[static_cast<std::size_t>(i1)] = u10 * a0 + u11 * a1;
-    }
+    for_each_group_base(dim_, &s, 1, [&](Index i0) {
+      const std::size_t j0 = static_cast<std::size_t>(i0);
+      const std::size_t j1 = static_cast<std::size_t>(i0 + s);
+      const Cplx a0 = amp_[j0];
+      const Cplx a1 = amp_[j1];
+      amp_[j0] = u00 * a0 + u01 * a1;
+      amp_[j1] = u10 * a0 + u11 * a1;
+    });
     return;
   }
 
   if (k == 2) {
-    // Fast path: two-qubit gate (the CNOT-heavy cut gadgets hit this on
-    // every entangling gate). Sub-index convention matches the generic path:
+    // Dense two-qubit kernel. Sub-index convention matches the generic path:
     // qubits[0] is the high bit, qubits[1] the low bit.
     const Index s0 = Index{1} << bitpos(qubits[0]);
     const Index s1 = Index{1} << bitpos(qubits[1]);
-    const Index mask = s0 | s1;
+    const Index sorted[2] = {std::min(s0, s1), std::max(s0, s1)};
     Cplx m[4][4];
     for (Index r = 0; r < 4; ++r) {
       for (Index c = 0; c < 4; ++c) {
         m[r][c] = u(r, c);
       }
     }
-    const Index dim_ = dim();
-    for (Index base = 0; base < dim_; ++base) {
-      if (base & mask) {
-        continue;
-      }
-      const std::size_t i00 = static_cast<std::size_t>(base);
-      const std::size_t i01 = static_cast<std::size_t>(base | s1);
-      const std::size_t i10 = static_cast<std::size_t>(base | s0);
-      const std::size_t i11 = static_cast<std::size_t>(base | mask);
+    for_each_group_base(dim_, sorted, 2, [&](Index i) {
+      const std::size_t i00 = static_cast<std::size_t>(i);
+      const std::size_t i01 = static_cast<std::size_t>(i + s1);
+      const std::size_t i10 = static_cast<std::size_t>(i + s0);
+      const std::size_t i11 = static_cast<std::size_t>(i + s0 + s1);
       const Cplx a0 = amp_[i00], a1 = amp_[i01], a2 = amp_[i10], a3 = amp_[i11];
       amp_[i00] = m[0][0] * a0 + m[0][1] * a1 + m[0][2] * a2 + m[0][3] * a3;
       amp_[i01] = m[1][0] * a0 + m[1][1] * a1 + m[1][2] * a2 + m[1][3] * a3;
       amp_[i10] = m[2][0] * a0 + m[2][1] * a1 + m[2][2] * a2 + m[2][3] * a3;
       amp_[i11] = m[3][0] * a0 + m[3][1] * a1 + m[3][2] * a2 + m[3][3] * a3;
-    }
+    });
     return;
   }
 
-  // General k-qubit path: gather/scatter over the 2^k amplitudes of each
-  // "row group" determined by the non-participating qubits.
+  // General k-qubit path: gather/scatter over the 2^k amplitudes of each row
+  // group, enumerating the canonical representatives directly.
   std::vector<Index> strides(static_cast<std::size_t>(k));
   for (int j = 0; j < k; ++j) {
     strides[static_cast<std::size_t>(j)] = Index{1} << bitpos(qubits[static_cast<std::size_t>(j)]);
   }
-  Index mask = 0;
-  for (Index s : strides) {
-    mask |= s;
-  }
+  std::vector<Index> sorted = strides;
+  std::sort(sorted.begin(), sorted.end());
   std::vector<Cplx> scratch(static_cast<std::size_t>(subdim));
-  const Index dim_ = dim();
-  for (Index base = 0; base < dim_; ++base) {
-    if (base & mask) {
-      continue;  // enumerate only the canonical representative of each group
-    }
+  for_each_group_base(dim_, sorted.data(), k, [&](Index base) {
     // Gather.
     for (Index sub = 0; sub < subdim; ++sub) {
       Index idx = base;
@@ -137,16 +186,130 @@ void Statevector::apply(const Matrix& u, const std::vector<int>& qubits) {
       }
       amp_[static_cast<std::size_t>(idx)] = acc;
     }
+  });
+}
+
+void Statevector::apply_diagonal(const GateClass& cls, const std::vector<int>& qubits) {
+  const int k = static_cast<int>(qubits.size());
+  const Index dim_ = dim();
+  std::vector<Index> strides(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    strides[static_cast<std::size_t>(j)] = Index{1} << bitpos(qubits[static_cast<std::size_t>(j)]);
   }
+
+  if (cls.phase_index >= 0) {
+    // Sparse phase: every diagonal entry but one is exactly 1 — only the
+    // matching 2^{n-k} amplitude slice is touched (a quarter of the state for
+    // the cu1/cp gates that dominate QFT circuits).
+    const Cplx phase = cls.diag[static_cast<std::size_t>(cls.phase_index)];
+    if (phase == Cplx{1.0, 0.0}) {
+      return;  // identity
+    }
+    Index offset = 0;
+    for (int j = 0; j < k; ++j) {
+      if ((cls.phase_index >> (k - 1 - j)) & 1) {
+        offset |= strides[static_cast<std::size_t>(j)];
+      }
+    }
+    std::vector<Index> sorted = strides;
+    std::sort(sorted.begin(), sorted.end());
+    for_each_group_base(dim_, sorted.data(), k, [&](Index base) {
+      amp_[static_cast<std::size_t>(base + offset)] *= phase;
+    });
+    return;
+  }
+
+  // Dense diagonal: one multiply per amplitude, no gather.
+  if (k == 1) {
+    const Index s = strides[0];
+    const Cplx d0 = cls.diag[0], d1 = cls.diag[1];
+    for_each_group_base(dim_, &s, 1, [&](Index i) {
+      amp_[static_cast<std::size_t>(i)] *= d0;
+      amp_[static_cast<std::size_t>(i + s)] *= d1;
+    });
+    return;
+  }
+  if (k == 2) {
+    const Index s0 = strides[0];
+    const Index s1 = strides[1];
+    const Index sorted[2] = {std::min(s0, s1), std::max(s0, s1)};
+    const Cplx d0 = cls.diag[0], d1 = cls.diag[1], d2 = cls.diag[2], d3 = cls.diag[3];
+    for_each_group_base(dim_, sorted, 2, [&](Index i) {
+      amp_[static_cast<std::size_t>(i)] *= d0;
+      amp_[static_cast<std::size_t>(i + s1)] *= d1;
+      amp_[static_cast<std::size_t>(i + s0)] *= d2;
+      amp_[static_cast<std::size_t>(i + s0 + s1)] *= d3;
+    });
+    return;
+  }
+  for (Index i = 0; i < dim_; ++i) {
+    Index sub = 0;
+    for (int j = 0; j < k; ++j) {
+      if (i & strides[static_cast<std::size_t>(j)]) {
+        sub |= Index{1} << (k - 1 - j);
+      }
+    }
+    amp_[static_cast<std::size_t>(i)] *= cls.diag[static_cast<std::size_t>(sub)];
+  }
+}
+
+void Statevector::apply_permutation(const GateClass& cls, const std::vector<int>& qubits) {
+  if (cls.cycles.empty()) {
+    return;  // identity permutation
+  }
+  const int k = static_cast<int>(qubits.size());
+  const Index dim_ = dim();
+  const Index subdim = Index{1} << k;
+  std::vector<Index> strides(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    strides[static_cast<std::size_t>(j)] = Index{1} << bitpos(qubits[static_cast<std::size_t>(j)]);
+  }
+  std::vector<Index> offs(static_cast<std::size_t>(subdim), 0);
+  for (Index sub = 0; sub < subdim; ++sub) {
+    for (int j = 0; j < k; ++j) {
+      if ((sub >> (k - 1 - j)) & 1) {
+        offs[static_cast<std::size_t>(sub)] |= strides[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  std::vector<Index> sorted = strides;
+  std::sort(sorted.begin(), sorted.end());
+
+  if (cls.cycles.size() == 1 && cls.cycles[0].size() == 2) {
+    // The ubiquitous involution shape (x, cx, swap): one pairwise swap per
+    // group, touching only the cycle's slice of the state.
+    const Index oa = offs[static_cast<std::size_t>(cls.cycles[0][0])];
+    const Index ob = offs[static_cast<std::size_t>(cls.cycles[0][1])];
+    for_each_group_base(dim_, sorted.data(), k, [&](Index base) {
+      std::swap(amp_[static_cast<std::size_t>(base + oa)],
+                amp_[static_cast<std::size_t>(base + ob)]);
+    });
+    return;
+  }
+
+  for_each_group_base(dim_, sorted.data(), k, [&](Index base) {
+    for (const std::vector<Index>& cyc : cls.cycles) {
+      // image[s_i] = s_{i+1}: new[s_{i+1}] = old[s_i], rotated in place.
+      const std::size_t m = cyc.size();
+      Cplx t = amp_[static_cast<std::size_t>(base + offs[static_cast<std::size_t>(cyc[m - 1])])];
+      for (std::size_t i = m - 1; i >= 1; --i) {
+        amp_[static_cast<std::size_t>(base + offs[static_cast<std::size_t>(cyc[i])])] =
+            amp_[static_cast<std::size_t>(base + offs[static_cast<std::size_t>(cyc[i - 1])])];
+      }
+      amp_[static_cast<std::size_t>(base + offs[static_cast<std::size_t>(cyc[0])])] = t;
+    }
+  });
 }
 
 Real Statevector::prob_one(int qubit) const {
   QCUT_CHECK(qubit >= 0 && qubit < n_qubits_, "prob_one: qubit out of range");
-  const Index stride = Index{1} << bitpos(qubit);
+  const Index s = Index{1} << bitpos(qubit);
   Real p = 0.0;
   const Index dim_ = dim();
-  for (Index i = 0; i < dim_; ++i) {
-    if (i & stride) {
+  // Enumerates the set-bit half directly in ascending index order (the same
+  // summation order as the old full-dim masked scan, at half the trips).
+  for (Index b = 0; b < dim_; b += s << 1) {
+    for (Index i = b + s; i < b + (s << 1); ++i) {
       p += norm2(amp_[static_cast<std::size_t>(i)]);
     }
   }
@@ -163,14 +326,16 @@ int Statevector::measure(int qubit, Rng& rng) {
 Real Statevector::project(int qubit, int outcome) {
   QCUT_CHECK(qubit >= 0 && qubit < n_qubits_, "project: qubit out of range");
   QCUT_CHECK(outcome == 0 || outcome == 1, "project: outcome must be 0/1");
-  const Index stride = Index{1} << bitpos(qubit);
+  const Index s = Index{1} << bitpos(qubit);
   Real p = 0.0;
   const Index dim_ = dim();
-  for (Index i = 0; i < dim_; ++i) {
-    const bool bit = (i & stride) != 0;
-    if (bit == (outcome == 1)) {
+  for (Index b = 0; b < dim_; b += s << 1) {
+    const Index live = outcome ? b + s : b;
+    const Index dead = outcome ? b : b + s;
+    for (Index i = live; i < live + s; ++i) {
       p += norm2(amp_[static_cast<std::size_t>(i)]);
-    } else {
+    }
+    for (Index i = dead; i < dead + s; ++i) {
       amp_[static_cast<std::size_t>(i)] = Cplx{0.0, 0.0};
     }
   }
@@ -183,15 +348,42 @@ Real Statevector::project(int qubit, int outcome) {
   return p;
 }
 
+Statevector Statevector::projected(const Statevector& src, int qubit, int outcome) {
+  QCUT_CHECK(qubit >= 0 && qubit < src.n_qubits_, "projected: qubit out of range");
+  QCUT_CHECK(outcome == 0 || outcome == 1, "projected: outcome must be 0/1");
+  const Index s = Index{1} << src.bitpos(qubit);
+  const Index dim_ = src.dim();
+  // Same renormalization constant as project(): the live-half norm summed in
+  // ascending index order.
+  Real p = 0.0;
+  for (Index b = 0; b < dim_; b += s << 1) {
+    const Index live = outcome ? b + s : b;
+    for (Index i = live; i < live + s; ++i) {
+      p += norm2(src.amp_[static_cast<std::size_t>(i)]);
+    }
+  }
+  Vector out(static_cast<std::size_t>(dim_), Cplx{0.0, 0.0});
+  if (p > 0.0) {
+    const Real inv = 1.0 / std::sqrt(p);
+    for (Index b = 0; b < dim_; b += s << 1) {
+      const Index live = outcome ? b + s : b;
+      for (Index i = live; i < live + s; ++i) {
+        out[static_cast<std::size_t>(i)] = src.amp_[static_cast<std::size_t>(i)] * inv;
+      }
+    }
+  }
+  return Statevector(Unchecked{}, src.n_qubits_, std::move(out));
+}
+
 void Statevector::reset(int qubit, Rng& rng) {
   const int outcome = measure(qubit, rng);
   if (outcome == 1) {
     // Flip back to |0⟩.
-    const Index stride = Index{1} << bitpos(qubit);
+    const Index s = Index{1} << bitpos(qubit);
     const Index dim_ = dim();
-    for (Index i = 0; i < dim_; ++i) {
-      if (!(i & stride)) {
-        std::swap(amp_[static_cast<std::size_t>(i)], amp_[static_cast<std::size_t>(i | stride)]);
+    for (Index b = 0; b < dim_; b += s << 1) {
+      for (Index i = b; i < b + s; ++i) {
+        std::swap(amp_[static_cast<std::size_t>(i)], amp_[static_cast<std::size_t>(i + s)]);
       }
     }
   }
@@ -222,10 +414,9 @@ void Statevector::initialize(const std::vector<int>& qubits, const Vector& state
   }
   QCUT_CHECK(leaked <= 1e-12, "initialize: qubits are not in |0..0⟩");
   // Distribute: amp[base | bits(sub)] = amp[base] * state[sub].
-  for (Index base = 0; base < dim_; ++base) {
-    if (base & mask) {
-      continue;
-    }
+  std::vector<Index> sorted = strides;
+  std::sort(sorted.begin(), sorted.end());
+  for_each_group_base(dim_, sorted.data(), k, [&](Index base) {
     const Cplx a = amp_[static_cast<std::size_t>(base)];
     for (Index sub = subdim - 1; sub >= 0; --sub) {
       Index idx = base;
@@ -239,13 +430,36 @@ void Statevector::initialize(const std::vector<int>& qubits, const Vector& state
         break;
       }
     }
-  }
+  });
 }
 
 Real Statevector::expectation_pauli(const std::string& pauli) const {
   QCUT_CHECK(static_cast<int>(pauli.size()) == n_qubits_,
              "expectation_pauli: string length must equal qubit count");
-  // Apply the Pauli string to a copy and take the inner product.
+  // I/Z-only strings (every cut observable the library measures natively) are
+  // a single sign-weighted probability sweep — no state copy, no gate
+  // applications.
+  std::uint64_t zmask = 0;
+  bool zi_only = true;
+  for (int q = 0; q < n_qubits_; ++q) {
+    const char c = pauli[static_cast<std::size_t>(q)];
+    if (c == 'Z') {
+      zmask |= std::uint64_t{1} << bitpos(q);
+    } else if (c != 'I') {
+      zi_only = false;
+    }
+  }
+  if (zi_only) {
+    Real acc = 0.0;
+    const Index dim_ = dim();
+    for (Index i = 0; i < dim_; ++i) {
+      const Real w = norm2(amp_[static_cast<std::size_t>(i)]);
+      acc += parity64(static_cast<std::uint64_t>(i) & zmask) ? -w : w;
+    }
+    return acc;
+  }
+  // Apply the Pauli string to a copy and take the inner product (X/Y factors
+  // dispatch to the permutation/diagonal kernels).
   Statevector copy = *this;
   for (int q = 0; q < n_qubits_; ++q) {
     const char c = pauli[static_cast<std::size_t>(q)];

@@ -10,6 +10,7 @@
 
 #include "qcut/common/rng.hpp"
 #include "qcut/linalg/matrix.hpp"
+#include "qcut/sim/gate_class.hpp"
 
 namespace qcut {
 
@@ -31,8 +32,17 @@ class Statevector {
   const Vector& amplitudes() const noexcept { return amp_; }
   Index dim() const noexcept { return static_cast<Index>(amp_.size()); }
 
-  /// Applies a k-qubit unitary to the listed qubits.
+  /// Applies a k-qubit unitary to the listed qubits. Classifies the matrix
+  /// structure on the fly; hot paths that hold a precomputed classification
+  /// (Operation::gclass) use the three-argument overload instead.
   void apply(const Matrix& u, const std::vector<int>& qubits);
+
+  /// Applies `u` dispatching on a precomputed classification: diagonal gates
+  /// run the amplitude-wise multiply kernel (no gather), permutation gates
+  /// the amplitude-move kernel (no arithmetic), everything else the dense
+  /// kernels. Passing a default-constructed GateClass forces the dense path
+  /// (the benchmark yardstick for the specialized kernels).
+  void apply(const Matrix& u, const std::vector<int>& qubits, const GateClass& cls);
 
   /// Probability that measuring `qubit` yields 1.
   Real prob_one(int qubit) const;
@@ -46,6 +56,13 @@ class Statevector {
   /// vector (never divided into NaNs) — the caller must drop it rather than
   /// keep using the state (run_branches prunes such branches unconditionally).
   Real project(int qubit, int outcome);
+
+  /// Projected copy: `src` collapsed to `qubit = outcome` and renormalized,
+  /// built in a single pass (same arithmetic as copy-then-project without the
+  /// intermediate full copy). This is the branch-enumeration fast path: every
+  /// measure/reset op copies each surviving branch's state once per outcome.
+  /// A p = 0 projection yields the all-zero vector, exactly like project().
+  static Statevector projected(const Statevector& src, int qubit, int outcome);
 
   /// Collapses `qubit` and re-prepares it in |0⟩.
   void reset(int qubit, Rng& rng);
@@ -66,7 +83,14 @@ class Statevector {
   Real norm() const;
 
  private:
+  struct Unchecked {};  ///< tag: internal construction of already-valid states
+  Statevector(Unchecked, int n_qubits, Vector amplitudes)
+      : n_qubits_(n_qubits), amp_(std::move(amplitudes)) {}
+
   int bitpos(int qubit) const noexcept { return n_qubits_ - 1 - qubit; }
+
+  void apply_diagonal(const GateClass& cls, const std::vector<int>& qubits);
+  void apply_permutation(const GateClass& cls, const std::vector<int>& qubits);
 
   int n_qubits_;
   Vector amp_;

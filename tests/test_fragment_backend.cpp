@@ -208,6 +208,118 @@ TEST(FragmentBackend, WideGhzPlannedRunExecutesFragmentLocally) {
   EXPECT_NEAR(out.run.estimate, 1.0, 3.0 * pcfg.target_accuracy);
 }
 
+TEST(FragmentParallel, PoolSizeBitIdentity) {
+  // Mirrors test_exec_engine's pool-size law for the fragment fast path: the
+  // per-term probabilities AND the end-to-end engine estimates must be
+  // byte-identical for pools of size 1, 2, and 8 (and the poolless serial
+  // path) — parallelism must never change a single bit.
+  const Circuit circ = ghz_line(12);
+  PlannerConfig pcfg;
+  pcfg.max_fragment_width = 5;
+  pcfg.pair_budget = 0;
+  const CutPlanner planner(circ, pcfg);
+  const PlannedExecutor exec(circ, planner.plan());
+  const Qpd qpd = exec.build_qpd(all_z(12));
+  ASSERT_GE(qpd.size(), 4u);
+
+  std::vector<Real> serial;
+  {
+    const FragmentBackend frag(qpd);
+    serial = frag.cache().all_prob_one();
+  }
+  std::vector<Real> estimates;
+  for (const std::size_t n_threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(n_threads);
+    const FragmentBackend frag(qpd, 0, &pool);
+    frag.prewarm();
+    const std::vector<Real> probs = frag.cache().all_prob_one();
+    ASSERT_EQ(probs.size(), serial.size());
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      EXPECT_EQ(probs[i], serial[i]) << "pool " << n_threads << " term " << i;
+    }
+    EngineConfig ec;
+    ec.pool = &pool;
+    const ExecutionEngine engine(ec);
+    const auto plan = ShotPlan::allocated(qpd, 50000, AllocRule::kProportional);
+    estimates.push_back(engine.run(qpd, plan, frag, /*seed=*/20260730).estimate);
+  }
+  EXPECT_EQ(estimates[0], estimates[1]);
+  EXPECT_EQ(estimates[0], estimates[2]);
+}
+
+TEST(FragmentSplit, SkeletonCacheMatchesFreshSplitAcrossAllGadgetVariants) {
+  // Every gadget variant of a 2-cut plan, split two ways: fresh (structure
+  // recomputed) vs. through the shared SplitSkeletonCache. Metadata must
+  // match exactly and the evaluated probabilities to 1e-12.
+  const Circuit circ = ghz_line(8);
+  const HaradaCut harada;
+  const PengCut peng;
+  const std::vector<CutPoint> points{{2, 1}, {5, 4}};
+  const std::vector<const WireCutProtocol*> protos{&harada, &peng};
+  const Qpd qpd = cut_circuit_multi(circ, points, protos, all_z(8));
+  ASSERT_GE(qpd.size(), 9u);
+
+  SplitSkeletonCache cache;
+  for (const QpdTerm& term : qpd.terms()) {
+    const FragmentSplit fresh = split_term(term);
+    const FragmentSplit cached = split_term(term, *cache.get(term.circuit));
+    ASSERT_EQ(fresh.fragments.size(), cached.fragments.size()) << term.label;
+    EXPECT_EQ(fresh.max_width, cached.max_width);
+    EXPECT_EQ(fresh.cross_cbits, cached.cross_cbits);
+    for (std::size_t f = 0; f < fresh.fragments.size(); ++f) {
+      const TermFragment& a = fresh.fragments[f];
+      const TermFragment& b = cached.fragments[f];
+      EXPECT_EQ(a.wires, b.wires) << term.label;
+      EXPECT_EQ(a.reads, b.reads) << term.label;
+      EXPECT_EQ(a.writes, b.writes) << term.label;
+      EXPECT_EQ(a.estimate_cbits, b.estimate_cbits) << term.label;
+      EXPECT_EQ(a.cond_suffix_begin, b.cond_suffix_begin) << term.label;
+      EXPECT_EQ(a.circuit.size(), b.circuit.size()) << term.label;
+    }
+    EXPECT_NEAR(fragment_term_prob_one(fresh), fragment_term_prob_one(cached), 1e-12)
+        << term.label;
+  }
+  // The point of the cache: the plan's gadget variants share skeletons, so
+  // far fewer structures are built than terms exist.
+  EXPECT_LT(cache.size(), qpd.size());
+  EXPECT_GE(cache.size(), 1u);
+}
+
+TEST(FragmentParallel, OptimizedEvaluatorMatchesBaselineOnRandomCutCircuits) {
+  // The prefix-sharing + trailing-measure-fold evaluator vs. the retained
+  // PR-3 reference, on random circuits with random cuts: 1e-12 per term, and
+  // the pooled evaluation bit-identical to the poolless one.
+  Rng rng(211);
+  const HaradaCut harada;
+  const PengCut peng;
+  ThreadPool pool(3);
+  int checked = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 4 + static_cast<int>(rng.uniform_u64(3));
+    const Circuit circ = random_unitary_circuit(n, 2 * n, rng);
+    const CircuitGraph graph(circ);
+    if (graph.candidates().empty()) {
+      continue;
+    }
+    const auto& cand = graph.candidates();
+    const CutPoint p = cand[rng.uniform_u64(cand.size())];
+    const WireCutProtocol* proto = rng.bernoulli(0.5)
+                                       ? static_cast<const WireCutProtocol*>(&harada)
+                                       : static_cast<const WireCutProtocol*>(&peng);
+    const Qpd qpd = cut_circuit(circ, p, *proto, all_z(n));
+    for (const QpdTerm& term : qpd.terms()) {
+      const FragmentSplit split = split_term(term);
+      const Real base = fragment_term_prob_one_baseline(split);
+      const Real opt = fragment_term_prob_one(split, nullptr);
+      const Real pooled = fragment_term_prob_one(split, &pool);
+      EXPECT_NEAR(opt, base, 1e-12) << "trial " << trial << " " << term.label;
+      EXPECT_EQ(opt, pooled) << "trial " << trial << " " << term.label;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 12);
+}
+
 TEST(FragmentBackend, SmallPlannedRunsAgreeBetweenFragmentAndSplicedBackends) {
   // On circuits small enough to run both ways, the two backends draw from
   // binomials with probabilities equal to 1e-12 — same seed, same plan, and
