@@ -28,18 +28,28 @@
 // classified dispatch vs. the dense kernels; the ratio is the pinned
 // single-thread kernel win.
 //
+// SIMD tier section: the same kernels measured under each *forced* dispatch
+// tier (scalar / AVX2 / AVX-512) — tiers the build or CPU lacks are skipped
+// with an explicit row. The AVX2 dense 1q/2q GB/s must be >= 2x scalar.
+//
+// Fusion section: an rz-ry-rz + cx-ladder workload applied unfused vs fused
+// (fuse_circuit), with op counts, wall time, and an amplitude cross-check.
+//
 // Output: aligned tables on stdout plus machine-readable sim_perf.json so
 // future PRs have a perf trajectory to regress against. Acceptance floors
 // (checked last, after the JSON is on disk): batched/serial >= 10x,
 // fragment optimized/baseline >= 4x on a >= 4-thread pool, QFT-16
-// classified/dense >= 1.5x, and every bit-identity invariant.
+// classified/dense >= 1.5x, AVX2 dense kernels >= 2x scalar (when AVX2 is
+// available), fusion amplitude agreement, and every bit-identity invariant.
 //
 // Usage: bench_sim_perf [--serial-shots N] [--batched-shots N] [--threads N]
 //                       [--out PATH] [--seed N]
 // sim_perf.json defaults to the executable's directory (the build tree), so
 // running from a source checkout leaves no stray file; --out (or the legacy
 // --json) overrides the destination.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -51,8 +61,10 @@
 #include "qcut/exec/engine.hpp"
 #include "qcut/linalg/random.hpp"
 #include "qcut/plan/planned_executor.hpp"
+#include "qcut/sim/fusion.hpp"
 #include "qcut/sim/gates.hpp"
 #include "qcut/sim/qasm_import.hpp"
+#include "qcut/sim/simd_dispatch.hpp"
 #include "qcut/sim/statevector.hpp"
 
 #ifndef QCUT_QASM_CORPUS_DIR
@@ -304,6 +316,81 @@ QftKernelResult measure_qft_kernels(int n, int reps) {
   return res;
 }
 
+// ---- SIMD tier section ------------------------------------------------------
+
+struct TierKernelRow {
+  std::string tier;
+  std::string kernel;
+  int qubits = 0;
+  double gb_per_sec = 0.0;
+};
+
+// ---- fusion A/B section -----------------------------------------------------
+
+struct FusionBench {
+  int qubits = 0;
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+  std::size_t fused_1q = 0;
+  std::size_t merged_diagonal = 0;
+  double unfused_seconds = 0.0;
+  double fused_seconds = 0.0;
+  double speedup = 0.0;
+  double max_amp_diff = 0.0;
+};
+
+/// rz-ry-rz Euler layers (the fusable run shape every variational ansatz
+/// emits) interleaved with a brickwork cx ladder: pass 1 composes each wire's
+/// three rotations into one 2x2 per layer.
+FusionBench measure_fusion(int n, int layers, int reps) {
+  qcut::Rng rng(29);
+  qcut::Circuit c(n, 0);
+  for (int l = 0; l < layers; ++l) {
+    for (int q = 0; q < n; ++q) {
+      c.rz(q, rng.uniform(0.0, 2.0 * qcut::kPi));
+      c.ry(q, rng.uniform(0.0, 2.0 * qcut::kPi));
+      c.rz(q, rng.uniform(0.0, 2.0 * qcut::kPi));
+    }
+    for (int q = l % 2; q + 1 < n; q += 2) {
+      c.cx(q, q + 1);
+    }
+  }
+  FusionBench res;
+  res.qubits = n;
+  qcut::FusionStats stats;
+  const qcut::Circuit fused = qcut::fuse_circuit(c, &stats);
+  res.ops_before = stats.ops_before;
+  res.ops_after = stats.ops_after;
+  res.fused_1q = stats.fused_1q;
+  res.merged_diagonal = stats.merged_diagonal;
+
+  const qcut::Vector init = qcut::random_statevector(qcut::Index{1} << n, rng);
+  qcut::Statevector a(n, init);
+  auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (const qcut::Operation& op : c.ops()) {
+      a.apply(op.matrix, op.qubits, op.gclass);
+    }
+  }
+  res.unfused_seconds = seconds_since(t0);
+
+  qcut::Statevector b(n, init);
+  t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (const qcut::Operation& op : fused.ops()) {
+      b.apply(op.matrix, op.qubits, op.gclass);
+    }
+  }
+  res.fused_seconds = seconds_since(t0);
+  res.speedup = res.fused_seconds > 0.0 ? res.unfused_seconds / res.fused_seconds : 0.0;
+
+  for (std::size_t i = 0; i < a.amplitudes().size(); ++i) {
+    res.max_amp_diff =
+        std::max(res.max_amp_diff, std::abs(a.amplitudes()[i] - b.amplitudes()[i]));
+  }
+  return res;
+}
+
 std::string json_bool(bool b) { return b ? "true" : "false"; }
 
 }  // namespace
@@ -496,6 +583,67 @@ int main(int argc, char** argv) {
               "-> %.2fx (floor: 1.5x)\n",
               qft.qubits, qft.ops, qft.dense_seconds, qft.classified_seconds, qft.speedup);
 
+  // ---- SIMD dispatch tiers -------------------------------------------------
+  const qcut::SimdTier initial_tier = qcut::active_simd_tier();
+  std::printf("\n=== SIMD kernel tiers (forced dispatch, 16 qubits; active: %s) ===\n",
+              qcut::simd_tier_name(initial_tier));
+  std::printf("%-8s %-14s %10s\n", "tier", "kernel", "GB/s");
+  std::vector<TierKernelRow> tier_rows;
+  // [tier][0] = dense 1q, [1] = dense 2q — for the AVX2-vs-scalar floor.
+  double dense_gbs[3][2] = {{0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}};
+  for (const qcut::SimdTier tier :
+       {qcut::SimdTier::kScalar, qcut::SimdTier::kAvx2, qcut::SimdTier::kAvx512}) {
+    const char* tname = qcut::simd_tier_name(tier);
+    if (!qcut::simd_tier_available(tier)) {
+      std::printf("%-8s %-14s %10s\n", tname, "-", "absent");
+      continue;
+    }
+    qcut::force_simd_tier(tier);
+    const int tn = 16;
+    const struct {
+      const char* name;
+      qcut::Matrix u;
+      std::vector<int> qubits;
+      double frac;
+      bool force_dense;
+    } specs[] = {
+        {"1q-dense", qcut::gates::h(), {0}, 1.0, false},
+        {"2q-dense", qcut::gates::cx(), {0, 1}, 1.0, true},
+        {"1q-diag", qcut::gates::rz(0.7), {0}, 1.0, false},
+        {"2q-sparse", qcut::gates::controlled(qcut::gates::phase(0.7)), {0, 1}, 0.25, false},
+    };
+    int spec_idx = 0;
+    for (const auto& spec : specs) {
+      const KernelRow kr = measure_kernel(spec.name, tn, spec.u, spec.qubits, 2000, spec.frac,
+                                          spec.force_dense ? &dense : nullptr);
+      if (spec_idx < 2) {
+        dense_gbs[static_cast<int>(tier)][spec_idx] = kr.gb_per_sec;
+      }
+      ++spec_idx;
+      std::printf("%-8s %-14s %10.2f\n", tname, spec.name, kr.gb_per_sec);
+      tier_rows.push_back({tname, spec.name, tn, kr.gb_per_sec});
+    }
+  }
+  qcut::force_simd_tier(initial_tier);
+  const bool avx2_measured = qcut::simd_tier_available(qcut::SimdTier::kAvx2);
+  const double avx2_1q_speedup =
+      avx2_measured && dense_gbs[0][0] > 0.0 ? dense_gbs[1][0] / dense_gbs[0][0] : 0.0;
+  const double avx2_2q_speedup =
+      avx2_measured && dense_gbs[0][1] > 0.0 ? dense_gbs[1][1] / dense_gbs[0][1] : 0.0;
+  if (avx2_measured) {
+    std::printf("\nAVX2/scalar dense GB/s: 1q %.2fx, 2q %.2fx (floor: 2x)\n", avx2_1q_speedup,
+                avx2_2q_speedup);
+  }
+
+  // ---- gate fusion A/B -----------------------------------------------------
+  const FusionBench fusion = measure_fusion(16, 8, 10);
+  std::printf("\n=== Gate fusion (rz-ry-rz Euler layers + cx ladder, 16 qubits) ===\n");
+  std::printf("ops %zu -> %zu (1q fused: %zu, diagonal merged: %zu)\n", fusion.ops_before,
+              fusion.ops_after, fusion.fused_1q, fusion.merged_diagonal);
+  std::printf("unfused %.3fs, fused %.3fs -> %.2fx; max amplitude diff %.2e\n",
+              fusion.unfused_seconds, fusion.fused_seconds, fusion.speedup,
+              fusion.max_amp_diff);
+
   // ---- machine-readable record for perf-trajectory tracking across PRs -----
   std::ofstream json(json_path);
   json << "{\n  \"workload\": \"nme_f0.6_haar_Z\",\n  \"backends\": [\n";
@@ -528,6 +676,37 @@ int main(int argc, char** argv) {
        << ", \"dense_seconds\": " << qft.dense_seconds
        << ", \"classified_seconds\": " << qft.classified_seconds
        << ", \"speedup\": " << qft.speedup << ", \"speedup_floor\": 1.5},\n";
+  json << "  \"simd\": {\n    \"active\": \"" << qcut::simd_tier_name(initial_tier)
+       << "\",\n    \"available\": [";
+  {
+    bool first = true;
+    for (const qcut::SimdTier tier :
+         {qcut::SimdTier::kScalar, qcut::SimdTier::kAvx2, qcut::SimdTier::kAvx512}) {
+      if (qcut::simd_tier_available(tier)) {
+        json << (first ? "" : ", ") << "\"" << qcut::simd_tier_name(tier) << "\"";
+        first = false;
+      }
+    }
+  }
+  json << "],\n    \"tiers\": [\n";
+  for (std::size_t i = 0; i < tier_rows.size(); ++i) {
+    const auto& tr = tier_rows[i];
+    json << "      {\"tier\": \"" << tr.tier << "\", \"kernel\": \"" << tr.kernel
+         << "\", \"qubits\": " << tr.qubits << ", \"gb_per_sec\": " << tr.gb_per_sec << "}"
+         << (i + 1 < tier_rows.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n    \"avx2_dense_speedup_1q\": " << avx2_1q_speedup
+       << ",\n    \"avx2_dense_speedup_2q\": " << avx2_2q_speedup
+       << ",\n    \"speedup_floor\": 2.0,\n    \"floor_enforced\": " << json_bool(avx2_measured)
+       << "\n  },\n";
+  json << "  \"fusion\": {\"qubits\": " << fusion.qubits
+       << ", \"ops_before\": " << fusion.ops_before << ", \"ops_after\": " << fusion.ops_after
+       << ", \"fused_1q\": " << fusion.fused_1q
+       << ", \"merged_diagonal\": " << fusion.merged_diagonal
+       << ", \"unfused_seconds\": " << fusion.unfused_seconds
+       << ", \"fused_seconds\": " << fusion.fused_seconds
+       << ", \"speedup\": " << fusion.speedup
+       << ", \"max_amp_diff\": " << fusion.max_amp_diff << "},\n";
   json << "  \"kernels\": [\n";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const auto& kr = kernels[i];
@@ -566,6 +745,17 @@ int main(int argc, char** argv) {
   if (qft.speedup < 1.5) {
     std::printf("ERROR: QFT kernel speedup %.2fx is below the 1.5x acceptance floor\n",
                 qft.speedup);
+    return 1;
+  }
+  if (avx2_measured && (avx2_1q_speedup < 2.0 || avx2_2q_speedup < 2.0)) {
+    std::printf("ERROR: AVX2 dense GB/s (1q %.2fx, 2q %.2fx over scalar) is below the 2x "
+                "acceptance floor\n",
+                avx2_1q_speedup, avx2_2q_speedup);
+    return 1;
+  }
+  if (fusion.ops_after >= fusion.ops_before || fusion.max_amp_diff > 1e-10) {
+    std::printf("ERROR: fusion failed (ops %zu -> %zu, max amp diff %.2e)\n", fusion.ops_before,
+                fusion.ops_after, fusion.max_amp_diff);
     return 1;
   }
   return 0;

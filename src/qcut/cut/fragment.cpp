@@ -155,10 +155,13 @@ void fold_branches_tail(const std::vector<Branch>& branches, const TailFold& tai
 }
 
 /// Chain-rule product over fragments, summed over cross-bit assignments,
-/// with a running XOR of the per-fragment estimate parities. Strictly serial
-/// and in fixed index order — the deterministic reduction both evaluators
-/// share.
-Real recombine(const FragmentSplit& split, const FragTables& tables) {
+/// with a running XOR of the per-fragment estimate parities. The 2^n_cross
+/// sigma sweep is chunked at a fixed size and the per-chunk partial sums are
+/// combined in chunk index order — deterministic for any pool (including
+/// none), so both evaluators and every pool size produce the same bits.
+constexpr std::uint64_t kSigmaChunk = 1024;
+
+Real recombine(const FragmentSplit& split, const FragTables& tables, ThreadPool* pool) {
   const std::vector<int>& cross = split.cross_cbits;
   const std::size_t n_cross = cross.size();
   const auto cross_pos = [&cross](int cbit) {
@@ -179,30 +182,57 @@ Real recombine(const FragmentSplit& split, const FragTables& tables) {
     }
   }
 
-  Real acc = 0.0;
-  for (std::uint64_t sigma = 0; sigma < (std::uint64_t{1} << n_cross); ++sigma) {
-    Real p0 = 1.0;
-    Real p1 = 0.0;
-    for (std::size_t f = 0; f < split.fragments.size(); ++f) {
-      std::size_t ra = 0;
-      for (std::size_t j = 0; j < read_pos[f].size(); ++j) {
-        ra |= static_cast<std::size_t>((sigma >> read_pos[f][j]) & 1) << j;
+  const auto sigma_range = [&](std::uint64_t s0, std::uint64_t s1) {
+    Real acc = 0.0;
+    for (std::uint64_t sigma = s0; sigma < s1; ++sigma) {
+      Real p0 = 1.0;
+      Real p1 = 0.0;
+      for (std::size_t f = 0; f < split.fragments.size(); ++f) {
+        std::size_t ra = 0;
+        for (std::size_t j = 0; j < read_pos[f].size(); ++j) {
+          ra |= static_cast<std::size_t>((sigma >> read_pos[f][j]) & 1) << j;
+        }
+        std::size_t wp = 0;
+        for (std::size_t j = 0; j < write_pos[f].size(); ++j) {
+          wp |= static_cast<std::size_t>((sigma >> write_pos[f][j]) & 1) << j;
+        }
+        const Real f0 = tables[f][ra][wp * 2];
+        const Real f1 = tables[f][ra][wp * 2 + 1];
+        const Real n0 = p0 * f0 + p1 * f1;
+        const Real n1 = p0 * f1 + p1 * f0;
+        p0 = n0;
+        p1 = n1;
+        if (p0 + p1 <= 0.0) {
+          break;  // this cross-bit assignment never occurs
+        }
       }
-      std::size_t wp = 0;
-      for (std::size_t j = 0; j < write_pos[f].size(); ++j) {
-        wp |= static_cast<std::size_t>((sigma >> write_pos[f][j]) & 1) << j;
-      }
-      const Real f0 = tables[f][ra][wp * 2];
-      const Real f1 = tables[f][ra][wp * 2 + 1];
-      const Real n0 = p0 * f0 + p1 * f1;
-      const Real n1 = p0 * f1 + p1 * f0;
-      p0 = n0;
-      p1 = n1;
-      if (p0 + p1 <= 0.0) {
-        break;  // this cross-bit assignment never occurs
-      }
+      acc += p1;
     }
-    acc += p1;
+    return acc;
+  };
+
+  const std::uint64_t n_sigma = std::uint64_t{1} << n_cross;
+  if (n_sigma <= kSigmaChunk) {
+    return sigma_range(0, n_sigma);
+  }
+  // Both powers of two, so the chunks tile [0, 2^n_cross) exactly; the chunk
+  // count depends only on n_cross, never on the pool.
+  const std::size_t n_chunks = static_cast<std::size_t>(n_sigma / kSigmaChunk);
+  std::vector<Real> partial(n_chunks, 0.0);
+  const auto run_chunk = [&](std::size_t c) {
+    const std::uint64_t s0 = static_cast<std::uint64_t>(c) * kSigmaChunk;
+    partial[c] = sigma_range(s0, s0 + kSigmaChunk);
+  };
+  if (pool != nullptr && pool->size() > 1 && !pool->on_worker_thread()) {
+    pool->parallel_for(0, n_chunks, run_chunk);
+  } else {
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      run_chunk(c);
+    }
+  }
+  Real acc = 0.0;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    acc += partial[c];
   }
   return acc;
 }
@@ -469,6 +499,20 @@ std::size_t SplitSkeletonCache::size() const {
   return by_key_.size();
 }
 
+void fuse_split_circuits(FragmentSplit& split, FusionStats* stats) {
+  for (TermFragment& tf : split.fragments) {
+    const std::size_t csb = tf.cond_suffix_begin;
+    Circuit fused = fuse_range(tf.circuit, 0, csb, stats);
+    const std::size_t new_csb = fused.size();
+    const Circuit suffix = fuse_range(tf.circuit, csb, tf.circuit.size(), stats);
+    for (const Operation& op : suffix.ops()) {
+      fused.push_op(op);
+    }
+    tf.circuit = std::move(fused);
+    tf.cond_suffix_begin = new_csb;
+  }
+}
+
 Real fragment_term_prob_one(const FragmentSplit& split, ThreadPool* pool) {
   check_split_limits(split);
   const std::size_t n_frags = split.fragments.size();
@@ -567,7 +611,7 @@ Real fragment_term_prob_one(const FragmentSplit& split, ThreadPool* pool) {
   for (std::size_t f = 0; f < n_frags; ++f) {
     tables[f] = std::move(ev[f].tab);
   }
-  return recombine(split, tables);
+  return recombine(split, tables, pool);
 }
 
 Real fragment_term_prob_one_baseline(const FragmentSplit& split) {
@@ -593,7 +637,7 @@ Real fragment_term_prob_one_baseline(const FragmentSplit& split) {
       fold_branches(run_branches(tf.circuit, initial, init_cbits), wr_idx, est_idx, tab[ra]);
     }
   }
-  return recombine(split, tables);
+  return recombine(split, tables, nullptr);
 }
 
 Real fragment_term_prob_one(const QpdTerm& term) {

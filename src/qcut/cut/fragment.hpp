@@ -48,6 +48,7 @@
 
 #include "qcut/common/threadpool.hpp"
 #include "qcut/qpd/qpd.hpp"
+#include "qcut/sim/fusion.hpp"
 
 namespace qcut {
 
@@ -143,6 +144,15 @@ class SplitSkeletonCache {
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const SplitSkeleton>> by_key_;
 };
+
+/// Rewrites every fragment circuit of `split` through the gate-fusion passes
+/// (sim/fusion.hpp), in place. The unconditioned prefix [0, cond_suffix_begin)
+/// and the conditional suffix are fused *separately* — no op may drift across
+/// the prefix-caching boundary — and cond_suffix_begin is remapped onto the
+/// fused op list. Exact up to float reassociation in the composed 2x2
+/// products; fragment_term_prob_one on a fused split matches the unfused
+/// value to ~1e-12.
+void fuse_split_circuits(FragmentSplit& split, FusionStats* stats = nullptr);
 
 /// Exact P(outcome = −1) of the term — the parity-one probability of its
 /// estimate cbits — computed fragment-locally from `split`. Identical (up to

@@ -56,13 +56,16 @@ FragmentBackend::FragmentBackend(const Qpd& qpd, int max_fragment_width, ThreadP
   const int cap = max_fragment_width_;
   const auto skeletons = skeletons_;
   cache_ = std::make_shared<BranchCache>(qpd, [cap, pool, skeletons](const QpdTerm& term) {
-    const FragmentSplit split = split_term(term, *skeletons->get(term.circuit));
+    FragmentSplit split = split_term(term, *skeletons->get(term.circuit));
     QCUT_CHECK(split.max_width <= cap,
                "FragmentBackend: a term fragment exceeds the width cap (" +
                    std::to_string(split.max_width) + " > " + std::to_string(cap) +
                    " qubits) — add cuts, and note that entangled-resource cuts "
                    "(nme/distill) merge both sides into one fragment: wide runs "
                    "need entanglement-free plans (pair_budget = 0)");
+    // Gate fusion before evaluation: fewer full-state sweeps per branch. The
+    // prefix/suffix boundary is preserved, so prefix caching is unaffected.
+    fuse_split_circuits(split);
     return fragment_term_prob_one(split, pool);
   });
 }

@@ -1,12 +1,16 @@
 #include "qcut/exec/branch_cache.hpp"
 
 #include "qcut/sim/executor.hpp"
+#include "qcut/sim/fusion.hpp"
 
 namespace qcut {
 
 Real term_prob_one(const QpdTerm& term) {
+  // Fuse before enumerating: branch enumeration pays every op once per live
+  // branch, so composing 1q runs and diagonal runs up front multiplies out.
+  const Circuit fused = fuse_circuit(term.circuit);
   Real acc = 0.0;
-  for (const auto& b : run_branches(term.circuit)) {
+  for (const auto& b : run_branches(fused)) {
     int parity = 0;
     for (int cb : term.estimate_cbits) {
       parity ^= b.cbits[static_cast<std::size_t>(cb)];

@@ -6,6 +6,7 @@
 
 #include "qcut/core/overhead.hpp"
 #include "qcut/linalg/bell.hpp"
+#include "qcut/sim/statevector.hpp"
 
 namespace qcut {
 
@@ -48,6 +49,11 @@ std::string CutPlan::to_string() const {
 
 CutPlanner::CutPlanner(const Circuit& circ, PlannerConfig cfg)
     : circ_(circ), graph_(circ_), cfg_(cfg) {
+  if (cfg_.max_fragment_width == 0) {
+    // Defaulted cap = the simulation engine's ceiling. A plan the planner
+    // accepts must be a plan the fragment evaluator can actually run.
+    cfg_.max_fragment_width = Statevector::kMaxQubits;
+  }
   QCUT_CHECK(cfg_.max_fragment_width >= 1, "CutPlanner: max_fragment_width must be >= 1");
   QCUT_CHECK(cfg_.resource_overlap >= 0.5 - kTightTol && cfg_.resource_overlap <= 1.0 + kTightTol,
              "CutPlanner: resource_overlap must lie in [1/2, 1]");

@@ -26,6 +26,9 @@ namespace qcut {
 
 struct PlannerConfig {
   /// Hard cap on the width (physical qubit count) of every fragment.
+  /// 0 (the default) resolves to the simulation engine's ceiling
+  /// (Statevector::kMaxQubits): a plan the planner accepts must be a plan
+  /// the fragment evaluator can run.
   int max_fragment_width = 0;
   /// Maximal overlap f = ⟨Φ|ρ|Φ⟩ of the NME resource pairs the hardware can
   /// share, in [1/2, 1]. f = 1/2 means no useful entanglement.

@@ -1,0 +1,192 @@
+#include "qcut/sim/fusion.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace qcut {
+
+namespace {
+
+/// Exact identity test (same spirit as classify_gate's exact entry tests):
+/// only a matrix that is bit-for-bit the identity may be elided — a
+/// global-phase identity would shift amplitudes.
+bool is_exact_identity(const Matrix& u) {
+  for (Index r = 0; r < u.rows(); ++r) {
+    for (Index c = 0; c < u.cols(); ++c) {
+      if (u(r, c) != (r == c ? Cplx{1.0, 0.0} : Cplx{0.0, 0.0})) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string fused_label(const std::string& later, const std::string& earlier) {
+  std::string l = later + "*" + earlier;
+  if (l.size() > 24) {
+    l.resize(21);
+    l += "...";
+  }
+  return l;
+}
+
+/// Pass 1: single-qubit run composition. Emits into `out` (op list with the
+/// original ops' classifications preserved; composed gates are re-classified
+/// by Circuit::gate when pass 2 rebuilds the circuit).
+class OneQubitFuser {
+ public:
+  OneQubitFuser(int n_qubits, FusionStats& stats)
+      : pending_(static_cast<std::size_t>(n_qubits)), stats_(stats) {}
+
+  void feed(const Operation& op, std::vector<Operation>& out) {
+    if (op.kind == OpKind::kUnitary && op.qubits.size() == 1) {
+      Pending& p = pending_[static_cast<std::size_t>(op.qubits[0])];
+      if (p.active) {
+        p.u = op.matrix * p.u;  // op is applied after the pending run
+        p.label = fused_label(op.label, p.label);
+        ++stats_.fused_1q;
+      } else {
+        p.active = true;
+        p.u = op.matrix;
+        p.label = op.label;
+      }
+      return;
+    }
+    if (op.kind == OpKind::kUnitary) {
+      // Multi-qubit unitary: flush only the wires it touches; pending gates
+      // on other wires commute with it exactly and may keep accumulating.
+      for (const int q : op.qubits) {
+        flush_wire(q, out);
+      }
+    } else {
+      // Branch points (measure/reset) and classically coupled ops
+      // (conditional, initialize) flush everything: unitaries are cheapest
+      // applied before the state branches, and the trailing-measure run must
+      // stay trailing.
+      flush_all(out);
+    }
+    out.push_back(op);
+  }
+
+  void flush_all(std::vector<Operation>& out) {
+    for (std::size_t q = 0; q < pending_.size(); ++q) {
+      flush_wire(static_cast<int>(q), out);
+    }
+  }
+
+ private:
+  struct Pending {
+    bool active = false;
+    Matrix u;
+    std::string label;
+  };
+
+  void flush_wire(int q, std::vector<Operation>& out) {
+    Pending& p = pending_[static_cast<std::size_t>(q)];
+    if (!p.active) {
+      return;
+    }
+    p.active = false;
+    if (is_exact_identity(p.u)) {
+      ++stats_.dropped_identity;
+      return;
+    }
+    Operation op;
+    op.kind = OpKind::kUnitary;
+    op.qubits = {q};
+    op.matrix = std::move(p.u);
+    op.label = std::move(p.label);
+    op.gclass = classify_gate(op.matrix);
+    out.push_back(std::move(op));
+  }
+
+  std::vector<Pending> pending_;
+  FusionStats& stats_;
+};
+
+bool is_unconditioned_diagonal(const Operation& op) {
+  return op.kind == OpKind::kUnitary && op.gclass.structure == GateStructure::kDiagonal;
+}
+
+/// Pass 2: merge each maximal run of consecutive unconditioned diagonal
+/// unitaries, grouping by identical qubit list (diagonal gates commute with
+/// one another regardless of wires, so reordering within the run is exact).
+/// Merged groups re-enter through Circuit::gate and are re-classified —
+/// cu1·cu1 stays a sparse phase, rz·rz† collapses to the identity and is
+/// dropped. Everything else replays via push_op, keeping its classification.
+void emit_diagonal_merged(const std::vector<Operation>& ops, Circuit& out, FusionStats& stats) {
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    if (!is_unconditioned_diagonal(ops[i])) {
+      out.push_op(ops[i]);
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < ops.size() && is_unconditioned_diagonal(ops[j])) {
+      ++j;
+    }
+    // Group [i, j) by qubit list, first-occurrence order.
+    std::vector<char> used(j - i, 0);
+    for (std::size_t a = i; a < j; ++a) {
+      if (used[a - i]) {
+        continue;
+      }
+      Vector diag = ops[a].gclass.diag;
+      std::string label = ops[a].label;
+      std::size_t merged = 0;
+      for (std::size_t b = a + 1; b < j; ++b) {
+        if (!used[b - i] && ops[b].qubits == ops[a].qubits) {
+          used[b - i] = 1;
+          ++merged;
+          const Vector& d = ops[b].gclass.diag;
+          for (std::size_t e = 0; e < diag.size(); ++e) {
+            diag[e] *= d[e];
+          }
+          label = fused_label(ops[b].label, label);
+        }
+      }
+      if (merged == 0) {
+        out.push_op(ops[a]);
+        continue;
+      }
+      stats.merged_diagonal += merged;
+      if (std::all_of(diag.begin(), diag.end(),
+                      [](const Cplx& d) { return d == Cplx{1.0, 0.0}; })) {
+        ++stats.dropped_identity;
+        continue;
+      }
+      out.gate(Matrix::diag(diag), ops[a].qubits, label);
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+Circuit fuse_range(const Circuit& c, std::size_t begin, std::size_t end, FusionStats* stats) {
+  QCUT_CHECK(begin <= end && end <= c.size(), "fuse_range: op range out of bounds");
+  FusionStats local;
+  FusionStats& st = stats != nullptr ? *stats : local;
+  st.ops_before += end - begin;
+
+  std::vector<Operation> pass1;
+  pass1.reserve(end - begin);
+  OneQubitFuser fuser(c.n_qubits(), st);
+  for (std::size_t t = begin; t < end; ++t) {
+    fuser.feed(c.ops()[t], pass1);
+  }
+  fuser.flush_all(pass1);
+
+  Circuit out(c.n_qubits(), c.n_cbits());
+  emit_diagonal_merged(pass1, out, st);
+  st.ops_after += out.size();
+  return out;
+}
+
+Circuit fuse_circuit(const Circuit& c, FusionStats* stats) {
+  return fuse_range(c, 0, c.size(), stats);
+}
+
+}  // namespace qcut

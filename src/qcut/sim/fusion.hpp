@@ -1,0 +1,65 @@
+// Gate fusion over the Circuit IR.
+//
+// Two rewrite passes that reduce the number of full-state sweeps a circuit
+// costs, without changing its semantics:
+//
+//  1. Single-qubit run composition: maximal runs of 1q unitaries on the same
+//     wire compose into one 2x2 product (applied-last times applied-first).
+//     A pending 1q gate may drift *later* in the op list — past multi-qubit
+//     unitaries on other wires, with which it commutes exactly — but never
+//     earlier. Measure / reset / conditional / initialize ops flush every
+//     pending gate first: they are branch points, and applying unitaries
+//     before the branch point both preserves the trailing-measure fold and
+//     avoids re-applying them per branch.
+//  2. Diagonal-run merge: within a consecutive run of unconditioned diagonal
+//     unitaries (all of which commute, regardless of wires), the ops sharing
+//     one qubit list merge into a single diagonal sweep (elementwise product
+//     of their diagonals), emitted in first-occurrence order.
+//
+// Fused ops re-enter the IR through Circuit::gate, so they are re-classified
+// (GateClass) and the statevector engine dispatches its specialized kernels
+// on the *fused* structure — e.g. rz·rz stays a diagonal sweep, x·x drops
+// out entirely. Only gates that are exactly the identity are dropped; a
+// global-phase identity is kept (amplitude-level equivalence is the
+// contract, not just probability-level).
+//
+// Equivalence: fused and unfused circuits agree on all branch probabilities,
+// classical bits, and amplitudes to ~1e-12 (matrix products round at the
+// usual float level). The fusion-equivalence property test pins this.
+#pragma once
+
+#include <cstddef>
+
+#include "qcut/sim/circuit.hpp"
+
+namespace qcut {
+
+struct FusionStats {
+  std::size_t ops_before = 0;        ///< ops seen across fused ranges
+  std::size_t ops_after = 0;         ///< ops emitted
+  std::size_t fused_1q = 0;          ///< 1q unitaries absorbed into a run product
+  std::size_t merged_diagonal = 0;   ///< diagonal ops absorbed into a merged sweep
+  std::size_t dropped_identity = 0;  ///< exact-identity ops elided
+
+  FusionStats& operator+=(const FusionStats& other) {
+    ops_before += other.ops_before;
+    ops_after += other.ops_after;
+    fused_1q += other.fused_1q;
+    merged_diagonal += other.merged_diagonal;
+    dropped_identity += other.dropped_identity;
+    return *this;
+  }
+};
+
+/// Fuses the op range [begin, end) of `c` into a fresh circuit over the same
+/// registers. Exposed (rather than whole-circuit only) for callers that must
+/// respect an internal boundary — the fragment evaluator's unconditioned
+/// prefix / conditional suffix split fuses each side separately so no op
+/// crosses the prefix-caching boundary.
+Circuit fuse_range(const Circuit& c, std::size_t begin, std::size_t end,
+                   FusionStats* stats = nullptr);
+
+/// Fuses the whole circuit.
+Circuit fuse_circuit(const Circuit& c, FusionStats* stats = nullptr);
+
+}  // namespace qcut

@@ -1,0 +1,157 @@
+// AVX2+FMA implementation of the run kernels. This translation unit is the
+// only one compiled with -mavx2 -mfma (see CMakeLists.txt); the guard below
+// keeps the build working when the toolchain targets a non-x86 architecture
+// or the flags are unavailable — the accessor then reports the tier absent.
+#include "qcut/sim/simd_kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace qcut {
+
+namespace {
+
+// Layout: one __m256d holds two complex doubles [re0, im0, re1, im1].
+//
+// Multiplying a vector of complex values x by a complex constant c = cr + i*ci
+// (cr/ci pre-broadcast):
+//   swap  = [im0, re0, im1, re1]
+//   cmul  = fmaddsub(cr, x, ci * swap)
+//         = [cr*re0 - ci*im0, cr*im0 + ci*re0, ...]   (exactly c * x)
+inline __m256d cmul(__m256d x, __m256d cr, __m256d ci) {
+  return _mm256_fmaddsub_pd(cr, x, _mm256_mul_pd(ci, _mm256_permute_pd(x, 0x5)));
+}
+
+struct BroadcastCplx {
+  __m256d re;
+  __m256d im;
+};
+
+inline BroadcastCplx bc(Cplx c) {
+  return {_mm256_set1_pd(c.real()), _mm256_set1_pd(c.imag())};
+}
+
+inline double* dp(Cplx* a) { return reinterpret_cast<double*>(a); }
+inline const double* dp(const Cplx* a) { return reinterpret_cast<const double*>(a); }
+
+void apply1_run_avx2(Cplx* a0, Cplx* a1, Index count, const Cplx* m) {
+  const BroadcastCplx m00 = bc(m[0]), m01 = bc(m[1]), m10 = bc(m[2]), m11 = bc(m[3]);
+  Index i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m256d x0 = _mm256_loadu_pd(dp(a0 + i));
+    const __m256d x1 = _mm256_loadu_pd(dp(a1 + i));
+    const __m256d y0 = _mm256_add_pd(cmul(x0, m00.re, m00.im), cmul(x1, m01.re, m01.im));
+    const __m256d y1 = _mm256_add_pd(cmul(x0, m10.re, m10.im), cmul(x1, m11.re, m11.im));
+    _mm256_storeu_pd(dp(a0 + i), y0);
+    _mm256_storeu_pd(dp(a1 + i), y1);
+  }
+  for (; i < count; ++i) {
+    const Cplx x0 = a0[i];
+    const Cplx x1 = a1[i];
+    a0[i] = m[0] * x0 + m[1] * x1;
+    a1[i] = m[2] * x0 + m[3] * x1;
+  }
+}
+
+void apply1_pairs_avx2(Cplx* a, Index npairs, const Cplx* m) {
+  // One __m256d holds exactly one (a0, a1) pair: y = [m00 a0 + m01 a1,
+  // m10 a0 + m11 a1] needs per-lane constants instead of broadcasts.
+  const __m256d c0r = _mm256_setr_pd(m[0].real(), m[0].real(), m[2].real(), m[2].real());
+  const __m256d c0i = _mm256_setr_pd(m[0].imag(), m[0].imag(), m[2].imag(), m[2].imag());
+  const __m256d c1r = _mm256_setr_pd(m[1].real(), m[1].real(), m[3].real(), m[3].real());
+  const __m256d c1i = _mm256_setr_pd(m[1].imag(), m[1].imag(), m[3].imag(), m[3].imag());
+  for (Index p = 0; p < npairs; ++p) {
+    const __m256d x = _mm256_loadu_pd(dp(a + 2 * p));  // [re0, im0, re1, im1]
+    const __m256d x0 = _mm256_permute2f128_pd(x, x, 0x00);  // [a0, a0]
+    const __m256d x1 = _mm256_permute2f128_pd(x, x, 0x11);  // [a1, a1]
+    const __m256d y = _mm256_add_pd(cmul(x0, c0r, c0i), cmul(x1, c1r, c1i));
+    _mm256_storeu_pd(dp(a + 2 * p), y);
+  }
+}
+
+void apply2_run_avx2(Cplx* p00, Cplx* p01, Cplx* p10, Cplx* p11, Index count, const Cplx* m) {
+  BroadcastCplx mm[16];
+  for (int e = 0; e < 16; ++e) {
+    mm[e] = bc(m[e]);
+  }
+  Index i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m256d x0 = _mm256_loadu_pd(dp(p00 + i));
+    const __m256d x1 = _mm256_loadu_pd(dp(p01 + i));
+    const __m256d x2 = _mm256_loadu_pd(dp(p10 + i));
+    const __m256d x3 = _mm256_loadu_pd(dp(p11 + i));
+    for (int r = 0; r < 4; ++r) {
+      const __m256d y = _mm256_add_pd(
+          _mm256_add_pd(cmul(x0, mm[4 * r].re, mm[4 * r].im),
+                        cmul(x1, mm[4 * r + 1].re, mm[4 * r + 1].im)),
+          _mm256_add_pd(cmul(x2, mm[4 * r + 2].re, mm[4 * r + 2].im),
+                        cmul(x3, mm[4 * r + 3].re, mm[4 * r + 3].im)));
+      Cplx* rows[4] = {p00, p01, p10, p11};
+      _mm256_storeu_pd(dp(rows[r] + i), y);
+    }
+  }
+  for (; i < count; ++i) {
+    const Cplx x0 = p00[i], x1 = p01[i], x2 = p10[i], x3 = p11[i];
+    p00[i] = m[0] * x0 + m[1] * x1 + m[2] * x2 + m[3] * x3;
+    p01[i] = m[4] * x0 + m[5] * x1 + m[6] * x2 + m[7] * x3;
+    p10[i] = m[8] * x0 + m[9] * x1 + m[10] * x2 + m[11] * x3;
+    p11[i] = m[12] * x0 + m[13] * x1 + m[14] * x2 + m[15] * x3;
+  }
+}
+
+void scale_run_avx2(Cplx* a, Index count, Cplx factor) {
+  const BroadcastCplx f = bc(factor);
+  Index i = 0;
+  for (; i + 2 <= count; i += 2) {
+    _mm256_storeu_pd(dp(a + i), cmul(_mm256_loadu_pd(dp(a + i)), f.re, f.im));
+  }
+  for (; i < count; ++i) {
+    a[i] *= factor;
+  }
+}
+
+void diag1_pairs_avx2(Cplx* a, Index npairs, Cplx d0, Cplx d1) {
+  const __m256d dr = _mm256_setr_pd(d0.real(), d0.real(), d1.real(), d1.real());
+  const __m256d di = _mm256_setr_pd(d0.imag(), d0.imag(), d1.imag(), d1.imag());
+  for (Index p = 0; p < npairs; ++p) {
+    _mm256_storeu_pd(dp(a + 2 * p), cmul(_mm256_loadu_pd(dp(a + 2 * p)), dr, di));
+  }
+}
+
+double norm2_run_avx2(const Cplx* a, Index count) {
+  __m256d acc = _mm256_setzero_pd();
+  Index i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m256d x = _mm256_loadu_pd(dp(a + i));
+    acc = _mm256_fmadd_pd(x, x, acc);
+  }
+  // Fixed lane-combine order: (lane0 + lane2) + (lane1 + lane3).
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  double partial = _mm_cvtsd_f64(_mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2)));
+  for (; i < count; ++i) {
+    partial += norm2(a[i]);
+  }
+  return partial;
+}
+
+constexpr SimdKernels kAvx2Kernels = {
+    &apply1_run_avx2, &apply1_pairs_avx2, &apply2_run_avx2,
+    &scale_run_avx2,  &diag1_pairs_avx2,  &norm2_run_avx2,
+};
+
+}  // namespace
+
+const SimdKernels* simd_kernels_avx2() { return &kAvx2Kernels; }
+
+}  // namespace qcut
+
+#else  // toolchain cannot target AVX2: tier absent
+
+namespace qcut {
+const SimdKernels* simd_kernels_avx2() { return nullptr; }
+}  // namespace qcut
+
+#endif

@@ -1,0 +1,172 @@
+// AVX-512 implementation of the run kernels (F+DQ+VL), compiled only for
+// this translation unit. Same layout and algebra as the AVX2 tier at twice
+// the width: one __m512d holds four complex doubles.
+#include "qcut/sim/simd_kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+namespace qcut {
+
+namespace {
+
+// c * x for a broadcast complex constant: swap re/im within each 128-bit
+// pair (imm 0x55 selects [1, 0] in every lane) and fmaddsub, exactly the
+// AVX2 scheme at width 4.
+inline __m512d cmul(__m512d x, __m512d cr, __m512d ci) {
+  return _mm512_fmaddsub_pd(cr, x, _mm512_mul_pd(ci, _mm512_permute_pd(x, 0x55)));
+}
+
+struct BroadcastCplx {
+  __m512d re;
+  __m512d im;
+};
+
+inline BroadcastCplx bc(Cplx c) {
+  return {_mm512_set1_pd(c.real()), _mm512_set1_pd(c.imag())};
+}
+
+inline double* dp(Cplx* a) { return reinterpret_cast<double*>(a); }
+inline const double* dp(const Cplx* a) { return reinterpret_cast<const double*>(a); }
+
+void apply1_run_avx512(Cplx* a0, Cplx* a1, Index count, const Cplx* m) {
+  const BroadcastCplx m00 = bc(m[0]), m01 = bc(m[1]), m10 = bc(m[2]), m11 = bc(m[3]);
+  Index i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m512d x0 = _mm512_loadu_pd(dp(a0 + i));
+    const __m512d x1 = _mm512_loadu_pd(dp(a1 + i));
+    const __m512d y0 = _mm512_add_pd(cmul(x0, m00.re, m00.im), cmul(x1, m01.re, m01.im));
+    const __m512d y1 = _mm512_add_pd(cmul(x0, m10.re, m10.im), cmul(x1, m11.re, m11.im));
+    _mm512_storeu_pd(dp(a0 + i), y0);
+    _mm512_storeu_pd(dp(a1 + i), y1);
+  }
+  for (; i < count; ++i) {
+    const Cplx x0 = a0[i];
+    const Cplx x1 = a1[i];
+    a0[i] = m[0] * x0 + m[1] * x1;
+    a1[i] = m[2] * x0 + m[3] * x1;
+  }
+}
+
+void apply1_pairs_avx512(Cplx* a, Index npairs, const Cplx* m) {
+  // One vector holds two (a0, a1) pairs: duplicate the a0 / a1 elements
+  // within each 256-bit half (permutex selectors [0,1,0,1] and [2,3,2,3])
+  // and use per-lane constants [m00, m10 | m00, m10] / [m01, m11 | m01, m11].
+  const __m512d c0r = _mm512_setr_pd(m[0].real(), m[0].real(), m[2].real(), m[2].real(),
+                                     m[0].real(), m[0].real(), m[2].real(), m[2].real());
+  const __m512d c0i = _mm512_setr_pd(m[0].imag(), m[0].imag(), m[2].imag(), m[2].imag(),
+                                     m[0].imag(), m[0].imag(), m[2].imag(), m[2].imag());
+  const __m512d c1r = _mm512_setr_pd(m[1].real(), m[1].real(), m[3].real(), m[3].real(),
+                                     m[1].real(), m[1].real(), m[3].real(), m[3].real());
+  const __m512d c1i = _mm512_setr_pd(m[1].imag(), m[1].imag(), m[3].imag(), m[3].imag(),
+                                     m[1].imag(), m[1].imag(), m[3].imag(), m[3].imag());
+  Index p = 0;
+  for (; p + 2 <= npairs; p += 2) {
+    const __m512d x = _mm512_loadu_pd(dp(a + 2 * p));      // [a0, a1 | a0', a1']
+    const __m512d x0 = _mm512_permutex_pd(x, 0x44);        // [a0, a0 | a0', a0']
+    const __m512d x1 = _mm512_permutex_pd(x, 0xEE);        // [a1, a1 | a1', a1']
+    const __m512d y = _mm512_add_pd(cmul(x0, c0r, c0i), cmul(x1, c1r, c1i));
+    _mm512_storeu_pd(dp(a + 2 * p), y);
+  }
+  for (; p < npairs; ++p) {
+    const Cplx x0 = a[2 * p];
+    const Cplx x1 = a[2 * p + 1];
+    a[2 * p] = m[0] * x0 + m[1] * x1;
+    a[2 * p + 1] = m[2] * x0 + m[3] * x1;
+  }
+}
+
+void apply2_run_avx512(Cplx* p00, Cplx* p01, Cplx* p10, Cplx* p11, Index count, const Cplx* m) {
+  BroadcastCplx mm[16];
+  for (int e = 0; e < 16; ++e) {
+    mm[e] = bc(m[e]);
+  }
+  Index i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m512d x0 = _mm512_loadu_pd(dp(p00 + i));
+    const __m512d x1 = _mm512_loadu_pd(dp(p01 + i));
+    const __m512d x2 = _mm512_loadu_pd(dp(p10 + i));
+    const __m512d x3 = _mm512_loadu_pd(dp(p11 + i));
+    Cplx* rows[4] = {p00, p01, p10, p11};
+    for (int r = 0; r < 4; ++r) {
+      const __m512d y = _mm512_add_pd(
+          _mm512_add_pd(cmul(x0, mm[4 * r].re, mm[4 * r].im),
+                        cmul(x1, mm[4 * r + 1].re, mm[4 * r + 1].im)),
+          _mm512_add_pd(cmul(x2, mm[4 * r + 2].re, mm[4 * r + 2].im),
+                        cmul(x3, mm[4 * r + 3].re, mm[4 * r + 3].im)));
+      _mm512_storeu_pd(dp(rows[r] + i), y);
+    }
+  }
+  for (; i < count; ++i) {
+    const Cplx x0 = p00[i], x1 = p01[i], x2 = p10[i], x3 = p11[i];
+    p00[i] = m[0] * x0 + m[1] * x1 + m[2] * x2 + m[3] * x3;
+    p01[i] = m[4] * x0 + m[5] * x1 + m[6] * x2 + m[7] * x3;
+    p10[i] = m[8] * x0 + m[9] * x1 + m[10] * x2 + m[11] * x3;
+    p11[i] = m[12] * x0 + m[13] * x1 + m[14] * x2 + m[15] * x3;
+  }
+}
+
+void scale_run_avx512(Cplx* a, Index count, Cplx factor) {
+  const BroadcastCplx f = bc(factor);
+  Index i = 0;
+  for (; i + 4 <= count; i += 4) {
+    _mm512_storeu_pd(dp(a + i), cmul(_mm512_loadu_pd(dp(a + i)), f.re, f.im));
+  }
+  for (; i < count; ++i) {
+    a[i] *= factor;
+  }
+}
+
+void diag1_pairs_avx512(Cplx* a, Index npairs, Cplx d0, Cplx d1) {
+  const __m512d dr = _mm512_setr_pd(d0.real(), d0.real(), d1.real(), d1.real(),
+                                    d0.real(), d0.real(), d1.real(), d1.real());
+  const __m512d di = _mm512_setr_pd(d0.imag(), d0.imag(), d1.imag(), d1.imag(),
+                                    d0.imag(), d0.imag(), d1.imag(), d1.imag());
+  Index p = 0;
+  for (; p + 2 <= npairs; p += 2) {
+    _mm512_storeu_pd(dp(a + 2 * p), cmul(_mm512_loadu_pd(dp(a + 2 * p)), dr, di));
+  }
+  for (; p < npairs; ++p) {
+    a[2 * p] *= d0;
+    a[2 * p + 1] *= d1;
+  }
+}
+
+double norm2_run_avx512(const Cplx* a, Index count) {
+  __m512d acc = _mm512_setzero_pd();
+  Index i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m512d x = _mm512_loadu_pd(dp(a + i));
+    acc = _mm512_fmadd_pd(x, x, acc);
+  }
+  // Fixed lane-combine order: halves, then the AVX2 scheme on the 256 sum.
+  const __m256d half = _mm256_add_pd(_mm512_castpd512_pd256(acc),
+                                     _mm512_extractf64x4_pd(acc, 1));
+  const __m128d sum2 = _mm_add_pd(_mm256_castpd256_pd128(half),
+                                  _mm256_extractf128_pd(half, 1));
+  double partial = _mm_cvtsd_f64(_mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2)));
+  for (; i < count; ++i) {
+    partial += norm2(a[i]);
+  }
+  return partial;
+}
+
+constexpr SimdKernels kAvx512Kernels = {
+    &apply1_run_avx512, &apply1_pairs_avx512, &apply2_run_avx512,
+    &scale_run_avx512,  &diag1_pairs_avx512,  &norm2_run_avx512,
+};
+
+}  // namespace
+
+const SimdKernels* simd_kernels_avx512() { return &kAvx512Kernels; }
+
+}  // namespace qcut
+
+#else  // toolchain cannot target AVX-512: tier absent
+
+namespace qcut {
+const SimdKernels* simd_kernels_avx512() { return nullptr; }
+}  // namespace qcut
+
+#endif

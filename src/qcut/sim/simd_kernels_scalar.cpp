@@ -1,0 +1,71 @@
+// Portable scalar implementation of the run kernels — the correctness
+// yardstick every vector tier is tested against, and the fallback on
+// machines without AVX2. Compiled with the project's baseline flags only
+// (no -m options), so it runs anywhere.
+#include "qcut/sim/simd_kernels.hpp"
+
+namespace qcut {
+
+namespace {
+
+void apply1_run_scalar(Cplx* a0, Cplx* a1, Index count, const Cplx* m) {
+  const Cplx m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+  for (Index i = 0; i < count; ++i) {
+    const Cplx x0 = a0[i];
+    const Cplx x1 = a1[i];
+    a0[i] = m00 * x0 + m01 * x1;
+    a1[i] = m10 * x0 + m11 * x1;
+  }
+}
+
+void apply1_pairs_scalar(Cplx* a, Index npairs, const Cplx* m) {
+  const Cplx m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+  for (Index p = 0; p < npairs; ++p) {
+    const Cplx x0 = a[2 * p];
+    const Cplx x1 = a[2 * p + 1];
+    a[2 * p] = m00 * x0 + m01 * x1;
+    a[2 * p + 1] = m10 * x0 + m11 * x1;
+  }
+}
+
+void apply2_run_scalar(Cplx* p00, Cplx* p01, Cplx* p10, Cplx* p11, Index count, const Cplx* m) {
+  for (Index i = 0; i < count; ++i) {
+    const Cplx x0 = p00[i], x1 = p01[i], x2 = p10[i], x3 = p11[i];
+    p00[i] = m[0] * x0 + m[1] * x1 + m[2] * x2 + m[3] * x3;
+    p01[i] = m[4] * x0 + m[5] * x1 + m[6] * x2 + m[7] * x3;
+    p10[i] = m[8] * x0 + m[9] * x1 + m[10] * x2 + m[11] * x3;
+    p11[i] = m[12] * x0 + m[13] * x1 + m[14] * x2 + m[15] * x3;
+  }
+}
+
+void scale_run_scalar(Cplx* a, Index count, Cplx factor) {
+  for (Index i = 0; i < count; ++i) {
+    a[i] *= factor;
+  }
+}
+
+void diag1_pairs_scalar(Cplx* a, Index npairs, Cplx d0, Cplx d1) {
+  for (Index p = 0; p < npairs; ++p) {
+    a[2 * p] *= d0;
+    a[2 * p + 1] *= d1;
+  }
+}
+
+double norm2_run_scalar(const Cplx* a, Index count) {
+  double acc = 0.0;
+  for (Index i = 0; i < count; ++i) {
+    acc += norm2(a[i]);
+  }
+  return acc;
+}
+
+constexpr SimdKernels kScalarKernels = {
+    &apply1_run_scalar, &apply1_pairs_scalar, &apply2_run_scalar,
+    &scale_run_scalar,  &diag1_pairs_scalar,  &norm2_run_scalar,
+};
+
+}  // namespace
+
+const SimdKernels* simd_kernels_scalar() { return &kScalarKernels; }
+
+}  // namespace qcut

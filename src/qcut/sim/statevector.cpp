@@ -1,9 +1,12 @@
 #include "qcut/sim/statevector.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "qcut/common/threadpool.hpp"
 #include "qcut/linalg/pauli.hpp"
+#include "qcut/sim/simd_dispatch.hpp"
 
 namespace qcut {
 
@@ -28,41 +31,117 @@ inline Index insert_zero(Index g, Index stride) {
   return ((g & ~(stride - 1)) << 1) | (g & (stride - 1));
 }
 
-/// Calls f(base) for every basis index with zero bits at all of `sorted`
-/// (ascending strides). The k = 1 and k = 2 shapes unroll into contiguous
-/// inner runs, which is what the dense and specialized kernels want.
-template <typename F>
-inline void for_each_group_base(Index dim, const Index* sorted, int k, F&& f) {
-  if (k == 1) {
-    const Index s = sorted[0];
-    for (Index b = 0; b < dim; b += s << 1) {
-      for (Index i = b; i < b + s; ++i) {
-        f(i);
-      }
-    }
-  } else if (k == 2) {
-    const Index lo = sorted[0];
-    const Index hi = sorted[1];
-    for (Index b2 = 0; b2 < dim; b2 += hi << 1) {
-      for (Index b1 = b2; b1 < b2 + hi; b1 += lo << 1) {
-        for (Index i = b1; i < b1 + lo; ++i) {
-          f(i);
-        }
-      }
-    }
+// ---- threading policy -------------------------------------------------------
+//
+// Sweeps are chunked in *group space* with a fixed chunk size. The chunk
+// boundaries depend only on the sweep's group count — never on the pool, its
+// size, or whether the chunks actually run concurrently — and reductions sum
+// per-chunk partials in chunk index order, so every sweep is bit-identical
+// for any pool configuration. The pool only decides wall-clock, not values.
+
+std::atomic<ThreadPool*> g_parallel_pool{nullptr};
+std::atomic<int> g_parallel_min_qubits{22};
+
+constexpr Index kChunkGroups = Index{1} << 16;
+
+/// The pool to distribute chunks over, or nullptr for inline execution.
+/// Inline when: the state is below the parallel threshold (keeps the
+/// fragment hot path allocation-free), the pool has a single worker, or the
+/// caller already runs on one of its workers (nested parallel_for would
+/// deadlock on the pool's own futures). The global pool is constructed
+/// lazily, and only once a >= threshold state is actually swept.
+ThreadPool* sweep_pool(int n_qubits) {
+  if (n_qubits < g_parallel_min_qubits.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  ThreadPool* pool = g_parallel_pool.load(std::memory_order_acquire);
+  if (pool == nullptr) {
+    pool = &global_pool();
+  }
+  if (pool->size() < 2 || pool->on_worker_thread()) {
+    return nullptr;
+  }
+  return pool;
+}
+
+/// Runs body(g0, g1) over the fixed chunks of [0, groups).
+template <typename Body>
+void sweep(Index groups, int n_qubits, const Body& body) {
+  if (groups <= kChunkGroups) {
+    body(Index{0}, groups);
+    return;
+  }
+  if (ThreadPool* pool = sweep_pool(n_qubits)) {
+    pool->parallel_for_chunked(
+        0, static_cast<std::size_t>(groups), static_cast<std::size_t>(kChunkGroups),
+        [&body](std::size_t lo, std::size_t hi) {
+          body(static_cast<Index>(lo), static_cast<Index>(hi));
+        });
+    return;
+  }
+  for (Index g = 0; g < groups; g += kChunkGroups) {
+    body(g, std::min(groups, g + kChunkGroups));
+  }
+}
+
+/// Reduction over the same fixed chunks: body(g0, g1) returns its chunk's
+/// partial sum; partials are combined in chunk index order regardless of
+/// which thread produced them.
+template <typename Body>
+Real sweep_reduce(Index groups, int n_qubits, const Body& body) {
+  if (groups <= kChunkGroups) {
+    return body(Index{0}, groups);
+  }
+  const Index n_chunks = (groups + kChunkGroups - 1) / kChunkGroups;
+  std::vector<Real> partial(static_cast<std::size_t>(n_chunks), 0.0);
+  const auto run_chunk = [&](std::size_t c) {
+    const Index g0 = static_cast<Index>(c) * kChunkGroups;
+    partial[c] = body(g0, std::min(groups, g0 + kChunkGroups));
+  };
+  if (ThreadPool* pool = sweep_pool(n_qubits)) {
+    pool->parallel_for(0, static_cast<std::size_t>(n_chunks), run_chunk);
   } else {
-    const Index groups = dim >> k;
-    for (Index g = 0; g < groups; ++g) {
-      Index idx = g;
-      for (int j = 0; j < k; ++j) {
-        idx = insert_zero(idx, sorted[j]);
-      }
-      f(idx);
+    for (std::size_t c = 0; c < static_cast<std::size_t>(n_chunks); ++c) {
+      run_chunk(c);
     }
+  }
+  Real acc = 0.0;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(n_chunks); ++c) {
+    acc += partial[c];
+  }
+  return acc;
+}
+
+/// Calls f(base, len) for the maximal contiguous index segments of the group
+/// id range [g0, g1): a group id expands through insert_zero over the sorted
+/// strides, and ids that agree above the lowest stride expand to consecutive
+/// indices — the contiguous runs the SIMD kernels consume.
+template <typename F>
+inline void for_runs(Index g0, Index g1, const Index* sorted, int k, F&& f) {
+  const Index lo = sorted[0];
+  Index g = g0;
+  while (g < g1) {
+    const Index len = std::min(lo - (g & (lo - 1)), g1 - g);
+    Index idx = g;
+    for (int j = 0; j < k; ++j) {
+      idx = insert_zero(idx, sorted[j]);
+    }
+    f(idx, len);
+    g += len;
   }
 }
 
 }  // namespace
+
+void Statevector::set_parallel_config(ThreadPool* pool, int min_parallel_qubits) {
+  QCUT_CHECK(min_parallel_qubits >= 1, "set_parallel_config: threshold must be >= 1");
+  g_parallel_pool.store(pool, std::memory_order_release);
+  g_parallel_min_qubits.store(min_parallel_qubits, std::memory_order_relaxed);
+}
+
+int Statevector::parallel_min_qubits() noexcept {
+  return g_parallel_min_qubits.load(std::memory_order_relaxed);
+}
 
 Statevector::Statevector(int n_qubits)
     : n_qubits_(n_qubits), amp_(checked_dim(n_qubits), Cplx{0.0, 0.0}) {
@@ -110,18 +189,22 @@ void Statevector::apply(const Matrix& u, const std::vector<int>& qubits, const G
   }
 
   const Index dim_ = dim();
+  const SimdKernels& kr = active_kernels();
+  Cplx* amp = amp_.data();
+
   if (k == 1) {
-    // Dense single-qubit kernel: contiguous runs of the zero-bit half, no
-    // masked-skip trips over the other half.
+    // Dense single-qubit kernel: contiguous zero-half / one-half runs, or the
+    // interleaved-pair kernel when the target is the least significant bit.
     const Index s = Index{1} << bitpos(qubits[0]);
-    const Cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-    for_each_group_base(dim_, &s, 1, [&](Index i0) {
-      const std::size_t j0 = static_cast<std::size_t>(i0);
-      const std::size_t j1 = static_cast<std::size_t>(i0 + s);
-      const Cplx a0 = amp_[j0];
-      const Cplx a1 = amp_[j1];
-      amp_[j0] = u00 * a0 + u01 * a1;
-      amp_[j1] = u10 * a0 + u11 * a1;
+    const Cplx m[4] = {u(0, 0), u(0, 1), u(1, 0), u(1, 1)};
+    sweep(dim_ >> 1, n_qubits_, [&](Index g0, Index g1) {
+      if (s == 1) {
+        kr.apply1_pairs(amp + 2 * g0, g1 - g0, m);
+        return;
+      }
+      for_runs(g0, g1, &s, 1, [&](Index base, Index len) {
+        kr.apply1_run(amp + base, amp + base + s, len, m);
+      });
     });
     return;
   }
@@ -132,59 +215,61 @@ void Statevector::apply(const Matrix& u, const std::vector<int>& qubits, const G
     const Index s0 = Index{1} << bitpos(qubits[0]);
     const Index s1 = Index{1} << bitpos(qubits[1]);
     const Index sorted[2] = {std::min(s0, s1), std::max(s0, s1)};
-    Cplx m[4][4];
+    Cplx m[16];
     for (Index r = 0; r < 4; ++r) {
       for (Index c = 0; c < 4; ++c) {
-        m[r][c] = u(r, c);
+        m[4 * r + c] = u(r, c);
       }
     }
-    for_each_group_base(dim_, sorted, 2, [&](Index i) {
-      const std::size_t i00 = static_cast<std::size_t>(i);
-      const std::size_t i01 = static_cast<std::size_t>(i + s1);
-      const std::size_t i10 = static_cast<std::size_t>(i + s0);
-      const std::size_t i11 = static_cast<std::size_t>(i + s0 + s1);
-      const Cplx a0 = amp_[i00], a1 = amp_[i01], a2 = amp_[i10], a3 = amp_[i11];
-      amp_[i00] = m[0][0] * a0 + m[0][1] * a1 + m[0][2] * a2 + m[0][3] * a3;
-      amp_[i01] = m[1][0] * a0 + m[1][1] * a1 + m[1][2] * a2 + m[1][3] * a3;
-      amp_[i10] = m[2][0] * a0 + m[2][1] * a1 + m[2][2] * a2 + m[2][3] * a3;
-      amp_[i11] = m[3][0] * a0 + m[3][1] * a1 + m[3][2] * a2 + m[3][3] * a3;
+    sweep(dim_ >> 2, n_qubits_, [&](Index g0, Index g1) {
+      for_runs(g0, g1, sorted, 2, [&](Index base, Index len) {
+        kr.apply2_run(amp + base, amp + base + s1, amp + base + s0, amp + base + s0 + s1, len,
+                      m);
+      });
     });
     return;
   }
 
   // General k-qubit path: gather/scatter over the 2^k amplitudes of each row
-  // group, enumerating the canonical representatives directly.
+  // group, enumerating the canonical representatives directly. Groups write
+  // disjoint slots, so the sweep chunks distribute safely.
   std::vector<Index> strides(static_cast<std::size_t>(k));
   for (int j = 0; j < k; ++j) {
     strides[static_cast<std::size_t>(j)] = Index{1} << bitpos(qubits[static_cast<std::size_t>(j)]);
   }
   std::vector<Index> sorted = strides;
   std::sort(sorted.begin(), sorted.end());
-  std::vector<Cplx> scratch(static_cast<std::size_t>(subdim));
-  for_each_group_base(dim_, sorted.data(), k, [&](Index base) {
-    // Gather.
-    for (Index sub = 0; sub < subdim; ++sub) {
-      Index idx = base;
+  sweep(dim_ >> k, n_qubits_, [&](Index g0, Index g1) {
+    std::vector<Cplx> scratch(static_cast<std::size_t>(subdim));
+    for (Index g = g0; g < g1; ++g) {
+      Index base = g;
       for (int j = 0; j < k; ++j) {
-        if ((sub >> (k - 1 - j)) & 1) {
-          idx |= strides[static_cast<std::size_t>(j)];
+        base = insert_zero(base, sorted[static_cast<std::size_t>(j)]);
+      }
+      // Gather.
+      for (Index sub = 0; sub < subdim; ++sub) {
+        Index idx = base;
+        for (int j = 0; j < k; ++j) {
+          if ((sub >> (k - 1 - j)) & 1) {
+            idx |= strides[static_cast<std::size_t>(j)];
+          }
         }
+        scratch[static_cast<std::size_t>(sub)] = amp[idx];
       }
-      scratch[static_cast<std::size_t>(sub)] = amp_[static_cast<std::size_t>(idx)];
-    }
-    // Multiply and scatter.
-    for (Index row = 0; row < subdim; ++row) {
-      Cplx acc{0.0, 0.0};
-      for (Index col = 0; col < subdim; ++col) {
-        acc += u(row, col) * scratch[static_cast<std::size_t>(col)];
-      }
-      Index idx = base;
-      for (int j = 0; j < k; ++j) {
-        if ((row >> (k - 1 - j)) & 1) {
-          idx |= strides[static_cast<std::size_t>(j)];
+      // Multiply and scatter.
+      for (Index row = 0; row < subdim; ++row) {
+        Cplx acc{0.0, 0.0};
+        for (Index col = 0; col < subdim; ++col) {
+          acc += u(row, col) * scratch[static_cast<std::size_t>(col)];
         }
+        Index idx = base;
+        for (int j = 0; j < k; ++j) {
+          if ((row >> (k - 1 - j)) & 1) {
+            idx |= strides[static_cast<std::size_t>(j)];
+          }
+        }
+        amp[idx] = acc;
       }
-      amp_[static_cast<std::size_t>(idx)] = acc;
     }
   });
 }
@@ -192,6 +277,8 @@ void Statevector::apply(const Matrix& u, const std::vector<int>& qubits, const G
 void Statevector::apply_diagonal(const GateClass& cls, const std::vector<int>& qubits) {
   const int k = static_cast<int>(qubits.size());
   const Index dim_ = dim();
+  const SimdKernels& kr = active_kernels();
+  Cplx* amp = amp_.data();
   std::vector<Index> strides(static_cast<std::size_t>(k));
   for (int j = 0; j < k; ++j) {
     strides[static_cast<std::size_t>(j)] = Index{1} << bitpos(qubits[static_cast<std::size_t>(j)]);
@@ -200,7 +287,7 @@ void Statevector::apply_diagonal(const GateClass& cls, const std::vector<int>& q
   if (cls.phase_index >= 0) {
     // Sparse phase: every diagonal entry but one is exactly 1 — only the
     // matching 2^{n-k} amplitude slice is touched (a quarter of the state for
-    // the cu1/cp gates that dominate QFT circuits).
+    // the cu1/cp gates that dominate QFT circuits), one phase sweep per run.
     const Cplx phase = cls.diag[static_cast<std::size_t>(cls.phase_index)];
     if (phase == Cplx{1.0, 0.0}) {
       return;  // identity
@@ -213,8 +300,10 @@ void Statevector::apply_diagonal(const GateClass& cls, const std::vector<int>& q
     }
     std::vector<Index> sorted = strides;
     std::sort(sorted.begin(), sorted.end());
-    for_each_group_base(dim_, sorted.data(), k, [&](Index base) {
-      amp_[static_cast<std::size_t>(base + offset)] *= phase;
+    sweep(dim_ >> k, n_qubits_, [&](Index g0, Index g1) {
+      for_runs(g0, g1, sorted.data(), k, [&](Index base, Index len) {
+        kr.scale_run(amp + base + offset, len, phase);
+      });
     });
     return;
   }
@@ -223,9 +312,15 @@ void Statevector::apply_diagonal(const GateClass& cls, const std::vector<int>& q
   if (k == 1) {
     const Index s = strides[0];
     const Cplx d0 = cls.diag[0], d1 = cls.diag[1];
-    for_each_group_base(dim_, &s, 1, [&](Index i) {
-      amp_[static_cast<std::size_t>(i)] *= d0;
-      amp_[static_cast<std::size_t>(i + s)] *= d1;
+    sweep(dim_ >> 1, n_qubits_, [&](Index g0, Index g1) {
+      if (s == 1) {
+        kr.diag1_pairs(amp + 2 * g0, g1 - g0, d0, d1);
+        return;
+      }
+      for_runs(g0, g1, &s, 1, [&](Index base, Index len) {
+        kr.scale_run(amp + base, len, d0);
+        kr.scale_run(amp + base + s, len, d1);
+      });
     });
     return;
   }
@@ -234,23 +329,27 @@ void Statevector::apply_diagonal(const GateClass& cls, const std::vector<int>& q
     const Index s1 = strides[1];
     const Index sorted[2] = {std::min(s0, s1), std::max(s0, s1)};
     const Cplx d0 = cls.diag[0], d1 = cls.diag[1], d2 = cls.diag[2], d3 = cls.diag[3];
-    for_each_group_base(dim_, sorted, 2, [&](Index i) {
-      amp_[static_cast<std::size_t>(i)] *= d0;
-      amp_[static_cast<std::size_t>(i + s1)] *= d1;
-      amp_[static_cast<std::size_t>(i + s0)] *= d2;
-      amp_[static_cast<std::size_t>(i + s0 + s1)] *= d3;
+    sweep(dim_ >> 2, n_qubits_, [&](Index g0, Index g1) {
+      for_runs(g0, g1, sorted, 2, [&](Index base, Index len) {
+        kr.scale_run(amp + base, len, d0);
+        kr.scale_run(amp + base + s1, len, d1);
+        kr.scale_run(amp + base + s0, len, d2);
+        kr.scale_run(amp + base + s0 + s1, len, d3);
+      });
     });
     return;
   }
-  for (Index i = 0; i < dim_; ++i) {
-    Index sub = 0;
-    for (int j = 0; j < k; ++j) {
-      if (i & strides[static_cast<std::size_t>(j)]) {
-        sub |= Index{1} << (k - 1 - j);
+  sweep(dim_, n_qubits_, [&](Index i0, Index i1) {
+    for (Index i = i0; i < i1; ++i) {
+      Index sub = 0;
+      for (int j = 0; j < k; ++j) {
+        if (i & strides[static_cast<std::size_t>(j)]) {
+          sub |= Index{1} << (k - 1 - j);
+        }
       }
+      amp[i] *= cls.diag[static_cast<std::size_t>(sub)];
     }
-    amp_[static_cast<std::size_t>(i)] *= cls.diag[static_cast<std::size_t>(sub)];
-  }
+  });
 }
 
 void Statevector::apply_permutation(const GateClass& cls, const std::vector<int>& qubits) {
@@ -260,6 +359,7 @@ void Statevector::apply_permutation(const GateClass& cls, const std::vector<int>
   const int k = static_cast<int>(qubits.size());
   const Index dim_ = dim();
   const Index subdim = Index{1} << k;
+  Cplx* amp = amp_.data();
   std::vector<Index> strides(static_cast<std::size_t>(k));
   for (int j = 0; j < k; ++j) {
     strides[static_cast<std::size_t>(j)] = Index{1} << bitpos(qubits[static_cast<std::size_t>(j)]);
@@ -277,26 +377,34 @@ void Statevector::apply_permutation(const GateClass& cls, const std::vector<int>
 
   if (cls.cycles.size() == 1 && cls.cycles[0].size() == 2) {
     // The ubiquitous involution shape (x, cx, swap): one pairwise swap per
-    // group, touching only the cycle's slice of the state.
+    // group, touching only the cycle's slice of the state. Distinct offsets
+    // differ by at least the lowest stride, so the swapped runs never overlap.
     const Index oa = offs[static_cast<std::size_t>(cls.cycles[0][0])];
     const Index ob = offs[static_cast<std::size_t>(cls.cycles[0][1])];
-    for_each_group_base(dim_, sorted.data(), k, [&](Index base) {
-      std::swap(amp_[static_cast<std::size_t>(base + oa)],
-                amp_[static_cast<std::size_t>(base + ob)]);
+    sweep(dim_ >> k, n_qubits_, [&](Index g0, Index g1) {
+      for_runs(g0, g1, sorted.data(), k, [&](Index base, Index len) {
+        std::swap_ranges(amp + base + oa, amp + base + oa + len, amp + base + ob);
+      });
     });
     return;
   }
 
-  for_each_group_base(dim_, sorted.data(), k, [&](Index base) {
-    for (const std::vector<Index>& cyc : cls.cycles) {
-      // image[s_i] = s_{i+1}: new[s_{i+1}] = old[s_i], rotated in place.
-      const std::size_t m = cyc.size();
-      Cplx t = amp_[static_cast<std::size_t>(base + offs[static_cast<std::size_t>(cyc[m - 1])])];
-      for (std::size_t i = m - 1; i >= 1; --i) {
-        amp_[static_cast<std::size_t>(base + offs[static_cast<std::size_t>(cyc[i])])] =
-            amp_[static_cast<std::size_t>(base + offs[static_cast<std::size_t>(cyc[i - 1])])];
+  sweep(dim_ >> k, n_qubits_, [&](Index g0, Index g1) {
+    for (Index g = g0; g < g1; ++g) {
+      Index base = g;
+      for (int j = 0; j < k; ++j) {
+        base = insert_zero(base, sorted[static_cast<std::size_t>(j)]);
       }
-      amp_[static_cast<std::size_t>(base + offs[static_cast<std::size_t>(cyc[0])])] = t;
+      for (const std::vector<Index>& cyc : cls.cycles) {
+        // image[s_i] = s_{i+1}: new[s_{i+1}] = old[s_i], rotated in place.
+        const std::size_t m = cyc.size();
+        Cplx t = amp[base + offs[static_cast<std::size_t>(cyc[m - 1])]];
+        for (std::size_t i = m - 1; i >= 1; --i) {
+          amp[base + offs[static_cast<std::size_t>(cyc[i])]] =
+              amp[base + offs[static_cast<std::size_t>(cyc[i - 1])]];
+        }
+        amp[base + offs[static_cast<std::size_t>(cyc[0])]] = t;
+      }
     }
   });
 }
@@ -304,16 +412,24 @@ void Statevector::apply_permutation(const GateClass& cls, const std::vector<int>
 Real Statevector::prob_one(int qubit) const {
   QCUT_CHECK(qubit >= 0 && qubit < n_qubits_, "prob_one: qubit out of range");
   const Index s = Index{1} << bitpos(qubit);
-  Real p = 0.0;
   const Index dim_ = dim();
-  // Enumerates the set-bit half directly in ascending index order (the same
-  // summation order as the old full-dim masked scan, at half the trips).
-  for (Index b = 0; b < dim_; b += s << 1) {
-    for (Index i = b + s; i < b + (s << 1); ++i) {
-      p += norm2(amp_[static_cast<std::size_t>(i)]);
+  const SimdKernels& kr = active_kernels();
+  const Cplx* amp = amp_.data();
+  // Sums the set-bit half, one norm2 run per group (runs combine in ascending
+  // index order within a chunk, chunks in index order — see sweep_reduce).
+  return sweep_reduce(dim_ >> 1, n_qubits_, [&](Index g0, Index g1) {
+    Real acc = 0.0;
+    if (s == 1) {
+      for (Index g = g0; g < g1; ++g) {
+        acc += norm2(amp[2 * g + 1]);
+      }
+      return acc;
     }
-  }
-  return p;
+    for_runs(g0, g1, &s, 1, [&](Index base, Index len) {
+      acc += kr.norm2_run(amp + base + s, len);
+    });
+    return acc;
+  });
 }
 
 int Statevector::measure(int qubit, Rng& rng) {
@@ -327,23 +443,29 @@ Real Statevector::project(int qubit, int outcome) {
   QCUT_CHECK(qubit >= 0 && qubit < n_qubits_, "project: qubit out of range");
   QCUT_CHECK(outcome == 0 || outcome == 1, "project: outcome must be 0/1");
   const Index s = Index{1} << bitpos(qubit);
-  Real p = 0.0;
   const Index dim_ = dim();
-  for (Index b = 0; b < dim_; b += s << 1) {
-    const Index live = outcome ? b + s : b;
-    const Index dead = outcome ? b : b + s;
-    for (Index i = live; i < live + s; ++i) {
-      p += norm2(amp_[static_cast<std::size_t>(i)]);
+  const SimdKernels& kr = active_kernels();
+  Cplx* amp = amp_.data();
+  const Real p = sweep_reduce(dim_ >> 1, n_qubits_, [&](Index g0, Index g1) {
+    Real acc = 0.0;
+    if (s == 1) {
+      for (Index g = g0; g < g1; ++g) {
+        acc += norm2(amp[2 * g + outcome]);
+        amp[2 * g + (1 - outcome)] = Cplx{0.0, 0.0};
+      }
+      return acc;
     }
-    for (Index i = dead; i < dead + s; ++i) {
-      amp_[static_cast<std::size_t>(i)] = Cplx{0.0, 0.0};
-    }
-  }
+    for_runs(g0, g1, &s, 1, [&](Index base, Index len) {
+      const Index live = outcome ? base + s : base;
+      const Index dead = outcome ? base : base + s;
+      acc += kr.norm2_run(amp + live, len);
+      std::fill(amp + dead, amp + dead + len, Cplx{0.0, 0.0});
+    });
+    return acc;
+  });
   if (p > 0.0) {
-    const Real inv = 1.0 / std::sqrt(p);
-    for (auto& a : amp_) {
-      a *= inv;
-    }
+    const Cplx inv{1.0 / std::sqrt(p), 0.0};
+    sweep(dim_, n_qubits_, [&](Index i0, Index i1) { kr.scale_run(amp + i0, i1 - i0, inv); });
   }
   return p;
 }
@@ -353,24 +475,40 @@ Statevector Statevector::projected(const Statevector& src, int qubit, int outcom
   QCUT_CHECK(outcome == 0 || outcome == 1, "projected: outcome must be 0/1");
   const Index s = Index{1} << src.bitpos(qubit);
   const Index dim_ = src.dim();
-  // Same renormalization constant as project(): the live-half norm summed in
-  // ascending index order.
-  Real p = 0.0;
-  for (Index b = 0; b < dim_; b += s << 1) {
-    const Index live = outcome ? b + s : b;
-    for (Index i = live; i < live + s; ++i) {
-      p += norm2(src.amp_[static_cast<std::size_t>(i)]);
+  const SimdKernels& kr = active_kernels();
+  const Cplx* in = src.amp_.data();
+  // Same renormalization constant as project(): identical chunking, identical
+  // run kernels over the live half, identical combine order.
+  const Real p = sweep_reduce(dim_ >> 1, src.n_qubits_, [&](Index g0, Index g1) {
+    Real acc = 0.0;
+    if (s == 1) {
+      for (Index g = g0; g < g1; ++g) {
+        acc += norm2(in[2 * g + outcome]);
+      }
+      return acc;
     }
-  }
+    for_runs(g0, g1, &s, 1, [&](Index base, Index len) {
+      acc += kr.norm2_run(in + (outcome ? base + s : base), len);
+    });
+    return acc;
+  });
   Vector out(static_cast<std::size_t>(dim_), Cplx{0.0, 0.0});
   if (p > 0.0) {
-    const Real inv = 1.0 / std::sqrt(p);
-    for (Index b = 0; b < dim_; b += s << 1) {
-      const Index live = outcome ? b + s : b;
-      for (Index i = live; i < live + s; ++i) {
-        out[static_cast<std::size_t>(i)] = src.amp_[static_cast<std::size_t>(i)] * inv;
+    const Cplx inv{1.0 / std::sqrt(p), 0.0};
+    Cplx* dst = out.data();
+    sweep(dim_ >> 1, src.n_qubits_, [&](Index g0, Index g1) {
+      if (s == 1) {
+        for (Index g = g0; g < g1; ++g) {
+          dst[2 * g + outcome] = in[2 * g + outcome] * inv;
+        }
+        return;
       }
-    }
+      for_runs(g0, g1, &s, 1, [&](Index base, Index len) {
+        const Index live = outcome ? base + s : base;
+        std::copy(in + live, in + live + len, dst + live);
+        kr.scale_run(dst + live, len, inv);
+      });
+    });
   }
   return Statevector(Unchecked{}, src.n_qubits_, std::move(out));
 }
@@ -381,11 +519,18 @@ void Statevector::reset(int qubit, Rng& rng) {
     // Flip back to |0⟩.
     const Index s = Index{1} << bitpos(qubit);
     const Index dim_ = dim();
-    for (Index b = 0; b < dim_; b += s << 1) {
-      for (Index i = b; i < b + s; ++i) {
-        std::swap(amp_[static_cast<std::size_t>(i)], amp_[static_cast<std::size_t>(i + s)]);
+    Cplx* amp = amp_.data();
+    sweep(dim_ >> 1, n_qubits_, [&](Index g0, Index g1) {
+      if (s == 1) {
+        for (Index g = g0; g < g1; ++g) {
+          std::swap(amp[2 * g], amp[2 * g + 1]);
+        }
+        return;
       }
-    }
+      for_runs(g0, g1, &s, 1, [&](Index base, Index len) {
+        std::swap_ranges(amp + base, amp + base + len, amp + base + s);
+      });
+    });
   }
 }
 
@@ -416,18 +561,25 @@ void Statevector::initialize(const std::vector<int>& qubits, const Vector& state
   // Distribute: amp[base | bits(sub)] = amp[base] * state[sub].
   std::vector<Index> sorted = strides;
   std::sort(sorted.begin(), sorted.end());
-  for_each_group_base(dim_, sorted.data(), k, [&](Index base) {
-    const Cplx a = amp_[static_cast<std::size_t>(base)];
-    for (Index sub = subdim - 1; sub >= 0; --sub) {
-      Index idx = base;
+  Cplx* amp = amp_.data();
+  sweep(dim_ >> k, n_qubits_, [&](Index g0, Index g1) {
+    for (Index g = g0; g < g1; ++g) {
+      Index base = g;
       for (int j = 0; j < k; ++j) {
-        if ((sub >> (k - 1 - j)) & 1) {
-          idx |= strides[static_cast<std::size_t>(j)];
-        }
+        base = insert_zero(base, sorted[static_cast<std::size_t>(j)]);
       }
-      amp_[static_cast<std::size_t>(idx)] = a * state[static_cast<std::size_t>(sub)];
-      if (sub == 0) {
-        break;
+      const Cplx a = amp[base];
+      for (Index sub = subdim - 1; sub >= 0; --sub) {
+        Index idx = base;
+        for (int j = 0; j < k; ++j) {
+          if ((sub >> (k - 1 - j)) & 1) {
+            idx |= strides[static_cast<std::size_t>(j)];
+          }
+        }
+        amp[idx] = a * state[static_cast<std::size_t>(sub)];
+        if (sub == 0) {
+          break;
+        }
       }
     }
   });
@@ -450,13 +602,26 @@ Real Statevector::expectation_pauli(const std::string& pauli) const {
     }
   }
   if (zi_only) {
-    Real acc = 0.0;
     const Index dim_ = dim();
-    for (Index i = 0; i < dim_; ++i) {
-      const Real w = norm2(amp_[static_cast<std::size_t>(i)]);
-      acc += parity64(static_cast<std::uint64_t>(i) & zmask) ? -w : w;
+    const SimdKernels& kr = active_kernels();
+    const Cplx* amp = amp_.data();
+    if (zmask == 0) {
+      return sweep_reduce(dim_, n_qubits_, [&](Index i0, Index i1) {
+        return kr.norm2_run(amp + i0, i1 - i0);
+      });
     }
-    return acc;
+    // The sign parity64(i & zmask) is constant over each aligned block of
+    // `lo` indices (lo = lowest Z stride): one signed norm2 run per block.
+    const Index lo = static_cast<Index>(zmask & (~zmask + 1));
+    return sweep_reduce(dim_ / lo, n_qubits_, [&](Index b0, Index b1) {
+      Real acc = 0.0;
+      for (Index b = b0; b < b1; ++b) {
+        const Index base = b * lo;
+        const Real w = kr.norm2_run(amp + base, lo);
+        acc += parity64(static_cast<std::uint64_t>(base) & zmask) ? -w : w;
+      }
+      return acc;
+    });
   }
   // Apply the Pauli string to a copy and take the inner product (X/Y factors
   // dispatch to the permutation/diagonal kernels).

@@ -4,6 +4,12 @@
 // and applies gates in place with O(2^n) work per single-qubit gate. This is
 // the engine behind shot execution; exact channel verification uses the
 // DensityMatrix engine instead.
+//
+// The hot sweeps run on the SIMD run-kernel table (sim/simd_dispatch.hpp) and
+// — for states at or above the parallel threshold — are chunked over a
+// ThreadPool. Chunk boundaries are fixed in group space, independent of the
+// pool size, and every reduction sums per-chunk partials in chunk index
+// order, so results are bit-identical for any pool size (including no pool).
 #pragma once
 
 #include <vector>
@@ -14,13 +20,17 @@
 
 namespace qcut {
 
+class ThreadPool;
+
 class Statevector {
  public:
   /// Hard cap on simulable width: 2^n amplitudes hit the exponential memory
-  /// wall (16 MiB at n = 20). Circuits wider than this must be executed
-  /// fragment-locally (see qcut/cut/fragment.hpp) — the Circuit IR itself
-  /// allows up to Circuit::kMaxQubits wires.
-  static constexpr int kMaxQubits = 20;
+  /// wall (4 GiB of amplitudes at n = 28, doubling per qubit). Circuits wider
+  /// than this must be executed fragment-locally (see qcut/cut/fragment.hpp)
+  /// — the Circuit IR itself allows up to Circuit::kMaxQubits wires. The
+  /// width is validated before the amplitude vector is allocated, so an
+  /// over-wide construction throws qcut::Error instead of dying on OOM.
+  static constexpr int kMaxQubits = 28;
 
   /// |0...0⟩ on n qubits.
   explicit Statevector(int n_qubits);
@@ -81,6 +91,18 @@ class Statevector {
   Index sample(Rng& rng) const;
 
   Real norm() const;
+
+  /// Process-wide threading policy for the amplitude sweeps. States with
+  /// n_qubits >= min_parallel_qubits distribute their fixed-size chunks over
+  /// `pool` (nullptr = the lazily constructed global_pool(), resolved only
+  /// when such a state is actually simulated); narrower states always run
+  /// inline. The pool choice NEVER changes results: chunk boundaries and the
+  /// reduction order depend only on the state size. Calls from inside a
+  /// worker of the chosen pool run inline (nested parallel_for would
+  /// deadlock). Intended for startup/test setup; not thread-safe against
+  /// concurrent sweeps.
+  static void set_parallel_config(ThreadPool* pool, int min_parallel_qubits);
+  static int parallel_min_qubits() noexcept;
 
  private:
   struct Unchecked {};  ///< tag: internal construction of already-valid states

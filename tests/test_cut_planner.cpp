@@ -15,6 +15,7 @@
 #include "qcut/plan/cut_planner.hpp"
 #include "qcut/plan/planned_executor.hpp"
 #include "qcut/qpd/estimator.hpp"
+#include "qcut/sim/statevector.hpp"
 #include "test_helpers.hpp"
 
 namespace qcut {
@@ -335,8 +336,23 @@ TEST(CutPlanner, ThrowsWhenInfeasible) {
   EXPECT_THROW(CutPlanner(ghz_line(8), tight).plan(), Error);
 
   PlannerConfig bad;
-  bad.max_fragment_width = 0;
+  bad.max_fragment_width = -1;  // 0 is the engine-cap default, negatives are not
   EXPECT_THROW(CutPlanner(ghz_line(4), bad), Error);
+}
+
+TEST(CutPlanner, DefaultedWidthCapTracksTheEngineCap) {
+  // max_fragment_width = 0 resolves to Statevector::kMaxQubits, so a plan
+  // the defaulted planner accepts is always one the fragment evaluator can
+  // run. With cuts forbidden, planning succeeds exactly when the uncut
+  // circuit fits under the engine cap.
+  PlannerConfig cfg;
+  cfg.max_cuts = 0;
+  for (const int n : {20, 21, Statevector::kMaxQubits}) {
+    const CutPlan plan = CutPlanner(ghz_line(n), cfg).plan();
+    EXPECT_TRUE(plan.cuts.empty()) << "n = " << n;
+    EXPECT_EQ(plan.max_width, n);
+  }
+  EXPECT_THROW(CutPlanner(ghz_line(Statevector::kMaxQubits + 1), cfg).plan(), Error);
 }
 
 // ---- multi-cut splicing -----------------------------------------------------

@@ -136,12 +136,14 @@ TEST(FragmentBackend, RejectsFragmentsAboveTheWidthCap) {
 
 TEST(FragmentBackend, WideEntangledCutFailsPerTermWithClearError) {
   // An NME cut on a circuit wider than the statevector cap: the teleport
-  // terms merge both sides into one >20-qubit fragment and must fail with the
-  // width-cap Error (wide runs need entanglement-free plans), while the
-  // gadget's measure-flip term still splits and computes.
-  const Circuit circ = ghz_line(24);
+  // terms merge both sides (plus the helper wire) into one fragment wider
+  // than Statevector::kMaxQubits and must fail with the width-cap Error
+  // (wide runs need entanglement-free plans), while the gadget's
+  // measure-flip term still splits and computes.
+  const int n = Statevector::kMaxQubits + 4;  // merged fragment: n + 1 wires
+  const Circuit circ = ghz_line(n);
   const NmeCut nme(0.6);
-  const Qpd qpd = cut_circuit(circ, CutPoint{12, 11}, nme, all_z(24));
+  const Qpd qpd = cut_circuit(circ, CutPoint{n / 2, n / 2 - 1}, nme, all_z(n));
   ASSERT_EQ(qpd.size(), 3u);
   const FragmentBackend frag(qpd);
   EXPECT_THROW(frag.cache().prob_one(0), Error);  // teleport-H: merged, too wide
@@ -177,9 +179,9 @@ TEST(FragmentBackend, ZeroProbabilityBranchYieldsFiniteProbabilities) {
 }
 
 TEST(FragmentBackend, WideGhzPlannedRunExecutesFragmentLocally) {
-  // The acceptance scenario: a 30-qubit GHZ line — impossible to simulate
-  // monolithically (statevector caps at 20 qubits) — planned into ≤16-qubit
-  // fragments and estimated end-to-end at the predicted κ²/ε² budget.
+  // The acceptance scenario: a 30-qubit GHZ line — wider than the statevector
+  // cap (Statevector::kMaxQubits = 28) — planned into ≤16-qubit fragments and
+  // estimated end-to-end at the predicted κ²/ε² budget.
   // ⟨Z^⊗30⟩ on GHZ is exactly 1 (even qubit count), so the estimate must land
   // within 3ε of 1 (estimator std ≤ κ/√N = ε at the predicted budget).
   const int n = 30;
@@ -206,6 +208,60 @@ TEST(FragmentBackend, WideGhzPlannedRunExecutesFragmentLocally) {
   EXPECT_TRUE(std::isnan(out.run.exact));
   EXPECT_GE(out.run.details.shots_used, static_cast<std::uint64_t>(out.plan.predicted_shots));
   EXPECT_NEAR(out.run.estimate, 1.0, 3.0 * pcfg.target_accuracy);
+}
+
+TEST(FragmentBackend, TwentyFourQubitSingleFragmentRunsEndToEnd) {
+  // Acceptance for the widened engine cap: a 24-qubit GHZ line plans with
+  // ZERO cuts under the defaulted width cap (Statevector::kMaxQubits = 28)
+  // and executes end-to-end through PlannedExecutor as a single fragment of
+  // 2^24 amplitudes. ⟨Z^⊗24⟩ on GHZ: the all-0 / all-1 outcomes both have
+  // even parity, so the estimate is exactly 1 at any shot count.
+  const int n = 24;
+  ASSERT_LE(n, Statevector::kMaxQubits);
+  PlannerConfig pcfg;  // defaulted width cap = engine cap
+  pcfg.pair_budget = 0;
+  CutRunConfig rcfg;
+  rcfg.shots = 64;
+  rcfg.seed = 7;
+  const PlannedRunResult out = plan_and_run(ghz_line(n), all_z(n), pcfg, rcfg);
+  EXPECT_TRUE(out.plan.cuts.empty());
+  EXPECT_EQ(out.plan.max_width, n);
+  EXPECT_NEAR(out.run.estimate, 1.0, 1e-9);
+}
+
+TEST(FragmentParallel, ManyCrossBitRecombinationPoolBitIdentity) {
+  // 14 single-qubit fragments chained by classical feed-forward: 13 cross
+  // bits → 2^13 sigma assignments, well past the recombination sweep's fixed
+  // chunk size (1024). The pooled chain-rule sweep fills per-chunk partials
+  // and sums them in chunk order, so every pool size must reproduce the
+  // serial value bit-for-bit.
+  const int n = 14;
+  Circuit c(n, n);
+  for (int q = 0; q < n; ++q) {
+    c.h(q);
+    if (q > 0) {
+      c.x_if(q - 1, q);
+    }
+    c.measure(q, q);
+  }
+  QpdTerm term;
+  term.coefficient = 1.0;
+  term.circuit = c;
+  term.estimate_cbits = {n - 1};
+  term.label = "feed-forward chain";
+  const FragmentSplit split = split_term(term);
+  ASSERT_EQ(split.fragments.size(), static_cast<std::size_t>(n));
+  ASSERT_EQ(split.cross_cbits.size(), static_cast<std::size_t>(n - 1));
+
+  const Real serial = fragment_term_prob_one(split, nullptr);
+  // h then (possibly) X still measures 1 with probability 1/2: the chain's
+  // final bit is unbiased.
+  EXPECT_NEAR(serial, 0.5, 1e-12);
+  EXPECT_NEAR(fragment_term_prob_one_baseline(split), serial, 1e-12);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(fragment_term_prob_one(split, &pool), serial) << "pool size " << workers;
+  }
 }
 
 TEST(FragmentParallel, PoolSizeBitIdentity) {

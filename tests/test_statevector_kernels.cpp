@@ -6,10 +6,12 @@
 
 #include <cmath>
 
+#include "qcut/common/threadpool.hpp"
 #include "qcut/linalg/random.hpp"
 #include "qcut/sim/circuit.hpp"
 #include "qcut/sim/gate_class.hpp"
 #include "qcut/sim/gates.hpp"
+#include "qcut/sim/simd_dispatch.hpp"
 #include "qcut/sim/statevector.hpp"
 
 namespace qcut {
@@ -250,6 +252,173 @@ TEST(KernelEquivalence, ZOnlyExpectationMatchesGenericPath) {
       expect += parity ? -w : w;
     }
     EXPECT_NEAR(sv.expectation_pauli(pauli), expect, 1e-12) << pauli;
+  }
+}
+
+// ---- SIMD tier equivalence --------------------------------------------------
+
+/// Restores the dispatch tier on scope exit, so a failing assertion cannot
+/// leak a forced tier into later tests.
+class TierGuard {
+ public:
+  TierGuard() : saved_(active_simd_tier()) {}
+  ~TierGuard() { force_simd_tier(saved_); }
+
+ private:
+  SimdTier saved_;
+};
+
+/// A circuit mixing every kernel family: dense 1q/2q, diagonal (dense and
+/// sparse-phase), and permutation gates, spread over all wires including the
+/// LSB (the s == 1 pair-kernel path) and non-adjacent pairs.
+Circuit kernel_mix_circuit(int n, int depth, Rng& rng) {
+  Circuit c(n, 0);
+  for (int d = 0; d < depth; ++d) {
+    const int q = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+    const int r = (q + 1 + static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n - 1)))) % n;
+    switch (rng.uniform_u64(7)) {
+      case 0:
+        c.gate(haar_unitary(2, rng), {q}, "u1q");
+        break;
+      case 1:
+        c.gate(haar_unitary(4, rng), {q, r}, "u2q");
+        break;
+      case 2:
+        c.rz(q, rng.uniform(0.0, 2.0 * kPi));
+        break;
+      case 3:
+        c.cz(q, r);
+        break;
+      case 4:
+        c.cx(q, r);
+        break;
+      case 5:
+        c.gate(random_diagonal(2, rng, /*sparse=*/false), {q, r}, "diag2");
+        break;
+      default:
+        c.t(q);
+        break;
+    }
+  }
+  return c;
+}
+
+TEST(SimdTiers, EveryAvailableTierMatchesScalar) {
+  // The same random circuit applied under each compiled-and-supported
+  // dispatch tier must agree with the scalar tier on amplitudes, measurement
+  // probabilities, projections, and Z expectations to 1e-12 (FMA contraction
+  // reorders roundoff, so bit-identity across tiers is NOT required).
+  TierGuard guard;
+  Rng rng(29);
+  const int n = 9;
+  const Circuit c = kernel_mix_circuit(n, 60, rng);
+  const Vector amps = random_statevector(Index{1} << n, rng);
+
+  struct TierResult {
+    Vector amp;
+    std::vector<Real> probs;
+    Real zexp = 0.0;
+    Vector projected;
+  };
+  const auto run_under = [&](SimdTier tier) {
+    force_simd_tier(tier);
+    TierResult res;
+    Statevector sv(n, amps);
+    for (const Operation& op : c.ops()) {
+      sv.apply(op.matrix, op.qubits, op.gclass);
+    }
+    res.amp = sv.amplitudes();
+    for (int q = 0; q < n; ++q) {
+      res.probs.push_back(sv.prob_one(q));
+    }
+    res.zexp = sv.expectation_pauli(std::string(static_cast<std::size_t>(n), 'Z'));
+    sv.project(n - 1, 1);  // LSB wire: exercises the s == 1 project path
+    sv.project(0, 0);
+    res.projected = sv.amplitudes();
+    return res;
+  };
+
+  const TierResult scalar = run_under(SimdTier::kScalar);
+  int tiers_run = 1;
+  for (const SimdTier tier : {SimdTier::kAvx2, SimdTier::kAvx512}) {
+    if (!simd_tier_available(tier)) {
+      continue;
+    }
+    ++tiers_run;
+    const TierResult got = run_under(tier);
+    const char* name = simd_tier_name(tier);
+    ASSERT_EQ(got.amp.size(), scalar.amp.size());
+    for (std::size_t i = 0; i < got.amp.size(); ++i) {
+      EXPECT_NEAR(got.amp[i].real(), scalar.amp[i].real(), 1e-12) << name << " amp " << i;
+      EXPECT_NEAR(got.amp[i].imag(), scalar.amp[i].imag(), 1e-12) << name << " amp " << i;
+    }
+    for (int q = 0; q < n; ++q) {
+      EXPECT_NEAR(got.probs[static_cast<std::size_t>(q)],
+                  scalar.probs[static_cast<std::size_t>(q)], 1e-12)
+          << name << " prob_one(" << q << ")";
+    }
+    EXPECT_NEAR(got.zexp, scalar.zexp, 1e-12) << name;
+    for (std::size_t i = 0; i < got.projected.size(); ++i) {
+      EXPECT_NEAR(got.projected[i].real(), scalar.projected[i].real(), 1e-12)
+          << name << " projected amp " << i;
+      EXPECT_NEAR(got.projected[i].imag(), scalar.projected[i].imag(), 1e-12)
+          << name << " projected amp " << i;
+    }
+  }
+  // On x86 CI runners at least AVX2 must actually have been exercised.
+  RecordProperty("tiers_run", tiers_run);
+}
+
+TEST(SimdTiers, ForcingAnUnavailableTierThrows) {
+  TierGuard guard;
+  for (const SimdTier tier : {SimdTier::kAvx2, SimdTier::kAvx512}) {
+    if (!simd_tier_available(tier)) {
+      EXPECT_THROW(force_simd_tier(tier), Error) << simd_tier_name(tier);
+    }
+  }
+}
+
+// ---- parallel sweep bit-identity --------------------------------------------
+
+/// Restores the process-wide parallel config on scope exit.
+class ParallelConfigGuard {
+ public:
+  ~ParallelConfigGuard() { Statevector::set_parallel_config(nullptr, 22); }
+};
+
+TEST(ParallelSweeps, PoolSizeBitIdentity) {
+  // Chunk boundaries are fixed in group space and reductions sum per-chunk
+  // partials in chunk order, so amplitudes, probabilities, and projections
+  // must be BIT-identical for any pool size — compared here against the
+  // serial run at n = 18 (two or more fixed chunks per sweep).
+  ParallelConfigGuard guard;
+  Rng rng(31);
+  const int n = 18;
+  const Vector amps = random_statevector(Index{1} << n, rng);
+  const Circuit c = kernel_mix_circuit(n, 24, rng);
+
+  const auto run_with = [&](ThreadPool* pool, int threshold) {
+    Statevector::set_parallel_config(pool, threshold);
+    Statevector sv(n, amps);
+    for (const Operation& op : c.ops()) {
+      sv.apply(op.matrix, op.qubits, op.gclass);
+    }
+    const Real p = sv.prob_one(3);
+    sv.project(3, p >= 0.5 ? 1 : 0);
+    return std::make_pair(sv.amplitudes(), p);
+  };
+
+  // Serial reference: the default threshold (22) keeps an 18-qubit state
+  // inline even if a pool is configured.
+  const auto ref = run_with(nullptr, 22);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(workers);
+    const auto got = run_with(&pool, n);
+    EXPECT_EQ(got.second, ref.second) << "prob, pool size " << workers;
+    ASSERT_EQ(got.first.size(), ref.first.size());
+    for (std::size_t i = 0; i < got.first.size(); ++i) {
+      ASSERT_EQ(got.first[i], ref.first[i]) << "pool size " << workers << " amp " << i;
+    }
   }
 }
 
