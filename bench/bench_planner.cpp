@@ -32,6 +32,7 @@
 
 #include "qcut/common/cli.hpp"
 #include "qcut/linalg/random.hpp"
+#include "qcut/obs/run_report.hpp"
 #include "qcut/plan/circuit_graph.hpp"
 #include "qcut/plan/cut_planner.hpp"
 #include "qcut/plan/planned_executor.hpp"
@@ -211,8 +212,9 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream json(json_path);
-  json << "{\n  \"eps\": " << eps << ",\n  \"resource_f\": " << f
-       << ",\n  \"pair_budget\": " << budget << ",\n  \"rows\": [\n";
+  json << "{\n  \"provenance\": " << obs::provenance_json(2) << ",\n  \"eps\": " << eps
+       << ",\n  \"resource_f\": " << f << ",\n  \"pair_budget\": " << budget
+       << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     json << "    {\"family\": \"" << r.family << "\", \"n\": " << r.n

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "qcut/common/cli.hpp"
+#include "qcut/obs/run_report.hpp"
 #include "qcut/sim/qasm.hpp"
 #include "qcut/sim/qasm_import.hpp"
 
@@ -158,7 +159,8 @@ int main(int argc, char** argv) {
     corpus_escaped += ch;
   }
   std::ofstream json(out_json);
-  json << "{\n  \"corpus\": \"" << corpus_escaped << "\",\n  \"circuits\": " << files.size()
+  json << "{\n  \"provenance\": " << obs::provenance_json(2) << ",\n  \"corpus\": \""
+       << corpus_escaped << "\",\n  \"circuits\": " << files.size()
        << ",\n  \"failures\": " << failures.size() << "\n}\n";
   std::printf("\n%zu circuits, %zu failures (summary: %s)\n", files.size(), failures.size(),
               out_json.c_str());

@@ -17,13 +17,23 @@
 // statevector cap) and compare against the exact uncut expectation when one
 // is computable.
 //
+// Observability: --trace t.json records a Chrome trace-event timeline of the
+// whole plan→cut→execute pipeline (load it in chrome://tracing or
+// https://ui.perfetto.dev), --report r.json writes the run's RunReport —
+// shots vs budget, cache hit rates, fusion stats, kernel dispatch counts,
+// pool utilization (obs/run_report.hpp).
+//
 // Build & run:  ./examples/auto_cut [--n 6] [--cap 3] [--f 0.85] [--budget 2]
 //               [--eps 0.05] [--qasm circuit.qasm] [--obs ZZZZZZ]
+//               [--trace t.json] [--report r.json]
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "qcut/common/cli.hpp"
+#include "qcut/common/error.hpp"
+#include "qcut/obs/trace.hpp"
 #include "qcut/plan/cut_planner.hpp"
 #include "qcut/plan/planned_executor.hpp"
 #include "qcut/sim/qasm_import.hpp"
@@ -69,6 +79,12 @@ int main(int argc, char** argv) {
   }
   std::printf("observable: %s\n", observable.c_str());
 
+  const std::string trace_path = cli.get("trace", "");
+  const std::string report_path = cli.get("report", "");
+  if (!trace_path.empty()) {
+    obs::start_tracing();
+  }
+
   try {
   // 2. Plan: width-feasible cut set with minimal Π κ_i², protocols from the
   //    entanglement budget.
@@ -98,6 +114,18 @@ int main(int argc, char** argv) {
   rcfg.shots = 0;  // use the plan's predicted budget
   rcfg.seed = 2024;
   const CutRunResult res = exec.run(observable, rcfg);
+
+  if (!trace_path.empty()) {
+    obs::write_trace(trace_path);
+    std::printf("trace   -> %s (chrome://tracing / ui.perfetto.dev)\n", trace_path.c_str());
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    QCUT_CHECK(out.good(), "cannot open --report path '" + report_path + "'");
+    out << res.report.to_json() << "\n";
+    QCUT_CHECK(out.good(), "failed writing --report path '" + report_path + "'");
+    std::printf("report  -> %s\n", report_path.c_str());
+  }
 
   std::printf("planned <O> = %+.6f   (%llu shots, %llu entangled pairs consumed)\n",
               res.estimate, static_cast<unsigned long long>(res.details.shots_used),

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "qcut/common/error.hpp"
+#include "qcut/obs/metrics.hpp"
 
 namespace qcut {
 
@@ -46,7 +47,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     QCUT_CHECK(!stop_, "submit on stopped ThreadPool");
-    queue_.push_back(std::move(pt));
+    queue_.push_back({std::move(pt), std::chrono::steady_clock::now()});
   }
   cv_.notify_one();
   return fut;
@@ -54,17 +55,31 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::packaged_task<void()> task;
+    QueuedTask qt;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) {
         return;
       }
-      task = std::move(queue_.front());
+      qt = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // exceptions are captured in the packaged_task's future
+    const auto picked_up = std::chrono::steady_clock::now();
+    const std::uint64_t wait_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(picked_up - qt.enqueued_at)
+            .count());
+    qt.task();  // exceptions are captured in the packaged_task's future
+    const std::uint64_t run_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - picked_up)
+            .count());
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    queue_wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+    busy_ns_.fetch_add(run_ns, std::memory_order_relaxed);
+    obs::count(obs::Counter::kPoolTasks);
+    obs::count(obs::Counter::kPoolQueueWaitNanos, wait_ns);
+    obs::count(obs::Counter::kPoolBusyNanos, run_ns);
   }
 }
 

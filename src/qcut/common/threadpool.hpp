@@ -5,8 +5,11 @@
 // results are identical for any pool size, including size 1.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -47,14 +50,34 @@ class ThreadPool {
   void parallel_for_chunked(std::size_t begin, std::size_t end, std::size_t chunk,
                             const std::function<void(std::size_t, std::size_t)>& body);
 
+  // Per-instance lifetime counters, always on (a couple of relaxed atomic
+  // adds per task is noise against the lock the queue already takes). The
+  // global metrics registry mirrors them under pool_tasks /
+  // pool_queue_wait_ns / pool_busy_ns when metrics are enabled.
+  std::uint64_t tasks_run() const noexcept { return tasks_run_.load(std::memory_order_relaxed); }
+  /// Summed nanoseconds tasks spent queued before a worker picked them up.
+  std::uint64_t queue_wait_ns() const noexcept {
+    return queue_wait_ns_.load(std::memory_order_relaxed);
+  }
+  /// Summed nanoseconds workers spent inside task bodies.
+  std::uint64_t busy_ns() const noexcept { return busy_ns_.load(std::memory_order_relaxed); }
+
  private:
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> queue_wait_ns_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
 };
 
 /// Process-wide default pool (lazily constructed, sized to hardware).

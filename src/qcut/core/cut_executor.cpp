@@ -1,5 +1,6 @@
 #include "qcut/core/cut_executor.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -7,6 +8,9 @@
 #include "qcut/cut/harada_cut.hpp"
 #include "qcut/cut/nme_cut.hpp"
 #include "qcut/cut/peng_cut.hpp"
+#include "qcut/obs/metrics.hpp"
+#include "qcut/obs/trace.hpp"
+#include "qcut/sim/simd_dispatch.hpp"
 
 namespace qcut {
 
@@ -33,9 +37,29 @@ CutRunResult run_qpd_estimate(const Qpd& qpd, Real exact, const CutRunConfig& cf
   CutRunResult res;
   res.exact = exact;
   const ExecutionEngine engine(engine_config(cfg));
-  res.details = engine.estimate_allocated(qpd, cfg.shots, cfg.seed, cfg.rule);
+
+  // Bracket the estimation with a registry snapshot so the report carries
+  // exactly this run's counter delta. Reads only — the estimate is
+  // bit-identical with metrics on or off.
+  const obs::MetricsSnapshot before = obs::metrics_snapshot();
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    obs::TraceSpan span("qpd.estimate", qpd.size());
+    res.details = engine.estimate_allocated(qpd, cfg.shots, cfg.seed, cfg.rule);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
   res.estimate = res.details.estimate;
   res.abs_error = std::abs(res.estimate - res.exact);
+
+  res.report.metrics_enabled = obs::metrics_enabled();
+  res.report.counters = obs::metrics_delta(before, obs::metrics_snapshot());
+  res.report.backend = to_string(cfg.effective_backend());
+  res.report.simd_tier = simd_tier_name(active_simd_tier());
+  res.report.pool_threads = cfg.pool != nullptr ? cfg.pool->size() : global_pool().size();
+  res.report.kappa = res.details.kappa;
+  res.report.shots_sampled = res.details.shots_used;
+  res.report.wall_time_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
   return res;
 }
 

@@ -13,6 +13,7 @@
 
 #include "qcut/cut/wire_cut.hpp"
 #include "qcut/exec/engine.hpp"
+#include "qcut/obs/run_report.hpp"
 #include "qcut/qpd/estimator.hpp"
 
 namespace qcut {
@@ -52,6 +53,10 @@ struct CutRunResult {
   /// fragment path); compare against an analytic value instead.
   bool has_exact = true;
   EstimationResult details;
+  /// Resource accounting for this run (metrics-registry delta + config);
+  /// serialize with report.to_json(). Filled whether or not metrics are
+  /// enabled — disabled runs just carry zero counters.
+  obs::RunReport report;
 };
 
 /// Estimates `qpd` on the engine `cfg` configures and packages the result

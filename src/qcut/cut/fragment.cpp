@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "qcut/common/union_find.hpp"
+#include "qcut/obs/metrics.hpp"
+#include "qcut/obs/trace.hpp"
 #include "qcut/sim/executor.hpp"
 #include "qcut/sim/statevector.hpp"
 
@@ -162,6 +164,8 @@ void fold_branches_tail(const std::vector<Branch>& branches, const TailFold& tai
 constexpr std::uint64_t kSigmaChunk = 1024;
 
 Real recombine(const FragmentSplit& split, const FragTables& tables, ThreadPool* pool) {
+  obs::TraceSpan span("fragment.recombine",
+                      static_cast<std::uint64_t>(split.cross_cbits.size()));
   const std::vector<int>& cross = split.cross_cbits;
   const std::size_t n_cross = cross.size();
   const auto cross_pos = [&cross](int cbit) {
@@ -484,11 +488,14 @@ std::shared_ptr<const SplitSkeleton> SplitSkeletonCache::get(const Circuit& c) {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = by_key_.find(key);
     if (it != by_key_.end()) {
+      obs::count(obs::Counter::kSkeletonCacheHit);
       return it->second;
     }
   }
+  obs::count(obs::Counter::kSkeletonCacheMiss);
   // Built outside the lock: distinct structures may build concurrently, and a
   // racing duplicate build is harmless (first insert wins, same content).
+  obs::TraceSpan span("skeleton.build");
   auto skel = std::make_shared<const SplitSkeleton>(build_split_skeleton(c));
   std::lock_guard<std::mutex> lock(mu_);
   return by_key_.emplace(key, std::move(skel)).first->second;
@@ -516,6 +523,7 @@ void fuse_split_circuits(FragmentSplit& split, FusionStats* stats) {
 Real fragment_term_prob_one(const FragmentSplit& split, ThreadPool* pool) {
   check_split_limits(split);
   const std::size_t n_frags = split.fragments.size();
+  obs::TraceSpan eval_span("fragment.eval", static_cast<std::uint64_t>(n_frags));
 
   struct FragEval {
     std::vector<Branch> prefix;             ///< branches after the unconditioned prefix
@@ -544,6 +552,8 @@ Real fragment_term_prob_one(const FragmentSplit& split, ThreadPool* pool) {
       units.emplace_back(f, ra);
     }
   }
+  obs::count(obs::Counter::kFragmentUnits, units.size());
+  obs::count(obs::Counter::kFragmentPrefixRuns, n_frags);
 
   // Parallel only when the caller is not already a worker of `pool`:
   // re-entering parallel_for from a worker would deadlock (the engine's
@@ -553,6 +563,7 @@ Real fragment_term_prob_one(const FragmentSplit& split, ThreadPool* pool) {
 
   // Stage A: simulate each fragment's unconditioned prefix once.
   const auto run_prefix = [&](std::size_t f) {
+    obs::TraceSpan span("fragment.prefix", static_cast<std::uint64_t>(f));
     const TermFragment& tf = split.fragments[f];
     const int nq = tf.circuit.n_qubits();
     Vector initial(std::size_t{1} << nq, Cplx{0.0, 0.0});
@@ -575,6 +586,7 @@ Real fragment_term_prob_one(const FragmentSplit& split, ThreadPool* pool) {
   // with the read bits preset, then fold the branches into the unit's table
   // row. Units touch disjoint slots, so scheduling cannot change the result.
   const auto run_unit = [&](std::size_t u) {
+    obs::TraceSpan span("fragment.unit", static_cast<std::uint64_t>(u));
     const std::size_t f = units[u].first;
     const std::size_t ra = units[u].second;
     const TermFragment& tf = split.fragments[f];

@@ -4,6 +4,7 @@
 
 #include "qcut/common/error.hpp"
 #include "qcut/cut/fragment.hpp"
+#include "qcut/obs/trace.hpp"
 #include "qcut/sim/executor.hpp"
 #include "qcut/sim/statevector.hpp"
 
@@ -56,7 +57,10 @@ FragmentBackend::FragmentBackend(const Qpd& qpd, int max_fragment_width, ThreadP
   const int cap = max_fragment_width_;
   const auto skeletons = skeletons_;
   cache_ = std::make_shared<BranchCache>(qpd, [cap, pool, skeletons](const QpdTerm& term) {
-    FragmentSplit split = split_term(term, *skeletons->get(term.circuit));
+    FragmentSplit split = [&] {
+      obs::TraceSpan span("fragment.split");
+      return split_term(term, *skeletons->get(term.circuit));
+    }();
     QCUT_CHECK(split.max_width <= cap,
                "FragmentBackend: a term fragment exceeds the width cap (" +
                    std::to_string(split.max_width) + " > " + std::to_string(cap) +

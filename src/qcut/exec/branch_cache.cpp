@@ -1,5 +1,7 @@
 #include "qcut/exec/branch_cache.hpp"
 
+#include "qcut/obs/metrics.hpp"
+#include "qcut/obs/trace.hpp"
 #include "qcut/sim/executor.hpp"
 #include "qcut/sim/fusion.hpp"
 
@@ -43,10 +45,17 @@ BranchCache::BranchCache(const Qpd& qpd, std::vector<Real> prob_one)
 Real BranchCache::prob_one(std::size_t term) const {
   QCUT_CHECK(term < prob_.size(), "BranchCache::prob_one: term out of range");
   if (!preseeded_) {
-    std::call_once(once_[term], [this, term] {
+    bool computed_here = false;
+    std::call_once(once_[term], [this, term, &computed_here] {
+      computed_here = true;
+      obs::TraceSpan span("branch_cache.enumerate", static_cast<std::uint64_t>(term));
       prob_[term] = prob_fn_(qpd_->terms()[term]);
       computed_.fetch_add(1, std::memory_order_relaxed);
     });
+    obs::count(computed_here ? obs::Counter::kBranchCacheMiss
+                             : obs::Counter::kBranchCacheHit);
+  } else {
+    obs::count(obs::Counter::kBranchCacheHit);
   }
   return prob_[term];
 }

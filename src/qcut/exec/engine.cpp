@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "qcut/common/error.hpp"
+#include "qcut/obs/metrics.hpp"
+#include "qcut/obs/trace.hpp"
 
 namespace qcut {
 
@@ -17,6 +19,8 @@ constexpr std::uint64_t kPlanStream = 0x706c616e2d69644cULL;  // "plan-idL"
 EstimationResult combine_counts(const Qpd& qpd, const ShotPlan& plan,
                                 const std::vector<std::uint64_t>& ones_per_term) {
   QCUT_CHECK(ones_per_term.size() == qpd.size(), "combine_counts: count/term mismatch");
+  obs::TraceSpan span("engine.combine");
+  obs::count(obs::Counter::kShotsSampled, plan.total_shots);
   EstimationResult res;
   res.kappa = qpd.kappa();
   res.shots_per_term = plan.shots_per_term;
@@ -67,11 +71,14 @@ EstimationResult ExecutionEngine::run(const Qpd& qpd, const ShotPlan& plan,
   QCUT_CHECK(!qpd.empty(), "ExecutionEngine::run: empty QPD");
   QCUT_CHECK(plan.shots_per_term.size() == qpd.size(),
              "ExecutionEngine::run: plan built for a different QPD");
+  obs::TraceSpan run_span("engine.run", static_cast<std::uint64_t>(plan.batches.size()));
+  obs::count(obs::Counter::kBatchesRun, plan.batches.size());
 
   // Per-batch counts first (integer, order-independent), reduced per term in
   // index order afterwards — the estimate is bit-identical for any pool size.
   std::vector<std::uint64_t> batch_ones(plan.batches.size(), 0);
   const auto run_batch = [&](std::size_t b) {
+    obs::TraceSpan span("engine.batch", static_cast<std::uint64_t>(plan.batches[b].term));
     Rng rng(seed, plan.batches[b].stream);
     batch_ones[b] = backend.run_batch(plan.batches[b], rng);
   };

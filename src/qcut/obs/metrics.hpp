@@ -1,0 +1,120 @@
+// The always-on metrics registry: a fixed set of process-wide atomic
+// counters, one relaxed fetch_add per event on the hot paths.
+//
+// Design constraints, in order:
+//  1. The *disabled* path must be almost free — one relaxed atomic<bool> load
+//     and a predicted branch — because the counters sit inside the statevector
+//     kernel dispatch and the branch-enumeration loops. bench_sim_perf gates
+//     the overhead at <= 2% on the hot kernels.
+//  2. Counting must never perturb results: instrumentation only ever *reads*
+//     simulation state, so estimates are bit-identical with metrics on or off
+//     (pinned by test_obs.cpp).
+//  3. Zero dependencies: <atomic>, <array>, <cstdint>, <string> only.
+//
+// The registry is process-global. Snapshots are cheap (kCounterCount relaxed
+// loads); callers that want per-run numbers take a snapshot before and after
+// and subtract (metrics_delta) — see obs/run_report.hpp. Concurrent runs in
+// one process therefore see each other's counts; the engine is run-at-a-time
+// today, and the service layer (ROADMAP item 1) will scope registries per
+// request when that changes.
+//
+// Knobs: metrics start enabled; QCUT_METRICS=0 (or "off") disables them at
+// process start, set_metrics_enabled() toggles at run time.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace qcut {
+namespace obs {
+
+enum class Counter : int {
+  // BranchCache (exec/branch_cache.cpp): per-term exact-probability lookups.
+  kBranchCacheHit = 0,
+  kBranchCacheMiss,
+  // SplitSkeletonCache (cut/fragment.cpp): split-structure lookups.
+  kSkeletonCacheHit,
+  kSkeletonCacheMiss,
+  // Gate fusion (sim/fusion.cpp): every fuse_range call, spliced and
+  // fragment paths alike.
+  kFusionOpsBefore,
+  kFusionOpsAfter,
+  kFusionFused1q,
+  kFusionMergedDiagonal,
+  kFusionDroppedIdentity,
+  // Statevector kernel dispatch (sim/statevector.cpp): one count per
+  // Statevector::apply, keyed by the GateStructure path taken.
+  kDispatchDense1q,
+  kDispatchDense2q,
+  kDispatchGeneric,
+  kDispatchDiagonal,
+  kDispatchSparsePhase,
+  kDispatchPermutation,
+  // ThreadPool (common/threadpool.cpp).
+  kPoolTasks,
+  kPoolQueueWaitNanos,
+  kPoolBusyNanos,
+  // Branch enumeration (sim/executor.cpp): branches surviving each
+  // measure/reset split vs. candidates dropped by the prune tolerance.
+  kBranchesEnumerated,
+  kBranchesPruned,
+  // Fragment evaluation (cut/fragment.cpp).
+  kFragmentUnits,
+  kFragmentPrefixRuns,
+  // Execution engine (exec/engine.cpp).
+  kShotsSampled,
+  kBatchesRun,
+  // Cut planner (plan/cut_planner.cpp): search-tree nodes visited.
+  kPlanNodesExplored,
+  kCount
+};
+
+inline constexpr int kCounterCount = static_cast<int>(Counter::kCount);
+
+/// Stable snake_case name of a counter — the JSON key RunReport emits.
+const char* counter_name(Counter c) noexcept;
+
+namespace detail {
+// Exposed only so the count() fast path can inline; not part of the API.
+extern std::atomic<bool> g_metrics_enabled;
+extern std::array<std::atomic<std::uint64_t>, kCounterCount> g_counters;
+}  // namespace detail
+
+inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Adds `n` to counter `c`. The disabled path is one relaxed load and a
+/// branch; the enabled path adds one relaxed fetch_add.
+inline void count(Counter c, std::uint64_t n = 1) noexcept {
+  if (metrics_enabled()) {
+    detail::g_counters[static_cast<std::size_t>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// Point-in-time copy of every counter.
+struct MetricsSnapshot {
+  std::array<std::uint64_t, kCounterCount> values{};
+
+  std::uint64_t operator[](Counter c) const noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+};
+
+MetricsSnapshot metrics_snapshot() noexcept;
+
+/// after - before, per counter (saturating at 0 should a reset intervene).
+MetricsSnapshot metrics_delta(const MetricsSnapshot& before, const MetricsSnapshot& after) noexcept;
+
+/// Zeroes every counter (tests; not used on production paths).
+void metrics_reset() noexcept;
+
+/// {"branch_cache_hit": 1, ...} — every counter, in declaration order.
+std::string metrics_json(const MetricsSnapshot& snap, int indent = 0);
+
+}  // namespace obs
+}  // namespace qcut

@@ -1,0 +1,225 @@
+#include "qcut/obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "qcut/common/error.hpp"
+
+namespace qcut {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  const char* name;  ///< static storage (string literal) by contract
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  std::uint64_t arg;
+  bool has_arg;
+};
+
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  int tid = 0;
+};
+
+// Registry of live per-thread buffers plus the events of threads that have
+// already exited. The mutex guards registration, retirement, and draining —
+// never the hot append path (each thread appends only to its own buffer).
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> live;
+  std::vector<TraceEvent> retired;
+  int next_tid = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: threads may retire at any point of exit
+  return *r;
+}
+
+/// Per-thread buffer holder: registers on first use, moves its events into
+/// the retired pool when the thread exits (so a ThreadPool destroyed before
+/// write_trace loses nothing).
+struct TlsHolder {
+  ThreadBuffer buf;
+
+  TlsHolder() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buf.tid = r.next_tid++;
+    r.live.push_back(&buf);
+  }
+
+  ~TlsHolder() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (std::size_t i = 0; i < r.live.size(); ++i) {
+      if (r.live[i] == &buf) {
+        r.live.erase(r.live.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    r.retired.insert(r.retired.end(), buf.events.begin(), buf.events.end());
+  }
+};
+
+ThreadBuffer& local_buffer() {
+  thread_local TlsHolder holder;
+  return holder.buf;
+}
+
+std::uint64_t process_epoch_ns() {
+  static const std::uint64_t epoch = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return epoch;
+}
+
+void drain_events_locked(Registry& r, std::vector<std::pair<int, TraceEvent>>& out) {
+  for (ThreadBuffer* tb : r.live) {
+    for (const TraceEvent& e : tb->events) {
+      out.emplace_back(tb->tid, e);
+    }
+    tb->events.clear();
+  }
+  for (const TraceEvent& e : r.retired) {
+    out.emplace_back(0, e);  // tid 0: thread already gone
+  }
+  r.retired.clear();
+}
+
+/// QCUT_TRACE=<path>: trace the whole process, write at normal exit.
+struct EnvInit {
+  std::string path;
+
+  EnvInit() {
+    const char* env = std::getenv("QCUT_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      path = env;
+      start_tracing();
+      std::atexit(&EnvInit::at_exit);
+    }
+  }
+
+  static void at_exit() {
+    // Defensive about write errors — exiting is not the moment to throw.
+    try {
+      write_trace(env_init().path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "QCUT_TRACE: failed to write trace: %s\n", e.what());
+    }
+  }
+
+  static EnvInit& env_init() {
+    // Leaked on purpose (like the Registry): the ctor registers at_exit, so a
+    // destructible static would be torn down *before* at_exit runs — which
+    // would leave `path` reading freed memory.
+    static EnvInit* init = new EnvInit;
+    return *init;
+  }
+};
+
+// Force construction at load time so QCUT_TRACE covers main() from the top.
+const EnvInit& g_env_init = EnvInit::env_init();
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) -
+         process_epoch_ns();
+}
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::uint64_t arg, bool has_arg) noexcept {
+  // A span that straddles stop_tracing still records: dropping it would leave
+  // a half-open nesting stack in the file. The next start_tracing clears all.
+  try {
+    local_buffer().events.push_back(
+        {name, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0, arg, has_arg});
+  } catch (...) {
+    // Out of memory while tracing: drop the event, never the program.
+  }
+}
+
+}  // namespace detail
+
+void start_tracing() {
+  (void)process_epoch_ns();  // pin the epoch before the first span
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (ThreadBuffer* tb : r.live) {
+      tb->events.clear();
+    }
+    r.retired.clear();
+  }
+  detail::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() noexcept {
+  detail::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+std::size_t trace_event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = r.retired.size();
+  for (const ThreadBuffer* tb : r.live) {
+    n += tb->events.size();
+  }
+  return n;
+}
+
+void write_trace(const std::string& path) {
+  stop_tracing();
+  std::vector<std::pair<int, TraceEvent>> events;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    drain_events_locked(r, events);
+  }
+
+  std::ofstream out(path);
+  QCUT_CHECK(out.good(), "write_trace: cannot open '" + path + "' for writing");
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  out << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+         "\"args\": {\"name\": \"qcut\"}}";
+  char buf[256];
+  for (const auto& [tid, e] : events) {
+    // Timestamps are microseconds in the trace-event format; three decimals
+    // keep full nanosecond resolution (the nesting test relies on it).
+    std::snprintf(buf, sizeof(buf),
+                  ",\n    {\"name\": \"%s\", \"cat\": \"qcut\", \"ph\": \"X\", \"pid\": 1, "
+                  "\"tid\": %d, \"ts\": %llu.%03llu, \"dur\": %llu.%03llu",
+                  e.name, tid, static_cast<unsigned long long>(e.start_ns / 1000),
+                  static_cast<unsigned long long>(e.start_ns % 1000),
+                  static_cast<unsigned long long>(e.dur_ns / 1000),
+                  static_cast<unsigned long long>(e.dur_ns % 1000));
+    out << buf;
+    if (e.has_arg) {
+      out << ", \"args\": {\"n\": " << e.arg << "}";
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  out.close();
+  QCUT_CHECK(out.good(), "write_trace: failed writing '" + path + "'");
+}
+
+}  // namespace obs
+}  // namespace qcut

@@ -1,0 +1,90 @@
+// Opt-in scoped tracing emitting Chrome trace-event JSON.
+//
+// TraceSpan is an RAII complete-event ("ph": "X"): construction stamps the
+// start, destruction the duration, and the event lands in a *per-thread*
+// buffer — no lock, no allocation beyond the buffer's amortized growth, no
+// cross-thread contention on the hot paths. Because spans are strictly
+// scoped, the events of one thread always nest properly (a property
+// test_obs.cpp checks on the written file).
+//
+// When tracing is inactive (the default) a span is one relaxed atomic load
+// and a branch; nothing is recorded. Activate with start_tracing() and
+// persist with write_trace(path), which stops tracing, drains every thread's
+// buffer (including buffers of threads that have already exited), and writes
+// a JSON file loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Env knob: QCUT_TRACE=<path> starts tracing at process start and writes the
+// trace to <path> at normal process exit — tracing without touching code.
+//
+// Span names must have static storage duration (string literals): the buffer
+// stores the pointer, not a copy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace qcut {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::uint64_t arg, bool has_arg) noexcept;
+std::uint64_t now_ns() noexcept;
+}  // namespace detail
+
+inline bool tracing_active() noexcept {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Clears any previously collected events and starts recording.
+void start_tracing();
+
+/// Stops recording; collected events are kept until written or restarted.
+void stop_tracing() noexcept;
+
+/// Stops tracing, writes every recorded event to `path` as Chrome trace-event
+/// JSON, and clears the buffers. Throws qcut::Error when the file cannot be
+/// written.
+void write_trace(const std::string& path);
+
+/// Number of events currently buffered across all threads (tests).
+std::size_t trace_event_count();
+
+/// RAII scoped span. `name` must be a string literal (static storage).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    if (tracing_active()) {
+      name_ = name;
+      start_ns_ = detail::now_ns();
+    }
+  }
+
+  /// With one numeric argument, emitted as {"args": {"n": arg}} — a term or
+  /// unit index, a batch count, ...
+  TraceSpan(const char* name, std::uint64_t arg) noexcept : TraceSpan(name) {
+    arg_ = arg;
+    has_arg_ = true;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      detail::record_span(name_, start_ns_, detail::now_ns(), arg_, has_arg_);
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;  ///< null = span was constructed inactive
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+}  // namespace obs
+}  // namespace qcut

@@ -6,6 +6,8 @@
 
 #include "qcut/core/overhead.hpp"
 #include "qcut/linalg/bell.hpp"
+#include "qcut/obs/metrics.hpp"
+#include "qcut/obs/trace.hpp"
 #include "qcut/sim/statevector.hpp"
 
 namespace qcut {
@@ -225,6 +227,7 @@ Real CutPlanner::reference_overhead() const {
 
 CutPlan CutPlanner::plan() const {
   const std::size_t m = graph_.candidates().size();
+  obs::TraceSpan span("plan.search", static_cast<std::uint64_t>(m));
   // O(1) infeasibility pre-check: a fragment containing a k-qubit op always
   // holds at least k segments, so no cut set can beat the widest single op —
   // without this, a hopeless width cap would enumerate the entire subset
@@ -232,6 +235,7 @@ CutPlan CutPlanner::plan() const {
   if (graph_.min_reachable_width() <= cfg_.max_fragment_width) {
     SubsetSearch search(*this, /*prune=*/m > cfg_.exhaustive_limit);
     search.run();
+    obs::count(obs::Counter::kPlanNodesExplored, search.nodes());
     if (search.found()) {
       CutPlan plan = make_plan(search.best(), search.nodes());
       plan.budget_exhausted = search.budget_exhausted();

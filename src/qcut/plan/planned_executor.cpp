@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qcut/obs/trace.hpp"
 #include "qcut/sim/statevector.hpp"
 
 namespace qcut {
@@ -28,6 +29,7 @@ Qpd PlannedExecutor::build_qpd(const std::string& observable) const {
 }
 
 CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunConfig& cfg) const {
+  obs::TraceSpan run_span("planned_run", static_cast<std::uint64_t>(plan_.cuts.size()));
   CutRunConfig eff = cfg;
   if (eff.shots == 0) {
     const Real predicted = std::ceil(plan_.predicted_shots);
@@ -39,7 +41,10 @@ CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunCon
     eff.shots = static_cast<std::uint64_t>(predicted);
   }
 
-  const Qpd qpd = build_qpd(observable);
+  Qpd qpd = [this, &observable] {
+    obs::TraceSpan span("plan.build_qpd");
+    return build_qpd(observable);
+  }();
   int spliced_width = 0;
   for (const QpdTerm& term : qpd.terms()) {
     spliced_width = std::max(spliced_width, term.circuit.n_qubits());
@@ -54,10 +59,20 @@ CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunCon
 
   // The monolithic uncut reference only exists below the statevector cap —
   // above it the analytic / fragment estimate IS the answer.
+  CutRunResult res;
   if (circ_.n_qubits() <= Statevector::kMaxQubits) {
-    return run_qpd_estimate(qpd, uncut_circuit_expectation(circ_, observable), eff);
+    const Real exact = [this, &observable] {
+      obs::TraceSpan span("exact.reference");
+      return uncut_circuit_expectation(circ_, observable);
+    }();
+    res = run_qpd_estimate(qpd, exact, eff);
+  } else {
+    res = run_qpd_estimate(qpd, eff);
   }
-  return run_qpd_estimate(qpd, eff);
+  res.report.shots_budget = plan_.predicted_shots;
+  res.report.plan_cuts = plan_.cuts.size();
+  res.report.max_fragment_width = plan_.max_width;
+  return res;
 }
 
 PlannedRunResult plan_and_run(const Circuit& circ, const std::string& observable,

@@ -8,10 +8,12 @@
 #include <cmath>
 
 #include "qcut/exec/engine.hpp"
+#include "qcut/obs/trace.hpp"
 
 namespace qcut {
 
 EstimationResult estimate_sampled(const Qpd& qpd, std::uint64_t shots, Rng& rng) {
+  obs::TraceSpan span("estimator.aggregate", static_cast<std::uint64_t>(qpd.size()));
   QCUT_CHECK(!qpd.empty(), "estimate_sampled: empty QPD");
   const ShotPlan plan = ShotPlan::sampled(qpd, shots, rng, ShotPlan::kNoSplit);
   const SerialShotBackend backend(qpd);
@@ -20,6 +22,7 @@ EstimationResult estimate_sampled(const Qpd& qpd, std::uint64_t shots, Rng& rng)
 
 EstimationResult estimate_allocated(const Qpd& qpd, std::uint64_t shots, Rng& rng,
                                     AllocRule rule) {
+  obs::TraceSpan span("estimator.aggregate", static_cast<std::uint64_t>(qpd.size()));
   QCUT_CHECK(!qpd.empty(), "estimate_allocated: empty QPD");
   const ShotPlan plan =
       ShotPlan::allocated(qpd, shots, rule, /*sigmas=*/nullptr, ShotPlan::kNoSplit);
@@ -28,6 +31,7 @@ EstimationResult estimate_allocated(const Qpd& qpd, std::uint64_t shots, Rng& rn
 }
 
 std::vector<Real> exact_term_prob_one(const Qpd& qpd) {
+  obs::TraceSpan span("estimator.exact_probs", static_cast<std::uint64_t>(qpd.size()));
   std::vector<Real> p;
   p.reserve(qpd.size());
   for (const auto& t : qpd.terms()) {
@@ -38,6 +42,7 @@ std::vector<Real> exact_term_prob_one(const Qpd& qpd) {
 
 EstimationResult estimate_allocated_fast(const Qpd& qpd, const std::vector<Real>& prob_one,
                                          std::uint64_t shots, Rng& rng, AllocRule rule) {
+  obs::TraceSpan span("estimator.aggregate", static_cast<std::uint64_t>(qpd.size()));
   QCUT_CHECK(!qpd.empty(), "estimate_allocated_fast: empty QPD");
   QCUT_CHECK(prob_one.size() == qpd.size(), "estimate_allocated_fast: prob/term mismatch");
   const ShotPlan plan =
@@ -48,6 +53,7 @@ EstimationResult estimate_allocated_fast(const Qpd& qpd, const std::vector<Real>
 
 EstimationResult estimate_sampled_fast(const Qpd& qpd, const std::vector<Real>& prob_one,
                                        std::uint64_t shots, Rng& rng) {
+  obs::TraceSpan span("estimator.aggregate", static_cast<std::uint64_t>(qpd.size()));
   QCUT_CHECK(!qpd.empty(), "estimate_sampled_fast: empty QPD");
   QCUT_CHECK(prob_one.size() == qpd.size(), "estimate_sampled_fast: prob/term mismatch");
   const ShotPlan plan = ShotPlan::sampled(qpd, shots, rng, ShotPlan::kNoSplit);

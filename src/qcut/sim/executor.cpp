@@ -1,9 +1,11 @@
 #include "qcut/sim/executor.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "qcut/linalg/kron.hpp"
 #include "qcut/linalg/ptrace.hpp"
+#include "qcut/obs/metrics.hpp"
 #include "qcut/sim/gates.hpp"
 
 namespace qcut {
@@ -115,6 +117,7 @@ void advance_branches(std::vector<Branch>& branches, const Circuit& c, std::size
         std::vector<Branch> next;
         next.reserve(branches.size() * 2);
         const int q = op.qubits[0];
+        std::uint64_t pruned = 0;
         for (auto& b : branches) {
           const Real p1 = b.state.prob_one(q);
           for (int outcome = 0; outcome <= 1; ++outcome) {
@@ -124,6 +127,7 @@ void advance_branches(std::vector<Branch>& branches, const Circuit& c, std::size
             // would renormalize to NaN downstream), and a NaN p (corrupt
             // upstream state) must not survive either.
             if (!(p > prune_tol) || !(p > 0.0)) {
+              ++pruned;
               continue;
             }
             // Projected copy in one pass — the measure-heavy path's dominant
@@ -137,6 +141,8 @@ void advance_branches(std::vector<Branch>& branches, const Circuit& c, std::size
             next.push_back(std::move(nb));
           }
         }
+        obs::count(obs::Counter::kBranchesEnumerated, next.size());
+        obs::count(obs::Counter::kBranchesPruned, pruned);
         branches = std::move(next);
         break;
       }

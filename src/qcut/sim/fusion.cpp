@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "qcut/obs/metrics.hpp"
+
 namespace qcut {
 
 namespace {
@@ -167,8 +169,9 @@ void emit_diagonal_merged(const std::vector<Operation>& ops, Circuit& out, Fusio
 
 Circuit fuse_range(const Circuit& c, std::size_t begin, std::size_t end, FusionStats* stats) {
   QCUT_CHECK(begin <= end && end <= c.size(), "fuse_range: op range out of bounds");
-  FusionStats local;
-  FusionStats& st = stats != nullptr ? *stats : local;
+  // Always tally into a fresh local so the metrics registry gets exactly this
+  // call's delta even when the caller accumulates across many calls.
+  FusionStats st;
   st.ops_before += end - begin;
 
   std::vector<Operation> pass1;
@@ -182,6 +185,15 @@ Circuit fuse_range(const Circuit& c, std::size_t begin, std::size_t end, FusionS
   Circuit out(c.n_qubits(), c.n_cbits());
   emit_diagonal_merged(pass1, out, st);
   st.ops_after += out.size();
+
+  obs::count(obs::Counter::kFusionOpsBefore, st.ops_before);
+  obs::count(obs::Counter::kFusionOpsAfter, st.ops_after);
+  obs::count(obs::Counter::kFusionFused1q, st.fused_1q);
+  obs::count(obs::Counter::kFusionMergedDiagonal, st.merged_diagonal);
+  obs::count(obs::Counter::kFusionDroppedIdentity, st.dropped_identity);
+  if (stats != nullptr) {
+    *stats += st;
+  }
   return out;
 }
 

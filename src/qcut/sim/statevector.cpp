@@ -6,6 +6,7 @@
 
 #include "qcut/common/threadpool.hpp"
 #include "qcut/linalg/pauli.hpp"
+#include "qcut/obs/metrics.hpp"
 #include "qcut/sim/simd_dispatch.hpp"
 
 namespace qcut {
@@ -178,13 +179,19 @@ void Statevector::apply(const Matrix& u, const std::vector<int>& qubits, const G
     case GateStructure::kDiagonal:
       QCUT_CHECK(cls.dim == subdim && static_cast<Index>(cls.diag.size()) == subdim,
                  "Statevector::apply: classification/matrix mismatch");
+      obs::count(cls.phase_index >= 0 ? obs::Counter::kDispatchSparsePhase
+                                      : obs::Counter::kDispatchDiagonal);
       apply_diagonal(cls, qubits);
       return;
     case GateStructure::kPermutation:
       QCUT_CHECK(cls.dim == subdim, "Statevector::apply: classification/matrix mismatch");
+      obs::count(obs::Counter::kDispatchPermutation);
       apply_permutation(cls, qubits);
       return;
     case GateStructure::kGeneric:
+      obs::count(k == 1   ? obs::Counter::kDispatchDense1q
+                 : k == 2 ? obs::Counter::kDispatchDense2q
+                          : obs::Counter::kDispatchGeneric);
       break;
   }
 

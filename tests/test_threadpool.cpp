@@ -1,13 +1,17 @@
-// Thread pool: correctness, exception propagation, and schedule-independent
-// results with per-task RNG streams.
+// Thread pool: correctness, exception propagation, schedule-independent
+// results with per-task RNG streams, and the task/queue-wait accounting the
+// observability layer reads.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "qcut/common/error.hpp"
 #include "qcut/common/rng.hpp"
 #include "qcut/common/threadpool.hpp"
+#include "qcut/obs/metrics.hpp"
 
 namespace qcut {
 namespace {
@@ -87,6 +91,44 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   std::atomic<int> counter{0};
   global_pool().parallel_for(0, 10, [&counter](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, CountsTasksQueueWaitAndBusyTime) {
+  // 8 compute-bound tasks on 2 workers: the later tasks must sit in the
+  // queue, and every task body takes measurable time. The per-instance
+  // counters are always on; the global registry mirrors them when metrics
+  // are enabled. A worker records its counters *after* satisfying the task's
+  // future, so poll tasks_run() briefly instead of asserting right at get().
+  obs::set_metrics_enabled(true);
+  const obs::MetricsSnapshot before = obs::metrics_snapshot();
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.submit([] {
+        const auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+      }));
+    }
+    for (auto& f : futures) {
+      f.get();
+    }
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (pool.tasks_run() < 8 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    EXPECT_EQ(pool.tasks_run(), 8u);
+    EXPECT_GT(pool.busy_ns(), 0u);
+    EXPECT_GT(pool.queue_wait_ns(), 0u);
+  }
+  // Pool destroyed (workers joined): every registry mirror add has landed.
+  // >= rather than ==: a straggler add from an earlier test's global-pool
+  // task may land inside the bracket.
+  const obs::MetricsSnapshot d = obs::metrics_delta(before, obs::metrics_snapshot());
+  EXPECT_GE(d[obs::Counter::kPoolTasks], 8u);
+  EXPECT_GT(d[obs::Counter::kPoolBusyNanos], 0u);
+  EXPECT_GT(d[obs::Counter::kPoolQueueWaitNanos], 0u);
 }
 
 }  // namespace
