@@ -6,7 +6,15 @@
 //    wire, the paper's canonical chain workload;
 //  * qft      — QFT-like ladders h(q) + nearest-neighbor controlled-phase
 //    chain: denser timelines, more candidates per wire;
-//  * brick    — random brickwork of Haar 2-qubit gates (alternating pairs).
+//  * brick    — random brickwork of Haar 2-qubit gates (alternating pairs);
+//  * cpgate / cpwire — two 2q halves joined only by one diagonal cp gate,
+//    planned with gate cuts allowed vs wire-only: the gate-cut row should
+//    beat the wire-only row (Mitarai–Fujii κ(θ) < the κ-3 chains the
+//    reconnecting cx structure forces on wire plans);
+//  * hetdev   — GHZ on two explicit 4-qubit QPUs (heterogeneous DeviceModel
+//    caps instead of a uniform width bound);
+//  * hetlink  — GHZ over two entangled links of different quality: the
+//    planner must grant the best (lowest-κ) slot first.
 //
 // For every instance the planner runs under a width cap; reported per row:
 // candidate count, chosen cuts, total κ, overhead Π κ_i², search nodes,
@@ -78,15 +86,33 @@ Circuit brickwork(int n, int depth, Rng& rng) {
   return c;
 }
 
+// Two entangling halves {0,1} and {2,3} whose only bridge is a single
+// diagonal cp(0.6) on {1,2}: one ZZ gate cut (κ = 1 + 2 sin 0.3 ≈ 1.59)
+// separates them, while the cx gates on both sides reconnect any wire cut.
+Circuit cp_linked_halves() {
+  Circuit c(4, 0);
+  for (int q = 0; q < 4; ++q) {
+    c.h(q);
+  }
+  c.cx(0, 1);
+  c.cx(2, 3);
+  c.gate(cphase(0.6), {1, 2}, "cp");
+  c.cx(0, 1);
+  c.cx(2, 3);
+  return c;
+}
+
 struct Row {
   std::string family;
   int n = 0;
   int width_cap = 0;
   std::size_t candidates = 0;
   std::size_t cuts = 0;
+  std::size_t gate_cuts = 0;
   Real kappa = 0.0;
   Real overhead = 0.0;
   Real predicted_shots = 0.0;
+  int max_sim_width = 0;
   std::size_t nodes = 0;
   double plan_ms = 0.0;
   bool brute_checked = false;
@@ -105,14 +131,18 @@ Row run_instance(const std::string& family, const Circuit& circ, const PlannerCo
   row.width_cap = pcfg.max_fragment_width;
 
   const CutPlanner planner(circ, pcfg);
-  row.candidates = planner.graph().candidates().size();
+  // The search space (wire gaps + gate candidates when allowed) — also the
+  // brute-force oracle's domain, so the <= 16 guard below bounds its 2^m scan.
+  row.candidates = planner.search_candidates().size();
   const auto start = Clock::now();
   const CutPlan plan = planner.plan();
   row.plan_ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
   row.cuts = plan.cuts.size();
+  row.gate_cuts = plan.gate_cut_count();
   row.kappa = plan.total_kappa;
   row.overhead = plan.total_overhead;
   row.predicted_shots = plan.predicted_shots;
+  row.max_sim_width = plan.max_sim_width;
   row.nodes = plan.nodes_explored;
 
   if (brute_check && row.candidates <= 16) {
@@ -164,6 +194,40 @@ int main(int argc, char** argv) {
     rows.push_back(run_instance("brick", brickwork(5, 2, brick_rng), cfg, true, true, seed));
   }
 
+  // Gate cut vs wire-only on the same instance. The wire-only plan can be
+  // orders of magnitude more expensive (every wire plan must sever the
+  // reconnecting cx chains at κ = 3 each), so only the gate-cut row executes.
+  Real cpgate_overhead = 0.0;
+  Real cpwire_overhead = 0.0;
+  {
+    PlannerConfig cfg = base;
+    cfg.max_fragment_width = 2;
+    rows.push_back(run_instance("cpgate", cp_linked_halves(), cfg, true, true, seed));
+    cpgate_overhead = rows.back().overhead;
+    cfg.allow_gate_cuts = false;
+    rows.push_back(run_instance("cpwire", cp_linked_halves(), cfg, false, true, seed));
+    cpwire_overhead = rows.back().overhead;
+  }
+
+  // Heterogeneous device caps: ghz(7) on two explicit 4-qubit QPUs — only
+  // the {4,3}-width cut gives a fragment-per-device matching.
+  {
+    PlannerConfig cfg = base;
+    cfg.max_fragment_width = 4;  // display only; the explicit devices govern
+    cfg.device_model.devices = {{4, "qpu-a"}, {4, "qpu-b"}};
+    cfg.device_model.links = {{f, budget, LinkFamily::kNme}};
+    rows.push_back(run_instance("hetdev", ghz_line(7), cfg, true, true, seed));
+  }
+
+  // Heterogeneous links: one perfect pair (κ = 1) and one f = 0.8 pair
+  // (κ = 1.5); the two cuts ghz(6)@cap-3 needs should be granted best first.
+  {
+    PlannerConfig cfg = base;
+    cfg.max_fragment_width = 3;
+    cfg.device_model.links = {{0.8, 1, LinkFamily::kNme}, {1.0, 1, LinkFamily::kNme}};
+    rows.push_back(run_instance("hetlink", ghz_line(6), cfg, true, true, seed));
+  }
+
   if (!smoke) {
     // Larger planning-only instances (execution cost grows exponentially with
     // the spliced width; the planner itself stays cheap). The IR allows up to
@@ -189,9 +253,9 @@ int main(int argc, char** argv) {
 
   std::printf("=== Cut planner: overhead-optimal multi-cut discovery ===\n");
   std::printf("eps=%.3f  resource f=%.2f  pair budget=%d\n\n", eps, f, budget);
-  std::printf("%-6s %4s %5s %6s %5s %9s %10s %12s %7s %9s %8s %8s\n", "family", "n", "cap",
-              "cands", "cuts", "kappa", "overhead", "pred.shots", "nodes", "plan(ms)", "optimal",
-              "|error|");
+  std::printf("%-7s %4s %5s %6s %5s %6s %9s %10s %12s %5s %7s %9s %8s %8s\n", "family", "n",
+              "cap", "cands", "cuts", "gcuts", "kappa", "overhead", "pred.shots", "simw", "nodes",
+              "plan(ms)", "optimal", "|error|");
   bool all_optimal = true;
   bool all_within_band = true;
   for (const auto& r : rows) {
@@ -205,9 +269,9 @@ int main(int argc, char** argv) {
     if (r.executed) {
       std::snprintf(err_buf, sizeof(err_buf), "%.4f", r.abs_error);
     }
-    std::printf("%-6s %4d %5d %6zu %5zu %9.4f %10.3f %12.0f %7zu %9.3f %8s %8s\n",
-                r.family.c_str(), r.n, r.width_cap, r.candidates, r.cuts, r.kappa, r.overhead,
-                r.predicted_shots, r.nodes, r.plan_ms,
+    std::printf("%-7s %4d %5d %6zu %5zu %6zu %9.4f %10.3f %12.0f %5d %7zu %9.3f %8s %8s\n",
+                r.family.c_str(), r.n, r.width_cap, r.candidates, r.cuts, r.gate_cuts, r.kappa,
+                r.overhead, r.predicted_shots, r.max_sim_width, r.nodes, r.plan_ms,
                 r.brute_checked ? (r.brute_optimal ? "yes" : "NO") : "-", err_buf);
   }
 
@@ -219,9 +283,11 @@ int main(int argc, char** argv) {
     const auto& r = rows[i];
     json << "    {\"family\": \"" << r.family << "\", \"n\": " << r.n
          << ", \"width_cap\": " << r.width_cap << ", \"candidates\": " << r.candidates
-         << ", \"cuts\": " << r.cuts << ", \"kappa\": " << r.kappa
-         << ", \"overhead\": " << r.overhead << ", \"predicted_shots\": " << r.predicted_shots
-         << ", \"nodes\": " << r.nodes << ", \"plan_ms\": " << r.plan_ms
+         << ", \"cuts\": " << r.cuts << ", \"gate_cuts\": " << r.gate_cuts
+         << ", \"kappa\": " << r.kappa << ", \"overhead\": " << r.overhead
+         << ", \"predicted_shots\": " << r.predicted_shots
+         << ", \"max_sim_width\": " << r.max_sim_width << ", \"nodes\": " << r.nodes
+         << ", \"plan_ms\": " << r.plan_ms
          << ", \"brute_optimal\": " << (r.brute_checked ? (r.brute_optimal ? "true" : "false")
                                                         : "null")
          << ", \"abs_error\": " << (r.executed ? r.abs_error : -1.0) << "}"
@@ -239,7 +305,13 @@ int main(int argc, char** argv) {
     std::printf("ERROR: an executed plan left the 3*eps error band at the predicted budget\n");
     return 1;
   }
+  if (cpgate_overhead >= cpwire_overhead) {
+    std::printf("ERROR: the gate-cut plan (%.3f) did not beat the wire-only plan (%.3f)\n",
+                cpgate_overhead, cpwire_overhead);
+    return 1;
+  }
   std::printf("all plans brute-force optimal; executed errors within 3*eps at predicted "
-              "budgets\n");
+              "budgets; gate cut beat wire-only %.3f < %.3f\n",
+              cpgate_overhead, cpwire_overhead);
   return 0;
 }

@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "qcut/cut/distill_cut.hpp"
+#include "qcut/cut/gate_cut.hpp"
 #include "qcut/cut/harada_cut.hpp"
+#include "qcut/cut/mixed_cut.hpp"
 #include "qcut/cut/nme_cut.hpp"
 #include "qcut/cut/peng_cut.hpp"
 #include "qcut/obs/metrics.hpp"
@@ -98,23 +100,42 @@ Real CutExecutor::mean_abs_error(const CutInput& input, const CutRunConfig& cfg,
   return acc / static_cast<Real>(trials);
 }
 
+std::shared_ptr<const CutProtocol> make_protocol(const ProtocolSpec& spec) {
+  switch (spec.id) {
+    case ProtocolId::kPeng:
+      return std::make_shared<PengCut>();
+    case ProtocolId::kHarada:
+      return std::make_shared<HaradaCut>();
+    case ProtocolId::kTeleport:
+      return std::make_shared<TeleportCut>();
+    case ProtocolId::kNme:
+      return std::make_shared<NmeCut>(spec.param);
+    case ProtocolId::kDistill:
+      return std::make_shared<DistillCut>(spec.param);
+    case ProtocolId::kMixedNme:
+      return std::make_shared<MixedNmeCut>(werner_resource(spec.param));
+    case ProtocolId::kZzGate:
+      return std::make_shared<ZzGateCut>(spec.param);
+  }
+  throw Error("make_protocol: unknown protocol id");
+}
+
 std::shared_ptr<const WireCutProtocol> make_protocol(const std::string& name, Real k) {
+  ProtocolSpec spec;
   if (name == "peng") {
-    return std::make_shared<PengCut>();
+    spec = ProtocolSpec{ProtocolId::kPeng, 0.0};
+  } else if (name == "harada") {
+    spec = ProtocolSpec{ProtocolId::kHarada, 0.0};
+  } else if (name == "teleport") {
+    spec = ProtocolSpec{ProtocolId::kTeleport, 0.0};
+  } else if (name == "nme") {
+    spec = ProtocolSpec{ProtocolId::kNme, k};
+  } else if (name == "distill") {
+    spec = ProtocolSpec{ProtocolId::kDistill, k};
+  } else {
+    throw Error("make_protocol: unknown protocol '" + name + "'");
   }
-  if (name == "harada") {
-    return std::make_shared<HaradaCut>();
-  }
-  if (name == "teleport") {
-    return std::make_shared<TeleportCut>();
-  }
-  if (name == "nme") {
-    return std::make_shared<NmeCut>(k);
-  }
-  if (name == "distill") {
-    return std::make_shared<DistillCut>(k);
-  }
-  throw Error("make_protocol: unknown protocol '" + name + "'");
+  return std::static_pointer_cast<const WireCutProtocol>(make_protocol(spec));
 }
 
 }  // namespace qcut

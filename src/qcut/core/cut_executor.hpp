@@ -85,8 +85,15 @@ class CutExecutor {
   std::shared_ptr<const WireCutProtocol> protocol_;
 };
 
-/// Factory by name: "peng", "harada", "teleport", "nme", "distill".
+/// Factory over the typed protocol descriptor — the single instantiation
+/// point the planner and the executors share. kZzGate yields a pure-rotation
+/// ZzGateCut (identity locals; the executor supplies host-specific locals
+/// itself); kMixedNme instantiates the Werner resource at q_I = spec.param.
+std::shared_ptr<const CutProtocol> make_protocol(const ProtocolSpec& spec);
+
+/// Legacy factory by name: "peng", "harada", "teleport", "nme", "distill".
 /// For "nme"/"distill" the `k` parameter selects the resource |Φk⟩.
+/// Delegates to the typed overload.
 std::shared_ptr<const WireCutProtocol> make_protocol(const std::string& name, Real k = 1.0);
 
 }  // namespace qcut

@@ -58,12 +58,12 @@ void append_original_op(Circuit& c, const Operation& op, const std::vector<int>&
 
 }  // namespace
 
-Qpd cut_circuit_multi(const Circuit& circ, const std::vector<CutPoint>& points,
-                      const std::vector<const WireCutProtocol*>& protocols,
+Qpd cut_circuit_sites(const Circuit& circ, const std::vector<CutSite>& cut_sites,
+                      const std::vector<const CutProtocol*>& protocols,
                       const std::string& observable) {
   const int n_orig = circ.n_qubits();
-  const std::size_t n_cuts = points.size();
-  QCUT_CHECK(n_cuts > 0, "cut_circuit: no cut points");
+  const std::size_t n_cuts = cut_sites.size();
+  QCUT_CHECK(n_cuts > 0, "cut_circuit: no cut sites");
   QCUT_CHECK(protocols.size() == n_cuts, "cut_circuit: cut/protocol count mismatch");
   QCUT_CHECK(circ.n_cbits() == 0, "cut_circuit: input circuit must be purely quantum");
   for (const auto& op : circ.ops()) {
@@ -72,63 +72,136 @@ Qpd cut_circuit_multi(const Circuit& circ, const std::vector<CutPoint>& points,
   }
   const auto sites = parse_observable(observable, n_orig, "cut_circuit");
 
+  // Per-site validation. Receiver wires are allocated to wire sites only, in
+  // input order; gate sites map 1:1 onto the host op they replace.
+  std::vector<int> receiver(n_cuts, -1);
+  int n_receivers = 0;
+  std::vector<std::size_t> gate_site_at(circ.size(), n_cuts);  // op index -> site
   for (std::size_t j = 0; j < n_cuts; ++j) {
     QCUT_CHECK(protocols[j] != nullptr, "cut_circuit: null protocol");
-    QCUT_CHECK(points[j].qubit >= 0 && points[j].qubit < n_orig,
-               "cut_circuit: cut qubit out of range");
-    QCUT_CHECK(points[j].after_op <= circ.size(), "cut_circuit: cut position out of range");
-    // Dead-cut check: after the cut, the wire must be touched by some op or
-    // measured by the observable — otherwise the teleported state is never
-    // observed and the cut only inflates the sampling overhead by κ².
-    const bool measured = observable[static_cast<std::size_t>(points[j].qubit)] != 'I';
-    QCUT_CHECK(measured || wire_used_from(circ, points[j].after_op, points[j].qubit),
-               "cut_circuit: cut wire has no operations or observable after the cut");
+    QCUT_CHECK(protocols[j]->kind() == cut_sites[j].kind,
+               "cut_circuit: protocol kind does not match cut site kind");
+    if (cut_sites[j].kind == CutKind::kWire) {
+      const CutPoint& p = cut_sites[j].point;
+      QCUT_CHECK(p.qubit >= 0 && p.qubit < n_orig, "cut_circuit: cut qubit out of range");
+      QCUT_CHECK(p.after_op <= circ.size(), "cut_circuit: cut position out of range");
+      // Dead-cut check: after the cut, the wire must be touched by some op or
+      // measured by the observable — otherwise the teleported state is never
+      // observed and the cut only inflates the sampling overhead by κ².
+      const bool measured = observable[static_cast<std::size_t>(p.qubit)] != 'I';
+      QCUT_CHECK(measured || wire_used_from(circ, p.after_op, p.qubit),
+                 "cut_circuit: cut wire has no operations or observable after the cut");
+      receiver[j] = n_orig + n_receivers;
+      ++n_receivers;
+    } else {
+      QCUT_CHECK(cut_sites[j].op_index < circ.size(), "cut_circuit: gate-cut op out of range");
+      const Operation& op = circ.ops()[cut_sites[j].op_index];
+      QCUT_CHECK(op.kind == OpKind::kUnitary && op.qubits.size() == 2,
+                 "cut_circuit: gate cuts apply to two-qubit unitary ops");
+      QCUT_CHECK(gate_site_at[cut_sites[j].op_index] == n_cuts,
+                 "cut_circuit: op cut by more than one gate cut");
+      gate_site_at[cut_sites[j].op_index] = j;
+    }
   }
 
-  // Per-cut gadget lists and the product-term count.
-  std::vector<std::vector<CutGadget>> gadget_sets;
-  gadget_sets.reserve(n_cuts);
+  // One uniform branch view per site: wire gadgets or gate-cut terms.
+  struct Branch {
+    Real coefficient = 0.0;
+    int extra_qubits = 0;
+    int cbits = 0;
+    int pairs = 0;
+    int sign_cbit = -1;
+    const std::string* label = nullptr;
+    const CutGadget* wire = nullptr;
+    const GateCutTerm* gate = nullptr;
+  };
+  std::vector<std::vector<CutGadget>> wire_gadgets(n_cuts);
+  std::vector<std::vector<GateCutTerm>> gate_terms(n_cuts);
+  std::vector<Matrix> gate_local_a(n_cuts), gate_local_b(n_cuts);
+  std::vector<std::vector<Branch>> branch_sets(n_cuts);
   std::size_t total_terms = 1;
   for (std::size_t j = 0; j < n_cuts; ++j) {
-    gadget_sets.push_back(protocols[j]->gadgets());
-    for (const CutGadget& g : gadget_sets.back()) {
-      QCUT_CHECK(g.append != nullptr, "cut_circuit: gadget without append function");
+    if (cut_sites[j].kind == CutKind::kWire) {
+      const auto* wp = dynamic_cast<const WireCutProtocol*>(protocols[j]);
+      QCUT_CHECK(wp != nullptr, "cut_circuit: wire-kind protocol must be a WireCutProtocol");
+      wire_gadgets[j] = wp->gadgets();
+      for (const CutGadget& g : wire_gadgets[j]) {
+        QCUT_CHECK(g.append != nullptr, "cut_circuit: gadget without append function");
+        Branch b;
+        b.coefficient = g.coefficient;
+        b.extra_qubits = g.extra_qubits;
+        b.cbits = g.cbits;
+        b.pairs = g.entangled_pairs;
+        b.label = &g.label;
+        b.wire = &g;
+        branch_sets[j].push_back(b);
+      }
+    } else {
+      const auto* gp = dynamic_cast<const GateCutProtocol*>(protocols[j]);
+      QCUT_CHECK(gp != nullptr, "cut_circuit: gate-kind protocol must be a GateCutProtocol");
+      gate_terms[j] = gp->terms();
+      gate_local_a[j] = gp->local_a();
+      gate_local_b[j] = gp->local_b();
+      for (const GateCutTerm& g : gate_terms[j]) {
+        QCUT_CHECK(g.append != nullptr, "cut_circuit: gate-cut term without append function");
+        Branch b;
+        b.coefficient = g.coefficient;
+        b.cbits = g.cbits;
+        b.sign_cbit = g.sign_cbit;
+        b.label = &g.label;
+        b.gate = &g;
+        branch_sets[j].push_back(b);
+      }
     }
-    total_terms *= gadget_sets.back().size();
+    QCUT_CHECK(!branch_sets[j].empty(), "cut_circuit: protocol with no branches");
+    total_terms *= branch_sets[j].size();
     QCUT_CHECK(total_terms <= 100000, "cut_circuit: term explosion");
   }
 
-  // Splice order: by position, ties in input order (stable). Receiver wire
-  // and classical-bit layout stay keyed to the input order so the term
-  // structure is independent of how the cuts are sorted.
-  std::vector<std::size_t> order(n_cuts);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&points](std::size_t a, std::size_t b) {
-    return points[a].after_op < points[b].after_op;
+  // Splice order of the wire sites: by position, ties in input order
+  // (stable). Receiver wire and classical-bit layout stay keyed to the input
+  // order so the term structure is independent of how the cuts are sorted.
+  // Gate sites need no ordering — each fires exactly when its host op does.
+  std::vector<std::size_t> order;
+  for (std::size_t j = 0; j < n_cuts; ++j) {
+    if (cut_sites[j].kind == CutKind::kWire) {
+      order.push_back(j);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&cut_sites](std::size_t a, std::size_t b) {
+    return cut_sites[a].point.after_op < cut_sites[b].point.after_op;
   });
 
+  const auto is_identity2 = [](const Matrix& m) {
+    return std::abs(m(0, 0) - Cplx{1, 0}) < 1e-15 && std::abs(m(1, 1) - Cplx{1, 0}) < 1e-15 &&
+           std::abs(m(0, 1)) < 1e-15 && std::abs(m(1, 0)) < 1e-15;
+  };
+
   Qpd qpd;
-  std::vector<std::size_t> idx(n_cuts, 0);  // current gadget per cut
+  std::vector<std::size_t> idx(n_cuts, 0);  // current branch per cut
   for (std::size_t t = 0; t < total_terms; ++t) {
-    // Layout for this gadget tuple: receivers, then per-cut helper blocks,
+    // Layout for this branch tuple: receivers, then per-cut helper blocks,
     // then per-cut classical-bit blocks followed by the observable bits.
-    int n_qubits = n_orig + static_cast<int>(n_cuts);
+    int n_qubits = n_orig + n_receivers;
     std::vector<int> helper_base(n_cuts), cbit_base(n_cuts);
     int cbit = 0;
     Real coeff = 1.0;
     int pairs = 0;
     std::string label;
     for (std::size_t j = 0; j < n_cuts; ++j) {
-      const CutGadget& g = gadget_sets[j][idx[j]];
+      const Branch& b = branch_sets[j][idx[j]];
       helper_base[j] = n_qubits;
-      n_qubits += g.extra_qubits;
+      n_qubits += b.extra_qubits;
       cbit_base[j] = cbit;
-      cbit += g.cbits;
-      coeff *= g.coefficient;
-      pairs += g.entangled_pairs;
-      label += (j ? "*" : "") + g.label;
+      cbit += b.cbits;
+      coeff *= b.coefficient;
+      pairs += b.pairs;
+      label += (j ? "*" : "") + *b.label;
     }
     Circuit c(n_qubits, cbit + static_cast<int>(sites.size()));
+
+    QpdTerm term;
+    term.estimate_cbits.clear();
 
     // Current carrier wire of each original qubit.
     std::vector<int> cur(static_cast<std::size_t>(n_orig));
@@ -136,27 +209,46 @@ Qpd cut_circuit_multi(const Circuit& circ, const std::vector<CutPoint>& points,
 
     std::size_t next_cut = 0;
     for (std::size_t pos = 0; pos <= circ.size(); ++pos) {
-      while (next_cut < n_cuts && points[order[next_cut]].after_op == pos) {
+      while (next_cut < order.size() && cut_sites[order[next_cut]].point.after_op == pos) {
         const std::size_t j = order[next_cut];
-        const CutGadget& g = gadget_sets[j][idx[j]];
-        const int dst = n_orig + static_cast<int>(j);
+        const Branch& b = branch_sets[j][idx[j]];
+        const int dst = receiver[j];
         std::vector<int> helpers;
-        for (int h = 0; h < g.extra_qubits; ++h) {
+        for (int h = 0; h < b.extra_qubits; ++h) {
           helpers.push_back(helper_base[j] + h);
         }
-        const int src = cur[static_cast<std::size_t>(points[j].qubit)];
-        g.append(c, src, dst, helpers, cbit_base[j]);
-        cur[static_cast<std::size_t>(points[j].qubit)] = dst;
+        const int src = cur[static_cast<std::size_t>(cut_sites[j].point.qubit)];
+        b.wire->append(c, src, dst, helpers, cbit_base[j]);
+        cur[static_cast<std::size_t>(cut_sites[j].point.qubit)] = dst;
         ++next_cut;
       }
       if (pos < circ.size()) {
-        append_original_op(c, circ.ops()[pos], cur);
+        const std::size_t j = gate_site_at[pos];
+        if (j < n_cuts) {
+          // Gate cut: branch-independent locals, then this branch's ops, in
+          // place of the host op — on the op's *current* carrier wires.
+          const Branch& b = branch_sets[j][idx[j]];
+          const Operation& op = circ.ops()[pos];
+          const int qa = cur[static_cast<std::size_t>(op.qubits[0])];
+          const int qb = cur[static_cast<std::size_t>(op.qubits[1])];
+          if (!is_identity2(gate_local_a[j])) {
+            c.gate(gate_local_a[j], {qa}, "gc-local");
+          }
+          if (!is_identity2(gate_local_b[j])) {
+            c.gate(gate_local_b[j], {qb}, "gc-local");
+          }
+          b.gate->append(c, qa, qb, cbit_base[j]);
+          if (b.sign_cbit >= 0) {
+            term.estimate_cbits.push_back(cbit_base[j] + b.sign_cbit);
+          }
+        } else {
+          append_original_op(c, circ.ops()[pos], cur);
+        }
       }
     }
 
-    // Observable measurements; estimate = parity of the recorded bits.
-    QpdTerm term;
-    term.estimate_cbits.clear();
+    // Observable measurements; estimate = parity of the recorded bits
+    // (signed gate-cut measurements included above).
     for (const auto& [q, p] : sites) {
       append_pauli_measurement(c, cur[static_cast<std::size_t>(q)], p, cbit);
       term.estimate_cbits.push_back(cbit);
@@ -168,15 +260,27 @@ Qpd cut_circuit_multi(const Circuit& circ, const std::vector<CutPoint>& points,
     term.label = std::move(label);
     qpd.add(std::move(term));
 
-    // Advance the gadget-index tuple (last cut fastest).
+    // Advance the branch-index tuple (last cut fastest).
     for (std::size_t j = n_cuts; j-- > 0;) {
-      if (++idx[j] < gadget_sets[j].size()) {
+      if (++idx[j] < branch_sets[j].size()) {
         break;
       }
       idx[j] = 0;
     }
   }
   return qpd;
+}
+
+Qpd cut_circuit_multi(const Circuit& circ, const std::vector<CutPoint>& points,
+                      const std::vector<const WireCutProtocol*>& protocols,
+                      const std::string& observable) {
+  std::vector<CutSite> sites;
+  sites.reserve(points.size());
+  for (const CutPoint& p : points) {
+    sites.push_back(CutSite::wire(p));
+  }
+  std::vector<const CutProtocol*> protos(protocols.begin(), protocols.end());
+  return cut_circuit_sites(circ, sites, protos, observable);
 }
 
 Qpd cut_circuit(const Circuit& circ, const CutPoint& point, const WireCutProtocol& protocol,

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "qcut/cut/gate_cut.hpp"
 #include "qcut/cut/wire_cut.hpp"
 
 namespace qcut {
@@ -35,6 +36,36 @@ inline bool operator==(const CutPoint& a, const CutPoint& b) {
   return a.after_op == b.after_op && a.qubit == b.qubit;
 }
 
+/// One cut location under the unified candidate model: a wire cut at a
+/// CutPoint, or a gate cut replacing the host op at `op_index`.
+struct CutSite {
+  CutKind kind = CutKind::kWire;
+  CutPoint point{};          ///< wire cuts only
+  std::size_t op_index = 0;  ///< gate cuts only
+
+  static CutSite wire(CutPoint p) {
+    CutSite s;
+    s.kind = CutKind::kWire;
+    s.point = p;
+    return s;
+  }
+  static CutSite gate(std::size_t op_index) {
+    CutSite s;
+    s.kind = CutKind::kGate;
+    s.op_index = op_index;
+    return s;
+  }
+  /// The splice position on the host op timeline.
+  std::size_t position() const noexcept {
+    return kind == CutKind::kWire ? point.after_op : op_index;
+  }
+};
+
+inline bool operator==(const CutSite& a, const CutSite& b) {
+  return a.kind == b.kind &&
+         (a.kind == CutKind::kWire ? a.point == b.point : a.op_index == b.op_index);
+}
+
 /// Cuts `circ` (unitary ops only, no classical bits) at `point` with
 /// `protocol`, measuring the n-qubit Pauli string `observable` (indexed by
 /// the original circuit's qubits) on the final state. Each QPD term's
@@ -46,12 +77,25 @@ inline bool operator==(const CutPoint& a, const CutPoint& b) {
 Qpd cut_circuit(const Circuit& circ, const CutPoint& point, const WireCutProtocol& protocol,
                 const std::string& observable);
 
-/// Cuts `circ` at every `points[i]` with `protocols[i]`, producing the
-/// product QPD of the n independent single-wire decompositions spliced into
-/// one host circuit. Receiver wire i is `circ.n_qubits() + i`; gadget helper
-/// qubits follow the receivers. Cuts are spliced in time order (ties: input
-/// order), so two cuts on one wire chain sender → receiver → receiver.
-/// Validation is the same as cut_circuit, applied per cut.
+/// The unified n-cut splicer: cuts `circ` at every `sites[i]` with
+/// `protocols[i]` (whose kind() must match the site's kind), producing the
+/// product QPD of the n independent decompositions spliced into one host
+/// circuit.
+///
+/// Wire cuts consume the current carrier of their wire and deliver onto a
+/// fresh receiver wire (receiver i = circ.n_qubits() + the site's rank among
+/// the wire sites, input order); gadget helper qubits follow the receivers.
+/// Gate cuts replace the two-qubit host op at their `op_index` with the
+/// protocol's branch-independent locals plus the branch ops; a branch's
+/// signed-measurement bit joins the term's estimate parity. Sites are spliced
+/// in time order (ties: input order), so cuts may chain along one wire.
+/// Validation is cut_circuit's, applied per site; gate sites additionally
+/// require a two-qubit unitary host op cut by at most one site.
+Qpd cut_circuit_sites(const Circuit& circ, const std::vector<CutSite>& sites,
+                      const std::vector<const CutProtocol*>& protocols,
+                      const std::string& observable);
+
+/// Wire-cut-only convenience over cut_circuit_sites (the pre-gate-cut API).
 Qpd cut_circuit_multi(const Circuit& circ, const std::vector<CutPoint>& points,
                       const std::vector<const WireCutProtocol*>& protocols,
                       const std::string& observable);

@@ -1,6 +1,7 @@
 #include "qcut/cut/gate_cut.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "qcut/cut/teleportation.hpp"
 #include "qcut/linalg/kron.hpp"
@@ -17,6 +18,59 @@ Matrix quarter_rotation(Real alpha) { return gates::rz(-alpha * kPi / 2.0); }
 }  // namespace
 
 Real zz_gate_cut_overhead(Real theta) { return 1.0 + 2.0 * std::abs(std::sin(2.0 * theta)); }
+
+ZzGateCut::ZzGateCut(Real theta)
+    : theta_(theta), local_a_(Matrix::identity(2)), local_b_(Matrix::identity(2)) {}
+
+ZzGateCut::ZzGateCut(Real theta, Matrix local_a, Matrix local_b)
+    : theta_(theta), local_a_(std::move(local_a)), local_b_(std::move(local_b)) {
+  QCUT_CHECK(local_a_.rows() == 2 && local_a_.cols() == 2 && local_b_.rows() == 2 &&
+                 local_b_.cols() == 2,
+             "ZzGateCut: locals must be 2x2");
+}
+
+std::string ZzGateCut::name() const {
+  std::ostringstream os;
+  os << "zz-gate(theta=" << theta_ << ")";
+  return os.str();
+}
+
+ZzFactorization zz_factor_diagonal(const Matrix& u) {
+  ZzFactorization out;
+  if (u.rows() != 4 || u.cols() != 4) {
+    return out;
+  }
+  constexpr Real tol = 1e-9;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      if (r != c && std::abs(u(r, c)) > tol) {
+        return out;  // not diagonal
+      }
+    }
+    if (std::abs(std::abs(u(r, r)) - 1.0) > tol) {
+      return out;  // not unitary-diagonal
+    }
+  }
+  const Cplx d00 = u(0, 0), d01 = u(1, 1), d10 = u(2, 2), d11 = u(3, 3);
+  // diag(U) = (a0,a1) ⊗ (b0,b1) · diag(e^{iθ}, e^{-iθ}, e^{-iθ}, e^{iθ}):
+  // the product d00·d11·conj(d01)·conj(d10) = e^{4iθ} isolates θ, and the
+  // locals follow by back-substitution with a0 = 1 (the global phase lands
+  // in b0/b1).
+  out.theta = std::arg(d00 * d11 * std::conj(d01) * std::conj(d10)) / 4.0;
+  const Cplx eitheta = std::polar<Real>(1.0, out.theta);
+  const Cplx b0 = d00 / eitheta;
+  const Cplx b1 = d01 * eitheta;
+  const Cplx a1 = d10 * eitheta / b0;
+  out.local_a = Matrix::identity(2);
+  out.local_a(1, 1) = a1;
+  out.local_b = Matrix::identity(2);
+  out.local_b(0, 0) = b0;
+  out.local_b(1, 1) = b1;
+  QCUT_CHECK(std::abs(a1 * b1 * eitheta - d11) < 1e-8,
+             "zz_factor_diagonal: factorization check failed");
+  out.ok = true;
+  return out;
+}
 
 std::vector<GateCutTerm> zz_gate_cut_terms(Real theta) {
   const Real c = std::cos(theta);

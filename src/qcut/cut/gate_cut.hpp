@@ -21,6 +21,7 @@
 #include <functional>
 #include <string>
 
+#include "qcut/cut/cut_protocol.hpp"
 #include "qcut/qpd/qpd.hpp"
 
 namespace qcut {
@@ -41,6 +42,61 @@ std::vector<GateCutTerm> zz_gate_cut_terms(Real theta);
 
 /// κ(θ) = 1 + 2|sin 2θ|.
 Real zz_gate_cut_overhead(Real theta);
+
+/// A cut protocol that replaces one two-qubit gate of the host circuit by a
+/// QPD of local branches. No branch ever splices a quantum op across the
+/// partition (the signed measurement's outcome is classical post-processing),
+/// so gate cuts always split fragments fully and consume no resource pairs.
+class GateCutProtocol : public CutProtocol {
+ public:
+  CutKind kind() const final { return CutKind::kGate; }
+  Real pairs_per_sample() const final { return 0.0; }
+
+  /// The QPD branches spliced in place of the host op.
+  virtual std::vector<GateCutTerm> terms() const = 0;
+
+  /// Branch-independent local corrections applied at the host op's position
+  /// on each gate qubit (identity for a pure ZZ rotation). The generic
+  /// splicer (circuit_cutter.cpp) appends them before every branch.
+  virtual Matrix local_a() const = 0;
+  virtual Matrix local_b() const = 0;
+};
+
+/// The Mitarai–Fujii cut of (A ⊗ B)·e^{iθ Z⊗Z} — via zz_factor_diagonal this
+/// covers every diagonal two-qubit unitary (cz, cp, crz, rzz, fused diagonal
+/// runs, …), with κ = 1 + 2|sin 2θ| ≤ 3.
+class ZzGateCut final : public GateCutProtocol {
+ public:
+  /// Pure e^{iθ Z⊗Z} (identity locals).
+  explicit ZzGateCut(Real theta);
+  /// (local_a ⊗ local_b)·e^{iθ Z⊗Z}; the locals must be 2×2.
+  ZzGateCut(Real theta, Matrix local_a, Matrix local_b);
+
+  Real theta() const noexcept { return theta_; }
+
+  std::string name() const override;
+  Real kappa() const override { return zz_gate_cut_overhead(theta_); }
+  std::vector<GateCutTerm> terms() const override { return zz_gate_cut_terms(theta_); }
+  Matrix local_a() const override { return local_a_; }
+  Matrix local_b() const override { return local_b_; }
+
+ private:
+  Real theta_;
+  Matrix local_a_, local_b_;
+};
+
+/// Factorization of a diagonal two-qubit unitary U = (A ⊗ B)·e^{iθ Z⊗Z}
+/// (up to nothing — the locals absorb the global phase). Exists for every
+/// diagonal unitary; `ok` is false when U is not diagonal-unitary.
+struct ZzFactorization {
+  bool ok = false;
+  Real theta = 0.0;  ///< principal angle in (−π/4, π/4]
+  Matrix local_a, local_b;
+};
+
+/// Computes the factorization: θ = arg(U00·U11·conj(U01)·conj(U10))/4, locals
+/// by back-substitution, verified against U to 1e-9.
+ZzFactorization zz_factor_diagonal(const Matrix& u);
 
 /// Cuts the rotation e^{iθ Z_qa ⊗ Z_qb} that would act after `pos` ops of
 /// `circ` (which must not contain the gate itself), measuring the Pauli

@@ -40,6 +40,18 @@ Real mixed_cut_overhead(Real q_identity) {
   return (3.0 + 4.0 * qe) / (3.0 - 4.0 * qe);
 }
 
+Matrix werner_resource(Real q_identity) {
+  QCUT_CHECK(q_identity > 0.25 + 1e-12 && q_identity <= 1.0 + kTightTol,
+             "werner_resource: q_identity must lie in (1/4, 1]");
+  const std::array<Vector, 4> basis = bell_basis();
+  Matrix rho = Cplx{q_identity, 0.0} * density(basis[0]);
+  const Real rest = (1.0 - q_identity) / 3.0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    rho += Cplx{rest, 0.0} * density(basis[i]);
+  }
+  return rho;
+}
+
 MixedNmeCut::MixedNmeCut(Matrix resource) : resource_(std::move(resource)) {
   QCUT_CHECK(resource_.rows() == 4 && resource_.cols() == 4,
              "MixedNmeCut: resource must be a two-qubit density operator");

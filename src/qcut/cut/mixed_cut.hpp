@@ -50,4 +50,10 @@ class MixedNmeCut final : public WireCutProtocol {
 /// κ_mixed(q_I) = (3 + 4(1 − q_I)) / (3 − 4(1 − q_I)) = (7 − 4 q_I)/(4 q_I − 1).
 Real mixed_cut_overhead(Real q_identity);
 
+/// The Werner resource with Bell-identity weight q_I: q_I |Φ⟩⟨Φ| plus the
+/// remaining weight spread evenly over the other three Bell states. The
+/// canonical one-parameter mixed resource (what a depolarized Bell pair looks
+/// like) — the planner's DeviceModel instantiates mixed links through it.
+Matrix werner_resource(Real q_identity);
+
 }  // namespace qcut

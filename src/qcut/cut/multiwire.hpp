@@ -18,7 +18,10 @@ namespace qcut {
 Qpd product_qpd(const std::vector<const WireCutProtocol*>& protocols,
                 const std::vector<CutInput>& inputs);
 
-/// κ of the product decomposition (= Π κ_i).
+/// κ of the product decomposition (= Π κ_i). The product law is
+/// kind-agnostic — the planner applies the same composition to mixed
+/// wire/gate cut sets via CutProtocol::kappa(); this overload keeps the
+/// established wire-only call sites working unambiguously.
 Real product_kappa(const std::vector<const WireCutProtocol*>& protocols);
 
 }  // namespace qcut

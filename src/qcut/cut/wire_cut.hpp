@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "qcut/cut/cut_protocol.hpp"
 #include "qcut/linalg/channel.hpp"
 #include "qcut/qpd/qpd.hpp"
 
@@ -44,14 +45,13 @@ struct CutGadget {
       append;
 };
 
-class WireCutProtocol {
+class WireCutProtocol : public CutProtocol {
  public:
-  virtual ~WireCutProtocol() = default;
+  CutKind kind() const final { return CutKind::kWire; }
 
-  virtual std::string name() const = 0;
-
-  /// Theoretical sampling overhead κ = Σ|c_i| of this protocol's QPD.
-  virtual Real kappa() const = 0;
+  /// Σ (|c_i|/κ)·pairs_i over the QPD branches — derived generically from
+  /// gadgets(), so protocols only declare per-branch consumption.
+  Real pairs_per_sample() const override;
 
   /// The branch fragments; coefficients must sum to 1 and Σ|c_i| = kappa().
   virtual std::vector<CutGadget> gadgets() const = 0;

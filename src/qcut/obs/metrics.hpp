@@ -43,6 +43,7 @@ enum class Counter : int {
   kFusionOpsAfter,
   kFusionFused1q,
   kFusionMergedDiagonal,
+  kFusionMergedMonomial,
   kFusionDroppedIdentity,
   // Statevector kernel dispatch (sim/statevector.cpp): one count per
   // Statevector::apply, keyed by the GateStructure path taken.

@@ -205,6 +205,7 @@ std::string RunReport::to_json(int indent) const {
                      static_cast<double>(ops_before)));
   w.field("fused_1q", c[Counter::kFusionFused1q]);
   w.field("merged_diagonal", c[Counter::kFusionMergedDiagonal]);
+  w.field("merged_monomial", c[Counter::kFusionMergedMonomial]);
   w.field("dropped_identity", c[Counter::kFusionDroppedIdentity]);
   w.close();
 

@@ -4,15 +4,46 @@
 #include <numeric>
 
 #include "qcut/common/union_find.hpp"
+#include "qcut/cut/gate_cut.hpp"
 
 namespace qcut {
 
+std::vector<int> FragmentPartition::widths_desc() const {
+  std::vector<int> out = widths;
+  std::sort(out.begin(), out.end(), std::greater<int>());
+  return out;
+}
+
+int FragmentPartition::max_width() const {
+  int w = 0;
+  for (int x : widths) {
+    w = std::max(w, x);
+  }
+  return w;
+}
+
 CircuitGraph::CircuitGraph(const Circuit& circ) : circ_(&circ) {
-  for (const auto& op : circ.ops()) {
+  for (std::size_t t = 0; t < circ.size(); ++t) {
+    const auto& op = circ.ops()[t];
     QCUT_CHECK(op.kind == OpKind::kUnitary || op.kind == OpKind::kInitialize,
                "CircuitGraph: circuit must contain only unitary/initialize ops");
-    min_reachable_width_ =
-        std::max(min_reachable_width_, static_cast<int>(op.qubits.size()));
+    const int arity = static_cast<int>(op.qubits.size());
+    min_reachable_width_ = std::max(min_reachable_width_, arity);
+
+    // Gate-cut candidates: two-qubit unitaries whose matrix is diagonal up to
+    // local factors — exactly the ops zz_factor_diagonal handles. Such ops
+    // are severable, so they do not raise the with-gate-cuts width floor.
+    bool severable = false;
+    if (op.kind == OpKind::kUnitary && op.qubits.size() == 2) {
+      const ZzFactorization f = zz_factor_diagonal(op.matrix);
+      if (f.ok) {
+        severable = true;
+        gate_candidates_.push_back(GateCandidate{t, f.theta, zz_gate_cut_overhead(f.theta)});
+      }
+    }
+    if (!severable) {
+      min_reachable_width_gate_ = std::max(min_reachable_width_gate_, arity);
+    }
   }
 
   wire_ops_.resize(static_cast<std::size_t>(circ.n_qubits()));
@@ -40,6 +71,21 @@ CircuitGraph::CircuitGraph(const Circuit& circ) : circ_(&circ) {
   std::sort(candidates_.begin(), candidates_.end(), [](const CutPoint& a, const CutPoint& b) {
     return a.after_op != b.after_op ? a.after_op < b.after_op : a.qubit < b.qubit;
   });
+
+  // Unified list: wire candidates keep their established indices; gate
+  // candidates follow, by op index.
+  for (const CutPoint& p : candidates_) {
+    CutCandidate c;
+    c.site = CutSite::wire(p);
+    all_candidates_.push_back(c);
+  }
+  for (const GateCandidate& g : gate_candidates_) {
+    CutCandidate c;
+    c.site = CutSite::gate(g.op_index);
+    c.gate_theta = g.theta;
+    c.gate_kappa = g.kappa;
+    all_candidates_.push_back(c);
+  }
 }
 
 const std::vector<std::size_t>& CircuitGraph::wire_ops(int q) const {
@@ -47,20 +93,21 @@ const std::vector<std::size_t>& CircuitGraph::wire_ops(int q) const {
   return wire_ops_[static_cast<std::size_t>(q)];
 }
 
-std::vector<int> CircuitGraph::fragment_widths(const std::vector<CutPoint>& cuts) const {
+FragmentPartition CircuitGraph::partition(const std::vector<CutPoint>& wire_cuts,
+                                          const std::vector<std::size_t>& gate_cut_ops) const {
   const int n = circ_->n_qubits();
   // Cut positions per wire, sorted, deduplicated (cutting the same spot twice
   // chains receivers without refining the partition).
-  std::vector<std::vector<std::size_t>> wire_cuts(static_cast<std::size_t>(n));
-  for (const CutPoint& cp : cuts) {
-    QCUT_CHECK(cp.qubit >= 0 && cp.qubit < n, "fragment_widths: cut qubit out of range");
-    QCUT_CHECK(cp.after_op <= circ_->size(), "fragment_widths: cut position out of range");
-    wire_cuts[static_cast<std::size_t>(cp.qubit)].push_back(cp.after_op);
+  std::vector<std::vector<std::size_t>> per_wire(static_cast<std::size_t>(n));
+  for (const CutPoint& cp : wire_cuts) {
+    QCUT_CHECK(cp.qubit >= 0 && cp.qubit < n, "partition: cut qubit out of range");
+    QCUT_CHECK(cp.after_op <= circ_->size(), "partition: cut position out of range");
+    per_wire[static_cast<std::size_t>(cp.qubit)].push_back(cp.after_op);
   }
   std::size_t n_segments = 0;
   std::vector<std::size_t> seg_base(static_cast<std::size_t>(n));
   for (int q = 0; q < n; ++q) {
-    auto& pos = wire_cuts[static_cast<std::size_t>(q)];
+    auto& pos = per_wire[static_cast<std::size_t>(q)];
     std::sort(pos.begin(), pos.end());
     pos.erase(std::unique(pos.begin(), pos.end()), pos.end());
     seg_base[static_cast<std::size_t>(q)] = n_segments;
@@ -69,37 +116,64 @@ std::vector<int> CircuitGraph::fragment_widths(const std::vector<CutPoint>& cuts
 
   // Segment of wire q at op position t: #cuts on q at positions <= t.
   const auto segment_at = [&](int q, std::size_t t) {
-    const auto& pos = wire_cuts[static_cast<std::size_t>(q)];
+    const auto& pos = per_wire[static_cast<std::size_t>(q)];
     const std::size_t k = static_cast<std::size_t>(
         std::upper_bound(pos.begin(), pos.end(), t) - pos.begin());
     return seg_base[static_cast<std::size_t>(q)] + k;
   };
 
+  std::vector<bool> severed(circ_->size(), false);
+  for (std::size_t t : gate_cut_ops) {
+    QCUT_CHECK(t < circ_->size(), "partition: gate-cut op out of range");
+    severed[t] = true;
+  }
+
   UnionFind uf(n_segments);
   for (std::size_t t = 0; t < circ_->size(); ++t) {
+    if (severed[t]) {
+      continue;  // the gate cut's branches are fully local
+    }
     const auto& qs = circ_->ops()[t].qubits;
     for (std::size_t i = 1; i < qs.size(); ++i) {
       uf.unite(segment_at(qs[0], t), segment_at(qs[i], t));
     }
   }
 
-  std::vector<int> width(n_segments, 0);
+  // Compress roots to dense fragment ids.
+  std::vector<int> frag_of_root(n_segments, -1);
+  FragmentPartition out;
   for (std::size_t s = 0; s < n_segments; ++s) {
-    ++width[uf.find(s)];
-  }
-  std::vector<int> out;
-  for (std::size_t s = 0; s < n_segments; ++s) {
-    if (width[s] > 0) {
-      out.push_back(width[s]);
+    const std::size_t r = uf.find(s);
+    if (frag_of_root[r] < 0) {
+      frag_of_root[r] = static_cast<int>(out.widths.size());
+      out.widths.push_back(0);
     }
+    ++out.widths[static_cast<std::size_t>(frag_of_root[r])];
   }
-  std::sort(out.begin(), out.end(), std::greater<int>());
+
+  // Sender/receiver fragment of each input wire cut. A cut at position p on
+  // wire q sits between the segment of ops t < p and the segment of ops
+  // t >= p: with k = index of p in the deduped positions, those are
+  // seg_base + k and seg_base + k + 1.
+  out.cut_fragments.reserve(wire_cuts.size());
+  for (const CutPoint& cp : wire_cuts) {
+    const auto& pos = per_wire[static_cast<std::size_t>(cp.qubit)];
+    const std::size_t k = static_cast<std::size_t>(
+        std::lower_bound(pos.begin(), pos.end(), cp.after_op) - pos.begin());
+    const std::size_t sender = seg_base[static_cast<std::size_t>(cp.qubit)] + k;
+    const std::size_t receiver = sender + 1;
+    out.cut_fragments.emplace_back(frag_of_root[uf.find(sender)],
+                                   frag_of_root[uf.find(receiver)]);
+  }
   return out;
 }
 
+std::vector<int> CircuitGraph::fragment_widths(const std::vector<CutPoint>& cuts) const {
+  return partition(cuts, {}).widths_desc();
+}
+
 int CircuitGraph::max_fragment_width(const std::vector<CutPoint>& cuts) const {
-  const std::vector<int> widths = fragment_widths(cuts);
-  return widths.empty() ? 0 : widths.front();
+  return partition(cuts, {}).max_width();
 }
 
 }  // namespace qcut

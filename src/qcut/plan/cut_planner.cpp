@@ -4,8 +4,9 @@
 #include <limits>
 #include <sstream>
 
+#include "qcut/common/union_find.hpp"
+#include "qcut/core/cut_executor.hpp"
 #include "qcut/core/overhead.hpp"
-#include "qcut/linalg/bell.hpp"
 #include "qcut/obs/metrics.hpp"
 #include "qcut/obs/trace.hpp"
 #include "qcut/sim/statevector.hpp"
@@ -15,16 +16,35 @@ namespace qcut {
 namespace {
 
 constexpr Real kHalfTol = 1e-12;
+constexpr Real kKappaTol = 1e-12;
 
 }  // namespace
 
 std::vector<CutPoint> CutPlan::points() const {
   std::vector<CutPoint> out;
-  out.reserve(cuts.size());
   for (const PlannedCut& c : cuts) {
-    out.push_back(c.point);
+    if (c.site.kind == CutKind::kWire) {
+      out.push_back(c.site.point);
+    }
   }
   return out;
+}
+
+std::vector<CutSite> CutPlan::sites() const {
+  std::vector<CutSite> out;
+  out.reserve(cuts.size());
+  for (const PlannedCut& c : cuts) {
+    out.push_back(c.site);
+  }
+  return out;
+}
+
+std::size_t CutPlan::gate_cut_count() const {
+  std::size_t n = 0;
+  for (const PlannedCut& c : cuts) {
+    n += c.site.kind == CutKind::kGate ? 1 : 0;
+  }
+  return n;
 }
 
 std::string CutPlan::to_string() const {
@@ -33,10 +53,19 @@ std::string CutPlan::to_string() const {
      << ", overhead factor " << total_overhead << "\n";
   for (std::size_t i = 0; i < cuts.size(); ++i) {
     const PlannedCut& c = cuts[i];
-    os << "  cut " << i << ": wire " << c.point.qubit << " after op " << c.point.after_op
-       << "  protocol=" << c.protocol;
+    if (c.site.kind == CutKind::kWire) {
+      os << "  cut " << i << ": wire " << c.site.point.qubit << " after op "
+         << c.site.point.after_op;
+    } else {
+      os << "  cut " << i << ": gate at op " << c.site.op_index;
+    }
+    os << "  protocol=" << qcut::to_string(c.spec);
     if (c.entangled) {
-      os << "(k=" << c.k << ", 1 pair/sample)";
+      os << " (1 pair/sample";
+      if (c.link >= 0) {
+        os << ", link " << c.link;
+      }
+      os << ")";
     }
     os << "  kappa=" << c.kappa << "\n";
   }
@@ -45,6 +74,11 @@ std::string CutPlan::to_string() const {
     os << " " << w;
   }
   os << " (max " << max_width << ")\n";
+  os << "  merged sim widths:";
+  for (int w : sim_widths) {
+    os << " " << w;
+  }
+  os << " (max " << max_sim_width << ")\n";
   os << "  predicted shots for eps=" << target_accuracy << ": " << predicted_shots << "\n";
   return os.str();
 }
@@ -56,66 +90,211 @@ CutPlanner::CutPlanner(const Circuit& circ, PlannerConfig cfg)
     // accepts must be a plan the fragment evaluator can actually run.
     cfg_.max_fragment_width = Statevector::kMaxQubits;
   }
+  sim_cap_ = Statevector::kMaxQubits;
   QCUT_CHECK(cfg_.max_fragment_width >= 1, "CutPlanner: max_fragment_width must be >= 1");
   QCUT_CHECK(cfg_.resource_overlap >= 0.5 - kTightTol && cfg_.resource_overlap <= 1.0 + kTightTol,
              "CutPlanner: resource_overlap must lie in [1/2, 1]");
   QCUT_CHECK(cfg_.pair_budget >= 0, "CutPlanner: pair_budget must be non-negative");
   QCUT_CHECK(cfg_.target_accuracy > 0.0, "CutPlanner: target_accuracy must be positive");
-  use_entanglement_ = cfg_.pair_budget > 0 && cfg_.resource_overlap > 0.5 + kHalfTol;
-  if (use_entanglement_) {
-    kappa_nme_ = optimal_overhead_from_f(cfg_.resource_overlap);
-    k_nme_ = k_for_overlap(std::min<Real>(cfg_.resource_overlap, 1.0));
+
+  // Resolve the effective device model: an explicit model wins; otherwise the
+  // legacy scalar fields synthesize the homogeneous equivalent.
+  model_ = cfg_.device_model.empty()
+               ? DeviceModel::homogeneous(cfg_.resource_overlap, cfg_.pair_budget)
+               : cfg_.device_model;
+  for (const DeviceSpec& d : model_.devices) {
+    QCUT_CHECK(d.width_cap >= 1, "CutPlanner: device width_cap must be >= 1");
+  }
+  for (const LinkSpec& l : model_.links) {
+    QCUT_CHECK(l.pair_budget >= 0, "CutPlanner: link pair_budget must be non-negative");
+    if (l.family == LinkFamily::kMixed) {
+      QCUT_CHECK(l.overlap > 0.25 + kHalfTol && l.overlap <= 1.0 + kTightTol,
+                 "CutPlanner: mixed-link identity weight must lie in (1/4, 1]");
+    } else {
+      QCUT_CHECK(l.overlap >= 0.5 - kTightTol && l.overlap <= 1.0 + kTightTol,
+                 "CutPlanner: link overlap must lie in [1/2, 1]");
+    }
+  }
+
+  // Expand links into per-cut slots, keeping only slots that beat the
+  // entanglement-free optimum (κ < 3) — a slot that doesn't is never granted
+  // (harada costs the same or less and cannot merge fragments). Slots sort
+  // best-κ-first (ties: link order) and at most max_cuts can ever be used.
+  for (std::size_t li = 0; li < model_.links.size(); ++li) {
+    const LinkSpec& link = model_.links[li];
+    if (link.pair_budget <= 0) {
+      continue;
+    }
+    const ProtocolSpec spec = link_protocol_spec(link);
+    const Real kappa = spec_kappa(spec);
+    if (kappa >= 3.0 - kKappaTol) {
+      continue;
+    }
+    // Merge semantics probed once per link from the protocol itself — the
+    // feasibility model and the executor share one source of truth.
+    const MergeProfile profile = merge_profile(*make_protocol(spec));
+    const int copies = std::min<int>(link.pair_budget, static_cast<int>(cfg_.max_cuts));
+    for (int c = 0; c < copies; ++c) {
+      slots_.push_back(LinkSlot{static_cast<int>(li), spec, kappa, profile});
+    }
+  }
+  std::stable_sort(slots_.begin(), slots_.end(),
+                   [](const LinkSlot& a, const LinkSlot& b) { return a.kappa < b.kappa; });
+  if (slots_.size() > cfg_.max_cuts) {
+    slots_.resize(cfg_.max_cuts);
+  }
+  min_wire_kappa_ = slots_.empty() ? 3.0 : std::min<Real>(3.0, slots_.front().kappa);
+
+  if (cfg_.allow_gate_cuts) {
+    search_cands_ = graph_.all_candidates();
+  } else {
+    for (const CutPoint& p : graph_.candidates()) {
+      CutCandidate c;
+      c.site = CutSite::wire(p);
+      search_cands_.push_back(c);
+    }
   }
 }
 
-Real CutPlanner::cut_kappa(std::size_t cut_index) const {
-  const bool entangled =
-      use_entanglement_ && cut_index < static_cast<std::size_t>(cfg_.pair_budget);
-  return entangled ? kappa_nme_ : 3.0;
+Real CutPlanner::kappa_lower_bound(std::size_t candidate) const {
+  const CutCandidate& c = search_cands_[candidate];
+  return c.site.kind == CutKind::kGate ? c.gate_kappa : min_wire_kappa_;
 }
 
-Real CutPlanner::set_overhead(std::size_t n_cuts) const {
-  Real cost = 1.0;
-  for (std::size_t i = 0; i < n_cuts; ++i) {
-    cost *= cut_kappa(i) * cut_kappa(i);
+ProtocolAssignment CutPlanner::assign_protocols(const std::vector<std::size_t>& subset) const {
+  ProtocolAssignment out;
+  std::vector<CutPoint> wire_pts;
+  std::vector<std::size_t> gate_ops;
+  for (std::size_t idx : subset) {
+    QCUT_CHECK(idx < search_cands_.size(), "assign_protocols: candidate index out of range");
+    const CutCandidate& c = search_cands_[idx];
+    if (c.site.kind == CutKind::kWire) {
+      wire_pts.push_back(c.site.point);
+    } else {
+      gate_ops.push_back(c.site.op_index);
+    }
   }
-  return cost;
+
+  // Tier 1 — device feasibility: the unmerged fragment widths against the
+  // model's caps. Helper/resource qubits are the protocol's business (the
+  // entangled resource is physically distributed), so they don't count here.
+  const FragmentPartition part = graph_.partition(wire_pts, gate_ops);
+  out.device_widths = part.widths_desc();
+  if (!model_.fits(out.device_widths, cfg_.max_fragment_width)) {
+    out.reason = "fragment widths exceed the device model";
+    return out;
+  }
+
+  // Map each wire cut back to its index among the wire cuts (grant order) and
+  // each subset position to its fragment pair.
+  const std::size_t w = wire_pts.size();
+  const std::size_t s_max = std::min(w, slots_.size());
+
+  // Tier 2 — simulation feasibility, merge-aware: granting slot i to wire
+  // cut i unites the cut's two fragments in the simulator whenever the
+  // slot's protocol merges; every entangled cut also contributes its worst
+  // branch's helper wires. The all-merge scenario with per-cut max extras
+  // dominates every actual QPD term, so checking it once per grant count is
+  // sound. Grants go best-slot-to-earliest-cut; when the merged width would
+  // exceed the engine cap the planner backs off one pair at a time — the
+  // plan is repaired at plan time instead of dying in the fragment backend.
+  for (std::size_t s = s_max + 1; s-- > 0;) {
+    const std::size_t n_frags = part.widths.size();
+    UnionFind uf(n_frags);
+    for (std::size_t i = 0; i < s; ++i) {
+      if (slots_[i].profile.merges) {
+        const auto& [fs, fr] = part.cut_fragments[i];
+        uf.unite(static_cast<std::size_t>(fs), static_cast<std::size_t>(fr));
+      }
+    }
+    std::vector<int> comp_width(n_frags, 0);
+    for (std::size_t f = 0; f < n_frags; ++f) {
+      comp_width[uf.find(f)] += part.widths[f];
+    }
+    for (std::size_t i = 0; i < s; ++i) {
+      const auto& [fs, fr] = part.cut_fragments[i];
+      const MergeProfile& mp = slots_[i].profile;
+      if (mp.merges) {
+        comp_width[uf.find(static_cast<std::size_t>(fs))] += mp.max_extra();
+      } else {
+        comp_width[uf.find(static_cast<std::size_t>(fs))] += mp.sender_extra;
+        comp_width[uf.find(static_cast<std::size_t>(fr))] += mp.receiver_extra;
+      }
+    }
+    std::vector<int> sim;
+    int max_sim = 0;
+    for (std::size_t f = 0; f < n_frags; ++f) {
+      if (uf.find(f) == f) {
+        sim.push_back(comp_width[f]);
+        max_sim = std::max(max_sim, comp_width[f]);
+      }
+    }
+    if (max_sim > sim_cap_) {
+      continue;  // back off one entangled pair and retry
+    }
+    std::sort(sim.begin(), sim.end(), std::greater<int>());
+
+    // Feasible at grant count s: materialize the assignment. Wire cuts are
+    // granted in subset (time) order, so the earliest cuts take the best
+    // slots — the legacy greedy in the homogeneous case.
+    out.feasible = true;
+    out.sim_widths = std::move(sim);
+    out.overhead = 1.0;
+    std::size_t wire_seen = 0;
+    for (std::size_t idx : subset) {
+      const CutCandidate& c = search_cands_[idx];
+      PlannedCut pc;
+      pc.site = c.site;
+      if (c.site.kind == CutKind::kGate) {
+        pc.spec = ProtocolSpec{ProtocolId::kZzGate, c.gate_theta};
+        pc.kappa = c.gate_kappa;
+      } else if (wire_seen < s) {
+        pc.spec = slots_[wire_seen].spec;
+        pc.kappa = slots_[wire_seen].kappa;
+        pc.entangled = true;
+        pc.link = slots_[wire_seen].link;
+        ++wire_seen;
+      } else {
+        pc.spec = ProtocolSpec{ProtocolId::kHarada, 0.0};
+        pc.kappa = 3.0;
+        ++wire_seen;
+      }
+      out.overhead *= pc.kappa * pc.kappa;
+      out.cuts.push_back(std::move(pc));
+    }
+    return out;
+  }
+  std::ostringstream os;
+  os << "merged fragment width exceeds the simulation cap (" << sim_cap_
+     << " qubits) even with no entangled pairs granted";
+  out.reason = os.str();
+  return out;
 }
 
 namespace {
 
 /// Shared DFS over candidate subsets in lexicographic index order. With
 /// `prune` false this is the plain exhaustive scan; with it true, the
-/// branch-and-bound (cost lower bound + width-reachability bound).
+/// branch-and-bound (cost lower bound; never a width bound — fragment width
+/// is not monotone under adding cuts).
 class SubsetSearch {
  public:
   SubsetSearch(const CutPlanner& planner, bool prune)
       : planner_(planner),
-        graph_(planner.graph()),
-        cands_(graph_.candidates()),
-        width_cap_(planner.config().max_fragment_width),
+        n_cands_(planner.search_candidates().size()),
         max_cuts_(planner.config().max_cuts),
         max_nodes_(planner.config().max_nodes),
         prune_(prune) {}
 
-  void run() { dfs(0); }
+  void run() { dfs(0, 1.0); }
 
   bool found() const noexcept { return found_; }
-  const std::vector<std::size_t>& best() const noexcept { return best_; }
+  const ProtocolAssignment& best() const noexcept { return best_; }
   std::size_t nodes() const noexcept { return nodes_; }
   bool budget_exhausted() const noexcept { return aborted_; }
 
  private:
-  std::vector<CutPoint> current_points() const {
-    std::vector<CutPoint> pts;
-    pts.reserve(current_.size());
-    for (std::size_t i : current_) {
-      pts.push_back(cands_[i]);
-    }
-    return pts;
-  }
-
-  void dfs(std::size_t start) {
+  void dfs(std::size_t start, Real lb_cost) {
     if (aborted_) {
       return;
     }
@@ -124,47 +303,47 @@ class SubsetSearch {
       return;
     }
     ++nodes_;
-    // Cost first: set_overhead depends only on the cut count, so a node that
-    // cannot beat the incumbent never needs the (much more expensive)
-    // union-find feasibility check — recording only strict improvements makes
-    // the skip behavior-identical.
-    const Real cost = planner_.set_overhead(current_.size());
-    const bool can_improve = !found_ || cost < best_cost_;
-    if (can_improve && graph_.max_fragment_width(current_points()) <= width_cap_) {
-      found_ = true;
-      best_cost_ = cost;
-      best_ = current_;
+    // Cost first: Π κ_lb² lower-bounds the assignment's overhead, so a node
+    // that cannot beat the incumbent never needs the (much more expensive)
+    // union-find + protocol assignment — recording only strict improvements
+    // makes the skip behavior-identical.
+    const bool can_improve = !found_ || lb_cost < best_cost_;
+    if (can_improve) {
+      ProtocolAssignment assign = planner_.assign_protocols(current_);
+      if (assign.feasible && (!found_ || assign.overhead < best_cost_)) {
+        found_ = true;
+        best_cost_ = assign.overhead;
+        best_ = std::move(assign);
+      }
     }
-    if (current_.size() >= max_cuts_ || start >= cands_.size()) {
+    if (current_.size() >= max_cuts_ || start >= n_cands_) {
       return;
     }
     if (prune_) {
-      // Cost bound: every strict extension has >= size+1 cuts, and
-      // set_overhead is non-decreasing in the cut count. (No width-based
-      // prune: fragment width is NOT monotone under adding cuts — a split
-      // segment's halves can reconnect through other wires and grow a
-      // component — so only the cost bound is sound.)
-      if (found_ && planner_.set_overhead(current_.size() + 1) >= best_cost_) {
+      // Cost bound: every per-cut κ is >= 1, so every strict extension's
+      // lower bound is >= this node's. (No width-based prune: fragment width
+      // is NOT monotone under adding cuts — a split segment's halves can
+      // reconnect through other wires and grow a component.)
+      if (found_ && lb_cost >= best_cost_) {
         return;
       }
     }
-    for (std::size_t i = start; i < cands_.size(); ++i) {
+    for (std::size_t i = start; i < n_cands_; ++i) {
+      const Real lb = planner_.kappa_lower_bound(i);
       current_.push_back(i);
-      dfs(i + 1);
+      dfs(i + 1, lb_cost * lb * lb);
       current_.pop_back();
     }
   }
 
   const CutPlanner& planner_;
-  const CircuitGraph& graph_;
-  const std::vector<CutPoint>& cands_;
-  int width_cap_;
+  std::size_t n_cands_;
   std::size_t max_cuts_;
   std::size_t max_nodes_;
   bool prune_;
 
   std::vector<std::size_t> current_;
-  std::vector<std::size_t> best_;
+  ProtocolAssignment best_;
   Real best_cost_ = std::numeric_limits<Real>::infinity();
   bool found_ = false;
   bool aborted_ = false;
@@ -173,66 +352,59 @@ class SubsetSearch {
 
 }  // namespace
 
-CutPlan CutPlanner::make_plan(const std::vector<std::size_t>& chosen, std::size_t nodes) const {
+CutPlan CutPlanner::make_plan(const ProtocolAssignment& assign, std::size_t nodes) const {
   CutPlan plan;
   plan.nodes_explored = nodes;
-  // `chosen` holds increasing indices into the (time-ordered) candidate
-  // list, so the plan's cuts come out time-ordered and the greedy pair grant
-  // favors the earliest cuts.
-  for (std::size_t i = 0; i < chosen.size(); ++i) {
-    PlannedCut pc;
-    pc.point = graph_.candidates()[chosen[i]];
-    pc.entangled = use_entanglement_ && i < static_cast<std::size_t>(cfg_.pair_budget);
-    pc.protocol = pc.entangled ? "nme" : "harada";
-    pc.k = pc.entangled ? k_nme_ : 0.0;
-    pc.kappa = cut_kappa(i);
+  plan.cuts = assign.cuts;
+  for (const PlannedCut& pc : plan.cuts) {
     plan.total_kappa *= pc.kappa;
-    plan.cuts.push_back(std::move(pc));
   }
   plan.total_overhead = plan.total_kappa * plan.total_kappa;
   plan.target_accuracy = cfg_.target_accuracy;
   plan.predicted_shots = shots_for_accuracy(plan.total_kappa, cfg_.target_accuracy);
-  plan.fragment_widths = graph_.fragment_widths(plan.points());
+  plan.fragment_widths = assign.device_widths;
   plan.max_width = plan.fragment_widths.empty() ? 0 : plan.fragment_widths.front();
+  plan.sim_widths = assign.sim_widths;
+  plan.max_sim_width = plan.sim_widths.empty() ? 0 : plan.sim_widths.front();
   return plan;
 }
 
 Real CutPlanner::reference_overhead() const {
-  const auto& cands = graph_.candidates();
-  const std::size_t m = cands.size();
+  const std::size_t m = search_cands_.size();
   QCUT_CHECK(m <= 20, "reference_overhead: too many candidates for the 2^m scan");
   Real best = -1.0;
   for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
-    std::vector<CutPoint> pts;
-    std::size_t count = 0;
+    std::vector<std::size_t> subset;
     for (std::size_t i = 0; i < m; ++i) {
       if ((mask >> i) & 1) {
-        pts.push_back(cands[i]);
-        ++count;
+        subset.push_back(i);
       }
     }
-    if (count > cfg_.max_cuts) {
+    if (subset.size() > cfg_.max_cuts) {
       continue;
     }
-    if (graph_.max_fragment_width(pts) > cfg_.max_fragment_width) {
+    const ProtocolAssignment assign = assign_protocols(subset);
+    if (!assign.feasible) {
       continue;
     }
-    const Real cost = set_overhead(count);
-    if (best < 0.0 || cost < best) {
-      best = cost;
+    if (best < 0.0 || assign.overhead < best) {
+      best = assign.overhead;
     }
   }
   return best;
 }
 
 CutPlan CutPlanner::plan() const {
-  const std::size_t m = graph_.candidates().size();
+  const std::size_t m = search_cands_.size();
   obs::TraceSpan span("plan.search", static_cast<std::uint64_t>(m));
-  // O(1) infeasibility pre-check: a fragment containing a k-qubit op always
-  // holds at least k segments, so no cut set can beat the widest single op —
-  // without this, a hopeless width cap would enumerate the entire subset
-  // tree before it could throw.
-  if (graph_.min_reachable_width() <= cfg_.max_fragment_width) {
+  const int cap = model_.max_cap(cfg_.max_fragment_width);
+  // O(1) infeasibility pre-check: a fragment containing a k-qubit op that no
+  // cut can sever always holds at least k segments, so no cut set can beat
+  // the widest such op — without this, a hopeless width cap would enumerate
+  // the entire subset tree before it could throw. Gate cuts sever diagonal
+  // two-qubit ops, so allowing them lowers the floor.
+  const bool gate_floor = cfg_.allow_gate_cuts && !graph_.gate_candidates().empty();
+  if (graph_.min_reachable_width(gate_floor) <= cap) {
     SubsetSearch search(*this, /*prune=*/m > cfg_.exhaustive_limit);
     search.run();
     obs::count(obs::Counter::kPlanNodesExplored, search.nodes());
@@ -244,15 +416,17 @@ CutPlan CutPlanner::plan() const {
     if (search.budget_exhausted()) {
       std::ostringstream os;
       os << "CutPlanner: search hit max_nodes = " << cfg_.max_nodes
-         << " without a feasible cut set (width cap " << cfg_.max_fragment_width << ", " << m
-         << " candidates) — the instance is likely infeasible; raise max_nodes to be sure";
+         << " without a feasible cut set (" << model_.describe(cfg_.max_fragment_width) << ", "
+         << m << " candidates) — the instance is likely infeasible; raise max_nodes to be sure";
       throw Error(os.str());
     }
   }
   std::ostringstream os;
-  os << "CutPlanner: no cut set of <= " << cfg_.max_cuts << " cuts reaches max fragment width "
-     << cfg_.max_fragment_width << " (widest single op needs " << graph_.min_reachable_width()
-     << " qubits, " << m << " candidate cuts)";
+  os << "CutPlanner: no cut set of <= " << cfg_.max_cuts << " cuts fits the device model ("
+     << model_.describe(cfg_.max_fragment_width) << "; widest unseverable op needs "
+     << graph_.min_reachable_width(gate_floor) << " qubits; " << m
+     << " candidate cuts). Entangled-resource cuts merge both fragments in the simulator (cap "
+     << sim_cap_ << " qubits), so pair grants may also have been reduced or rejected.";
   throw Error(os.str());
 }
 

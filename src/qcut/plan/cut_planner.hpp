@@ -1,17 +1,34 @@
-// The automatic cut planner: given a circuit, a device width cap, and an
-// entanglement budget, find the cut set minimizing the total sampling
-// overhead Π κ_i² (Theorem 1 / Corollary 1 give κ_i per cut as a function of
-// the resource overlap f) and report the predicted shot cost for a target
-// accuracy (N ≈ κ²/ε², Temme et al.).
+// The automatic cut planner: given a circuit and a device model (width caps
+// plus entangled-link budgets), find the cut set minimizing the total
+// sampling overhead Π κ_i² (Theorem 1 / Corollary 1 give κ_i per wire cut as
+// a function of the resource overlap f; Mitarai–Fujii gives κ = 1 + 2|sin 2θ|
+// per gate cut) and report the predicted shot cost for a target accuracy
+// (N ≈ κ²/ε², Temme et al.).
 //
-// Search: subsets of the canonical candidate cuts (CircuitGraph). Small
-// candidate sets are scanned exhaustively; larger ones run a depth-first
-// branch-and-bound where the partial product Π κ_i² is a valid lower bound
-// for every extension (each additional cut multiplies the overhead by
-// κ² ≥ 1). Fragment width is deliberately NOT used as a bound: it is not
-// monotone under adding cuts (the halves of a split segment can reconnect
-// through other wires, growing a component by a segment), so width only ever
-// decides feasibility of the concrete subset at hand.
+// Candidates are unified (CircuitGraph::all_candidates): every wire-cut gap
+// and every gate-cuttable (diagonal two-qubit) op. Protocol selection per
+// subset is deterministic (assign_protocols): gate cuts carry their fixed
+// κ(θ); wire cuts default to the entanglement-free optimum (κ = 3) and the
+// best link slots (κ < 3) are granted to the earliest wire cuts, backing off
+// slots when the merge-aware width check fails.
+//
+// Feasibility is two-tier:
+//   * device: the unmerged fragment widths must fit the DeviceModel — each
+//     fragment runs on one QPU, and the entangled resource is physically
+//     distributed, so helper qubits stay the protocol's business;
+//   * simulation: entangled-resource protocols (nme/distill/mixed) splice an
+//     initialize spanning both sides of the cut, merging the two fragments in
+//     the simulator. The merged component width — fragment widths plus the
+//     protocols' helper extras (merge_profile) — must fit the statevector
+//     engine. Plans that would previously die in the fragment backend's
+//     width check at run time are now rejected (or repaired, by granting
+//     fewer/no pairs) at plan time.
+//
+// Search: subsets of the candidates. Small candidate sets are scanned
+// exhaustively; larger ones run a depth-first branch-and-bound where the
+// product of per-candidate κ lower bounds is a valid cost bound (each
+// additional cut multiplies the overhead by κ² >= 1). Fragment width is
+// deliberately NOT used as a bound: it is not monotone under adding cuts.
 // Ties in cost resolve to the first subset in lexicographic candidate order,
 // so the result is deterministic and brute-force reproducible.
 #pragma once
@@ -21,22 +38,29 @@
 #include <vector>
 
 #include "qcut/plan/circuit_graph.hpp"
+#include "qcut/plan/device_model.hpp"
 
 namespace qcut {
 
 struct PlannerConfig {
-  /// Hard cap on the width (physical qubit count) of every fragment.
+  /// Uniform fragment-width cap when `device_model` declares no devices.
   /// 0 (the default) resolves to the simulation engine's ceiling
   /// (Statevector::kMaxQubits): a plan the planner accepts must be a plan
   /// the fragment evaluator can run.
   int max_fragment_width = 0;
-  /// Maximal overlap f = ⟨Φ|ρ|Φ⟩ of the NME resource pairs the hardware can
+  /// Legacy scalar link config, used only when `device_model` is empty:
+  /// maximal overlap f = ⟨Φ|ρ|Φ⟩ of the NME resource pairs the hardware can
   /// share, in [1/2, 1]. f = 1/2 means no useful entanglement.
   Real resource_overlap = 0.5;
-  /// How many cuts may each consume one NME pair per QPD sample. Cuts inside
-  /// the budget use the Theorem-2 protocol at `resource_overlap`
-  /// (κ = 2/f − 1); cuts beyond it use the entanglement-free optimum (κ = 3).
+  /// Legacy scalar link config, used only when `device_model` is empty: how
+  /// many cuts may each consume one NME pair per QPD sample.
   int pair_budget = 0;
+  /// The hardware model. Empty (default): synthesized from the scalar fields
+  /// above — a uniform cap of `max_fragment_width` plus one NME link of
+  /// `pair_budget` slots at `resource_overlap`.
+  DeviceModel device_model;
+  /// Enumerate gate-cut candidates alongside wire cuts.
+  bool allow_gate_cuts = true;
   /// Target absolute accuracy ε for the predicted shot budget.
   Real target_accuracy = 0.05;
   /// Search depth cap (more cuts than this are never considered).
@@ -54,11 +78,25 @@ struct PlannerConfig {
 
 /// One cut of the final plan, with its assigned protocol.
 struct PlannedCut {
-  CutPoint point;
-  std::string protocol;     ///< make_protocol name: "nme" or "harada"
-  Real k = 0.0;             ///< Schmidt parameter of |Φk⟩ for "nme"
+  CutSite site;             ///< wire location or gate-cut op
+  ProtocolSpec spec;        ///< typed protocol descriptor (make_protocol input)
   Real kappa = 1.0;         ///< per-cut sampling overhead κ_i
-  bool entangled = false;   ///< consumes one NME pair per sample
+  bool entangled = false;   ///< consumes one resource pair per sample
+  int link = -1;            ///< index into the model's links (entangled only)
+
+  /// Wire cuts only: the cut location.
+  const CutPoint& point() const noexcept { return site.point; }
+};
+
+/// The deterministic protocol assignment for one candidate subset — the
+/// shared cost model of the DFS search and the brute-force oracle.
+struct ProtocolAssignment {
+  bool feasible = false;
+  std::string reason;                ///< infeasibility diagnostic
+  std::vector<PlannedCut> cuts;      ///< candidate order (time-ordered)
+  Real overhead = 0.0;               ///< Π κ_i² (feasible only)
+  std::vector<int> device_widths;    ///< unmerged fragment widths, descending
+  std::vector<int> sim_widths;       ///< merged widths + helper extras, desc
 };
 
 struct CutPlan {
@@ -67,14 +105,25 @@ struct CutPlan {
   Real total_overhead = 1.0;           ///< Π κ_i² (shot-cost inflation)
   Real target_accuracy = 0.0;          ///< ε the prediction is for
   Real predicted_shots = 0.0;          ///< κ²/ε²
-  std::vector<int> fragment_widths;    ///< descending
+  std::vector<int> fragment_widths;    ///< unmerged (device) widths, descending
   int max_width = 0;
+  /// Merged component widths including protocol helper extras, descending —
+  /// what the simulator's fragment backend will actually hold. Entangled
+  /// cuts merge their two fragments; without entangled cuts these equal
+  /// fragment_widths.
+  std::vector<int> sim_widths;
+  int max_sim_width = 0;
   std::size_t nodes_explored = 0;      ///< search-tree nodes visited
   /// True when the search stopped at PlannerConfig::max_nodes: the plan is
   /// the best feasible set found, not necessarily the global optimum.
   bool budget_exhausted = false;
 
+  /// The wire-cut locations (gate cuts excluded).
   std::vector<CutPoint> points() const;
+  /// All cut sites, plan order.
+  std::vector<CutSite> sites() const;
+  /// Number of gate cuts in the plan.
+  std::size_t gate_cut_count() const;
   /// Multi-line human-readable report.
   std::string to_string() const;
 };
@@ -90,36 +139,53 @@ class CutPlanner {
 
   const CircuitGraph& graph() const noexcept { return graph_; }
   const PlannerConfig& config() const noexcept { return cfg_; }
+  const DeviceModel& model() const noexcept { return model_; }
 
-  /// κ of the i-th cut (0-based, time order) of any chosen set: pairs are
-  /// granted greedily, so cuts [0, pair_budget) get the NME protocol and the
-  /// rest the entanglement-free optimum. Exposed so tests can brute-force the
-  /// identical cost model.
-  Real cut_kappa(std::size_t cut_index) const;
+  /// The candidate list the search runs over: all_candidates() when gate
+  /// cuts are allowed (and exist), else the wire candidates.
+  const std::vector<CutCandidate>& search_candidates() const noexcept { return search_cands_; }
 
-  /// Π κ_i² of an n-cut set under cut_kappa's assignment. Non-decreasing in
-  /// n — the branch-and-bound lower bound.
-  Real set_overhead(std::size_t n_cuts) const;
+  /// The deterministic protocol assignment (and two-tier feasibility
+  /// verdict) for a subset of search_candidates(), by increasing index.
+  /// Exposed so tests can brute-force the identical cost model.
+  ProtocolAssignment assign_protocols(const std::vector<std::size_t>& subset) const;
 
   /// Runs the search. Throws qcut::Error when no cut set within max_cuts
-  /// satisfies the width cap.
+  /// satisfies the device model and the merge-aware simulation bound.
   CutPlan plan() const;
 
   /// Validation oracle, independent of plan()'s DFS: bitmask-enumerates ALL
   /// candidate subsets (2^m — requires m <= 20 candidates) and returns the
-  /// minimal feasible Π κ_i², or -1 when no subset is feasible. The bench's
-  /// optimality gate; tests pin plan() against their own copy of this scan.
+  /// minimal feasible Π κ_i² under assign_protocols, or -1 when no subset is
+  /// feasible. The bench's optimality gate; tests pin plan() against their
+  /// own copy of this scan.
   Real reference_overhead() const;
 
+  /// Lower bound on candidate i's κ under any assignment (gate cuts: the
+  /// fixed κ(θ); wire cuts: the best link slot's κ, or 3 without one). The
+  /// product of these over a subset lower-bounds assign_protocols' overhead —
+  /// the branch-and-bound cost bound.
+  Real kappa_lower_bound(std::size_t candidate) const;
+
  private:
-  CutPlan make_plan(const std::vector<std::size_t>& chosen, std::size_t nodes) const;
+  /// One granted entangled-link slot, κ-sorted best first.
+  struct LinkSlot {
+    int link = -1;
+    ProtocolSpec spec;
+    Real kappa = 3.0;
+    MergeProfile profile;
+  };
+
+  CutPlan make_plan(const ProtocolAssignment& assign, std::size_t nodes) const;
 
   Circuit circ_;       ///< owned copy; graph_ points into it
   CircuitGraph graph_;
   PlannerConfig cfg_;
-  bool use_entanglement_ = false;  ///< f > 1/2 and budget > 0
-  Real kappa_nme_ = 3.0;           ///< κ of an in-budget cut
-  Real k_nme_ = 0.0;               ///< Schmidt parameter of the resource
+  DeviceModel model_;  ///< effective model (legacy scalars resolved)
+  std::vector<CutCandidate> search_cands_;
+  std::vector<LinkSlot> slots_;  ///< useful (κ < 3) slots, best first
+  Real min_wire_kappa_ = 3.0;    ///< min over {3, slot κs}
+  int sim_cap_ = 0;              ///< Statevector::kMaxQubits
 };
 
 }  // namespace qcut

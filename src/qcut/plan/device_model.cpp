@@ -1,0 +1,91 @@
+#include "qcut/plan/device_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "qcut/linalg/bell.hpp"
+
+namespace qcut {
+
+ProtocolSpec link_protocol_spec(const LinkSpec& link) {
+  ProtocolSpec spec;
+  switch (link.family) {
+    case LinkFamily::kNme:
+      spec.id = ProtocolId::kNme;
+      spec.param = k_for_overlap(std::min<Real>(link.overlap, 1.0));
+      break;
+    case LinkFamily::kDistill:
+      spec.id = ProtocolId::kDistill;
+      spec.param = k_for_overlap(std::min<Real>(link.overlap, 1.0));
+      break;
+    case LinkFamily::kMixed:
+      spec.id = ProtocolId::kMixedNme;
+      spec.param = link.overlap;  // the Werner identity weight q_I
+      break;
+  }
+  return spec;
+}
+
+DeviceModel DeviceModel::homogeneous(Real overlap, int pair_budget) {
+  DeviceModel model;
+  if (pair_budget > 0) {
+    model.links.push_back(LinkSpec{overlap, pair_budget, LinkFamily::kNme});
+  }
+  return model;
+}
+
+int DeviceModel::max_cap(int fallback_cap) const {
+  if (devices.empty()) {
+    return fallback_cap;
+  }
+  int cap = 0;
+  for (const DeviceSpec& d : devices) {
+    cap = std::max(cap, d.width_cap);
+  }
+  return cap;
+}
+
+bool DeviceModel::fits(const std::vector<int>& widths_desc, int fallback_cap) const {
+  if (devices.empty()) {
+    return widths_desc.empty() || widths_desc.front() <= fallback_cap;
+  }
+  if (widths_desc.size() > devices.size()) {
+    return false;
+  }
+  std::vector<int> caps;
+  caps.reserve(devices.size());
+  for (const DeviceSpec& d : devices) {
+    caps.push_back(d.width_cap);
+  }
+  std::sort(caps.begin(), caps.end(), std::greater<int>());
+  for (std::size_t i = 0; i < widths_desc.size(); ++i) {
+    if (widths_desc[i] > caps[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string DeviceModel::describe(int fallback_cap) const {
+  std::ostringstream os;
+  if (devices.empty()) {
+    os << "uniform cap " << fallback_cap;
+  } else {
+    os << devices.size() << " device(s), caps";
+    for (const DeviceSpec& d : devices) {
+      os << " " << d.width_cap;
+    }
+  }
+  if (links.empty()) {
+    os << ", no entangled links";
+  } else {
+    os << ", " << links.size() << " link(s):";
+    for (const LinkSpec& l : links) {
+      const ProtocolSpec spec = link_protocol_spec(l);
+      os << " [" << to_string(spec) << " x" << l.pair_budget << "]";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace qcut

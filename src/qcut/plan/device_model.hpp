@@ -1,0 +1,78 @@
+// The hardware model the planner optimizes against: device width caps and
+// the entangled links between devices.
+//
+// Devices bound the *unmerged* fragment widths — each fragment runs on one
+// QPU, and a protocol's helper/resource qubits are the protocol's business
+// (they live on whichever side hosts the gadget). Links carry the shared
+// entangled resource: each link offers `pair_budget` cuts that may consume
+// one resource pair per QPD sample, at the link's overlap f (Theorem 2:
+// κ = 2/f − 1 < 3 whenever f > 1/2). Heterogeneous models — devices of
+// different sizes, links of different qualities — are first-class; the
+// planner greedily takes the best (lowest-κ) link slots first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qcut/cut/cut_protocol.hpp"
+
+namespace qcut {
+
+/// One QPU: a width cap and an optional display name.
+struct DeviceSpec {
+  int width_cap = 0;
+  std::string name;
+};
+
+/// The wire-cut protocol family a link's resource supports.
+enum class LinkFamily {
+  kNme,      ///< Theorem-2 optimal NME protocol at the link's overlap f
+  kDistill,  ///< distillation-based protocol (same κ, 2 extra qubits/branch)
+  kMixed,    ///< Werner-mixed resource; `overlap` is the identity weight q_I
+};
+
+/// One entangled link: a resource quality and a per-plan budget of cuts that
+/// may each consume one pair per sample.
+struct LinkSpec {
+  /// Overlap f = ⟨Φ|ρ|Φ⟩ for kNme/kDistill (in [1/2, 1]); the Werner identity
+  /// weight q_I for kMixed (useful, κ < 3, only when q_I > 5/8).
+  Real overlap = 0.5;
+  int pair_budget = 0;
+  LinkFamily family = LinkFamily::kNme;
+};
+
+/// The wire-cut protocol spec a link instantiates.
+ProtocolSpec link_protocol_spec(const LinkSpec& link);
+
+struct DeviceModel {
+  /// Per-device width caps. Empty → a uniform cap supplied by the caller
+  /// (PlannerConfig::max_fragment_width), with unlimited device count — the
+  /// homogeneous model of the original planner.
+  std::vector<DeviceSpec> devices;
+  /// Entangled links; their slots are pooled and granted best-κ-first.
+  std::vector<LinkSpec> links;
+
+  /// No devices and no links: the caller's legacy scalar config applies.
+  bool empty() const noexcept { return devices.empty() && links.empty(); }
+
+  /// The legacy scalar config as a model: uniform cap via the fallback (no
+  /// explicit devices) plus one NME link of `pair_budget` slots at `overlap`.
+  static DeviceModel homogeneous(Real overlap, int pair_budget);
+
+  /// The widest fragment any device could host (fallback_cap when no devices
+  /// are declared) — the planner's feasibility floor.
+  int max_cap(int fallback_cap) const;
+
+  /// Can the fragments run on the devices? `widths_desc` sorted descending.
+  /// No explicit devices: every width must fit `fallback_cap` (any number of
+  /// fragments). Explicit devices: each fragment needs its own device —
+  /// matching the k-th widest fragment to the k-th largest cap is optimal
+  /// (a fragment fitting some cap fits every larger one), so the check is
+  /// widths_desc[i] <= caps_desc[i] with widths.size() <= devices.size().
+  bool fits(const std::vector<int>& widths_desc, int fallback_cap) const;
+
+  /// One-line human-readable summary for diagnostics.
+  std::string describe(int fallback_cap) const;
+};
+
+}  // namespace qcut

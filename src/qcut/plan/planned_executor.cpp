@@ -12,7 +12,17 @@ PlannedExecutor::PlannedExecutor(Circuit circ, CutPlan plan)
     : circ_(std::move(circ)), plan_(std::move(plan)) {
   protocols_.reserve(plan_.cuts.size());
   for (const PlannedCut& pc : plan_.cuts) {
-    protocols_.push_back(make_protocol(pc.protocol, pc.k));
+    if (pc.spec.id == ProtocolId::kZzGate) {
+      // Re-factor the host op: the plan carries only the entangling angle θ;
+      // the spliced branches also need the gate's local factors.
+      QCUT_CHECK(pc.site.kind == CutKind::kGate && pc.site.op_index < circ_.size(),
+                 "PlannedExecutor: gate-cut site out of range");
+      const ZzFactorization f = zz_factor_diagonal(circ_.ops()[pc.site.op_index].matrix);
+      QCUT_CHECK(f.ok, "PlannedExecutor: gate-cut host op is not a diagonal two-qubit unitary");
+      protocols_.push_back(std::make_shared<ZzGateCut>(f.theta, f.local_a, f.local_b));
+    } else {
+      protocols_.push_back(make_protocol(pc.spec));
+    }
   }
 }
 
@@ -20,12 +30,12 @@ Qpd PlannedExecutor::build_qpd(const std::string& observable) const {
   if (plan_.cuts.empty()) {
     return uncut_qpd(circ_, observable);
   }
-  std::vector<const WireCutProtocol*> protos;
+  std::vector<const CutProtocol*> protos;
   protos.reserve(protocols_.size());
   for (const auto& p : protocols_) {
     protos.push_back(p.get());
   }
-  return cut_circuit_multi(circ_, plan_.points(), protos, observable);
+  return cut_circuit_sites(circ_, plan_.sites(), protos, observable);
 }
 
 CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunConfig& cfg) const {

@@ -1,17 +1,23 @@
 // End-to-end planned execution: turn a CutPlan into a runnable estimate.
 //
-// The executor instantiates the plan's per-cut protocols, splices every
-// gadget into the host circuit via cut_circuit_multi (the product QPD of the
-// n cuts, κ = Π κ_i), and estimates the observable on the batched execution
-// engine — the same engine-backed path CutExecutor uses for single-wire
-// experiments.
+// The executor instantiates the plan's per-cut protocols from their typed
+// ProtocolSpec descriptors (wire cuts via make_protocol; gate cuts by
+// factoring the host op into locals ⊗ e^{iθZZ}), splices everything into the
+// host circuit via cut_circuit_sites (the product QPD of the n cuts,
+// κ = Π κ_i), and estimates the observable on the batched execution engine —
+// the same engine-backed path CutExecutor uses for single-wire experiments.
 //
 // The spliced term circuits are an IR, not an execution obligation: when they
 // are wider than the statevector cap (or the caller asks for it), run()
 // executes them on the fragment-local backend, which simulates each fragment
 // of every term independently and recombines through the cut boundaries'
-// classical bits. Total width is then bounded by the plan's max *fragment*
-// width — the whole point of cutting.
+// classical bits. Total width is then bounded by the plan's max *merged*
+// fragment width (CutPlan::max_sim_width): entangled-resource cuts splice a
+// pre-shared-state initialize spanning both sides, so the simulator holds
+// their two fragments as one. The planner's merge-aware feasibility keeps
+// max_sim_width within the engine cap — a plan that cannot fit is rejected
+// (or repaired by granting fewer pairs) at plan time, never discovered as a
+// width error at run time.
 #pragma once
 
 #include <memory>
@@ -26,7 +32,9 @@ namespace qcut {
 class PlannedExecutor {
  public:
   /// Takes ownership of copies of the circuit and plan; protocols are
-  /// instantiated once here and reused across runs.
+  /// instantiated once here (from each cut's ProtocolSpec) and reused across
+  /// runs. Gate cuts re-factor their host op so the spliced locals match the
+  /// actual gate, not just its entangling angle.
   PlannedExecutor(Circuit circ, CutPlan plan);
 
   const CutPlan& plan() const noexcept { return plan_; }
@@ -44,13 +52,12 @@ class PlannedExecutor {
   /// cfg.auto_fragment_threshold (default: the statevector cap) and the
   /// backend is the default BatchedBranch, the run automatically switches to
   /// the fragment-local backend — execution memory is then bounded by the max
-  /// *fragment* width, so total circuit width is unbounded by the simulator.
+  /// *merged* fragment width, which planner-produced plans keep within the
+  /// engine cap (see CutPlan::max_sim_width).
   /// Choosing any non-default backend kind disables the rerouting; a
   /// BatchedBranch request is indistinguishable from the default, so to force
   /// the spliced batched path on a wide run raise auto_fragment_threshold
-  /// instead. Note that entangled-resource cuts (nme/distill) merge both
-  /// sides of the cut into one fragment, so wide runs require
-  /// entanglement-free plans (pair_budget = 0).
+  /// instead.
   ///
   /// The exact uncut expectation is attached when the circuit is narrow
   /// enough to simulate monolithically; otherwise result.has_exact is false.
@@ -59,7 +66,7 @@ class PlannedExecutor {
  private:
   Circuit circ_;
   CutPlan plan_;
-  std::vector<std::shared_ptr<const WireCutProtocol>> protocols_;
+  std::vector<std::shared_ptr<const CutProtocol>> protocols_;
 };
 
 struct PlannedRunResult {

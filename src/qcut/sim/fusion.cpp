@@ -111,6 +111,214 @@ bool is_unconditioned_diagonal(const Operation& op) {
   return op.kind == OpKind::kUnitary && op.gclass.structure == GateStructure::kDiagonal;
 }
 
+bool is_monomial_unitary(const Operation& op) {
+  return op.kind == OpKind::kUnitary && (op.gclass.structure == GateStructure::kDiagonal ||
+                                         op.gclass.structure == GateStructure::kPermutation);
+}
+
+/// Column form of a product of diagonal / permutation (monomial) gates over a
+/// small wire set: column s of the composed operator holds `val[s]` at row
+/// `rowof[s]`. Monomial matrices are closed under products, so composing one
+/// more gate never leaves this form — and the product is itself diagonal
+/// exactly when rowof is the identity (e.g. x·diag·x), a pure permutation
+/// exactly when every val is 1 (e.g. x·cx).
+struct MonomialState {
+  std::vector<int> wires;  ///< wires[0] is the matrix HIGH bit (engine order)
+  std::vector<Index> rowof;
+  Vector val;
+
+  void init(const std::vector<int>& q) {
+    wires = q;
+    const std::size_t dim = std::size_t{1} << wires.size();
+    rowof.resize(dim);
+    val.assign(dim, Cplx{1.0, 0.0});
+    for (std::size_t s = 0; s < dim; ++s) {
+      rowof[s] = static_cast<Index>(s);
+    }
+  }
+
+  /// Full-space bit position of `qubit` (wires[0] highest), -1 if absent.
+  int bit_of(int qubit) const {
+    for (std::size_t j = 0; j < wires.size(); ++j) {
+      if (wires[j] == qubit) {
+        return static_cast<int>(wires.size() - 1 - j);
+      }
+    }
+    return -1;
+  }
+
+  bool covers(const std::vector<int>& q) const {
+    for (const int qb : q) {
+      if (bit_of(qb) < 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Re-embeds the composed form into the larger wire set `q` (a superset of
+  /// the current wires), adopting q's bit order.
+  void expand(const std::vector<int>& q) {
+    MonomialState old = *this;
+    init(q);
+    const int k = static_cast<int>(old.wires.size());
+    std::vector<int> bpos(old.wires.size());
+    for (std::size_t j = 0; j < old.wires.size(); ++j) {
+      bpos[j] = bit_of(old.wires[j]);
+    }
+    for (std::size_t s = 0; s < rowof.size(); ++s) {
+      std::size_t sub = 0;
+      for (int j = 0; j < k; ++j) {
+        sub |= ((s >> bpos[static_cast<std::size_t>(j)]) & 1u) << (k - 1 - j);
+      }
+      const auto r = static_cast<std::size_t>(old.rowof[sub]);
+      std::size_t row = s;
+      for (int j = 0; j < k; ++j) {
+        const std::size_t bit = std::size_t{1} << bpos[static_cast<std::size_t>(j)];
+        row = ((r >> (k - 1 - j)) & 1u) ? (row | bit) : (row & ~bit);
+      }
+      rowof[s] = static_cast<Index>(row);
+      val[s] = old.val[sub];
+    }
+  }
+
+  /// Composes a later monomial op (qubits ⊆ wires) into the form.
+  void apply(const Operation& op) {
+    const int k = static_cast<int>(op.qubits.size());
+    const std::size_t subdim = std::size_t{1} << k;
+    // The op's own column form: column c → a_val at row a_row. Both gate
+    // structures guarantee exactly one nonzero per column.
+    std::vector<std::size_t> a_row(subdim, 0);
+    Vector a_val(subdim, Cplx{1.0, 0.0});
+    for (std::size_t c = 0; c < subdim; ++c) {
+      for (std::size_t r = 0; r < subdim; ++r) {
+        const Cplx v = op.matrix(static_cast<Index>(r), static_cast<Index>(c));
+        if (v != Cplx{0.0, 0.0}) {
+          a_row[c] = r;
+          a_val[c] = v;
+          break;
+        }
+      }
+    }
+    std::vector<int> bpos(op.qubits.size());
+    for (std::size_t j = 0; j < op.qubits.size(); ++j) {
+      bpos[j] = bit_of(op.qubits[j]);
+    }
+    for (std::size_t s = 0; s < rowof.size(); ++s) {
+      auto cur = static_cast<std::size_t>(rowof[s]);
+      std::size_t sub = 0;
+      for (int j = 0; j < k; ++j) {
+        sub |= ((cur >> bpos[static_cast<std::size_t>(j)]) & 1u) << (k - 1 - j);
+      }
+      for (int j = 0; j < k; ++j) {
+        const std::size_t bit = std::size_t{1} << bpos[static_cast<std::size_t>(j)];
+        cur = ((a_row[sub] >> (k - 1 - j)) & 1u) ? (cur | bit) : (cur & ~bit);
+      }
+      rowof[s] = static_cast<Index>(cur);
+      val[s] *= a_val[sub];
+    }
+  }
+
+  bool is_diagonal() const {
+    for (std::size_t s = 0; s < rowof.size(); ++s) {
+      if (rowof[s] != static_cast<Index>(s)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool is_permutation() const {
+    for (const Cplx& v : val) {
+      if (v != Cplx{1.0, 0.0}) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Matrix to_matrix() const {
+    const auto dim = static_cast<Index>(rowof.size());
+    Matrix m(dim, dim);
+    for (std::size_t s = 0; s < rowof.size(); ++s) {
+      m(rowof[s], static_cast<Index>(s)) = val[s];
+    }
+    return m;
+  }
+};
+
+/// Pass 1.5: collapse contiguous runs of diagonal / permutation gates on one
+/// small wire cluster through the monomial column form. This is what merges
+/// ACROSS the diagonal/permutation boundary — x·diag·x is again diagonal,
+/// cx·cx cancels outright — patterns the diagonal-only pass 2 cannot see
+/// because a permutation breaks its runs. A run extends while the next op's
+/// wires stay inside the cluster (or grow it, 1q seed → containing gate, up
+/// to 3 wires); it is rewritten only when the composed product classifies
+/// better than its pieces (diagonal, permutation, or the exact identity) —
+/// a generic monomial product keeps the original structured ops instead.
+void merge_monomial_runs(std::vector<Operation>& ops, FusionStats& stats) {
+  std::vector<Operation> out;
+  out.reserve(ops.size());
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    if (!is_monomial_unitary(ops[i])) {
+      out.push_back(std::move(ops[i]));
+      ++i;
+      continue;
+    }
+    MonomialState st;
+    st.init(ops[i].qubits);
+    st.apply(ops[i]);
+    std::string label = ops[i].label;
+    // Longest prefix of the run whose product is still diagonal/permutation.
+    std::size_t best_count = 1;
+    MonomialState best_state = st;
+    std::string best_label = label;
+    std::size_t count = 1;
+    for (std::size_t j = i + 1; j < ops.size() && is_monomial_unitary(ops[j]); ++j) {
+      const std::vector<int>& q = ops[j].qubits;
+      const bool q_covers_wires =
+          std::all_of(st.wires.begin(), st.wires.end(), [&q](const int w) {
+            return std::find(q.begin(), q.end(), w) != q.end();
+          });
+      if (st.covers(q)) {
+        st.apply(ops[j]);
+      } else if (q.size() <= 3 && q_covers_wires) {
+        st.expand(q);
+        st.apply(ops[j]);
+      } else {
+        break;
+      }
+      label = fused_label(ops[j].label, label);
+      ++count;
+      if (st.is_diagonal() || st.is_permutation()) {
+        best_count = count;
+        best_state = st;
+        best_label = label;
+      }
+    }
+    if (best_count < 2) {
+      out.push_back(std::move(ops[i]));
+      ++i;
+      continue;
+    }
+    stats.merged_monomial += best_count - 1;
+    i += best_count;
+    if (best_state.is_diagonal() && best_state.is_permutation()) {
+      ++stats.dropped_identity;  // the product is exactly the identity
+      continue;
+    }
+    Operation op;
+    op.kind = OpKind::kUnitary;
+    op.qubits = best_state.wires;
+    op.matrix = best_state.to_matrix();
+    op.label = std::move(best_label);
+    op.gclass = classify_gate(op.matrix);
+    out.push_back(std::move(op));
+  }
+  ops = std::move(out);
+}
+
 /// Pass 2: merge each maximal run of consecutive unconditioned diagonal
 /// unitaries, grouping by identical qubit list (diagonal gates commute with
 /// one another regardless of wires, so reordering within the run is exact).
@@ -181,6 +389,7 @@ Circuit fuse_range(const Circuit& c, std::size_t begin, std::size_t end, FusionS
     fuser.feed(c.ops()[t], pass1);
   }
   fuser.flush_all(pass1);
+  merge_monomial_runs(pass1, st);
 
   Circuit out(c.n_qubits(), c.n_cbits());
   emit_diagonal_merged(pass1, out, st);
@@ -190,6 +399,7 @@ Circuit fuse_range(const Circuit& c, std::size_t begin, std::size_t end, FusionS
   obs::count(obs::Counter::kFusionOpsAfter, st.ops_after);
   obs::count(obs::Counter::kFusionFused1q, st.fused_1q);
   obs::count(obs::Counter::kFusionMergedDiagonal, st.merged_diagonal);
+  obs::count(obs::Counter::kFusionMergedMonomial, st.merged_monomial);
   obs::count(obs::Counter::kFusionDroppedIdentity, st.dropped_identity);
   if (stats != nullptr) {
     *stats += st;

@@ -11,7 +11,14 @@
 //     pending gate first: they are branch points, and applying unitaries
 //     before the branch point both preserves the trailing-measure fold and
 //     avoids re-applying them per branch.
-//  2. Diagonal-run merge: within a consecutive run of unconditioned diagonal
+//  2. Monomial-run collapse: a contiguous run of diagonal / permutation
+//     gates on one small wire cluster composes exactly in monomial column
+//     form (one nonzero per column). The run is rewritten whenever the
+//     product classifies better than its pieces — x·diag·x is diagonal
+//     again, cx·cx is the identity and drops out — merges ACROSS the
+//     diagonal/permutation boundary that the diagonal-run pass cannot see.
+//     A generic monomial product keeps the original structured ops.
+//  3. Diagonal-run merge: within a consecutive run of unconditioned diagonal
 //     unitaries (all of which commute, regardless of wires), the ops sharing
 //     one qubit list merge into a single diagonal sweep (elementwise product
 //     of their diagonals), emitted in first-occurrence order.
@@ -39,6 +46,7 @@ struct FusionStats {
   std::size_t ops_after = 0;         ///< ops emitted
   std::size_t fused_1q = 0;          ///< 1q unitaries absorbed into a run product
   std::size_t merged_diagonal = 0;   ///< diagonal ops absorbed into a merged sweep
+  std::size_t merged_monomial = 0;   ///< diag/perm ops absorbed into a monomial collapse
   std::size_t dropped_identity = 0;  ///< exact-identity ops elided
 
   FusionStats& operator+=(const FusionStats& other) {
@@ -46,6 +54,7 @@ struct FusionStats {
     ops_after += other.ops_after;
     fused_1q += other.fused_1q;
     merged_diagonal += other.merged_diagonal;
+    merged_monomial += other.merged_monomial;
     dropped_identity += other.dropped_identity;
     return *this;
   }

@@ -107,6 +107,29 @@ const Matrix& swap() {
   return m;
 }
 
+const Matrix& ccx() {
+  // Toffoli on (control, control, target); qubits[0] is the high index bit,
+  // so |110⟩ ↔ |111⟩ (rows 6 and 7).
+  static const Matrix m = [] {
+    Matrix t = Matrix::identity(8);
+    t(6, 6) = t(7, 7) = Cplx{0.0, 0.0};
+    t(6, 7) = t(7, 6) = Cplx{1.0, 0.0};
+    return t;
+  }();
+  return m;
+}
+
+const Matrix& cswap() {
+  // Fredkin on (control, target, target): |101⟩ ↔ |110⟩ (rows 5 and 6).
+  static const Matrix m = [] {
+    Matrix t = Matrix::identity(8);
+    t(5, 5) = t(6, 6) = Cplx{0.0, 0.0};
+    t(5, 6) = t(6, 5) = Cplx{1.0, 0.0};
+    return t;
+  }();
+  return m;
+}
+
 Matrix controlled(const Matrix& u) {
   QCUT_CHECK(u.rows() == 2 && u.cols() == 2, "controlled: expects a single-qubit gate");
   Matrix m = Matrix::identity(4);

@@ -27,6 +27,8 @@ Matrix u3(Real theta, Real phi, Real lambda);
 const Matrix& cx();
 const Matrix& cz();
 const Matrix& swap();
+const Matrix& ccx();    ///< Toffoli: (control, control, target)
+const Matrix& cswap();  ///< Fredkin: (control, target, target)
 
 /// Controlled-U for a single-qubit U (control = first qubit).
 Matrix controlled(const Matrix& u);

@@ -46,6 +46,28 @@ bool emit_named_two_qubit(std::ostringstream& os, const Operation& op, const std
   return false;
 }
 
+/// Three-qubit qelib1 composites the importer predefines (ccx / cswap) emit
+/// by name — the only 3q ops the exporter supports.
+bool emit_named_three_qubit(std::ostringstream& os, const Operation& op,
+                            const std::string& cond) {
+  std::string label = op.label;
+  if (!label.empty() && label.back() == '?') {
+    label.pop_back();
+  }
+  const char* name = nullptr;
+  if (label == "CCX" && op.matrix.approx_equal(gates::ccx(), 1e-12)) {
+    name = "ccx";
+  } else if (label == "CSWAP" && op.matrix.approx_equal(gates::cswap(), 1e-12)) {
+    name = "cswap";
+  }
+  if (name == nullptr) {
+    return false;
+  }
+  os << cond << name << " q[" << op.qubits[0] << "],q[" << op.qubits[1] << "],q["
+     << op.qubits[2] << "];\n";
+  return true;
+}
+
 // Synthesizes an arbitrary two-qubit pure state |ψ⟩ = (UA⊗UB)(cosθ|00⟩ +
 // sinθ|11⟩) from its Schmidt decomposition: ry(2θ) on a, cx(a,b), then the
 // local basis changes.
@@ -109,6 +131,8 @@ std::string to_qasm(const Circuit& c) {
         if (op.qubits.size() == 1) {
           emit_u3(os, op.matrix, op.qubits[0], cond);
         } else if (op.qubits.size() == 2 && emit_named_two_qubit(os, op, cond)) {
+          // emitted
+        } else if (op.qubits.size() == 3 && emit_named_three_qubit(os, op, cond)) {
           // emitted
         } else {
           throw Error("to_qasm: unsupported multi-qubit gate '" + op.label +

@@ -530,7 +530,7 @@ class Parser {
       mo.line = op_tok.line;
       mo.col = op_tok.col;
       next();
-      if (!is_builtin(mo.name) && !macros_.count(mo.name)) {
+      if (!is_builtin(mo.name) && !is_prelude(mo.name) && !macros_.count(mo.name)) {
         fail_at(src_name_, op_tok, "unknown gate '" + mo.name + "' in body of '" + name.text +
                                        "' (only builtins and earlier definitions)");
       }
@@ -748,6 +748,14 @@ class Parser {
     return false;
   }
 
+  /// qelib1 composites the importer predefines so corpus circuits need no
+  /// in-file macro bodies for them. Deliberately NOT builtins: a program's
+  /// own `gate ccx ...` definition shadows the prelude (apply_named checks
+  /// macros first, and define_macro does not reject the name).
+  static bool is_prelude(const std::string& name) {
+    return name == "ccx" || name == "cswap";
+  }
+
   void check_arity(const Token& name, const std::vector<int>& qubits, std::size_t n_qubits,
                    const std::vector<Real>& params, std::size_t n_params) {
     if (qubits.size() != n_qubits) {
@@ -785,6 +793,16 @@ class Parser {
     if (g == "id") {
       check_arity(name, qubits, 1, p, 0);
       return;  // explicit identity: semantically empty, dropped
+    }
+    if (g == "ccx") {
+      check_arity(name, qubits, 3, p, 0);
+      emit(name, gates::ccx(), qubits, "CCX", cond_cbit);
+      return;
+    }
+    if (g == "cswap") {
+      check_arity(name, qubits, 3, p, 0);
+      emit(name, gates::cswap(), qubits, "CSWAP", cond_cbit);
+      return;
     }
     struct Named {
       const char* name;

@@ -1,0 +1,15 @@
+// Reversible majority-vote-and-swap using the importer's PREDEFINED qelib1
+// composites: no in-file `gate ccx` / `gate cswap` macro bodies needed
+// (contrast with ccx_adder.qasm, which carries its own Toffoli definition).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[2];
+x q[0];
+h q[1];
+ccx q[0],q[1],q[2];
+cswap q[2],q[0],q[3];
+ccx q[1],q[3],q[2];
+cx q[2],q[1];
+measure q[2] -> c[0];
+measure q[3] -> c[1];

@@ -1,6 +1,8 @@
-// The automatic cut planner: circuit analysis, overhead-optimal search
-// (pinned against brute-force subset enumeration), and end-to-end planned
-// execution on the batched engine.
+// The automatic cut planner: circuit analysis (wire AND gate candidates),
+// overhead-optimal search (pinned against brute-force subset enumeration over
+// the shared assign_protocols cost model), heterogeneous device/link models,
+// merge-aware plan-time feasibility, and end-to-end planned execution on the
+// batched engine.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -8,13 +10,16 @@
 #include <limits>
 
 #include "qcut/core/overhead.hpp"
+#include "qcut/cut/gate_cut.hpp"
 #include "qcut/cut/harada_cut.hpp"
+#include "qcut/cut/mixed_cut.hpp"
 #include "qcut/cut/nme_cut.hpp"
 #include "qcut/linalg/random.hpp"
 #include "qcut/plan/circuit_graph.hpp"
 #include "qcut/plan/cut_planner.hpp"
 #include "qcut/plan/planned_executor.hpp"
 #include "qcut/qpd/estimator.hpp"
+#include "qcut/sim/gates.hpp"
 #include "qcut/sim/statevector.hpp"
 #include "test_helpers.hpp"
 
@@ -24,12 +29,17 @@ namespace {
 using testing::ghz_line;
 using testing::random_unitary_circuit;
 
+/// Controlled-phase: diag(1, 1, 1, e^{iλ}) — gate-cuttable with
+/// θ_zz = λ/4, κ = 1 + 2|sin(λ/2)|.
+Matrix cp_matrix(Real lambda) { return gates::controlled(gates::phase(lambda)); }
+
 // ---- circuit analysis -------------------------------------------------------
 
 TEST(CircuitGraph, GhzLineCandidates) {
   // h(0), cx(0,1), cx(1,2), ..., cx(n-2,n-1): wire q < n-1 has exactly one
   // gap, between its two ops (q and q+1) → candidate {q + 1, q}. The last
-  // wire sees a single op, so it contributes none.
+  // wire sees a single op, so it contributes none. cx is a permutation, not
+  // diagonal, so the line offers no gate-cut candidates.
   const Circuit ghz = ghz_line(6);
   const CircuitGraph graph(ghz);
   const auto& cands = graph.candidates();
@@ -38,6 +48,8 @@ TEST(CircuitGraph, GhzLineCandidates) {
     EXPECT_EQ(cands[i].qubit, static_cast<int>(i));
     EXPECT_EQ(cands[i].after_op, i + 1);
   }
+  EXPECT_TRUE(graph.gate_candidates().empty());
+  EXPECT_EQ(graph.all_candidates().size(), cands.size());
 }
 
 TEST(CircuitGraph, WireZeroGapIsACandidateWhenOpsAreSeparated) {
@@ -51,6 +63,38 @@ TEST(CircuitGraph, WireZeroGapIsACandidateWhenOpsAreSeparated) {
   EXPECT_TRUE(has_wire0);
 }
 
+TEST(CircuitGraph, GateCandidatesAreTheDiagonalTwoQubitOps) {
+  // cz and cp are diagonal (gate-cuttable); cx is a permutation and must not
+  // appear. Gate candidates follow the wire candidates in all_candidates().
+  Circuit c(3, 0);
+  c.h(0).h(1).h(2);
+  c.cz(0, 1);                         // op 3: θ = ±π/4, κ = 3
+  c.cx(1, 2);                         // op 4: not a candidate
+  c.gate(cp_matrix(0.6), {1, 2});     // op 5: κ = 1 + 2 sin 0.3 < 3
+  const CircuitGraph graph(c);
+  const auto& gates_found = graph.gate_candidates();
+  ASSERT_EQ(gates_found.size(), 2u);
+  EXPECT_EQ(gates_found[0].op_index, 3u);
+  EXPECT_NEAR(gates_found[0].kappa, 3.0, 1e-9);
+  EXPECT_EQ(gates_found[1].op_index, 5u);
+  EXPECT_NEAR(gates_found[1].kappa, 1.0 + 2.0 * std::sin(0.3), 1e-9);
+
+  const auto& all = graph.all_candidates();
+  ASSERT_EQ(all.size(), graph.candidates().size() + 2u);
+  EXPECT_EQ(all.back().site.kind, CutKind::kGate);
+  EXPECT_EQ(all.back().site.op_index, 5u);
+
+  // A diagonal op is severable, so it does not raise the gate-aware width
+  // floor; cx does.
+  EXPECT_EQ(graph.min_reachable_width(false), 2);
+  EXPECT_EQ(graph.min_reachable_width(true), 2);  // the cx survives
+  Circuit d(2, 0);
+  d.h(0).h(1).cz(0, 1);
+  const CircuitGraph dg(d);
+  EXPECT_EQ(dg.min_reachable_width(false), 2);
+  EXPECT_EQ(dg.min_reachable_width(true), 1);
+}
+
 TEST(CircuitGraph, FragmentWidthsGhz) {
   const Circuit ghz = ghz_line(6);
   const CircuitGraph graph(ghz);
@@ -61,6 +105,27 @@ TEST(CircuitGraph, FragmentWidthsGhz) {
   EXPECT_EQ(graph.fragment_widths({CutPoint{3, 2}, CutPoint{5, 4}}),
             (std::vector<int>{3, 3, 2}));
   EXPECT_EQ(graph.min_reachable_width(), 2);
+}
+
+TEST(CircuitGraph, PartitionReportsCutFragmentPairs) {
+  // The merge-aware feasibility input: each wire cut's sender and receiver
+  // fragments. Severing a gate cut's op must disconnect without splitting.
+  const Circuit ghz = ghz_line(6);
+  const CircuitGraph graph(ghz);
+  const FragmentPartition part = graph.partition({CutPoint{3, 2}}, {});
+  ASSERT_EQ(part.cut_fragments.size(), 1u);
+  const auto [fs, fr] = part.cut_fragments[0];
+  EXPECT_NE(fs, fr);
+  EXPECT_EQ(part.widths[static_cast<std::size_t>(fs)] +
+                part.widths[static_cast<std::size_t>(fr)],
+            7);  // 6 wires + 1 receiver segment
+
+  Circuit c(2, 0);
+  c.h(0).h(1).cz(0, 1).h(0).h(1);
+  const CircuitGraph cg(c);
+  EXPECT_EQ(cg.partition({}, {}).widths.size(), 1u);
+  const FragmentPartition severed = cg.partition({}, {2});
+  EXPECT_EQ(severed.widths_desc(), (std::vector<int>{1, 1}));
 }
 
 TEST(CircuitGraph, GapsFeedingAnInitializeAreNotCandidates) {
@@ -127,37 +192,36 @@ struct BruteResult {
   std::vector<std::size_t> set;
 };
 
-/// Reference enumeration of ALL candidate subsets: minimal Π κ_i² under the
-/// width cap, ties to the lexicographically smallest index sequence — the
-/// planner's documented tie-break.
+/// Reference enumeration of ALL candidate subsets under the planner's OWN
+/// deterministic cost model (assign_protocols — protocol selection, device
+/// fit, and merge-aware sim fit included): minimal Π κ_i², ties to the
+/// lexicographically smallest index sequence — the planner's documented
+/// tie-break (DFS pre-order equals sequence-lexicographic order).
 BruteResult brute_force(const CutPlanner& planner) {
-  const auto& cands = planner.graph().candidates();
-  const std::size_t m = cands.size();
+  const std::size_t m = planner.search_candidates().size();
   BruteResult best;
   for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
     std::vector<std::size_t> idxs;
-    std::vector<CutPoint> pts;
     for (std::size_t i = 0; i < m; ++i) {
       if ((mask >> i) & 1) {
         idxs.push_back(i);
-        pts.push_back(cands[i]);
       }
     }
     if (idxs.size() > planner.config().max_cuts) {
       continue;
     }
-    if (planner.graph().max_fragment_width(pts) > planner.config().max_fragment_width) {
+    const ProtocolAssignment assign = planner.assign_protocols(idxs);
+    if (!assign.feasible) {
       continue;
     }
-    const Real cost = planner.set_overhead(idxs.size());
     const bool better =
-        !best.found || cost < best.cost - 1e-12 ||
-        (std::abs(cost - best.cost) <= 1e-12 &&
+        !best.found || assign.overhead < best.cost - 1e-12 ||
+        (std::abs(assign.overhead - best.cost) <= 1e-12 &&
          std::lexicographical_compare(idxs.begin(), idxs.end(), best.set.begin(),
                                       best.set.end()));
     if (better) {
       best.found = true;
-      best.cost = cost;
+      best.cost = assign.overhead;
       best.set = idxs;
     }
   }
@@ -174,10 +238,10 @@ void expect_plan_matches_brute(const Circuit& circ, const PlannerConfig& cfg) {
   EXPECT_NEAR(planner.reference_overhead(), ref.cost, 1e-9);
   ASSERT_EQ(plan.cuts.size(), ref.set.size());
   for (std::size_t i = 0; i < ref.set.size(); ++i) {
-    EXPECT_TRUE(plan.cuts[i].point == planner.graph().candidates()[ref.set[i]])
+    EXPECT_TRUE(plan.cuts[i].site == planner.search_candidates()[ref.set[i]].site)
         << "cut " << i << " differs from brute force";
   }
-  EXPECT_LE(plan.max_width, cfg.max_fragment_width);
+  EXPECT_LE(plan.max_sim_width, Statevector::kMaxQubits);
 }
 
 TEST(CutPlanner, WidthCappedGhzMatchesBruteForce) {
@@ -198,6 +262,25 @@ TEST(CutPlanner, BudgetedGhzMatchesBruteForce) {
   expect_plan_matches_brute(ghz_line(7), cfg);
 }
 
+TEST(CutPlanner, GateCutCircuitsMatchBruteForce) {
+  // Mixed wire/gate candidate sets across caps and budgets: the DFS must
+  // stay exactly optimal under the shared assign_protocols model.
+  Circuit c(4, 0);
+  c.h(0).h(1).h(2).h(3);
+  c.cx(0, 1).cz(2, 3);
+  c.gate(cp_matrix(0.8), {1, 2});
+  c.cx(0, 1).cz(2, 3);
+  for (int cap : {2, 3}) {
+    for (int budget : {0, 1}) {
+      PlannerConfig cfg;
+      cfg.max_fragment_width = cap;
+      cfg.resource_overlap = 0.85;
+      cfg.pair_budget = budget;
+      expect_plan_matches_brute(c, cfg);
+    }
+  }
+}
+
 TEST(CutPlanner, BranchAndBoundAgreesWithExhaustive) {
   // Same instance through both search paths: forcing exhaustive_limit to 0
   // switches on the pruned branch-and-bound; the chosen set must not change.
@@ -210,7 +293,7 @@ TEST(CutPlanner, BranchAndBoundAgreesWithExhaustive) {
   const CutPlan pruned = CutPlanner(ghz, bnb).plan();
   ASSERT_EQ(full.cuts.size(), pruned.cuts.size());
   for (std::size_t i = 0; i < full.cuts.size(); ++i) {
-    EXPECT_TRUE(full.cuts[i].point == pruned.cuts[i].point);
+    EXPECT_TRUE(full.cuts[i].site == pruned.cuts[i].site);
   }
   EXPECT_NEAR(full.total_overhead, pruned.total_overhead, 1e-12);
   EXPECT_LT(pruned.nodes_explored, full.nodes_explored);
@@ -235,7 +318,7 @@ TEST(CutPlanner, BranchAndBoundHandlesReconnectingSegments) {
   const CutPlan pruned = CutPlanner(c, bnb).plan();
   ASSERT_EQ(full.cuts.size(), pruned.cuts.size());
   for (std::size_t i = 0; i < full.cuts.size(); ++i) {
-    EXPECT_TRUE(full.cuts[i].point == pruned.cuts[i].point);
+    EXPECT_TRUE(full.cuts[i].site == pruned.cuts[i].site);
   }
   EXPECT_NEAR(full.total_overhead, pruned.total_overhead, 1e-12);
 }
@@ -249,19 +332,24 @@ TEST(CutPlanner, EntanglementBudgetSetsKappa) {
   ASSERT_EQ(no_budget.cuts.size(), 2u);
   EXPECT_NEAR(no_budget.total_kappa, 9.0, 1e-12);  // 3 * 3, entanglement-free
   for (const auto& c : no_budget.cuts) {
-    EXPECT_EQ(c.protocol, "harada");
+    EXPECT_EQ(c.spec.id, ProtocolId::kHarada);
     EXPECT_FALSE(c.entangled);
   }
+  // No entangled cuts → nothing merges: sim widths equal fragment widths.
+  EXPECT_EQ(no_budget.sim_widths, no_budget.fragment_widths);
 
   cfg.resource_overlap = 1.0;  // maximally entangled pairs: free cuts
   cfg.pair_budget = 2;
   const CutPlan free_pairs = CutPlanner(ghz, cfg).plan();
   EXPECT_NEAR(free_pairs.total_kappa, 1.0, 1e-12);
   for (const auto& c : free_pairs.cuts) {
-    EXPECT_EQ(c.protocol, "nme");
+    EXPECT_EQ(c.spec.id, ProtocolId::kNme);
     EXPECT_TRUE(c.entangled);
-    EXPECT_NEAR(c.k, 1.0, 1e-9);
+    EXPECT_EQ(c.link, 0);
+    EXPECT_NEAR(c.spec.param, 1.0, 1e-9);
   }
+  // Both NME cuts merge their fragments (plus 1 helper each): {3,3,2} → 10.
+  EXPECT_EQ(free_pairs.max_sim_width, 10);
 
   cfg.pair_budget = 1;  // one pair only: 1 * 3
   const CutPlan one_pair = CutPlanner(ghz, cfg).plan();
@@ -277,6 +365,154 @@ TEST(CutPlanner, EntanglementBudgetSetsKappa) {
               shots_for_accuracy(partial.total_kappa, cfg.target_accuracy), 1e-9);
 }
 
+TEST(CutPlanner, GateCutWinsWhenItBeatsEveryWirePlan) {
+  // The two halves touch only through one weakly entangling cp(0.6): its
+  // gate cut costs κ = 1 + 2 sin 0.3 ≈ 1.59, while any wire-only separation
+  // needs several κ = 3 cuts. The planner must pick the single gate cut —
+  // and with gate cuts disabled, fall back to the expensive wire plan.
+  Circuit c(4, 0);
+  c.h(0).h(1).h(2).h(3);
+  c.cx(0, 1).cx(2, 3);
+  c.gate(cp_matrix(0.6), {1, 2}, "cp");
+  c.cx(0, 1).cx(2, 3);
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 2;
+  expect_plan_matches_brute(c, cfg);
+
+  const CutPlanner planner(c, cfg);
+  const CutPlan plan = planner.plan();
+  ASSERT_EQ(plan.cuts.size(), 1u);
+  EXPECT_EQ(plan.cuts[0].site.kind, CutKind::kGate);
+  EXPECT_EQ(plan.gate_cut_count(), 1u);
+  EXPECT_EQ(plan.cuts[0].spec.id, ProtocolId::kZzGate);
+  const Real kappa_cp = 1.0 + 2.0 * std::sin(0.3);
+  EXPECT_NEAR(plan.total_kappa, kappa_cp, 1e-9);
+  EXPECT_EQ(plan.max_width, 2);
+
+  PlannerConfig wire_only = cfg;
+  wire_only.allow_gate_cuts = false;
+  const CutPlan fallback = CutPlanner(c, wire_only).plan();
+  EXPECT_EQ(fallback.gate_cut_count(), 0u);
+  EXPECT_GT(fallback.total_overhead, plan.total_overhead * 2.0);
+
+  // End-to-end: the planned gate cut reproduces the exact expectation (the
+  // spliced branches include the cp's local phase factors).
+  const PlannedExecutor exec(c, plan);
+  for (const std::string obs : {"ZZZZ", "XYXZ"}) {
+    const Qpd qpd = exec.build_qpd(obs);
+    EXPECT_NEAR(exact_value(qpd), uncut_circuit_expectation(c, obs), 1e-8) << obs;
+    EXPECT_NEAR(qpd.kappa(), plan.total_kappa, 1e-9);
+  }
+  CutRunConfig rcfg;
+  rcfg.shots = 20000;
+  rcfg.seed = 7;
+  const CutRunResult res = exec.run("ZZZZ", rcfg);
+  EXPECT_LE(res.abs_error, 0.15);
+}
+
+TEST(CutPlanner, HeterogeneousDeviceCapsAssignFragmentsToDevices) {
+  // Two 4-qubit devices: GHZ(7) fits only as {4, 4}, which exactly one
+  // candidate cut produces. Shrinking either device makes the instance
+  // infeasible (two cuts would need three devices).
+  PlannerConfig cfg;
+  cfg.device_model.devices = {DeviceSpec{4, "qpu-a"}, DeviceSpec{4, "qpu-b"}};
+  const CutPlan plan = CutPlanner(ghz_line(7), cfg).plan();
+  ASSERT_EQ(plan.cuts.size(), 1u);
+  EXPECT_TRUE(plan.cuts[0].site == CutSite::wire(CutPoint{4, 3}));
+  EXPECT_EQ(plan.fragment_widths, (std::vector<int>{4, 4}));
+
+  PlannerConfig tight;
+  tight.device_model.devices = {DeviceSpec{3, "qpu-a"}, DeviceSpec{3, "qpu-b"}};
+  EXPECT_THROW(CutPlanner(ghz_line(7), tight).plan(), Error);
+}
+
+TEST(CutPlanner, HeterogeneousLinksGrantBestSlotsFirst) {
+  // Two links of different quality: the perfect pair (κ = 1) goes to the
+  // earliest cut, the f = 0.8 pair (κ = 1.5) to the next.
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 3;
+  cfg.device_model.links = {LinkSpec{0.8, 1, LinkFamily::kNme},
+                            LinkSpec{1.0, 1, LinkFamily::kNme}};
+  const CutPlan plan = CutPlanner(ghz_line(6), cfg).plan();
+  ASSERT_EQ(plan.cuts.size(), 2u);
+  EXPECT_TRUE(plan.cuts[0].entangled);
+  EXPECT_EQ(plan.cuts[0].link, 1);
+  EXPECT_NEAR(plan.cuts[0].kappa, 1.0, 1e-12);
+  EXPECT_TRUE(plan.cuts[1].entangled);
+  EXPECT_EQ(plan.cuts[1].link, 0);
+  EXPECT_NEAR(plan.cuts[1].kappa, 1.5, 1e-12);
+  EXPECT_NEAR(plan.total_kappa, 1.5, 1e-12);
+}
+
+TEST(CutPlanner, MixedLinkRunsTheWernerProtocolEndToEnd) {
+  // A kMixed link instantiates MixedNmeCut over the Werner resource at q_I:
+  // κ = (7 − 4 q_I)/(4 q_I − 1). The typed spec must flow planner → executor
+  // and reproduce the exact expectation.
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 3;
+  cfg.device_model.links = {LinkSpec{0.9, 1, LinkFamily::kMixed}};
+  const Circuit ghz = ghz_line(5);
+  const CutPlan plan = CutPlanner(ghz, cfg).plan();
+  ASSERT_EQ(plan.cuts.size(), 1u);
+  EXPECT_EQ(plan.cuts[0].spec.id, ProtocolId::kMixedNme);
+  EXPECT_NEAR(plan.cuts[0].spec.param, 0.9, 1e-12);
+  EXPECT_NEAR(plan.total_kappa, mixed_cut_overhead(0.9), 1e-12);
+
+  const PlannedExecutor exec(ghz, plan);
+  const Qpd qpd = exec.build_qpd("ZZZZZ");
+  EXPECT_NEAR(exact_value(qpd), uncut_circuit_expectation(ghz, "ZZZZZ"), 1e-8);
+  EXPECT_NEAR(qpd.kappa(), plan.total_kappa, 1e-9);
+}
+
+// ---- merge-aware plan-time feasibility --------------------------------------
+
+TEST(CutPlanner, MergeAwareFeasibilityRepairsWidePlans) {
+  // GHZ(30) at cap 16 needs one cut ({16, 15}). Granting the NME pair would
+  // merge both fragments in the simulator: 31 segments + 1 helper = 32 > 28.
+  // The old planner emitted that plan and the fragment backend threw at RUN
+  // time; now the planner repairs it at PLAN time by withholding the pair.
+  const Circuit ghz = ghz_line(30);
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 16;
+  cfg.resource_overlap = 0.85;
+  cfg.pair_budget = 2;
+  const CutPlan plan = CutPlanner(ghz, cfg).plan();
+  ASSERT_EQ(plan.cuts.size(), 1u);
+  EXPECT_FALSE(plan.cuts[0].entangled);
+  EXPECT_EQ(plan.cuts[0].spec.id, ProtocolId::kHarada);
+  EXPECT_NEAR(plan.total_kappa, 3.0, 1e-12);
+  EXPECT_EQ(plan.max_width, 16);
+  EXPECT_EQ(plan.max_sim_width, 16);  // nothing merges
+  EXPECT_LE(plan.max_sim_width, Statevector::kMaxQubits);
+
+  // The repaired plan must actually run — this is the path that used to die
+  // in the FragmentBackend width check.
+  const PlannedExecutor exec(ghz, plan);
+  CutRunConfig rcfg;
+  rcfg.shots = 2000;
+  rcfg.seed = 11;
+  const CutRunResult res = exec.run(std::string(30, 'Z'), rcfg);
+  EXPECT_FALSE(res.has_exact);  // 30 qubits: no monolithic reference
+  EXPECT_LE(std::abs(res.estimate), 1.0 + 1e-9);
+}
+
+TEST(CutPlanner, MergeStaysGrantedWhenTheMergedWidthFits) {
+  // GHZ(20) at cap 16: the merged component (21 segments + 1 helper = 22)
+  // fits under the engine cap, so the pair IS granted and the plan records
+  // the merged width it will occupy.
+  const Circuit ghz = ghz_line(20);
+  PlannerConfig cfg;
+  cfg.max_fragment_width = 16;
+  cfg.resource_overlap = 0.85;
+  cfg.pair_budget = 1;
+  const CutPlan plan = CutPlanner(ghz, cfg).plan();
+  ASSERT_EQ(plan.cuts.size(), 1u);
+  EXPECT_TRUE(plan.cuts[0].entangled);
+  EXPECT_EQ(plan.cuts[0].spec.id, ProtocolId::kNme);
+  EXPECT_NEAR(plan.total_kappa, 2.0 / 0.85 - 1.0, 1e-12);
+  EXPECT_EQ(plan.max_sim_width, 22);
+}
+
 TEST(CutPlanner, ZeroCutsWhenCircuitFits) {
   PlannerConfig cfg;
   cfg.max_fragment_width = 4;
@@ -284,6 +520,7 @@ TEST(CutPlanner, ZeroCutsWhenCircuitFits) {
   EXPECT_TRUE(plan.cuts.empty());
   EXPECT_NEAR(plan.total_kappa, 1.0, 1e-12);
   EXPECT_EQ(plan.max_width, 4);
+  EXPECT_EQ(plan.max_sim_width, 4);
 }
 
 TEST(CutPlanner, SelfContainedAfterConstruction) {
@@ -396,6 +633,47 @@ TEST(CutCircuitMulti, SinglePointReproducesCutCircuit) {
     EXPECT_EQ(single.terms()[i].label, multi.terms()[i].label);
     EXPECT_EQ(single.terms()[i].circuit.size(), multi.terms()[i].circuit.size());
   }
+}
+
+TEST(CutCircuitSites, MixedWireAndGateSitesExactValue) {
+  // One wire cut plus one gate cut in the same host circuit: the product QPD
+  // must reproduce the exact expectation, with κ the per-cut product. The
+  // cp's local phase factors ride along as branch-independent locals.
+  Rng rng(29);
+  for (int trial = 0; trial < 3; ++trial) {
+    Circuit circ(3, 0);
+    circ.gate(haar_unitary(4, rng), {0, 1});
+    circ.gate(haar_unitary(2, rng), {2});
+    circ.gate(cp_matrix(0.9), {1, 2}, "cp");
+    circ.gate(haar_unitary(4, rng), {0, 1});
+    circ.gate(haar_unitary(2, rng), {2});
+
+    const ZzFactorization f = zz_factor_diagonal(cp_matrix(0.9));
+    ASSERT_TRUE(f.ok);
+    const ZzGateCut gate_cut(f.theta, f.local_a, f.local_b);
+    const NmeCut wire_cut(0.7);
+    const std::vector<CutSite> sites = {CutSite::wire(CutPoint{1, 1}), CutSite::gate(2)};
+    const Qpd qpd = cut_circuit_sites(circ, sites, {&wire_cut, &gate_cut}, "ZXY");
+    EXPECT_NEAR(exact_value(qpd), uncut_circuit_expectation(circ, "ZXY"), 1e-8)
+        << "trial " << trial;
+    EXPECT_NEAR(qpd.kappa(), wire_cut.kappa() * gate_cut.kappa(), 1e-9);
+    EXPECT_NEAR(qpd.coefficient_sum(), 1.0, 1e-9);
+  }
+}
+
+TEST(CutCircuitSites, RejectsBadArguments) {
+  const HaradaCut h;
+  const ZzGateCut zz(0.3);
+  Circuit c(2, 0);
+  c.h(0).cx(0, 1).cz(0, 1);
+  // Kind mismatch both ways.
+  EXPECT_THROW(cut_circuit_sites(c, {CutSite::wire(CutPoint{1, 0})}, {&zz}, "ZZ"), Error);
+  EXPECT_THROW(cut_circuit_sites(c, {CutSite::gate(2)}, {&h}, "ZZ"), Error);
+  // Gate sites need a two-qubit unitary op, cut at most once.
+  EXPECT_THROW(cut_circuit_sites(c, {CutSite::gate(0)}, {&zz}, "ZZ"), Error);
+  EXPECT_THROW(cut_circuit_sites(c, {CutSite::gate(3)}, {&zz}, "ZZ"), Error);
+  EXPECT_THROW(cut_circuit_sites(c, {CutSite::gate(2), CutSite::gate(2)}, {&zz, &zz}, "ZZ"),
+               Error);
 }
 
 TEST(CutCircuitMulti, RejectsBadArguments) {

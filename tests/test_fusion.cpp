@@ -180,6 +180,103 @@ TEST(Fusion, MeasurementIsABarrier) {
   }
 }
 
+TEST(Fusion, CollapsesDiagonalPermutationSandwiches) {
+  // cx·cp·cx on one wire pair: a permutation conjugating a diagonal is again
+  // diagonal, so the whole sandwich collapses to ONE diagonal sweep — a merge
+  // the diagonal-only pass cannot see (the cx breaks its runs).
+  Circuit c(2, 0);
+  c.cx(0, 1).gate(gates::controlled(gates::phase(0.7)), {0, 1}, "cp").cx(0, 1);
+  FusionStats stats;
+  const Circuit fused = fuse_circuit(c, &stats);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(stats.merged_monomial, 2u);
+  EXPECT_EQ(fused.ops()[0].gclass.structure, GateStructure::kDiagonal);
+
+  // x(1)·cz(0,1)·x(1): the 1q permutation seeds the run and the cluster
+  // grows to the cz's wire pair; the collapse is cz with its phase moved —
+  // diag(1, 1, -1, 1).
+  Circuit d(2, 0);
+  d.x(1).cz(0, 1).x(1);
+  FusionStats dstats;
+  const Circuit dfused = fuse_circuit(d, &dstats);
+  ASSERT_EQ(dfused.size(), 1u);
+  EXPECT_EQ(dstats.merged_monomial, 2u);
+  const Operation& op = dfused.ops()[0];
+  ASSERT_EQ(op.gclass.structure, GateStructure::kDiagonal);
+  ASSERT_EQ(op.gclass.diag.size(), 4u);
+  EXPECT_EQ(op.gclass.diag[2], (Cplx{-1.0, 0.0}));
+  EXPECT_EQ(op.gclass.diag[3], (Cplx{1.0, 0.0}));
+}
+
+TEST(Fusion, TwoQubitInvolutionsCancelExactly) {
+  // cx·cx composes to the exact identity in monomial form (0/1 entries, no
+  // roundoff) and drops out — pass 1 only ever did this for 1q runs.
+  Circuit c(2, 0);
+  c.cx(0, 1).cx(0, 1);
+  FusionStats stats;
+  const Circuit fused = fuse_circuit(c, &stats);
+  EXPECT_EQ(fused.size(), 0u);
+  EXPECT_EQ(stats.merged_monomial, 1u);
+  EXPECT_EQ(stats.dropped_identity, 1u);
+
+  // A generic monomial product (diag·perm with nontrivial phases AND moves)
+  // must NOT merge: the structured originals are kept as-is.
+  Circuit d(2, 0);
+  d.cx(0, 1).gate(gates::controlled(gates::phase(0.4)), {0, 1}, "cp");
+  FusionStats dstats;
+  const Circuit dfused = fuse_circuit(d, &dstats);
+  EXPECT_EQ(dfused.size(), 2u);
+  EXPECT_EQ(dstats.merged_monomial, 0u);
+}
+
+TEST(Fusion, MonomialHeavyCircuitsKeepTheirAmplitudes) {
+  // Randomized equivalence pin for the monomial collapse: circuits drawn from
+  // the diagonal/permutation families (plus generic 1q gates as barriers)
+  // produce sandwich patterns constantly; fused amplitudes must match the
+  // unfused ones exactly to float tolerance.
+  Rng rng(53);
+  std::size_t total_monomial = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_u64(3));
+    Circuit c(n, 0);
+    for (int d = 0; d < 40; ++d) {
+      const int q = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+      const int r =
+          (q + 1 + static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n - 1)))) % n;
+      switch (rng.uniform_u64(8)) {
+        case 0: c.x(q); break;
+        case 1: c.cx(q, r); break;
+        case 2: c.swap_gate(q, r); break;
+        case 3: c.cz(q, r); break;
+        case 4: c.gate(gates::controlled(gates::phase(rng.uniform(0.0, 2.0 * kPi))), {q, r}, "cp"); break;
+        case 5: c.t(q); break;
+        case 6: c.z(q); break;
+        default: c.gate(haar_unitary(2, rng), {q}, "u"); break;
+      }
+    }
+    FusionStats stats;
+    const Circuit fused = fuse_circuit(c, &stats);
+    EXPECT_LE(fused.size(), c.size());
+    total_monomial += stats.merged_monomial;
+
+    Statevector a(n);
+    for (const Operation& op : c.ops()) {
+      a.apply(op.matrix, op.qubits, op.gclass);
+    }
+    Statevector b(n);
+    for (const Operation& op : fused.ops()) {
+      b.apply(op.matrix, op.qubits, op.gclass);
+    }
+    for (std::size_t i = 0; i < a.amplitudes().size(); ++i) {
+      EXPECT_NEAR(a.amplitudes()[i].real(), b.amplitudes()[i].real(), 1e-12)
+          << "trial " << trial << " amp " << i;
+      EXPECT_NEAR(a.amplitudes()[i].imag(), b.amplitudes()[i].imag(), 1e-12)
+          << "trial " << trial << " amp " << i;
+    }
+  }
+  EXPECT_GT(total_monomial, 0u);  // the pool must actually exercise the pass
+}
+
 TEST(Fusion, MergesDiagonalRunsAcrossWires) {
   // rz(0)·cz(1,2)·rz(0): all diagonal, mutually commuting. The two rz on the
   // same wire fuse already in pass 1; the run collapses to 2 diagonal ops.
@@ -188,13 +285,24 @@ TEST(Fusion, MergesDiagonalRunsAcrossWires) {
   FusionStats stats;
   const Circuit fused = fuse_circuit(c, &stats);
   EXPECT_EQ(fused.size(), 2u);
-  // And a pure same-wire-pair diagonal run merges in pass 2.
+  // A contiguous same-wire-pair diagonal run is claimed by the monomial
+  // collapse (it runs first and handles the contiguous case).
   Circuit d(2, 0);
   d.cz(0, 1).gate(gates::controlled(gates::phase(0.4)), {0, 1}, "cu1").cz(0, 1);
   FusionStats dstats;
   const Circuit dfused = fuse_circuit(d, &dstats);
   EXPECT_EQ(dfused.size(), 1u);
-  EXPECT_EQ(dstats.merged_diagonal, 2u);
+  EXPECT_EQ(dstats.merged_monomial, 2u);
+  // The diagonal pass still earns its keep on NON-contiguous same-list pairs:
+  // commuting past the interleaved cz(2,3) (which pass 1 cannot drift a 2q
+  // gate around) is reordering the monomial collapse never does.
+  Circuit e(4, 0);
+  e.gate(gates::controlled(gates::phase(0.4)), {0, 1}, "cp").cz(2, 3).gate(
+      gates::controlled(gates::phase(0.5)), {0, 1}, "cp");
+  FusionStats estats;
+  const Circuit efused = fuse_circuit(e, &estats);
+  EXPECT_EQ(efused.size(), 2u);
+  EXPECT_EQ(estats.merged_diagonal, 1u);
 }
 
 TEST(Fusion, SplitCircuitsFuseWithoutCrossingThePrefixBoundary) {

@@ -153,6 +153,7 @@ TEST_F(ObsTest, FusionRegistryMirrorsReturnedStatsAndCountsStatlessCalls) {
   EXPECT_EQ(d[Counter::kFusionOpsAfter], st.ops_after);
   EXPECT_EQ(d[Counter::kFusionFused1q], st.fused_1q);
   EXPECT_EQ(d[Counter::kFusionMergedDiagonal], st.merged_diagonal);
+  EXPECT_EQ(d[Counter::kFusionMergedMonomial], st.merged_monomial);
   EXPECT_EQ(d[Counter::kFusionDroppedIdentity], st.dropped_identity);
   EXPECT_GT(st.fused_1q, 0u);
 

@@ -143,6 +143,63 @@ TEST(QasmImport, BroadcastsWholeRegisterOperands) {
   EXPECT_EQ(c.ops()[10].cbit, 1);
 }
 
+TEST(QasmImport, PreludeCompositesNeedNoInFileDefinitions) {
+  // ccx / cswap are predefined qelib1 composites: each imports as ONE 3q
+  // permutation op, with no `gate ...` body in the program.
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\n"
+      "include \"qelib1.inc\";\n"
+      "qreg q[3];\n"
+      "ccx q[0],q[1],q[2];\n"
+      "cswap q[2],q[0],q[1];\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.ops()[0].label, "CCX");
+  expect_matrix_near(c.ops()[0].matrix, gates::ccx(), 1e-15);
+  EXPECT_EQ(c.ops()[0].qubits, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(c.ops()[0].gclass.structure, GateStructure::kPermutation);
+  EXPECT_EQ(c.ops()[1].label, "CSWAP");
+  expect_matrix_near(c.ops()[1].matrix, gates::cswap(), 1e-15);
+
+  // Semantics: |110⟩ --ccx--> |111⟩; Toffoli arity is enforced.
+  Statevector sv(3);
+  sv.apply(gates::x(), {0}, classify_gate(gates::x()));
+  sv.apply(gates::x(), {1}, classify_gate(gates::x()));
+  sv.apply(c.ops()[0].matrix, c.ops()[0].qubits, c.ops()[0].gclass);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[7]), 1.0, 1e-12);
+  EXPECT_THROW(import_qasm("OPENQASM 2.0;\nqreg q[2];\nccx q[0],q[1];\n"), Error);
+
+  // And they round-trip through the exporter by name.
+  const Circuit back = import_qasm(to_qasm(c));
+  std::string why;
+  EXPECT_TRUE(circuits_equivalent(c, back, 1e-12, &why)) << why;
+}
+
+TEST(QasmImport, InFileDefinitionsShadowThePrelude) {
+  // A program's own `gate ccx ...` wins over the prelude: the application
+  // expands the macro body instead of emitting the 3q composite. ccx_adder
+  // in the corpus relies on exactly this.
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\n"
+      "gate ccx a,b,c { h c; cx a,b; }\n"
+      "qreg q[3];\n"
+      "ccx q[0],q[1],q[2];\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.ops()[0].label, "H");
+  EXPECT_EQ(c.ops()[1].label, "CX");
+}
+
+TEST(QasmImport, PreludeCompositesWorkInsideMacroBodies) {
+  // qelib1's majority gate, written against the prelude Toffoli.
+  const Circuit c = import_qasm(
+      "OPENQASM 2.0;\n"
+      "gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }\n"
+      "qreg q[3];\n"
+      "majority q[0],q[1],q[2];\n");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.ops()[2].label, "CCX");
+  EXPECT_EQ(c.ops()[2].qubits, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(QasmImport, GateMacrosExpandWithParameterSubstitution) {
   const Circuit c = import_qasm(
       "OPENQASM 2.0;\n"
