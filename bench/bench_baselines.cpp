@@ -33,13 +33,17 @@ int main(int argc, char** argv) {
   const std::uint64_t shots = static_cast<std::uint64_t>(cli.get_int("shots", 2000));
 
   std::vector<Entry> entries;
-  entries.push_back({"peng (kappa=4)", qcut::make_protocol("peng")});
-  entries.push_back({"harada (kappa=3)", qcut::make_protocol("harada")});
+  entries.push_back(
+      {"peng (kappa=4)", qcut::make_wire_protocol({qcut::ProtocolId::kPeng, 0.0})});
+  entries.push_back(
+      {"harada (kappa=3)", qcut::make_wire_protocol({qcut::ProtocolId::kHarada, 0.0})});
   for (Real f : {0.5, 0.6, 0.7, 0.8, 0.9}) {
     const Real k = qcut::k_for_overlap(f);
-    entries.push_back({"nme f=" + std::to_string(f).substr(0, 4), qcut::make_protocol("nme", k)});
+    entries.push_back({"nme f=" + std::to_string(f).substr(0, 4),
+                       qcut::make_wire_protocol({qcut::ProtocolId::kNme, k})});
   }
-  entries.push_back({"teleport (kappa=1)", qcut::make_protocol("teleport")});
+  entries.push_back(
+      {"teleport (kappa=1)", qcut::make_wire_protocol({qcut::ProtocolId::kTeleport, 0.0})});
 
   std::printf("=== Baselines: mean |error| of <Z>, %d random states, %llu shots each ===\n\n",
               n_states, static_cast<unsigned long long>(shots));

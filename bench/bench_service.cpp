@@ -1,0 +1,267 @@
+// Service throughput: an in-process qcut-server on an ephemeral port, driven
+// by wire-protocol clients at several concurrency levels over a repeated
+// workload mix. Reports requests/sec per phase, the cross-request cache-hit
+// trajectory (every request's plan/eval flags, plus the server's /metrics
+// counters), and enforces the service invariants:
+//  * every server answer is bit-identical to the in-process plan_and_run
+//    path (svc::estimate without caches) for the same request;
+//  * the warm phases see a > 0 plan- and eval-cache hit rate (caching across
+//    requests actually happens);
+//  * the metrics dump parses as "qcut_<name> <value>" lines.
+// Exit status is the gate: non-zero on any violated invariant (--smoke runs
+// a reduced load for CI).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qcut/common/cli.hpp"
+#include "qcut/obs/run_report.hpp"
+#include "qcut/sim/qasm.hpp"
+#include "qcut/svc/api.hpp"
+#include "qcut/svc/server.hpp"
+
+namespace {
+
+using qcut::Circuit;
+using qcut::Real;
+
+/// The canonical chain workload at several widths: distinct circuits so the
+/// caches hold several entries, identical repeats so they hit.
+Circuit ghz_line(int n) {
+  Circuit c(n, 0);
+  c.h(0);
+  for (int q = 0; q + 1 < n; ++q) {
+    c.cx(q, q + 1);
+  }
+  return c;
+}
+
+qcut::svc::WireEstimateRequest make_request(int width, std::uint64_t shots) {
+  qcut::svc::WireEstimateRequest req;
+  req.circuit_qasm = qcut::to_qasm(ghz_line(width));
+  req.observable = std::string(static_cast<std::size_t>(width), 'Z');
+  req.max_fragment_width = 3;  // forces >= 1 cut on every workload width
+  req.shots = shots;
+  req.seed = 20240808;
+  return req;
+}
+
+struct PhaseResult {
+  std::string name;
+  int concurrency = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t eval_hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t errors = 0;
+  double seconds = 0.0;
+  double rps = 0.0;
+  /// Cumulative plan-hit count after each request, in completion order — the
+  /// cache-hit trajectory (flat 0 while cold, slope ~1 once warm).
+  std::vector<std::uint64_t> trajectory;
+};
+
+/// Sends `repeats` rounds of the workload mix through `concurrency` clients
+/// (each client owns one connection and a disjoint slice of the rounds).
+PhaseResult run_phase(const std::string& name, int port, const std::vector<int>& widths,
+                      std::uint64_t shots, int repeats, int concurrency) {
+  PhaseResult out;
+  out.name = name;
+  out.concurrency = concurrency;
+
+  std::vector<std::vector<qcut::svc::WireEstimateResponse>> responses(
+      static_cast<std::size_t>(concurrency));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < concurrency; ++c) {
+    threads.emplace_back([&, c] {
+      qcut::svc::QcutClient client("127.0.0.1", port);
+      for (int r = c; r < repeats; r += concurrency) {
+        for (int w : widths) {
+          qcut::svc::WireEstimateResponse resp = client.estimate(make_request(w, shots));
+          // Admission rejections carry a backoff hint; honor it and retry.
+          int attempts = 0;
+          while (resp.status ==
+                     static_cast<std::uint8_t>(qcut::svc::WireStatus::kRetryAfter) &&
+                 ++attempts < 50) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(resp.retry_after_ms));
+            resp = client.estimate(make_request(w, shots));
+          }
+          responses[static_cast<std::size_t>(c)].push_back(std::move(resp));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  for (const auto& per_client : responses) {
+    for (const auto& resp : per_client) {
+      ++out.requests;
+      if (resp.status != static_cast<std::uint8_t>(qcut::svc::WireStatus::kOk)) {
+        ++out.errors;
+        std::fprintf(stderr, "request failed: %s\n", resp.error.c_str());
+        continue;
+      }
+      out.plan_hits += resp.plan_cache_hit;
+      out.eval_hits += resp.eval_cache_hit;
+      out.coalesced += resp.coalesced;
+      out.trajectory.push_back(out.plan_hits);
+    }
+  }
+  out.rps = out.seconds > 0.0 ? static_cast<double>(out.requests) / out.seconds : 0.0;
+  return out;
+}
+
+std::uint64_t bits_of(Real v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+const char* json_bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  qcut::Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  const std::uint64_t shots = static_cast<std::uint64_t>(cli.get_int("shots", smoke ? 5000 : 100000));
+  const int repeats = static_cast<int>(cli.get_int("repeats", smoke ? 4 : 16));
+  const std::size_t workers = static_cast<std::size_t>(cli.get_int("workers", 4));
+  const std::string json_path = cli.output_path("json", "service_bench.json");
+  const std::vector<int> widths = {4, 5, 6};
+
+  qcut::svc::ServerConfig scfg;
+  scfg.workers = workers;
+  qcut::svc::QcutServer server(scfg);
+  server.start();
+  std::printf("=== Service bench: qcut-server on 127.0.0.1:%d, %zu workers ===\n\n",
+              server.port(), workers);
+
+  // In-process references: the plan_and_run path (svc::estimate, no caches)
+  // for each workload — the bits every server answer must reproduce.
+  std::vector<qcut::svc::EstimateResult> refs;
+  for (int w : widths) {
+    const qcut::svc::WireEstimateRequest wire = make_request(w, shots);
+    qcut::svc::EstimateRequest req;
+    req.circuit_qasm = wire.circuit_qasm;
+    req.observable = qcut::Observable::parse(wire.observable);
+    req.planner.max_fragment_width = wire.max_fragment_width;
+    req.run_cfg.shots = wire.shots;
+    req.run_cfg.seed = wire.seed;
+    refs.push_back(qcut::svc::estimate(req, nullptr));
+  }
+
+  // Phase sweep: one cold pass fills the caches, then warm passes at rising
+  // client concurrency measure steady-state throughput.
+  std::vector<PhaseResult> phases;
+  phases.push_back(run_phase("cold", server.port(), widths, shots, 1, 1));
+  for (int concurrency : {1, 2, 8}) {
+    phases.push_back(run_phase("warm_c" + std::to_string(concurrency), server.port(), widths,
+                               shots, repeats, concurrency));
+  }
+
+  std::printf("%-10s %6s %10s %10s %10s %10s %10s %10s\n", "phase", "conc", "requests",
+              "seconds", "req/sec", "plan_hits", "eval_hits", "coalesced");
+  for (const auto& p : phases) {
+    std::printf("%-10s %6d %10llu %10.4f %10.1f %10llu %10llu %10llu\n", p.name.c_str(),
+                p.concurrency, static_cast<unsigned long long>(p.requests), p.seconds, p.rps,
+                static_cast<unsigned long long>(p.plan_hits),
+                static_cast<unsigned long long>(p.eval_hits),
+                static_cast<unsigned long long>(p.coalesced));
+  }
+
+  // ---- invariants ----------------------------------------------------------
+  bool ok = true;
+
+  // Every answered request is bit-identical to its in-process reference.
+  // (Spot-check through a fresh client: one request per workload, warm.)
+  {
+    qcut::svc::QcutClient client("127.0.0.1", server.port());
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const qcut::svc::WireEstimateResponse resp =
+          client.estimate(make_request(widths[i], shots));
+      if (resp.status != 0 || bits_of(resp.estimate) != bits_of(refs[i].estimate) ||
+          resp.shots_used != refs[i].shots_used) {
+        std::fprintf(stderr,
+                     "FAIL: width-%d server answer differs from plan_and_run "
+                     "(%.17g vs %.17g)\n",
+                     widths[i], resp.estimate, refs[i].estimate);
+        ok = false;
+      }
+    }
+  }
+
+  std::uint64_t total_errors = 0;
+  for (const auto& p : phases) {
+    total_errors += p.errors;
+  }
+  if (total_errors > 0) {
+    std::fprintf(stderr, "FAIL: %llu requests errored\n",
+                 static_cast<unsigned long long>(total_errors));
+    ok = false;
+  }
+
+  // Repeated workloads must actually hit the cross-request caches.
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    if (phases[i].requests > 0 && (phases[i].plan_hits == 0 || phases[i].eval_hits == 0)) {
+      std::fprintf(stderr, "FAIL: phase %s saw no cache hits\n", phases[i].name.c_str());
+      ok = false;
+    }
+  }
+
+  // The metrics dump parses: "qcut_<name> <value>" per line.
+  std::uint64_t metrics_lines = 0;
+  {
+    qcut::svc::QcutClient client("127.0.0.1", server.port());
+    std::istringstream lines(client.metrics());
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::size_t space = line.find(' ');
+      if (space == std::string::npos || line.rfind("qcut_", 0) != 0 ||
+          line.find_first_not_of("0123456789", space + 1) != std::string::npos) {
+        std::fprintf(stderr, "FAIL: bad metrics line '%s'\n", line.c_str());
+        ok = false;
+        break;
+      }
+      ++metrics_lines;
+    }
+  }
+
+  std::printf("\nbit-identical to plan_and_run: %s; metrics lines: %llu\n",
+              ok ? "yes" : "NO", static_cast<unsigned long long>(metrics_lines));
+
+  // ---- machine-readable record ---------------------------------------------
+  std::ofstream json(json_path);
+  json << "{\n  \"provenance\": " << qcut::obs::provenance_json(2) << ",\n";
+  json << "  \"workload\": \"ghz_line_w4_5_6_maxwidth3\",\n";
+  json << "  \"shots_per_request\": " << shots << ",\n  \"workers\": " << workers << ",\n";
+  json << "  \"phases\": [\n";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& p = phases[i];
+    json << "    {\"name\": \"" << p.name << "\", \"concurrency\": " << p.concurrency
+         << ", \"requests\": " << p.requests << ", \"seconds\": " << p.seconds
+         << ", \"requests_per_sec\": " << p.rps << ", \"plan_cache_hits\": " << p.plan_hits
+         << ", \"eval_cache_hits\": " << p.eval_hits << ", \"coalesced\": " << p.coalesced
+         << ", \"hit_trajectory\": [";
+    for (std::size_t j = 0; j < p.trajectory.size(); ++j) {
+      json << p.trajectory[j] << (j + 1 < p.trajectory.size() ? "," : "");
+    }
+    json << "]}" << (i + 1 < phases.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"bit_identical_to_plan_and_run\": " << json_bool(ok) << "\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  server.stop();
+  return ok ? 0 : 1;
+}

@@ -8,14 +8,15 @@
 //     estimation pipeline measures the observable itself — and the unitary
 //     part is planned, cut, and executed exactly like a native circuit.
 //
-// The planner derives the circuit's interaction timeline, searches the cut
-// sets that keep every fragment within the device cap, assigns each cut a
-// protocol from the entanglement budget (Theorem 2's |Φk⟩ cut inside the
-// budget, the entanglement-free optimum κ = 3 beyond it), and predicts the
-// κ²/ε² shot budget. We then execute the planned multi-cut QPD end-to-end on
-// the batched engine (fragment-locally when the spliced circuits outgrow the
-// statevector cap) and compare against the exact uncut expectation when one
-// is computable.
+// Both run through the service front door (svc::estimate, the same call the
+// qcut-server daemon answers): the planner derives the circuit's interaction
+// timeline, searches the cut sets that keep every fragment within the device
+// cap, assigns each cut a protocol from the entanglement budget (Theorem 2's
+// |Φk⟩ cut inside the budget, the entanglement-free optimum κ = 3 beyond it),
+// and predicts the κ²/ε² shot budget. The planned multi-cut QPD then executes
+// end-to-end on the batched engine (fragment-locally when the spliced
+// circuits outgrow the statevector cap) and is compared against the exact
+// uncut expectation when one is computable.
 //
 // Observability: --trace t.json records a Chrome trace-event timeline of the
 // whole plan→cut→execute pipeline (load it in chrome://tracing or
@@ -35,8 +36,9 @@
 #include "qcut/common/error.hpp"
 #include "qcut/obs/trace.hpp"
 #include "qcut/plan/cut_planner.hpp"
-#include "qcut/plan/planned_executor.hpp"
+#include "qcut/sim/observable.hpp"
 #include "qcut/sim/qasm_import.hpp"
+#include "qcut/svc/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace qcut;
@@ -70,14 +72,17 @@ int main(int argc, char** argv) {
     }
     std::printf("circuit: %d-qubit GHZ line, device cap %d qubits\n", n, cap);
   }
-  const std::string observable =
+  const std::string obs_string =
       cli.get("obs", std::string(static_cast<std::size_t>(circ.n_qubits()),
                                  cli.has("qasm") ? 'Z' : 'X'));
-  if (observable.size() != static_cast<std::size_t>(circ.n_qubits())) {
-    std::fprintf(stderr, "--obs must name one Pauli per qubit (%d)\n", circ.n_qubits());
+  Observable observable;
+  try {
+    observable = Observable::parse(obs_string);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-  std::printf("observable: %s\n", observable.c_str());
+  std::printf("observable: %s\n", observable.to_string().c_str());
 
   const std::string trace_path = cli.get("trace", "");
   const std::string report_path = cli.get("report", "");
@@ -86,34 +91,35 @@ int main(int argc, char** argv) {
   }
 
   try {
-  // 2. Plan: width-feasible cut set with minimal Π κ_i², protocols from the
-  //    entanglement budget.
-  PlannerConfig pcfg;
-  pcfg.max_fragment_width = cap;
-  pcfg.resource_overlap = f;
-  pcfg.pair_budget = budget;
-  pcfg.target_accuracy = eps;
-  const CutPlanner planner(circ, pcfg);
-  std::printf("candidate cut locations: %zu\n\n", planner.graph().candidates().size());
-  const CutPlan plan = planner.plan();
-  std::printf("%s\n", plan.to_string().c_str());
+  // 2+3. Plan and execute through the service front door: one typed request
+  // in, plan + estimate + report out. This is the same svc::estimate call the
+  // qcut-server daemon answers, so everything printed below is reproducible
+  // over the wire bit-for-bit.
+  svc::EstimateRequest req;
+  req.circuit = circ;
+  req.observable = observable;
+  req.epsilon = eps;  // plan (and run, shots = 0) at the κ²/ε² budget
+  req.planner.max_fragment_width = cap;
+  req.planner.resource_overlap = f;
+  req.planner.pair_budget = budget;
+  req.run_cfg.shots = 0;
+  req.run_cfg.seed = 2024;
+
+  const svc::EstimateResult result = svc::estimate(req);
+  std::printf("%s\n", result.plan.to_string().c_str());
 
   // What the same cap costs without any entanglement: the planner's budget
   // knob is exactly the paper's message, κ per cut shrinking from 3 toward 1.
-  PlannerConfig bare = pcfg;
+  PlannerConfig bare = req.planner;
+  bare.target_accuracy = eps;
   bare.pair_budget = 0;
   const CutPlan plain = CutPlanner(circ, bare).plan();
   std::printf("same cap without entanglement: kappa %.3f -> %.0f shots (vs %.0f planned, "
               "%.1fx saved)\n\n",
-              plain.total_kappa, plain.predicted_shots, plan.predicted_shots,
-              plain.predicted_shots / plan.predicted_shots);
+              plain.total_kappa, plain.predicted_shots, result.plan_summary.predicted_shots,
+              plain.predicted_shots / result.plan_summary.predicted_shots);
 
-  // 3. Execute the planned multi-cut QPD at the predicted budget.
-  const PlannedExecutor exec(circ, plan);
-  CutRunConfig rcfg;
-  rcfg.shots = 0;  // use the plan's predicted budget
-  rcfg.seed = 2024;
-  const CutRunResult res = exec.run(observable, rcfg);
+  const CutRunResult& res = result.run;
 
   if (!trace_path.empty()) {
     obs::write_trace(trace_path);
@@ -127,8 +133,10 @@ int main(int argc, char** argv) {
     std::printf("report  -> %s\n", report_path.c_str());
   }
 
-  std::printf("planned <O> = %+.6f   (%llu shots, %llu entangled pairs consumed)\n",
-              res.estimate, static_cast<unsigned long long>(res.details.shots_used),
+  std::printf("planned <O> = %+.6f   (+- %.4f 95%% CI, %llu shots, %llu entangled pairs "
+              "consumed)\n",
+              res.estimate, result.ci_halfwidth,
+              static_cast<unsigned long long>(res.details.shots_used),
               static_cast<unsigned long long>(res.details.entangled_pairs_used));
   if (!res.has_exact) {
     std::printf("exact   <O> =  (circuit too wide for a monolithic reference)\n");

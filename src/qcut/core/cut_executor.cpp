@@ -20,9 +20,10 @@ namespace {
 
 EngineConfig engine_config(const CutRunConfig& cfg) {
   EngineConfig ec;
-  ec.backend = cfg.effective_backend();
+  ec.backend = cfg.backend;
   ec.pool = cfg.pool;
   ec.max_batch_shots = cfg.max_batch_shots;
+  ec.shared_backend = cfg.shared_backend;
   return ec;
 }
 
@@ -42,7 +43,13 @@ CutRunResult run_qpd_estimate(const Qpd& qpd, Real exact, const CutRunConfig& cf
 
   // Bracket the estimation with a registry snapshot so the report carries
   // exactly this run's counter delta. Reads only — the estimate is
-  // bit-identical with metrics on or off.
+  // bit-identical with metrics on or off. Scoped reports capture from a
+  // per-thread sink instead: exact under concurrent requests, provided the
+  // run stays on this thread (the service layer's mode).
+  std::optional<obs::ScopedMetricsSink> sink;
+  if (cfg.scoped_report) {
+    sink.emplace();
+  }
   const obs::MetricsSnapshot before = obs::metrics_snapshot();
   const auto t0 = std::chrono::steady_clock::now();
   {
@@ -54,8 +61,9 @@ CutRunResult run_qpd_estimate(const Qpd& qpd, Real exact, const CutRunConfig& cf
   res.abs_error = std::abs(res.estimate - res.exact);
 
   res.report.metrics_enabled = obs::metrics_enabled();
-  res.report.counters = obs::metrics_delta(before, obs::metrics_snapshot());
-  res.report.backend = to_string(cfg.effective_backend());
+  res.report.counters =
+      cfg.scoped_report ? sink->snapshot() : obs::metrics_delta(before, obs::metrics_snapshot());
+  res.report.backend = to_string(cfg.backend);
   res.report.simd_tier = simd_tier_name(active_simd_tier());
   res.report.pool_threads = cfg.pool != nullptr ? cfg.pool->size() : global_pool().size();
   res.report.kappa = res.details.kappa;
@@ -90,7 +98,7 @@ Real CutExecutor::mean_abs_error(const CutInput& input, const CutRunConfig& cfg,
   // term circuits are enumerated at most once for the whole sweep.
   const ShotPlan plan = ShotPlan::allocated(qpd, cfg.shots, cfg.rule, /*sigmas=*/nullptr,
                                             cfg.max_batch_shots);
-  const auto backend = make_backend(cfg.effective_backend(), qpd, cfg.pool);
+  const auto backend = make_backend(cfg.backend, qpd, cfg.pool);
   Real acc = 0.0;
   for (int t = 0; t < trials; ++t) {
     const EstimationResult er =
@@ -118,6 +126,12 @@ std::shared_ptr<const CutProtocol> make_protocol(const ProtocolSpec& spec) {
       return std::make_shared<ZzGateCut>(spec.param);
   }
   throw Error("make_protocol: unknown protocol id");
+}
+
+std::shared_ptr<const WireCutProtocol> make_wire_protocol(const ProtocolSpec& spec) {
+  QCUT_CHECK(spec_kind(spec) == CutKind::kWire,
+             "make_wire_protocol: '" + to_string(spec) + "' is not a wire-cut protocol");
+  return std::static_pointer_cast<const WireCutProtocol>(make_protocol(spec));
 }
 
 std::shared_ptr<const WireCutProtocol> make_protocol(const std::string& name, Real k) {

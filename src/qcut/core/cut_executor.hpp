@@ -21,11 +21,9 @@ namespace qcut {
 struct CutRunConfig {
   std::uint64_t shots = 1000;
   AllocRule rule = AllocRule::kProportional;  ///< the paper's allocation
-  /// Legacy switch kept for compatibility: false forces
-  /// BackendKind::kSerialShot regardless of `backend`.
-  bool fast = true;
   std::uint64_t seed = 1234;
-  /// Execution backend (when `fast` is true).
+  /// Execution backend. This absorbed the retired `fast` bool (PR 9): the
+  /// old `fast = false` is spelled `backend = BackendKind::kSerialShot`.
   BackendKind backend = BackendKind::kBatchedBranch;
   /// Thread pool for the engine's batch-parallel driver; nullptr → global.
   ThreadPool* pool = nullptr;
@@ -37,11 +35,20 @@ struct CutRunConfig {
   /// statevectors, memory bounded by the max *fragment* width). Set `backend`
   /// explicitly to force either path. 0 → the statevector engine cap.
   int auto_fragment_threshold = 0;
+  /// Service-layer hook: run against this caller-owned backend (bound to the
+  /// same QPD, outliving the call) instead of constructing one — a warm
+  /// backend carries branch/skeleton caches across requests. `backend` must
+  /// name its kind (for the report); routing is disabled when set.
+  const ExecutionBackend* shared_backend = nullptr;
+  /// Capture the RunReport's counters from a per-thread sink instead of a
+  /// global-registry delta. Only accurate when the whole run executes on the
+  /// calling thread (the service layer guarantees this by running requests
+  /// on pool workers, where the engine and fragment evaluator fall back
+  /// inline); the default global delta is exact for run-at-a-time drivers.
+  bool scoped_report = false;
 
-  /// The backend actually used, honoring the legacy `fast` switch.
-  BackendKind effective_backend() const noexcept {
-    return fast ? backend : BackendKind::kSerialShot;
-  }
+  /// Deprecated shim for the retired `fast` switch — now simply `backend`.
+  BackendKind effective_backend() const noexcept { return backend; }
 };
 
 struct CutRunResult {
@@ -91,9 +98,17 @@ class CutExecutor {
 /// itself); kMixedNme instantiates the Werner resource at q_I = spec.param.
 std::shared_ptr<const CutProtocol> make_protocol(const ProtocolSpec& spec);
 
+/// Wire-cut-typed convenience over make_protocol(spec): the CutExecutor
+/// constructor wants a WireCutProtocol, and every wire-cut ProtocolSpec
+/// instantiates one. Throws qcut::Error for gate-cut specs (kZzGate).
+std::shared_ptr<const WireCutProtocol> make_wire_protocol(const ProtocolSpec& spec);
+
 /// Legacy factory by name: "peng", "harada", "teleport", "nme", "distill".
 /// For "nme"/"distill" the `k` parameter selects the resource |Φk⟩.
-/// Delegates to the typed overload.
+/// Documented shim kept for external callers and scripts that configure
+/// protocols from text; in-tree code passes typed ProtocolSpec descriptors
+/// to make_protocol/make_wire_protocol instead. Delegates to the typed
+/// overload — the string form can never drift from it.
 std::shared_ptr<const WireCutProtocol> make_protocol(const std::string& name, Real k = 1.0);
 
 }  // namespace qcut

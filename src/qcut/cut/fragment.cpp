@@ -489,7 +489,8 @@ std::shared_ptr<const SplitSkeleton> SplitSkeletonCache::get(const Circuit& c) {
     const auto it = by_key_.find(key);
     if (it != by_key_.end()) {
       obs::count(obs::Counter::kSkeletonCacheHit);
-      return it->second;
+      it->second.last_use = ++tick_;
+      return it->second.skeleton;
     }
   }
   obs::count(obs::Counter::kSkeletonCacheMiss);
@@ -498,7 +499,25 @@ std::shared_ptr<const SplitSkeleton> SplitSkeletonCache::get(const Circuit& c) {
   obs::TraceSpan span("skeleton.build");
   auto skel = std::make_shared<const SplitSkeleton>(build_split_skeleton(c));
   std::lock_guard<std::mutex> lock(mu_);
-  return by_key_.emplace(key, std::move(skel)).first->second;
+  auto& entry = by_key_[key];
+  if (entry.skeleton == nullptr) {
+    entry.skeleton = std::move(skel);
+  }
+  entry.last_use = ++tick_;
+  if (capacity_ > 0 && by_key_.size() > capacity_) {
+    // Evict the least-recently-used entry. Linear scan: capacities are small
+    // (hundreds) and eviction only runs past the bound, never per hit.
+    auto victim = by_key_.begin();
+    for (auto it = by_key_.begin(); it != by_key_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim->first != key) {
+      by_key_.erase(victim);
+    }
+  }
+  return by_key_[key].skeleton;
 }
 
 std::size_t SplitSkeletonCache::size() const {

@@ -40,6 +40,7 @@
 // is bit-identical for any pool size (including none).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -130,19 +131,35 @@ FragmentSplit split_term(const QpdTerm& term, const SplitSkeleton& skel);
 std::string split_structure_key(const Circuit& c);
 
 /// Thread-safe cache of split skeletons keyed by structure. One instance per
-/// QPD amortizes skeleton construction over all 8^K gadget variants.
+/// QPD amortizes skeleton construction over all 8^K gadget variants; the
+/// service layer shares one *process-lifetime* instance across requests
+/// (bounded by `capacity`), so repeated estimations of the same circuit
+/// family skip skeleton construction entirely.
 class SplitSkeletonCache {
  public:
+  /// `capacity` = 0: unbounded (the per-run default — a run touches one cut
+  /// plan's handful of structures). Non-zero: at most `capacity` skeletons
+  /// are retained, evicting least-recently-used — the cross-request setting.
+  /// Evicted skeletons stay alive for callers still holding their shared_ptr.
+  explicit SplitSkeletonCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
   /// Returns the shared skeleton for circuits structurally identical to `c`,
   /// building it on first use.
   std::shared_ptr<const SplitSkeleton> get(const Circuit& c);
 
-  /// Distinct structures built so far (introspection for tests/benches).
+  /// Distinct structures currently cached (introspection for tests/benches).
   std::size_t size() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const SplitSkeleton> skeleton;
+    std::uint64_t last_use = 0;
+  };
+
+  std::size_t capacity_ = 0;
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const SplitSkeleton>> by_key_;
+  mutable std::uint64_t tick_ = 0;
+  std::unordered_map<std::string, Entry> by_key_;
 };
 
 /// Rewrites every fragment circuit of `split` through the gate-fusion passes

@@ -47,19 +47,30 @@ std::uint64_t BatchedBranchBackend::run_batch(const TermBatch& batch, Rng& rng) 
 }
 
 FragmentBackend::FragmentBackend(const Qpd& qpd, int max_fragment_width, ThreadPool* pool)
+    : FragmentBackend(qpd, max_fragment_width, pool, nullptr, nullptr) {}
+
+FragmentBackend::FragmentBackend(const Qpd& qpd, int max_fragment_width, ThreadPool* pool,
+                                 std::shared_ptr<SplitSkeletonCache> skeletons,
+                                 std::shared_ptr<BranchCache> cache)
     : qpd_(&qpd),
       max_fragment_width_(max_fragment_width > 0 ? max_fragment_width
                                                  : Statevector::kMaxQubits),
       pool_(pool),
-      skeletons_(std::make_shared<SplitSkeletonCache>()) {
+      skeletons_(skeletons != nullptr ? std::move(skeletons)
+                                      : std::make_shared<SplitSkeletonCache>()) {
   QCUT_CHECK(max_fragment_width_ <= Statevector::kMaxQubits,
              "FragmentBackend: width cap exceeds the statevector engine cap");
+  if (cache != nullptr) {
+    QCUT_CHECK(&cache->qpd() == qpd_, "FragmentBackend: cache bound to a different QPD");
+    cache_ = std::move(cache);
+    return;
+  }
   const int cap = max_fragment_width_;
-  const auto skeletons = skeletons_;
-  cache_ = std::make_shared<BranchCache>(qpd, [cap, pool, skeletons](const QpdTerm& term) {
+  const auto skels = skeletons_;
+  cache_ = std::make_shared<BranchCache>(qpd, [cap, pool, skels](const QpdTerm& term) {
     FragmentSplit split = [&] {
       obs::TraceSpan span("fragment.split");
-      return split_term(term, *skeletons->get(term.circuit));
+      return split_term(term, *skels->get(term.circuit));
     }();
     QCUT_CHECK(split.max_width <= cap,
                "FragmentBackend: a term fragment exceeds the width cap (" +
@@ -101,6 +112,12 @@ const char* to_string(BackendKind kind) {
 
 std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd,
                                                ThreadPool* pool) {
+  return make_backend(kind, qpd, pool, nullptr);
+}
+
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd,
+                                               ThreadPool* pool,
+                                               std::shared_ptr<SplitSkeletonCache> skeletons) {
   switch (kind) {
     case BackendKind::kSerialShot:
       return std::make_unique<SerialShotBackend>(qpd);
@@ -110,7 +127,8 @@ std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd,
       // The global pool is resolved here, not by the callers, so backends
       // that never use a pool cannot construct it as a side effect.
       return std::make_unique<FragmentBackend>(qpd, /*max_fragment_width=*/0,
-                                               pool != nullptr ? pool : &global_pool());
+                                               pool != nullptr ? pool : &global_pool(),
+                                               std::move(skeletons), nullptr);
   }
   throw Error("make_backend: unknown backend kind");
 }

@@ -90,6 +90,15 @@ class FragmentBackend final : public ExecutionBackend {
   explicit FragmentBackend(const Qpd& qpd, int max_fragment_width = 0,
                            ThreadPool* pool = nullptr);
 
+  /// Cross-request construction: shares a caller-owned skeleton cache (e.g.
+  /// the service layer's process-lifetime cache) and, optionally, an existing
+  /// BranchCache bound to the *same* Qpd object — a warm cache from a prior
+  /// run of the identical request skips every enumeration. Pass nullptr for
+  /// either to get a fresh private one.
+  FragmentBackend(const Qpd& qpd, int max_fragment_width, ThreadPool* pool,
+                  std::shared_ptr<SplitSkeletonCache> skeletons,
+                  std::shared_ptr<BranchCache> cache);
+
   std::string name() const override { return "fragment"; }
   std::uint64_t run_batch(const TermBatch& batch, Rng& rng) const override;
 
@@ -124,5 +133,13 @@ const char* to_string(BackendKind kind);
 /// backends ignore it.
 std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd,
                                                ThreadPool* pool = nullptr);
+
+/// As above, sharing a caller-owned skeleton cache with kFragment backends
+/// (ignored by the other kinds; nullptr falls back to a private cache). The
+/// service layer passes its process-lifetime cache here so split skeletons
+/// survive across requests.
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind, const Qpd& qpd,
+                                               ThreadPool* pool,
+                                               std::shared_ptr<SplitSkeletonCache> skeletons);
 
 }  // namespace qcut

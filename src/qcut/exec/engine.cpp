@@ -106,6 +106,9 @@ EstimationResult ExecutionEngine::estimate_allocated(const Qpd& qpd, std::uint64
                                                      std::uint64_t seed, AllocRule rule) const {
   const ShotPlan plan =
       ShotPlan::allocated(qpd, shots, rule, /*sigmas=*/nullptr, cfg_.max_batch_shots);
+  if (cfg_.shared_backend != nullptr) {
+    return run(qpd, plan, *cfg_.shared_backend, seed);
+  }
   // The fragment backend also gets the engine's pool: when the plan is too
   // small for batch parallelism (wide runs often have few batches and huge
   // per-term enumeration cost), the per-term (fragment, read-assignment)
@@ -118,6 +121,9 @@ EstimationResult ExecutionEngine::estimate_sampled(const Qpd& qpd, std::uint64_t
                                                    std::uint64_t seed) const {
   Rng plan_rng(seed, kPlanStream);
   const ShotPlan plan = ShotPlan::sampled(qpd, shots, plan_rng, cfg_.max_batch_shots);
+  if (cfg_.shared_backend != nullptr) {
+    return run(qpd, plan, *cfg_.shared_backend, seed);
+  }
   const auto backend = make_backend(cfg_.backend, qpd, cfg_.pool);
   return run(qpd, plan, *backend, seed);
 }

@@ -37,6 +37,13 @@ struct EngineConfig {
   std::uint64_t max_batch_shots = ShotPlan::kDefaultMaxBatchShots;
   /// Plans with fewer batches run inline on the calling thread.
   std::size_t min_batches_to_parallelize = 2;
+  /// When non-null, the convenience entry points (estimate_allocated /
+  /// estimate_sampled) run against this caller-owned backend instead of
+  /// constructing one — the service layer's cross-request reuse hook: a warm
+  /// backend carries its branch/skeleton caches from prior runs of the same
+  /// request. Must be bound to the Qpd passed in, and must outlive the call.
+  /// `backend` is then only reported, not instantiated.
+  const ExecutionBackend* shared_backend = nullptr;
 };
 
 class ExecutionEngine {

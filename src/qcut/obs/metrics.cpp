@@ -9,6 +9,7 @@ namespace obs {
 namespace detail {
 std::atomic<bool> g_metrics_enabled{true};
 std::array<std::atomic<std::uint64_t>, kCounterCount> g_counters{};
+thread_local MetricsLocal* t_sink = nullptr;
 }  // namespace detail
 
 namespace {
@@ -42,6 +43,13 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "shots_sampled",
     "batches_run",
     "plan_nodes_explored",
+    "plan_cache_hit",
+    "plan_cache_miss",
+    "eval_cache_hit",
+    "eval_cache_miss",
+    "svc_requests",
+    "svc_coalesced",
+    "svc_rejected",
 };
 
 /// Reads QCUT_METRICS once at process start. Runs during this translation

@@ -69,6 +69,14 @@ enum class Counter : int {
   kBatchesRun,
   // Cut planner (plan/cut_planner.cpp): search-tree nodes visited.
   kPlanNodesExplored,
+  // Service layer (src/qcut/svc/): cross-request caches and request flow.
+  kPlanCacheHit,      ///< plan served from the cross-request plan cache
+  kPlanCacheMiss,     ///< plan search ran
+  kEvalCacheHit,      ///< QPD + warm backend reused across requests
+  kEvalCacheMiss,     ///< QPD built and backend constructed fresh
+  kSvcRequests,       ///< estimation requests admitted
+  kSvcCoalesced,      ///< requests answered by attaching to an in-flight twin
+  kSvcRejected,       ///< requests rejected by admission control (retry-after)
   kCount
 };
 
@@ -77,19 +85,31 @@ inline constexpr int kCounterCount = static_cast<int>(Counter::kCount);
 /// Stable snake_case name of a counter — the JSON key RunReport emits.
 const char* counter_name(Counter c) noexcept;
 
+/// Per-thread counter sink for request-scoped accounting (see
+/// ScopedMetricsSink). Plain integers — a sink is only ever written by the
+/// thread it is installed on.
+struct MetricsLocal {
+  std::array<std::uint64_t, kCounterCount> values{};
+};
+
 namespace detail {
 // Exposed only so the count() fast path can inline; not part of the API.
 extern std::atomic<bool> g_metrics_enabled;
 extern std::array<std::atomic<std::uint64_t>, kCounterCount> g_counters;
+extern thread_local MetricsLocal* t_sink;
 }  // namespace detail
 
 inline bool metrics_enabled() noexcept {
   return detail::g_metrics_enabled.load(std::memory_order_relaxed);
 }
 
-/// Adds `n` to counter `c`. The disabled path is one relaxed load and a
-/// branch; the enabled path adds one relaxed fetch_add.
+/// Adds `n` to counter `c`. The disabled path is one relaxed load, one
+/// thread-local load, and two predicted branches; the enabled path adds one
+/// relaxed fetch_add (plus a plain add when a per-thread sink is installed).
 inline void count(Counter c, std::uint64_t n = 1) noexcept {
+  if (MetricsLocal* sink = detail::t_sink) {
+    sink->values[static_cast<std::size_t>(c)] += n;
+  }
   if (metrics_enabled()) {
     detail::g_counters[static_cast<std::size_t>(c)].fetch_add(n, std::memory_order_relaxed);
   }
@@ -113,6 +133,36 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& before, const MetricsSnapsh
 
 /// Zeroes every counter (tests; not used on production paths).
 void metrics_reset() noexcept;
+
+/// RAII per-thread counter scope: while alive, every obs::count issued by
+/// the *installing thread* is additionally recorded into a private local
+/// array, regardless of the global enable switch. The service layer wraps
+/// each request in one of these — requests execute entirely on one pool
+/// worker (the engine and fragment evaluator fall back inline on their own
+/// workers), so the sink captures exactly that request's counters even when
+/// many requests run concurrently against the shared global registry.
+/// Scopes nest (the previous sink is restored on destruction); counts from
+/// OTHER threads are not captured — install only around single-threaded
+/// sections.
+class ScopedMetricsSink {
+ public:
+  ScopedMetricsSink() noexcept : prev_(detail::t_sink) { detail::t_sink = &local_; }
+  ~ScopedMetricsSink() { detail::t_sink = prev_; }
+
+  ScopedMetricsSink(const ScopedMetricsSink&) = delete;
+  ScopedMetricsSink& operator=(const ScopedMetricsSink&) = delete;
+
+  /// The counts captured so far, as a snapshot.
+  MetricsSnapshot snapshot() const noexcept {
+    MetricsSnapshot s;
+    s.values = local_.values;
+    return s;
+  }
+
+ private:
+  MetricsLocal local_;
+  MetricsLocal* prev_;
+};
 
 /// {"branch_cache_hit": 1, ...} — every counter, in declaration order.
 std::string metrics_json(const MetricsSnapshot& snap, int indent = 0);

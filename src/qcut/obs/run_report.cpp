@@ -171,6 +171,9 @@ std::string RunReport::to_json(int indent) const {
   }
 
   w.open("config");
+  if (!request_id.empty()) {
+    w.field("request_id", request_id);
+  }
   w.field("backend", backend);
   w.field("simd_tier", simd_tier);
   w.field("pool_threads", static_cast<std::uint64_t>(pool_threads));
@@ -195,6 +198,12 @@ std::string RunReport::to_json(int indent) const {
   w.field("skeleton_miss", sk_miss);
   w.field("skeleton_hit_rate",
           safe_ratio(static_cast<double>(sk_hit), static_cast<double>(sk_hit + sk_miss)));
+  // Cross-request caches (service layer); identically zero for in-process
+  // runs that never touch src/qcut/svc/.
+  w.field("plan_hit", c[Counter::kPlanCacheHit]);
+  w.field("plan_miss", c[Counter::kPlanCacheMiss]);
+  w.field("eval_hit", c[Counter::kEvalCacheHit]);
+  w.field("eval_miss", c[Counter::kEvalCacheMiss]);
   w.close();
 
   w.open("fusion");

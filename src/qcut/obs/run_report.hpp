@@ -46,6 +46,9 @@ std::string provenance_json(int indent = 0);
 
 struct RunReport {
   bool metrics_enabled = false;   ///< registry state during the run
+  /// Service request this report belongs to (empty for in-process runs);
+  /// the same id is stamped into the run's trace spans.
+  std::string request_id;
   std::string backend;            ///< execution backend name
   std::string simd_tier;          ///< active SIMD tier
   std::size_t pool_threads = 0;   ///< workers of the pool the run used

@@ -5,6 +5,7 @@
 
 #include "qcut/obs/trace.hpp"
 #include "qcut/sim/statevector.hpp"
+#include "qcut/svc/api.hpp"
 
 namespace qcut {
 
@@ -26,19 +27,39 @@ PlannedExecutor::PlannedExecutor(Circuit circ, CutPlan plan)
   }
 }
 
-Qpd PlannedExecutor::build_qpd(const std::string& observable) const {
+Qpd PlannedExecutor::build_qpd(const Observable& observable) const {
   if (plan_.cuts.empty()) {
-    return uncut_qpd(circ_, observable);
+    return uncut_qpd(circ_, observable.to_string());
   }
   std::vector<const CutProtocol*> protos;
   protos.reserve(protocols_.size());
   for (const auto& p : protocols_) {
     protos.push_back(p.get());
   }
-  return cut_circuit_sites(circ_, plan_.sites(), protos, observable);
+  return cut_circuit_sites(circ_, plan_.sites(), protos, observable.to_string());
 }
 
-CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunConfig& cfg) const {
+Qpd PlannedExecutor::build_qpd(const std::string& observable) const {
+  return build_qpd(Observable::parse(observable));
+}
+
+BackendKind PlannedExecutor::routed_backend(const Qpd& qpd, const CutRunConfig& cfg) {
+  // Route wide runs through the fragment-local backend; an explicit backend
+  // choice (anything but the BatchedBranch default) is left alone.
+  if (cfg.backend != BackendKind::kBatchedBranch) {
+    return cfg.backend;
+  }
+  int spliced_width = 0;
+  for (const QpdTerm& term : qpd.terms()) {
+    spliced_width = std::max(spliced_width, term.circuit.n_qubits());
+  }
+  const int threshold = cfg.auto_fragment_threshold > 0 ? cfg.auto_fragment_threshold
+                                                        : Statevector::kMaxQubits;
+  return spliced_width > threshold ? BackendKind::kFragment : cfg.backend;
+}
+
+CutRunResult PlannedExecutor::run_with(const Qpd& qpd, const Observable& observable,
+                                       const CutRunConfig& cfg) const {
   obs::TraceSpan run_span("planned_run", static_cast<std::uint64_t>(plan_.cuts.size()));
   CutRunConfig eff = cfg;
   if (eff.shots == 0) {
@@ -50,21 +71,10 @@ CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunCon
                "or pass an explicit shot count");
     eff.shots = static_cast<std::uint64_t>(predicted);
   }
-
-  Qpd qpd = [this, &observable] {
-    obs::TraceSpan span("plan.build_qpd");
-    return build_qpd(observable);
-  }();
-  int spliced_width = 0;
-  for (const QpdTerm& term : qpd.terms()) {
-    spliced_width = std::max(spliced_width, term.circuit.n_qubits());
-  }
-  // Route wide runs through the fragment-local backend; an explicit backend
-  // choice (anything but the BatchedBranch default) is left alone.
-  const int threshold = eff.auto_fragment_threshold > 0 ? eff.auto_fragment_threshold
-                                                        : Statevector::kMaxQubits;
-  if (eff.fast && eff.backend == BackendKind::kBatchedBranch && spliced_width > threshold) {
-    eff.backend = BackendKind::kFragment;
+  // A caller-owned shared backend already fixes the execution path; routing
+  // would report a kind the run does not use.
+  if (eff.shared_backend == nullptr) {
+    eff.backend = routed_backend(qpd, eff);
   }
 
   // The monolithic uncut reference only exists below the statevector cap —
@@ -73,7 +83,7 @@ CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunCon
   if (circ_.n_qubits() <= Statevector::kMaxQubits) {
     const Real exact = [this, &observable] {
       obs::TraceSpan span("exact.reference");
-      return uncut_circuit_expectation(circ_, observable);
+      return uncut_circuit_expectation(circ_, observable.to_string());
     }();
     res = run_qpd_estimate(qpd, exact, eff);
   } else {
@@ -85,14 +95,38 @@ CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunCon
   return res;
 }
 
+CutRunResult PlannedExecutor::run(const Observable& observable, const CutRunConfig& cfg) const {
+  const Qpd qpd = [this, &observable] {
+    obs::TraceSpan span("plan.build_qpd");
+    return build_qpd(observable);
+  }();
+  return run_with(qpd, observable, cfg);
+}
+
+CutRunResult PlannedExecutor::run(const std::string& observable, const CutRunConfig& cfg) const {
+  return run(Observable::parse(observable), cfg);
+}
+
+PlannedRunResult plan_and_run(const Circuit& circ, const Observable& observable,
+                              const PlannerConfig& pcfg, const CutRunConfig& rcfg) {
+  // One front door: build a service request and estimate without caches. The
+  // service layer runs the same code with cross-request caches plugged in —
+  // and its results are pinned bit-identical to this path by test_service.
+  svc::EstimateRequest req;
+  req.circuit = circ;
+  req.observable = observable;
+  req.planner = pcfg;
+  req.run_cfg = rcfg;
+  const svc::EstimateResult res = svc::estimate(req, /*caches=*/nullptr);
+  PlannedRunResult out;
+  out.plan = res.plan;
+  out.run = res.run;
+  return out;
+}
+
 PlannedRunResult plan_and_run(const Circuit& circ, const std::string& observable,
                               const PlannerConfig& pcfg, const CutRunConfig& rcfg) {
-  const CutPlanner planner(circ, pcfg);
-  PlannedRunResult out;
-  out.plan = planner.plan();
-  const PlannedExecutor executor(circ, out.plan);
-  out.run = executor.run(observable, rcfg);
-  return out;
+  return plan_and_run(circ, Observable::parse(observable), pcfg, rcfg);
 }
 
 }  // namespace qcut

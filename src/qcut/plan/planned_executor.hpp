@@ -26,6 +26,7 @@
 
 #include "qcut/core/cut_executor.hpp"
 #include "qcut/plan/cut_planner.hpp"
+#include "qcut/sim/observable.hpp"
 
 namespace qcut {
 
@@ -43,6 +44,8 @@ class PlannedExecutor {
   /// The joint (product) QPD realizing all planned cuts for `observable`.
   /// A plan with zero cuts yields the single-term "QPD" that just runs the
   /// circuit and measures the observable.
+  Qpd build_qpd(const Observable& observable) const;
+  /// String shim: parses (and so validates) the Pauli string, then delegates.
   Qpd build_qpd(const std::string& observable) const;
 
   /// One estimation run. cfg.shots = 0 uses the plan's predicted budget κ²/ε²
@@ -61,7 +64,22 @@ class PlannedExecutor {
   ///
   /// The exact uncut expectation is attached when the circuit is narrow
   /// enough to simulate monolithically; otherwise result.has_exact is false.
+  CutRunResult run(const Observable& observable, const CutRunConfig& cfg) const;
+  /// String shim: parses the Pauli string, then delegates.
   CutRunResult run(const std::string& observable, const CutRunConfig& cfg) const;
+
+  /// Service hook: run() with the QPD construction hoisted out. `qpd` must be
+  /// build_qpd(observable) of THIS executor (possibly cached across requests
+  /// by the service layer); everything else — shot-budget resolution, backend
+  /// routing, exact reference, report fields — is identical to run(), so a
+  /// cached QPD estimates bit-identically to a freshly built one.
+  CutRunResult run_with(const Qpd& qpd, const Observable& observable,
+                        const CutRunConfig& cfg) const;
+
+  /// The backend kind run() would execute `qpd` on under `cfg` (the
+  /// auto-fragment width routing rule). Exposed so the service layer can
+  /// construct its cross-request shared backend with the same kind.
+  static BackendKind routed_backend(const Qpd& qpd, const CutRunConfig& cfg);
 
  private:
   Circuit circ_;
@@ -76,6 +94,11 @@ struct PlannedRunResult {
 
 /// One call from circuit to answer: analyze, plan (throws if infeasible),
 /// and execute. rcfg.shots = 0 runs at the planner-predicted budget.
+/// Implemented on the service front door (svc::estimate) without caching, so
+/// the in-process and daemon paths can never drift.
+PlannedRunResult plan_and_run(const Circuit& circ, const Observable& observable,
+                              const PlannerConfig& pcfg, const CutRunConfig& rcfg);
+/// String shim: parses the Pauli string, then delegates.
 PlannedRunResult plan_and_run(const Circuit& circ, const std::string& observable,
                               const PlannerConfig& pcfg, const CutRunConfig& rcfg);
 

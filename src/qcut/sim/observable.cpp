@@ -1,0 +1,42 @@
+#include "qcut/sim/observable.hpp"
+
+#include "qcut/common/error.hpp"
+
+namespace qcut {
+
+Observable Observable::parse(const std::string& pauli) {
+  QCUT_CHECK(!pauli.empty(), "Observable: empty Pauli string");
+  for (std::size_t i = 0; i < pauli.size(); ++i) {
+    const char c = pauli[i];
+    QCUT_CHECK(c == 'I' || c == 'X' || c == 'Y' || c == 'Z',
+               std::string("Observable: invalid Pauli character '") + c + "' at qubit " +
+                   std::to_string(i) + " (expected one of I, X, Y, Z)");
+  }
+  return Observable(pauli);
+}
+
+Observable Observable::z_all(int n) {
+  QCUT_CHECK(n >= 1, "Observable::z_all: need at least one qubit");
+  return Observable(std::string(static_cast<std::size_t>(n), 'Z'));
+}
+
+Observable Observable::x_all(int n) {
+  QCUT_CHECK(n >= 1, "Observable::x_all: need at least one qubit");
+  return Observable(std::string(static_cast<std::size_t>(n), 'X'));
+}
+
+char Observable::pauli(int q) const {
+  QCUT_CHECK(q >= 0 && q < n_qubits(), "Observable: qubit index out of range");
+  return pauli_[static_cast<std::size_t>(q)];
+}
+
+bool Observable::is_identity() const noexcept {
+  for (char c : pauli_) {
+    if (c != 'I') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qcut

@@ -23,6 +23,36 @@ void emit_u3(std::ostringstream& os, const Matrix& u, int q, const std::string& 
      << q << "];\n";
 }
 
+// Fixed 1-qubit gates emit by qelib1 name instead of a synthesized u3: the
+// importer maps the name back to the same gates::* matrix, so the QASM form
+// of a builder circuit re-imports with bit-identical matrices — which is what
+// lets the service's canonical circuit hash treat the two forms as one
+// circuit. The matrix check guards against user ops that merely reuse a
+// builder label.
+bool emit_named_one_qubit(std::ostringstream& os, const Operation& op, const std::string& cond) {
+  std::string label = op.label;
+  if (!label.empty() && label.back() == '?') {
+    label.pop_back();
+  }
+  struct Named {
+    const char* label;
+    const Matrix& (*matrix)();
+    const char* name;
+  };
+  static const Named kFixed[] = {
+      {"H", gates::h, "h"}, {"X", gates::x, "x"},       {"Y", gates::y, "y"},
+      {"Z", gates::z, "z"}, {"S", gates::s, "s"},       {"Sdg", gates::sdg, "sdg"},
+      {"T", gates::t, "t"}, {"Tdg", gates::tdg, "tdg"},
+  };
+  for (const auto& f : kFixed) {
+    if (label == f.label && op.matrix.approx_equal(f.matrix(), 1e-12)) {
+      os << cond << f.name << " q[" << op.qubits[0] << "];\n";
+      return true;
+    }
+  }
+  return false;
+}
+
 // Named two-qubit gates the builder produces. Conditional variants carry the
 // builder's '?' label suffix (e.g. an imported "if (c == 1) cx" is 'CX?');
 // conditionality is already encoded in op.kind, so the suffix is ignored.
@@ -129,7 +159,9 @@ std::string to_qasm(const Circuit& c) {
       case OpKind::kUnitary:
       case OpKind::kCondUnitary:
         if (op.qubits.size() == 1) {
-          emit_u3(os, op.matrix, op.qubits[0], cond);
+          if (!emit_named_one_qubit(os, op, cond)) {
+            emit_u3(os, op.matrix, op.qubits[0], cond);
+          }
         } else if (op.qubits.size() == 2 && emit_named_two_qubit(os, op, cond)) {
           // emitted
         } else if (op.qubits.size() == 3 && emit_named_three_qubit(os, op, cond)) {

@@ -1,0 +1,140 @@
+#include "qcut/svc/api.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qcut/common/error.hpp"
+#include "qcut/obs/metrics.hpp"
+#include "qcut/obs/trace.hpp"
+#include "qcut/sim/qasm_import.hpp"
+#include "qcut/svc/cache.hpp"
+
+namespace qcut {
+namespace svc {
+
+namespace {
+
+Circuit resolve_circuit(const EstimateRequest& req) {
+  if (req.circuit.has_value()) {
+    return *req.circuit;
+  }
+  QCUT_CHECK(!req.circuit_qasm.empty(),
+             "svc::estimate: request carries neither a circuit IR nor QASM text");
+  return strip_trailing_measurements(import_qasm(req.circuit_qasm, "<request>"));
+}
+
+PlanSummary summarize(const CutPlan& plan) {
+  PlanSummary s;
+  s.cuts = plan.cuts.size();
+  s.gate_cuts = plan.gate_cut_count();
+  s.total_kappa = plan.total_kappa;
+  s.predicted_shots = plan.predicted_shots;
+  s.max_width = plan.max_width;
+  s.max_sim_width = plan.max_sim_width;
+  return s;
+}
+
+}  // namespace
+
+Real ci_halfwidth(Real estimate, Real kappa, std::uint64_t shots) {
+  if (shots == 0) {
+    return 0.0;
+  }
+  // Per-sample outcomes are κ-bounded, so Var <= κ² − E[X]²; the 95% normal
+  // quantile turns the SEM bound into a CI half-width.
+  const Real var = std::max(kappa * kappa - estimate * estimate, 0.0);
+  return 1.96 * std::sqrt(var / static_cast<Real>(shots));
+}
+
+EstimateResult estimate(const EstimateRequest& req, ServiceCaches* caches) {
+  obs::TraceSpan span("svc.estimate");
+  const Circuit circ = resolve_circuit(req);
+
+  // Front-door validation: every failure below names the request's problem
+  // instead of surfacing as a cutter error three layers down.
+  QCUT_CHECK(req.observable.n_qubits() == circ.n_qubits(),
+             "svc::estimate: observable '" + req.observable.to_string() + "' is " +
+                 std::to_string(req.observable.n_qubits()) + " qubits but the circuit has " +
+                 std::to_string(circ.n_qubits()));
+  QCUT_CHECK(!req.observable.is_identity(),
+             "svc::estimate: the identity observable has expectation 1 identically — "
+             "nothing to estimate");
+  QCUT_CHECK(req.epsilon >= 0.0, "svc::estimate: epsilon must be >= 0");
+
+  PlannerConfig pcfg = req.planner;
+  if (req.epsilon > 0.0) {
+    pcfg.target_accuracy = req.epsilon;
+  }
+
+  EstimateResult res;
+
+  // Plan: served from the cross-request cache when the (circuit, planner
+  // config) key matches; the planner is deterministic, so a cached plan IS
+  // the plan a fresh search would return.
+  std::shared_ptr<CutPlan> plan;
+  std::string pkey;
+  if (caches != nullptr) {
+    pkey = plan_key(circuit_hash(circ), pcfg);
+    plan = caches->plans.get(pkey);
+    if (plan != nullptr) {
+      res.plan_cache_hit = true;
+      obs::count(obs::Counter::kPlanCacheHit);
+    } else {
+      obs::count(obs::Counter::kPlanCacheMiss);
+    }
+  }
+  if (plan == nullptr) {
+    const CutPlanner planner(circ, pcfg);
+    plan = std::make_shared<CutPlan>(planner.plan());
+    if (caches != nullptr) {
+      plan = caches->plans.put(pkey, plan);
+    }
+  }
+
+  // Resolve the shot policy before execution so the cap can bound the
+  // ε-predicted budget (run_with resolves shots == 0 identically).
+  CutRunConfig rcfg = req.run_cfg;
+  if (req.shot_cap > 0) {
+    std::uint64_t want = rcfg.shots;
+    if (want == 0) {
+      const Real predicted = std::ceil(plan->predicted_shots);
+      want = predicted > 1e18 ? req.shot_cap : static_cast<std::uint64_t>(predicted);
+    }
+    rcfg.shots = std::min(want, req.shot_cap);
+  }
+
+  if (caches != nullptr) {
+    const std::string ekey = eval_key(pkey, req.observable, rcfg);
+    std::shared_ptr<EvalEntry> entry = caches->evals.get(ekey);
+    if (entry != nullptr) {
+      res.eval_cache_hit = true;
+      obs::count(obs::Counter::kEvalCacheHit);
+    } else {
+      obs::count(obs::Counter::kEvalCacheMiss);
+      entry = caches->evals.put(
+          ekey, EvalEntry::build(PlannedExecutor(circ, *plan), req.observable, rcfg,
+                                 caches->skeletons));
+    }
+    // Run against the entry's warm backend; report the kind it realizes.
+    rcfg.backend = entry->kind;
+    rcfg.shared_backend = entry->backend.get();
+    res.run = entry->executor.run_with(entry->qpd, req.observable, rcfg);
+  } else {
+    const PlannedExecutor executor(circ, *plan);
+    res.run = executor.run(req.observable, rcfg);
+  }
+
+  res.run.report.request_id = req.request_id;
+  res.estimate = res.run.estimate;
+  res.has_exact = res.run.has_exact;
+  res.exact = res.run.exact;
+  res.shots_used = res.run.details.shots_used;
+  res.kappa = res.run.details.kappa;
+  res.ci_halfwidth = ci_halfwidth(res.estimate, res.kappa, res.shots_used);
+  res.plan_summary = summarize(*plan);
+  res.plan = *plan;
+  return res;
+}
+
+}  // namespace svc
+}  // namespace qcut

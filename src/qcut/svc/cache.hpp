@@ -1,0 +1,178 @@
+// Cross-request caches for the service layer (ROADMAP item 1).
+//
+// The daemon answers many estimation requests per process, and most fleets
+// send the same few circuits over and over (parameter sweeps, retries,
+// dashboards re-polling). Three artifacts are worth keeping warm across
+// requests, in increasing order of cost to rebuild:
+//
+//  * the CutPlan — the planner's subset search over cut candidates, keyed by
+//    (canonical circuit hash, planner config);
+//  * the spliced QPD plus its warm ExecutionBackend — term-circuit splicing,
+//    protocol instantiation, and (for branch-cached backends) the exact
+//    per-term P(−1) probabilities, keyed by (plan key, observable, backend
+//    routing config);
+//  * the SplitSkeletonCache — per-term fragment split structure, shared by
+//    every fragment-backend entry (cut/fragment.hpp owns the type; the
+//    service just holds a capacity-bounded, process-lifetime instance).
+//
+// Reuse is always bit-identical: plans are deterministic functions of their
+// key, and a warm backend holds exact probabilities (or replays exact
+// per-shot simulation), so a cache hit changes wall-clock time and nothing
+// else — pinned by test_service.cpp.
+//
+// Keys are strings: a canonical FNV-1a circuit hash plus an exact textual
+// serialization of the relevant config (doubles by bit pattern, so two
+// configs collide only when they are the same config). Eviction is LRU with
+// a per-cache capacity; hit/miss traffic lands on the obs counters
+// (kPlanCacheHit/Miss, kEvalCacheHit/Miss) at the call sites.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "qcut/cut/fragment.hpp"
+#include "qcut/exec/backend.hpp"
+#include "qcut/plan/cut_planner.hpp"
+#include "qcut/plan/planned_executor.hpp"
+#include "qcut/sim/circuit.hpp"
+#include "qcut/sim/observable.hpp"
+
+namespace qcut {
+namespace svc {
+
+/// Canonical 64-bit FNV-1a hash of a circuit's structure: register sizes and
+/// every operation's kind, qubits, cbit, matrix / init-state entry bit
+/// patterns. Labels are excluded — they are presentation, not semantics — so
+/// a circuit imported from QASM hashes equal to the same circuit built by
+/// hand. Two requests with equal hashes are treated as the same circuit
+/// (a 64-bit collision is negligible next to sampling error).
+std::uint64_t circuit_hash(const Circuit& circ);
+
+/// Exact textual key of the planner configuration (scalars by bit pattern,
+/// device model included): equal keys ⇔ the planner search is the same.
+std::string planner_config_key(const PlannerConfig& cfg);
+
+/// Plan-cache key: circuit identity + planner configuration.
+std::string plan_key(std::uint64_t circuit_hash, const PlannerConfig& cfg);
+
+/// Eval-cache key: plan identity + observable + the config that determines
+/// backend routing (requested kind and auto-fragment threshold). Shots and
+/// seed are deliberately absent — a warm backend is exact, so it serves any
+/// budget and any seed bit-identically.
+std::string eval_key(const std::string& plan_key, const Observable& observable,
+                     const CutRunConfig& cfg);
+
+/// Thread-safe string-keyed LRU cache of shared_ptr<V>. Lookups update
+/// recency; insertion evicts the least-recently-used entry beyond capacity.
+/// Values are built OUTSIDE the lock (plans and QPDs are expensive); when
+/// two threads race to insert the same key, the first insert wins and both
+/// get the resident value — so all concurrent users share one entry.
+template <typename V>
+class LruCache {
+ public:
+  /// capacity >= 1; the cache never exceeds it.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  std::shared_ptr<V> get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it == by_key_.end()) {
+      return nullptr;
+    }
+    it->second.last_use = ++tick_;
+    return it->second.value;
+  }
+
+  /// Inserts `value` (first insert wins) and returns the resident entry.
+  std::shared_ptr<V> put(const std::string& key, std::shared_ptr<V> value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = by_key_.try_emplace(key);
+    if (inserted) {
+      it->second.value = std::move(value);
+    }
+    it->second.last_use = ++tick_;
+    std::shared_ptr<V> resident = it->second.value;
+    while (by_key_.size() > capacity_) {
+      auto victim = by_key_.end();
+      for (auto e = by_key_.begin(); e != by_key_.end(); ++e) {
+        if (e->first != key && (victim == by_key_.end() || e->second.last_use < victim->second.last_use)) {
+          victim = e;
+        }
+      }
+      if (victim == by_key_.end()) {
+        break;  // capacity 1 holding the just-inserted key
+      }
+      by_key_.erase(victim);
+    }
+    return resident;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return by_key_.size();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<V> value;
+    std::uint64_t last_use = 0;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t tick_ = 0;
+  std::unordered_map<std::string, Entry> by_key_;
+};
+
+/// One warm evaluation context: the executor (plan protocols instantiated),
+/// the spliced QPD, and an ExecutionBackend bound to it. The backend's
+/// probability caches (BranchCache / skeletons) fill on first use and serve
+/// every later request with the same key. All members are immutable or
+/// internally synchronized after build(), so one entry serves concurrent
+/// requests.
+struct EvalEntry {
+  PlannedExecutor executor;
+  Qpd qpd;                ///< executor.build_qpd(observable); backend points at it
+  BackendKind kind;       ///< the routed kind the backend realizes
+  std::unique_ptr<ExecutionBackend> backend;
+
+  EvalEntry(PlannedExecutor ex, Qpd q, BackendKind k)
+      : executor(std::move(ex)), qpd(std::move(q)), kind(k) {}
+
+  /// Builds a ready entry: routes the backend kind exactly as
+  /// PlannedExecutor::run would under `cfg`, then constructs the backend
+  /// against the entry's own (heap-stable) QPD. Fragment backends share
+  /// `skeletons` so split structure is reused across entries.
+  static std::shared_ptr<EvalEntry> build(PlannedExecutor executor, const Observable& observable,
+                                          const CutRunConfig& cfg,
+                                          std::shared_ptr<SplitSkeletonCache> skeletons);
+};
+
+struct ServiceCachesConfig {
+  std::size_t plan_capacity = 64;
+  std::size_t eval_capacity = 32;
+  std::size_t skeleton_capacity = 512;
+};
+
+/// The process-lifetime cache bundle one service instance owns.
+class ServiceCaches {
+ public:
+  explicit ServiceCaches(ServiceCachesConfig cfg = {})
+      : plans(cfg.plan_capacity),
+        evals(cfg.eval_capacity),
+        skeletons(std::make_shared<SplitSkeletonCache>(cfg.skeleton_capacity)) {}
+
+  LruCache<CutPlan> plans;
+  LruCache<EvalEntry> evals;
+  std::shared_ptr<SplitSkeletonCache> skeletons;
+};
+
+/// Shared default instance for in-process callers that opt into caching;
+/// the daemon owns its own ServiceCaches instead.
+ServiceCaches& global_service_caches();
+
+}  // namespace svc
+}  // namespace qcut

@@ -1,0 +1,413 @@
+#include "qcut/svc/server.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "qcut/common/error.hpp"
+#include "qcut/obs/metrics.hpp"
+#include "qcut/obs/trace.hpp"
+#include "qcut/svc/api.hpp"
+
+namespace qcut {
+namespace svc {
+
+namespace {
+
+/// recv() until exactly `n` bytes arrive. Returns false on orderly shutdown
+/// at a frame boundary (n bytes requested, 0 received so far); throws on
+/// mid-frame EOF or socket errors.
+bool recv_all(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) {
+      QCUT_CHECK(got == 0, "wire: connection closed mid-frame (" + std::to_string(got) + " of " +
+                               std::to_string(n) + " bytes)");
+      return false;
+    }
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw Error(std::string("wire: recv failed: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void send_all(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw Error(std::string("wire: send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+void send_frame(int fd, const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  send_all(fd, bytes.data(), bytes.size());
+}
+
+/// Reads one frame; false on orderly close at a frame boundary.
+bool recv_frame(int fd, Frame* out) {
+  std::uint8_t header[kFrameHeaderSize];
+  if (!recv_all(fd, header, sizeof header)) {
+    return false;
+  }
+  const FrameHeader h = decode_frame_header(header, sizeof header);
+  out->type = h.type;
+  out->payload.resize(h.payload_len);
+  if (h.payload_len > 0) {
+    QCUT_CHECK(recv_all(fd, out->payload.data(), out->payload.size()),
+               "wire: connection closed mid-payload");
+  }
+  return true;
+}
+
+int connect_tcp(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  QCUT_CHECK(rc == 0, "wire: cannot resolve '" + host + "': " + gai_strerror(rc));
+  int fd = -1;
+  std::string last_err = "no addresses";
+  for (addrinfo* a = res; a != nullptr; a = a->ai_next) {
+    fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last_err = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0) {
+      break;
+    }
+    last_err = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  QCUT_CHECK(fd >= 0, "wire: cannot connect to " + host + ":" + std::to_string(port) + ": " +
+                          last_err);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+}  // namespace
+
+QcutServer::QcutServer(ServerConfig cfg)
+    : cfg_(cfg), pool_(cfg.workers), caches_(cfg.caches) {
+  if (cfg_.max_inflight == 0) {
+    cfg_.max_inflight = 4 * pool_.size();
+  }
+}
+
+QcutServer::~QcutServer() { stop(); }
+
+void QcutServer::start() {
+  QCUT_CHECK(listen_fd_ < 0, "QcutServer: already started");
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(cfg_.host.c_str(), std::to_string(cfg_.port).c_str(), &hints, &res);
+  QCUT_CHECK(rc == 0, "QcutServer: cannot resolve '" + cfg_.host + "': " + gai_strerror(rc));
+
+  listen_fd_ = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (listen_fd_ < 0) {
+    ::freeaddrinfo(res);
+    throw Error(std::string("QcutServer: socket failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(listen_fd_, res->ai_addr, res->ai_addrlen) != 0 || ::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::freeaddrinfo(res);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("QcutServer: cannot listen on " + cfg_.host + ":" + std::to_string(cfg_.port) +
+                ": " + err);
+  }
+  ::freeaddrinfo(res);
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void QcutServer::stop() {
+  if (!running_.exchange(false)) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void QcutServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listen socket closed by stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void QcutServer::serve_connection(int fd) {
+  try {
+    Frame frame;
+    while (running_.load() && recv_frame(fd, &frame)) {
+      switch (frame.type) {
+        case MsgType::kEstimateRequest: {
+          WireEstimateResponse resp;
+          try {
+            resp = handle_estimate(decode_estimate_request(frame.payload));
+          } catch (const std::exception& e) {
+            // Malformed payloads get a typed error frame; the connection
+            // survives (framing is still intact).
+            send_frame(fd, Frame{MsgType::kError, encode_error(e.what())});
+            continue;
+          }
+          send_frame(fd, Frame{MsgType::kEstimateResponse, encode_estimate_response(resp)});
+          break;
+        }
+        case MsgType::kMetricsRequest:
+          send_frame(fd, Frame{MsgType::kMetricsResponse, encode_metrics_response(metrics_text())});
+          break;
+        default:
+          send_frame(fd, Frame{MsgType::kError,
+                               encode_error("server: unexpected message type " +
+                                            std::to_string(static_cast<int>(frame.type)))});
+          break;
+      }
+    }
+  } catch (const std::exception&) {
+    // Frame-desync or transport failure: drop the connection. The protocol
+    // has no resync point inside a stream, so closing is the safe answer.
+  }
+  ::close(fd);
+}
+
+WireEstimateResponse QcutServer::handle_estimate(const WireEstimateRequest& req) {
+  obs::count(obs::Counter::kSvcRequests);
+
+  // Admission control: the pool (not the socket count) bounds concurrency;
+  // past the cap the client is told to back off for about one service time.
+  if (inflight_.load(std::memory_order_relaxed) >= cfg_.max_inflight) {
+    obs::count(obs::Counter::kSvcRejected);
+    WireEstimateResponse resp;
+    resp.status = static_cast<std::uint8_t>(WireStatus::kRetryAfter);
+    const std::uint64_t ewma_us = ewma_service_us_.load(std::memory_order_relaxed);
+    resp.retry_after_ms = ewma_us == 0 ? 50 : (ewma_us + 999) / 1000;
+    resp.error = "server at capacity (" + std::to_string(cfg_.max_inflight) +
+                 " requests in flight) — retry after " + std::to_string(resp.retry_after_ms) +
+                 " ms";
+    return resp;
+  }
+
+  // Coalescing key = the exact wire payload: only bit-identical requests
+  // (including seed and budget) merge, so merged answers are the answers
+  // each request would have gotten alone.
+  const std::vector<std::uint8_t> payload = encode_estimate_request(req);
+  const std::string key(payload.begin(), payload.end());
+  auto join = coalescer_.join(key);
+  if (!join.leader) {
+    obs::count(obs::Counter::kSvcCoalesced);
+    WireEstimateResponse resp = join.future.get();
+    resp.coalesced = 1;
+    return resp;
+  }
+
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  // shared_ptr wrapper: ThreadPool::submit takes std::function, which
+  // requires a copyable callable; std::promise is move-only.
+  auto promise = std::make_shared<std::promise<WireEstimateResponse>>(std::move(join.promise));
+  pool_.submit([this, req, key, promise]() {
+    const auto t0 = std::chrono::steady_clock::now();
+    WireEstimateResponse resp;
+    try {
+      resp = execute(req);
+    } catch (const std::exception& e) {
+      resp.status = static_cast<std::uint8_t>(WireStatus::kError);
+      resp.error = e.what();
+    }
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    const std::uint64_t prev = ewma_service_us_.load(std::memory_order_relaxed);
+    const std::uint64_t sample = static_cast<std::uint64_t>(us);
+    ewma_service_us_.store(prev == 0 ? sample : prev - prev / 8 + sample / 8,
+                           std::memory_order_relaxed);
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    // Retire the coalescing key BEFORE publishing the value: the client sees
+    // the response only after set_value, so its next request can never join
+    // a leader that already answered (it would inherit stale cache flags).
+    coalescer_.complete(key);
+    promise->set_value(std::move(resp));
+  });
+  return join.future.get();
+}
+
+WireEstimateResponse QcutServer::execute(const WireEstimateRequest& wreq) {
+  const std::uint64_t serial = request_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::TraceSpan span("svc.request", serial);
+
+  if (cfg_.debug_request_delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.debug_request_delay_ms));
+  }
+
+  QCUT_CHECK(wreq.backend <= 2, "server: unknown backend kind " + std::to_string(wreq.backend));
+
+  EstimateRequest req;
+  req.circuit_qasm = wreq.circuit_qasm;
+  req.observable = Observable::parse(wreq.observable);
+  req.epsilon = wreq.epsilon;
+  req.shot_cap = wreq.shot_cap;
+  req.request_id = wreq.request_id.empty() ? "req-" + std::to_string(serial) : wreq.request_id;
+  req.planner.max_fragment_width = wreq.max_fragment_width;
+  req.planner.resource_overlap = wreq.resource_overlap;
+  req.planner.pair_budget = wreq.pair_budget;
+  req.planner.allow_gate_cuts = wreq.allow_gate_cuts != 0;
+  req.planner.target_accuracy = wreq.target_accuracy;
+  req.planner.max_cuts = wreq.max_cuts;
+  req.planner.exhaustive_limit = wreq.exhaustive_limit;
+  req.planner.max_nodes = wreq.max_nodes;
+  req.run_cfg.shots = wreq.shots;
+  req.run_cfg.seed = wreq.seed;
+  req.run_cfg.backend = static_cast<BackendKind>(wreq.backend);
+  req.run_cfg.pool = &pool_;
+  // Requests execute wholly on this pool worker (inline fallbacks), so a
+  // per-thread sink captures exactly this request's counters.
+  req.run_cfg.scoped_report = true;
+
+  const EstimateResult res = estimate(req, &caches_);
+
+  WireEstimateResponse resp;
+  resp.status = static_cast<std::uint8_t>(WireStatus::kOk);
+  resp.estimate = res.estimate;
+  resp.ci_halfwidth = res.ci_halfwidth;
+  resp.has_exact = res.has_exact ? 1 : 0;
+  resp.exact = res.exact;
+  resp.shots_used = res.shots_used;
+  resp.kappa = res.kappa;
+  resp.plan_cuts = res.plan_summary.cuts;
+  resp.plan_gate_cuts = res.plan_summary.gate_cuts;
+  resp.plan_total_kappa = res.plan_summary.total_kappa;
+  resp.plan_predicted_shots = res.plan_summary.predicted_shots;
+  resp.plan_max_width = res.plan_summary.max_width;
+  resp.plan_max_sim_width = res.plan_summary.max_sim_width;
+  resp.plan_cache_hit = res.plan_cache_hit ? 1 : 0;
+  resp.eval_cache_hit = res.eval_cache_hit ? 1 : 0;
+  resp.report_json = res.run.report.to_json(2);
+  return resp;
+}
+
+std::string QcutServer::metrics_text() const {
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  std::ostringstream os;
+  for (int i = 0; i < obs::kCounterCount; ++i) {
+    os << "qcut_" << obs::counter_name(static_cast<obs::Counter>(i)) << " "
+       << snap.values[static_cast<std::size_t>(i)] << "\n";
+  }
+  os << "qcut_svc_inflight " << inflight_.load(std::memory_order_relaxed) << "\n";
+  os << "qcut_svc_max_inflight " << cfg_.max_inflight << "\n";
+  os << "qcut_svc_pool_workers " << pool_.size() << "\n";
+  os << "qcut_plan_cache_size " << caches_.plans.size() << "\n";
+  os << "qcut_eval_cache_size " << caches_.evals.size() << "\n";
+  return os.str();
+}
+
+QcutClient::QcutClient(const std::string& host, int port) : fd_(connect_tcp(host, port)) {}
+
+QcutClient::~QcutClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Frame QcutClient::roundtrip(const Frame& frame) {
+  send_frame(fd_, frame);
+  Frame resp;
+  QCUT_CHECK(recv_frame(fd_, &resp), "wire: server closed the connection");
+  return resp;
+}
+
+WireEstimateResponse QcutClient::estimate(const WireEstimateRequest& req) {
+  const Frame resp = roundtrip(Frame{MsgType::kEstimateRequest, encode_estimate_request(req)});
+  if (resp.type == MsgType::kError) {
+    WireEstimateResponse out;
+    out.status = static_cast<std::uint8_t>(WireStatus::kError);
+    out.error = decode_error(resp.payload);
+    return out;
+  }
+  QCUT_CHECK(resp.type == MsgType::kEstimateResponse,
+             "wire: expected an estimate response, got type " +
+                 std::to_string(static_cast<int>(resp.type)));
+  return decode_estimate_response(resp.payload);
+}
+
+std::string QcutClient::metrics() {
+  const Frame resp = roundtrip(Frame{MsgType::kMetricsRequest, {}});
+  QCUT_CHECK(resp.type == MsgType::kMetricsResponse,
+             "wire: expected a metrics response, got type " +
+                 std::to_string(static_cast<int>(resp.type)));
+  return decode_metrics_response(resp.payload);
+}
+
+}  // namespace svc
+}  // namespace qcut

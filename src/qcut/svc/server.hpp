@@ -1,0 +1,188 @@
+// qcut-server: a daemon answering wire-protocol estimation requests over TCP.
+//
+// Architecture (one process, three thread populations):
+//  * the accept thread hands each connection to a detachable connection
+//    thread (connections are long-lived: a client streams many frames);
+//  * connection threads parse frames and submit request execution to the
+//    shared ThreadPool, then block on the result — so the POOL, not the
+//    connection count, bounds estimation concurrency;
+//  * pool workers execute requests. The engine and the fragment evaluator
+//    detect being on their own pool's worker and fall back inline, so each
+//    request runs single-threaded on its worker — which is exactly what lets
+//    a ScopedMetricsSink capture that request's counters precisely, and what
+//    makes request throughput scale with workers without nested-parallelism
+//    deadlocks. Results stay bit-identical to in-process runs because
+//    randomness is per-batch counter-streams, never scheduling-dependent.
+//
+// Admission control: at most `max_inflight` requests may be queued-or-running
+// on the pool. Beyond that the server answers kRetryAfter with a suggested
+// backoff derived from an EWMA of recent service times — the client-visible
+// form of the pool's queue pressure. Coalescing: fully identical in-flight
+// requests (same QASM, observable, seed, budget — the whole wire key) are
+// merged; followers attach to the leader's future and are answered by the
+// same execution, response flagged `coalesced`. Only exact twins merge, so
+// coalescing can never change any answer.
+//
+// Caching: the server owns a process-lifetime ServiceCaches (plans, warm
+// QPD+backend entries, fragment skeletons) — see svc/cache.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qcut/common/threadpool.hpp"
+#include "qcut/svc/cache.hpp"
+#include "qcut/svc/wire.hpp"
+
+namespace qcut {
+namespace svc {
+
+/// Merges concurrent identical work: the first join() of a key is the
+/// leader (it executes and must complete() or abandon() the key); later
+/// joins while the key is in flight become followers sharing the leader's
+/// future. Unit-testable without sockets (test_service.cpp).
+template <typename R>
+class CoalescingMap {
+ public:
+  struct Join {
+    bool leader = false;
+    std::shared_future<R> future;   ///< followers wait here
+    std::promise<R> promise;        ///< leader fulfills this (leader only)
+  };
+
+  Join join(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      Join j;
+      j.leader = false;
+      j.future = it->second;
+      return j;
+    }
+    Join j;
+    j.leader = true;
+    j.future = j.promise.get_future().share();
+    inflight_.emplace(key, j.future);
+    return j;
+  }
+
+  /// Leader-only: removes the key once its promise is fulfilled. Followers
+  /// already holding the future are unaffected; new requests start fresh.
+  void complete(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+  }
+
+  std::size_t inflight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_future<R>> inflight_;
+};
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;              ///< 0 → ephemeral; read the bound port from port()
+  /// Estimation workers. 0 → hardware concurrency (the ThreadPool default).
+  std::size_t workers = 0;
+  /// Admission cap on queued-or-running requests. 0 → 4 × workers.
+  std::size_t max_inflight = 0;
+  ServiceCachesConfig caches;
+  /// Test hook: sleep this long inside each request's execution, to make
+  /// admission rejection and coalescing windows deterministic in tests.
+  std::uint64_t debug_request_delay_ms = 0;
+};
+
+class QcutServer {
+ public:
+  explicit QcutServer(ServerConfig cfg = {});
+  ~QcutServer();
+
+  QcutServer(const QcutServer&) = delete;
+  QcutServer& operator=(const QcutServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Throws qcut::Error on
+  /// socket failures (port in use, bad host).
+  void start();
+
+  /// The bound port (after start(); resolves port = 0 to the actual one).
+  int port() const noexcept { return port_; }
+
+  /// Stops accepting, closes every connection, and joins all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  ServiceCaches& caches() noexcept { return caches_; }
+
+  /// The /metrics-style plaintext dump served on kMetricsRequest: one
+  /// "qcut_<counter> <value>" line per obs counter plus service gauges
+  /// (inflight, cache sizes). Exposed for tests.
+  std::string metrics_text() const;
+
+  /// Executes one already-decoded request in-process (no sockets): the
+  /// shared implementation of the wire path, exposed so tests and the bench
+  /// can drive the exact server semantics deterministically.
+  WireEstimateResponse handle_estimate(const WireEstimateRequest& req);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  WireEstimateResponse execute(const WireEstimateRequest& req);
+
+  ServerConfig cfg_;
+  ThreadPool pool_;
+  ServiceCaches caches_;
+  CoalescingMap<WireEstimateResponse> coalescer_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> request_serial_{0};
+  /// EWMA of request service time in microseconds (α = 1/8), seeded by the
+  /// first completed request; the retry-after hint when admission rejects.
+  std::atomic<std::uint64_t> ewma_service_us_{0};
+
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+/// Blocking client for the wire protocol. One connection, sequential
+/// request/response; use one client per thread for concurrency.
+class QcutClient {
+ public:
+  /// Connects immediately; throws qcut::Error on failure.
+  QcutClient(const std::string& host, int port);
+  ~QcutClient();
+
+  QcutClient(const QcutClient&) = delete;
+  QcutClient& operator=(const QcutClient&) = delete;
+
+  /// Sends the request and waits for the response. Server-side failures
+  /// come back as status = kError (or a decoded error frame), transport
+  /// failures throw qcut::Error.
+  WireEstimateResponse estimate(const WireEstimateRequest& req);
+
+  /// Fetches the plaintext metrics dump.
+  std::string metrics();
+
+ private:
+  Frame roundtrip(const Frame& frame);
+
+  int fd_ = -1;
+};
+
+}  // namespace svc
+}  // namespace qcut

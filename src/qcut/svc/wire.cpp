@@ -1,0 +1,284 @@
+#include "qcut/svc/wire.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "qcut/common/error.hpp"
+
+namespace qcut {
+namespace svc {
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::f64(Real v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(Real) == sizeof bits, "Real must be 64-bit");
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& s) {
+  QCUT_CHECK(s.size() <= kMaxPayload, "wire: string exceeds the payload cap");
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireReader::need(std::size_t bytes) const {
+  QCUT_CHECK(n_ - off_ >= bytes,
+             "wire: truncated field — need " + std::to_string(bytes) + " bytes at offset " +
+                 std::to_string(off_) + " of " + std::to_string(n_));
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return p_[off_++];
+}
+
+std::uint16_t WireReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(p_[off_] | (p_[off_ + 1] << 8));
+  off_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p_[off_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  off_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p_[off_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  off_ += 8;
+  return v;
+}
+
+Real WireReader::f64() {
+  const std::uint64_t bits = u64();
+  Real v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(p_ + off_), len);
+  off_ += len;
+  return s;
+}
+
+void WireReader::expect_done() const {
+  QCUT_CHECK(done(), "wire: " + std::to_string(n_ - off_) +
+                         " trailing bytes after a complete message (offset " +
+                         std::to_string(off_) + ")");
+}
+
+namespace {
+
+bool known_type(std::uint16_t t) {
+  return t >= static_cast<std::uint16_t>(MsgType::kEstimateRequest) &&
+         t <= static_cast<std::uint16_t>(MsgType::kError);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  QCUT_CHECK(frame.payload.size() <= kMaxPayload,
+             "wire: payload of " + std::to_string(frame.payload.size()) +
+                 " bytes exceeds the " + std::to_string(kMaxPayload) + "-byte frame cap");
+  WireWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(frame.type));
+  w.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+FrameHeader decode_frame_header(const std::uint8_t* data, std::size_t size) {
+  QCUT_CHECK(size >= kFrameHeaderSize, "wire: truncated frame header — got " +
+                                           std::to_string(size) + " of " +
+                                           std::to_string(kFrameHeaderSize) + " bytes");
+  WireReader r(data, size);
+  const std::uint32_t magic = r.u32();
+  QCUT_CHECK(magic == kWireMagic, "wire: bad magic 0x" + [&] {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08x", magic);
+    return std::string(buf);
+  }() + " (not a qcut frame)");
+  const std::uint16_t version = r.u16();
+  QCUT_CHECK(version == kWireVersion, "wire: unsupported protocol version " +
+                                          std::to_string(version) + " (this build speaks v" +
+                                          std::to_string(kWireVersion) + ")");
+  const std::uint16_t type = r.u16();
+  QCUT_CHECK(known_type(type), "wire: unknown message type " + std::to_string(type));
+  FrameHeader h;
+  h.type = static_cast<MsgType>(type);
+  h.payload_len = r.u32();
+  QCUT_CHECK(h.payload_len <= kMaxPayload,
+             "wire: declared payload of " + std::to_string(h.payload_len) +
+                 " bytes exceeds the " + std::to_string(kMaxPayload) + "-byte frame cap");
+  return h;
+}
+
+Frame decode_frame(const std::vector<std::uint8_t>& bytes) {
+  const FrameHeader h = decode_frame_header(bytes.data(), bytes.size());
+  QCUT_CHECK(bytes.size() - kFrameHeaderSize >= h.payload_len,
+             "wire: truncated payload — header declares " + std::to_string(h.payload_len) +
+                 " bytes, " + std::to_string(bytes.size() - kFrameHeaderSize) + " present");
+  QCUT_CHECK(bytes.size() - kFrameHeaderSize == h.payload_len,
+             "wire: " + std::to_string(bytes.size() - kFrameHeaderSize - h.payload_len) +
+                 " trailing bytes after the frame");
+  Frame f;
+  f.type = h.type;
+  f.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderSize), bytes.end());
+  return f;
+}
+
+std::vector<std::uint8_t> encode_estimate_request(const WireEstimateRequest& req) {
+  WireWriter w;
+  w.str(req.circuit_qasm);
+  w.str(req.observable);
+  w.f64(req.epsilon);
+  w.u64(req.shots);
+  w.u64(req.shot_cap);
+  w.u64(req.seed);
+  w.u32(static_cast<std::uint32_t>(req.max_fragment_width));
+  w.f64(req.resource_overlap);
+  w.u32(static_cast<std::uint32_t>(req.pair_budget));
+  w.u8(req.allow_gate_cuts);
+  w.f64(req.target_accuracy);
+  w.u64(req.max_cuts);
+  w.u64(req.exhaustive_limit);
+  w.u64(req.max_nodes);
+  w.u8(req.backend);
+  w.str(req.request_id);
+  return w.take();
+}
+
+WireEstimateRequest decode_estimate_request(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireEstimateRequest req;
+  req.circuit_qasm = r.str();
+  req.observable = r.str();
+  req.epsilon = r.f64();
+  req.shots = r.u64();
+  req.shot_cap = r.u64();
+  req.seed = r.u64();
+  req.max_fragment_width = static_cast<std::int32_t>(r.u32());
+  req.resource_overlap = r.f64();
+  req.pair_budget = static_cast<std::int32_t>(r.u32());
+  req.allow_gate_cuts = r.u8();
+  req.target_accuracy = r.f64();
+  req.max_cuts = r.u64();
+  req.exhaustive_limit = r.u64();
+  req.max_nodes = r.u64();
+  req.backend = r.u8();
+  req.request_id = r.str();
+  r.expect_done();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_estimate_response(const WireEstimateResponse& res) {
+  WireWriter w;
+  w.u8(res.status);
+  w.u64(res.retry_after_ms);
+  w.str(res.error);
+  w.f64(res.estimate);
+  w.f64(res.ci_halfwidth);
+  w.u8(res.has_exact);
+  w.f64(res.exact);
+  w.u64(res.shots_used);
+  w.f64(res.kappa);
+  w.u64(res.plan_cuts);
+  w.u64(res.plan_gate_cuts);
+  w.f64(res.plan_total_kappa);
+  w.f64(res.plan_predicted_shots);
+  w.u32(static_cast<std::uint32_t>(res.plan_max_width));
+  w.u32(static_cast<std::uint32_t>(res.plan_max_sim_width));
+  w.u8(res.plan_cache_hit);
+  w.u8(res.eval_cache_hit);
+  w.u8(res.coalesced);
+  w.str(res.report_json);
+  return w.take();
+}
+
+WireEstimateResponse decode_estimate_response(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  WireEstimateResponse res;
+  res.status = r.u8();
+  res.retry_after_ms = r.u64();
+  res.error = r.str();
+  res.estimate = r.f64();
+  res.ci_halfwidth = r.f64();
+  res.has_exact = r.u8();
+  res.exact = r.f64();
+  res.shots_used = r.u64();
+  res.kappa = r.f64();
+  res.plan_cuts = r.u64();
+  res.plan_gate_cuts = r.u64();
+  res.plan_total_kappa = r.f64();
+  res.plan_predicted_shots = r.f64();
+  res.plan_max_width = static_cast<std::int32_t>(r.u32());
+  res.plan_max_sim_width = static_cast<std::int32_t>(r.u32());
+  res.plan_cache_hit = r.u8();
+  res.eval_cache_hit = r.u8();
+  res.coalesced = r.u8();
+  res.report_json = r.str();
+  r.expect_done();
+  return res;
+}
+
+std::vector<std::uint8_t> encode_metrics_response(const std::string& text) {
+  WireWriter w;
+  w.str(text);
+  return w.take();
+}
+
+std::string decode_metrics_response(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  std::string text = r.str();
+  r.expect_done();
+  return text;
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& message) {
+  WireWriter w;
+  w.str(message);
+  return w.take();
+}
+
+std::string decode_error(const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  std::string message = r.str();
+  r.expect_done();
+  return message;
+}
+
+}  // namespace svc
+}  // namespace qcut

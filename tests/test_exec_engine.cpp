@@ -233,14 +233,16 @@ TEST(EngineTest, ResultAccountingMatchesLegacyEstimators) {
 
 TEST(EngineTest, CutExecutorDefaultsToBatchedBackend) {
   CutRunConfig cfg;
-  EXPECT_EQ(cfg.effective_backend(), BackendKind::kBatchedBranch);
-  cfg.fast = false;  // legacy switch still forces the per-shot reference
-  EXPECT_EQ(cfg.effective_backend(), BackendKind::kSerialShot);
+  // The retired `fast` bool folded into `backend`: the default is the
+  // batched-branch engine, and the old fast=false reference path is spelled
+  // backend = kSerialShot explicitly.
+  EXPECT_EQ(cfg.backend, BackendKind::kBatchedBranch);
+  EXPECT_EQ(cfg.effective_backend(), cfg.backend);
 
   cfg = CutRunConfig{};
   cfg.shots = 20000;
   cfg.seed = 5;
-  CutExecutor exec(make_protocol("nme", 0.7));
+  CutExecutor exec(make_wire_protocol({ProtocolId::kNme, 0.7}));
   const auto res = exec.run(fixed_input(), cfg);
   EXPECT_NEAR(res.estimate, res.exact, 0.1);
   EXPECT_EQ(res.details.shots_used, 20000u);
@@ -275,7 +277,7 @@ TEST(EngineTest, CutExecutorRunIsPoolSizeInvariant) {
   cfg.shots = 50000;
   cfg.seed = 99;
   cfg.max_batch_shots = 128;
-  CutExecutor exec(make_protocol("nme", 0.6));
+  CutExecutor exec(make_wire_protocol({ProtocolId::kNme, 0.6}));
   cfg.pool = &p1;
   const auto r1 = exec.run(fixed_input(), cfg);
   cfg.pool = &p8;

@@ -21,37 +21,40 @@ namespace {
 TEST(Integration, CutExecutorEndToEnd) {
   Rng rng(1);
   CutInput input{haar_unitary(2, rng), 'Z'};
-  for (const char* name : {"peng", "harada", "teleport", "nme", "distill"}) {
-    CutExecutor exec(make_protocol(name, 0.7));
+  for (const ProtocolSpec spec :
+       {ProtocolSpec{ProtocolId::kPeng, 0.0}, ProtocolSpec{ProtocolId::kHarada, 0.0},
+        ProtocolSpec{ProtocolId::kTeleport, 0.0}, ProtocolSpec{ProtocolId::kNme, 0.7},
+        ProtocolSpec{ProtocolId::kDistill, 0.7}}) {
+    CutExecutor exec(make_wire_protocol(spec));
     CutRunConfig cfg;
     cfg.shots = 20000;
     cfg.seed = 99;
     const CutRunResult res = exec.run(input, cfg);
-    EXPECT_NEAR(res.estimate, res.exact, 0.15) << name;
+    EXPECT_NEAR(res.estimate, res.exact, 0.15) << to_string(spec);
     EXPECT_EQ(res.details.shots_used, 20000u);
     EXPECT_GT(res.details.kappa, 0.99);
   }
 }
 
-TEST(Integration, SlowPathAgreesWithFastPath) {
+TEST(Integration, SerialBackendAgreesWithBatchedBackend) {
   Rng rng(2);
   CutInput input{haar_unitary(2, rng), 'Z'};
-  CutExecutor exec(make_protocol("nme", 0.5));
-  CutRunConfig fast_cfg;
-  fast_cfg.shots = 600;
-  fast_cfg.fast = true;
-  CutRunConfig slow_cfg = fast_cfg;
-  slow_cfg.fast = false;
+  CutExecutor exec(make_wire_protocol({ProtocolId::kNme, 0.5}));
+  CutRunConfig batched_cfg;
+  batched_cfg.shots = 600;
+  batched_cfg.backend = BackendKind::kBatchedBranch;
+  CutRunConfig serial_cfg = batched_cfg;
+  serial_cfg.backend = BackendKind::kSerialShot;  // the retired `fast=false` path
   // Compare mean errors across trials (same statistic, independent draws).
-  const Real fast_err = exec.mean_abs_error(input, fast_cfg, 120);
-  const Real slow_err = exec.mean_abs_error(input, slow_cfg, 120);
-  EXPECT_NEAR(fast_err, slow_err, 0.3 * std::max(fast_err, slow_err) + 0.01);
+  const Real batched_err = exec.mean_abs_error(input, batched_cfg, 120);
+  const Real serial_err = exec.mean_abs_error(input, serial_cfg, 120);
+  EXPECT_NEAR(batched_err, serial_err, 0.3 * std::max(batched_err, serial_err) + 0.01);
 }
 
 TEST(Integration, MeanErrorShrinksWithShots) {
   Rng rng(3);
   CutInput input{haar_unitary(2, rng), 'Z'};
-  CutExecutor exec(make_protocol("nme", 0.3));
+  CutExecutor exec(make_wire_protocol({ProtocolId::kNme, 0.3}));
   CutRunConfig c1, c2;
   c1.shots = 200;
   c2.shots = 5000;
@@ -131,7 +134,7 @@ TEST(Integration, ObservableBasisSweep) {
   // All three Pauli observables estimated through the same cut.
   Rng rng(6);
   const Matrix w = haar_unitary(2, rng);
-  CutExecutor exec(make_protocol("nme", 0.5));
+  CutExecutor exec(make_wire_protocol({ProtocolId::kNme, 0.5}));
   for (char obs : {'X', 'Y', 'Z'}) {
     CutInput input{w, obs};
     CutRunConfig cfg;

@@ -1,0 +1,452 @@
+// The service layer, end to end: svc::estimate vs plan_and_run bit-identity,
+// cross-request plan/eval caching, the LRU and coalescing primitives, and a
+// live qcut-server driven over loopback TCP (concurrent clients, admission
+// control, metrics dump schema, malformed-request recovery).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qcut/common/error.hpp"
+#include "qcut/obs/metrics.hpp"
+#include "qcut/plan/planned_executor.hpp"
+#include "qcut/sim/qasm.hpp"
+#include "qcut/svc/api.hpp"
+#include "qcut/svc/cache.hpp"
+#include "qcut/svc/server.hpp"
+#include "test_helpers.hpp"
+
+namespace qcut {
+namespace svc {
+namespace {
+
+using qcut::testing::ghz_line;
+
+/// A 4-qubit workload whose best plan needs a real cut (width cap 3).
+Circuit workload_circuit() { return ghz_line(4); }
+
+PlannerConfig workload_planner() {
+  PlannerConfig pcfg;
+  pcfg.max_fragment_width = 3;
+  return pcfg;
+}
+
+EstimateRequest workload_request() {
+  EstimateRequest req;
+  req.circuit = workload_circuit();
+  req.observable = Observable::z_all(4);
+  req.planner = workload_planner();
+  req.run_cfg.shots = 4000;
+  req.run_cfg.seed = 11;
+  return req;
+}
+
+WireEstimateRequest wire_workload_request() {
+  WireEstimateRequest req;
+  req.circuit_qasm = to_qasm(workload_circuit());
+  req.observable = "ZZZZ";
+  req.max_fragment_width = 3;
+  req.shots = 4000;
+  req.seed = 11;
+  req.request_id = "t1";
+  return req;
+}
+
+// ---- svc::estimate (no sockets) -------------------------------------------
+
+TEST(ServiceEstimate, CachelessPathIsPlanAndRun) {
+  const EstimateRequest req = workload_request();
+  const EstimateResult res = estimate(req, nullptr);
+  const PlannedRunResult ref =
+      plan_and_run(workload_circuit(), Observable::z_all(4), req.planner, req.run_cfg);
+  EXPECT_EQ(res.estimate, ref.run.estimate);
+  EXPECT_EQ(res.exact, ref.run.exact);
+  EXPECT_EQ(res.shots_used, ref.run.details.shots_used);
+  EXPECT_FALSE(res.plan_cache_hit);
+  EXPECT_FALSE(res.eval_cache_hit);
+  EXPECT_GE(res.plan_summary.cuts, 1u);
+  EXPECT_GT(res.ci_halfwidth, 0.0);
+}
+
+TEST(ServiceEstimate, CachedRepeatIsBitIdenticalAndHits) {
+  ServiceCaches caches;
+  const EstimateRequest req = workload_request();
+  const EstimateResult cold = estimate(req, &caches);
+  EXPECT_FALSE(cold.plan_cache_hit);
+  EXPECT_FALSE(cold.eval_cache_hit);
+  const EstimateResult warm = estimate(req, &caches);
+  EXPECT_TRUE(warm.plan_cache_hit);
+  EXPECT_TRUE(warm.eval_cache_hit);
+  EXPECT_EQ(warm.estimate, cold.estimate);
+  EXPECT_EQ(warm.shots_used, cold.shots_used);
+
+  // And both equal the cacheless answer: caching only ever saves time.
+  const EstimateResult fresh = estimate(req, nullptr);
+  EXPECT_EQ(warm.estimate, fresh.estimate);
+
+  // A different seed reuses the warm plan+backend but redraws: same caches,
+  // different answer, still bit-identical to its own cacheless run.
+  EstimateRequest other = req;
+  other.run_cfg.seed = 12;
+  const EstimateResult warm_other = estimate(other, &caches);
+  EXPECT_TRUE(warm_other.plan_cache_hit);
+  EXPECT_TRUE(warm_other.eval_cache_hit);
+  EXPECT_EQ(warm_other.estimate, estimate(other, nullptr).estimate);
+}
+
+TEST(ServiceEstimate, QasmAndIrRequestsAgreeBitIdentically) {
+  EstimateRequest ir_req = workload_request();
+  EstimateRequest qasm_req = ir_req;
+  qasm_req.circuit.reset();
+  qasm_req.circuit_qasm = to_qasm(workload_circuit());
+  const EstimateResult a = estimate(ir_req, nullptr);
+  const EstimateResult b = estimate(qasm_req, nullptr);
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.exact, b.exact);
+
+  // The canonical circuit hash sees through the QASM round trip, so the two
+  // forms share one plan-cache entry.
+  ServiceCaches caches;
+  (void)estimate(ir_req, &caches);
+  const EstimateResult via_qasm = estimate(qasm_req, &caches);
+  EXPECT_TRUE(via_qasm.plan_cache_hit);
+}
+
+TEST(ServiceEstimate, EpsilonDrivesBudgetAndShotCapBoundsIt) {
+  EstimateRequest req = workload_request();
+  req.run_cfg.shots = 0;  // run at the ε-predicted budget
+  req.epsilon = 0.2;
+  const EstimateResult loose = estimate(req, nullptr);
+  req.epsilon = 0.1;
+  const EstimateResult tight = estimate(req, nullptr);
+  // κ²/ε²: halving ε quadruples the budget (up to ceil and fp rounding).
+  EXPECT_NEAR(tight.plan_summary.predicted_shots / loose.plan_summary.predicted_shots, 4.0,
+              1e-9);
+  EXPECT_NEAR(static_cast<double>(tight.shots_used),
+              4.0 * static_cast<double>(loose.shots_used), 4.0);
+
+  req.shot_cap = loose.shots_used / 2;
+  const EstimateResult capped = estimate(req, nullptr);
+  EXPECT_EQ(capped.shots_used, req.shot_cap);
+}
+
+TEST(ServiceEstimate, FrontDoorValidationNamesTheProblem) {
+  EstimateRequest req = workload_request();
+  req.observable = Observable::z_all(3);  // circuit is 4 wide
+  EXPECT_THROW(estimate(req), Error);
+
+  req = workload_request();
+  req.observable = Observable::parse("IIII");
+  EXPECT_THROW(estimate(req), Error);
+
+  req = workload_request();
+  req.circuit.reset();  // and no QASM either
+  EXPECT_THROW(estimate(req), Error);
+}
+
+TEST(ServiceEstimate, RequestIdLandsInTheReport) {
+  EstimateRequest req = workload_request();
+  req.request_id = "my-req-42";
+  const EstimateResult res = estimate(req, nullptr);
+  EXPECT_EQ(res.run.report.request_id, "my-req-42");
+  EXPECT_NE(res.run.report.to_json().find("my-req-42"), std::string::npos);
+}
+
+// ---- cache primitives ------------------------------------------------------
+
+TEST(ServiceCachesTest, LruEvictsLeastRecentlyUsed) {
+  LruCache<int> cache(2);
+  cache.put("a", std::make_shared<int>(1));
+  cache.put("b", std::make_shared<int>(2));
+  ASSERT_NE(cache.get("a"), nullptr);  // refresh a; b is now LRU
+  cache.put("c", std::make_shared<int>(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+}
+
+TEST(ServiceCachesTest, FirstInsertWinsOnRace) {
+  LruCache<int> cache(4);
+  auto first = std::make_shared<int>(1);
+  EXPECT_EQ(cache.put("k", first), first);
+  // A racing builder's insert is discarded; everyone shares the resident.
+  EXPECT_EQ(cache.put("k", std::make_shared<int>(2)), first);
+  EXPECT_EQ(*cache.get("k"), 1);
+}
+
+TEST(ServiceCachesTest, CircuitHashIgnoresLabelsButNotStructure) {
+  Circuit a(2, 0);
+  a.h(0).cx(0, 1);
+  Circuit b(2, 0);
+  b.gate(a.ops()[0].matrix, {0}, "renamed").cx(0, 1);
+  EXPECT_EQ(circuit_hash(a), circuit_hash(b));
+
+  Circuit c(2, 0);
+  c.h(1).cx(0, 1);  // different qubit
+  EXPECT_NE(circuit_hash(a), circuit_hash(c));
+
+  PlannerConfig p1, p2;
+  p2.target_accuracy = 0.01;
+  EXPECT_NE(plan_key(circuit_hash(a), p1), plan_key(circuit_hash(a), p2));
+}
+
+TEST(CoalescingMapTest, FollowersShareTheLeadersResult) {
+  CoalescingMap<int> map;
+  auto leader = map.join("k");
+  ASSERT_TRUE(leader.leader);
+  auto follower = map.join("k");
+  EXPECT_FALSE(follower.leader);
+  EXPECT_EQ(map.inflight(), 1u);
+
+  leader.promise.set_value(7);
+  map.complete("k");
+  EXPECT_EQ(follower.future.get(), 7);
+  EXPECT_EQ(leader.future.get(), 7);
+  EXPECT_EQ(map.inflight(), 0u);
+
+  // After completion the key starts fresh.
+  auto next = map.join("k");
+  EXPECT_TRUE(next.leader);
+  next.promise.set_value(8);
+  map.complete("k");
+
+  // Distinct keys never merge.
+  auto x = map.join("x");
+  auto y = map.join("y");
+  EXPECT_TRUE(x.leader);
+  EXPECT_TRUE(y.leader);
+  x.promise.set_value(1);
+  y.promise.set_value(2);
+  map.complete("x");
+  map.complete("y");
+}
+
+// ---- live server over loopback TCP ----------------------------------------
+
+TEST(ServerTest, AnswersBitIdenticallyToInProcessAndCachesRepeats) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  QcutServer server(cfg);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  const PlannedRunResult ref = plan_and_run(workload_circuit(), Observable::z_all(4),
+                                            workload_planner(), workload_request().run_cfg);
+
+  QcutClient client("127.0.0.1", server.port());
+  const WireEstimateResponse cold = client.estimate(wire_workload_request());
+  ASSERT_EQ(cold.status, static_cast<std::uint8_t>(WireStatus::kOk)) << cold.error;
+  EXPECT_EQ(cold.estimate, ref.run.estimate);  // bit-identical across the wire
+  EXPECT_EQ(cold.exact, ref.run.exact);
+  EXPECT_EQ(cold.shots_used, ref.run.details.shots_used);
+  EXPECT_EQ(cold.plan_cache_hit, 0);
+  EXPECT_EQ(cold.eval_cache_hit, 0);
+  EXPECT_GE(cold.plan_cuts, 1u);
+
+  // Second identical request: served from the plan/eval caches, same bits.
+  const WireEstimateResponse warm = client.estimate(wire_workload_request());
+  ASSERT_EQ(warm.status, static_cast<std::uint8_t>(WireStatus::kOk)) << warm.error;
+  EXPECT_EQ(warm.plan_cache_hit, 1);
+  EXPECT_EQ(warm.eval_cache_hit, 1);
+  EXPECT_EQ(warm.estimate, cold.estimate);
+
+  // The per-request report carries the request id and scoped counters.
+  EXPECT_NE(warm.report_json.find("request_id"), std::string::npos) << warm.report_json;
+  EXPECT_NE(warm.report_json.find("\"t1\""), std::string::npos) << warm.report_json;
+  server.stop();
+}
+
+TEST(ServerTest, ConcurrentClientsGetBitIdenticalAnswersAtEveryConcurrency) {
+  ServerConfig cfg;
+  cfg.workers = 4;
+  QcutServer server(cfg);
+  server.start();
+
+  const PlannedRunResult ref = plan_and_run(workload_circuit(), Observable::z_all(4),
+                                            workload_planner(), workload_request().run_cfg);
+
+  for (int concurrency : {1, 2, 8}) {
+    std::vector<Real> estimates(static_cast<std::size_t>(concurrency), 0.0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < concurrency; ++t) {
+      threads.emplace_back([&, t] {
+        QcutClient client("127.0.0.1", server.port());
+        const WireEstimateResponse resp = client.estimate(wire_workload_request());
+        ASSERT_EQ(resp.status, static_cast<std::uint8_t>(WireStatus::kOk)) << resp.error;
+        estimates[static_cast<std::size_t>(t)] = resp.estimate;
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    for (Real e : estimates) {
+      EXPECT_EQ(e, ref.run.estimate) << "concurrency " << concurrency;
+    }
+  }
+  server.stop();
+}
+
+TEST(ServerTest, CoalescingMergesIdenticalInFlightRequests) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.debug_request_delay_ms = 150;  // hold requests open so twins overlap
+  QcutServer server(cfg);
+  server.start();
+
+  const obs::MetricsSnapshot before = obs::metrics_snapshot();
+  constexpr int kClients = 6;
+  std::vector<Real> estimates(kClients, 0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      QcutClient client("127.0.0.1", server.port());
+      const WireEstimateResponse resp = client.estimate(wire_workload_request());
+      ASSERT_EQ(resp.status, static_cast<std::uint8_t>(WireStatus::kOk)) << resp.error;
+      estimates[static_cast<std::size_t>(t)] = resp.estimate;
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Coalescing must never change answers; with the delay, at least one of
+  // the six identical requests overlapped a twin and was merged.
+  for (Real e : estimates) {
+    EXPECT_EQ(e, estimates[0]);
+  }
+  const obs::MetricsSnapshot delta = obs::metrics_delta(before, obs::metrics_snapshot());
+  EXPECT_GE(delta[obs::Counter::kSvcCoalesced], 1u);
+  EXPECT_LE(delta[obs::Counter::kSvcCoalesced], static_cast<std::uint64_t>(kClients - 1));
+  server.stop();
+}
+
+TEST(ServerTest, AdmissionControlRejectsWithRetryAfterUnderOverload) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_inflight = 1;
+  cfg.debug_request_delay_ms = 200;
+  QcutServer server(cfg);
+  server.start();
+
+  // Distinct seeds: the requests must NOT coalesce, so the second one in
+  // flight trips the admission cap. Clients start 40 ms apart — well inside
+  // the leader's 200 ms execution window, well outside scheduling jitter.
+  constexpr int kClients = 4;
+  std::vector<std::uint8_t> statuses(kClients, 0);
+  std::vector<std::uint64_t> retry_ms(kClients, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40 * t));
+      WireEstimateRequest req = wire_workload_request();
+      req.seed = 1000 + static_cast<std::uint64_t>(t);
+      QcutClient client("127.0.0.1", server.port());
+      const WireEstimateResponse resp = client.estimate(req);
+      statuses[static_cast<std::size_t>(t)] = resp.status;
+      retry_ms[static_cast<std::size_t>(t)] = resp.retry_after_ms;
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  int ok = 0, rejected = 0;
+  for (int t = 0; t < kClients; ++t) {
+    if (statuses[static_cast<std::size_t>(t)] ==
+        static_cast<std::uint8_t>(WireStatus::kRetryAfter)) {
+      ++rejected;
+      EXPECT_GT(retry_ms[static_cast<std::size_t>(t)], 0u);
+    } else if (statuses[static_cast<std::size_t>(t)] ==
+               static_cast<std::uint8_t>(WireStatus::kOk)) {
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(rejected, 1);
+
+  // After the burst drains, a retried request succeeds.
+  QcutClient client("127.0.0.1", server.port());
+  WireEstimateRequest req = wire_workload_request();
+  req.seed = 4242;
+  WireEstimateResponse resp = client.estimate(req);
+  for (int attempt = 0; attempt < 10 &&
+                        resp.status == static_cast<std::uint8_t>(WireStatus::kRetryAfter);
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(resp.retry_after_ms));
+    resp = client.estimate(req);
+  }
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(WireStatus::kOk)) << resp.error;
+  server.stop();
+}
+
+TEST(ServerTest, MetricsDumpHasTheDocumentedSchema) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  QcutServer server(cfg);
+  server.start();
+
+  QcutClient client("127.0.0.1", server.port());
+  (void)client.estimate(wire_workload_request());
+  (void)client.estimate(wire_workload_request());
+  const std::string dump = client.metrics();
+
+  // Every line is "qcut_<ident> <uint>"; all obs counters are present.
+  std::istringstream lines(dump);
+  std::string line;
+  std::set<std::string> names;
+  while (std::getline(lines, line)) {
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    ASSERT_EQ(name.rfind("qcut_", 0), 0u) << line;
+    for (char c : name.substr(5)) {
+      ASSERT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_') << line;
+    }
+    ASSERT_FALSE(value.empty()) << line;
+    for (char c : value) {
+      ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(c))) << line;
+    }
+    names.insert(name);
+  }
+  for (int i = 0; i < obs::kCounterCount; ++i) {
+    EXPECT_TRUE(names.count(std::string("qcut_") +
+                            obs::counter_name(static_cast<obs::Counter>(i))))
+        << obs::counter_name(static_cast<obs::Counter>(i));
+  }
+  EXPECT_TRUE(names.count("qcut_svc_inflight"));
+  EXPECT_TRUE(names.count("qcut_plan_cache_size"));
+  EXPECT_TRUE(names.count("qcut_eval_cache_size"));
+  server.stop();
+}
+
+TEST(ServerTest, MalformedRequestsGetDiagnosticsAndTheConnectionSurvives) {
+  QcutServer server{ServerConfig{}};
+  server.start();
+
+  QcutClient client("127.0.0.1", server.port());
+  WireEstimateRequest bad = wire_workload_request();
+  bad.observable = "ZZQZ";
+  const WireEstimateResponse err = client.estimate(bad);
+  EXPECT_EQ(err.status, static_cast<std::uint8_t>(WireStatus::kError));
+  EXPECT_NE(err.error.find("'Q'"), std::string::npos) << err.error;
+
+  bad = wire_workload_request();
+  bad.backend = 99;
+  const WireEstimateResponse err2 = client.estimate(bad);
+  EXPECT_EQ(err2.status, static_cast<std::uint8_t>(WireStatus::kError));
+  EXPECT_NE(err2.error.find("backend"), std::string::npos) << err2.error;
+
+  // Same connection, valid request: still served.
+  const WireEstimateResponse ok = client.estimate(wire_workload_request());
+  EXPECT_EQ(ok.status, static_cast<std::uint8_t>(WireStatus::kOk)) << ok.error;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace qcut

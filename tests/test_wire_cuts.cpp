@@ -3,6 +3,7 @@
 // correctness for every protocol and entanglement level.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <memory>
 
 #include "qcut/core/cut_executor.hpp"
@@ -130,16 +131,11 @@ TEST(WireCutCoefficients, KappaDecreasesWithEntanglement) {
 // executable statement of Theorem 2.
 // ---------------------------------------------------------------------------
 
-struct ProtocolCase {
-  std::string name;
-  Real k;
-};
-
-class ExactValueTest : public ::testing::TestWithParam<ProtocolCase> {};
+class ExactValueTest : public ::testing::TestWithParam<ProtocolSpec> {};
 
 TEST_P(ExactValueTest, MatchesUncutExpectation) {
-  const auto& pc = GetParam();
-  const auto proto = make_protocol(pc.name, pc.k);
+  const ProtocolSpec spec = GetParam();
+  const auto proto = make_wire_protocol(spec);
   Rng rng(77);
   for (char obs : {'X', 'Y', 'Z'}) {
     for (int trial = 0; trial < 6; ++trial) {
@@ -149,21 +145,28 @@ TEST_P(ExactValueTest, MatchesUncutExpectation) {
       const Real exact = uncut_expectation(input);
       const Real via_cut = exact_cut_expectation(*proto, input);
       EXPECT_NEAR(via_cut, exact, 1e-9)
-          << pc.name << " k=" << pc.k << " obs=" << obs << " trial=" << trial;
+          << to_string(spec) << " obs=" << obs << " trial=" << trial;
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, ExactValueTest,
-    ::testing::Values(ProtocolCase{"harada", 0.0}, ProtocolCase{"peng", 0.0},
-                      ProtocolCase{"teleport", 1.0}, ProtocolCase{"nme", 0.0},
-                      ProtocolCase{"nme", 0.3}, ProtocolCase{"nme", 0.6},
-                      ProtocolCase{"nme", 0.85}, ProtocolCase{"nme", 1.0},
-                      ProtocolCase{"distill", 0.0}, ProtocolCase{"distill", 0.5},
-                      ProtocolCase{"distill", 1.0}),
-    [](const ::testing::TestParamInfo<ProtocolCase>& info) {
-      std::string n = info.param.name + "_k" + std::to_string(static_cast<int>(info.param.k * 100));
+    ::testing::Values(ProtocolSpec{ProtocolId::kHarada, 0.0}, ProtocolSpec{ProtocolId::kPeng, 0.0},
+                      ProtocolSpec{ProtocolId::kTeleport, 1.0}, ProtocolSpec{ProtocolId::kNme, 0.0},
+                      ProtocolSpec{ProtocolId::kNme, 0.3}, ProtocolSpec{ProtocolId::kNme, 0.6},
+                      ProtocolSpec{ProtocolId::kNme, 0.85}, ProtocolSpec{ProtocolId::kNme, 1.0},
+                      ProtocolSpec{ProtocolId::kDistill, 0.0},
+                      ProtocolSpec{ProtocolId::kDistill, 0.5},
+                      ProtocolSpec{ProtocolId::kDistill, 1.0}),
+    [](const ::testing::TestParamInfo<ProtocolSpec>& info) {
+      std::string n = to_string(info.param) + "_k" +
+                      std::to_string(static_cast<int>(info.param.param * 100));
+      for (char& c : n) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)))) {
+          c = '_';  // gtest param names must be alphanumeric
+        }
+      }
       return n;
     });
 

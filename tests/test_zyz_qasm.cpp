@@ -68,9 +68,20 @@ TEST(Qasm, NamedTwoQubitGates) {
   EXPECT_NE(q.find("swap q[0],q[1];"), std::string::npos);
 }
 
-TEST(Qasm, SingleQubitGatesBecomeU3) {
+TEST(Qasm, NamedSingleQubitGates) {
+  // Fixed qelib1 gates keep their names (so they re-import with bit-identical
+  // gates::* matrices); only general unitaries synthesize a u3.
   Circuit c(1, 0);
-  c.h(0);
+  c.h(0).s(0).t(0);
+  const std::string q = to_qasm(c);
+  EXPECT_NE(q.find("h q[0];"), std::string::npos);
+  EXPECT_NE(q.find("s q[0];"), std::string::npos);
+  EXPECT_EQ(q.find("u3("), std::string::npos);
+}
+
+TEST(Qasm, GeneralSingleQubitGatesBecomeU3) {
+  Circuit c(1, 0);
+  c.rx(0, 0.37);
   const std::string q = to_qasm(c);
   EXPECT_NE(q.find("u3("), std::string::npos);
 }
@@ -79,7 +90,11 @@ TEST(Qasm, ConditionalGates) {
   Circuit c(2, 1);
   c.measure(0, 0).x_if(0, 1);
   const std::string q = to_qasm(c);
-  EXPECT_NE(q.find("if (c0 == 1) u3("), std::string::npos);
+  EXPECT_NE(q.find("if (c0 == 1) x q[1];"), std::string::npos);
+  // A conditional general unitary still synthesizes a u3 under the guard.
+  Circuit g(2, 1);
+  g.measure(0, 0).gate_if(0, gates::rx(0.7), {1}, "Rx?");
+  EXPECT_NE(to_qasm(g).find("if (c0 == 1) u3("), std::string::npos);
 }
 
 TEST(Qasm, ResetSupported) {

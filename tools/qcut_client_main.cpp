@@ -1,0 +1,140 @@
+// qcut-client: command-line driver for a running qcut-server.
+//
+//   qcut-client --port P [--host H] estimate --qasm FILE --obs ZZZ
+//               [--epsilon 0.05] [--shots 0] [--shot-cap 0] [--seed 1234]
+//               [--repeat 1] [--concurrency 1] [--request-id ID]
+//   qcut-client --port P [--host H] metrics
+//
+// `estimate` sends the same request --repeat times from --concurrency
+// connections (round-robin) and prints one line per response:
+//
+//   estimate=<…17g> ci=<…> shots=<N> plan_cache_hit=<0|1> eval_cache_hit=<0|1>
+//   coalesced=<0|1> status=<ok|retry_after|error>
+//
+// Retry-after responses are retried (after the suggested backoff) up to 5
+// times. `metrics` prints the server's plaintext counter dump verbatim.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qcut/common/cli.hpp"
+#include "qcut/common/error.hpp"
+#include "qcut/svc/server.hpp"
+#include "qcut/svc/wire.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  QCUT_CHECK(in.good(), "qcut-client: cannot read '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+const char* status_name(std::uint8_t status) {
+  switch (static_cast<qcut::svc::WireStatus>(status)) {
+    case qcut::svc::WireStatus::kOk:
+      return "ok";
+    case qcut::svc::WireStatus::kRetryAfter:
+      return "retry_after";
+    case qcut::svc::WireStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+qcut::svc::WireEstimateResponse estimate_with_retry(qcut::svc::QcutClient& client,
+                                                    const qcut::svc::WireEstimateRequest& req) {
+  qcut::svc::WireEstimateResponse resp;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    resp = client.estimate(req);
+    if (resp.status != static_cast<std::uint8_t>(qcut::svc::WireStatus::kRetryAfter)) {
+      return resp;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(resp.retry_after_ms));
+  }
+  return resp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qcut::Cli cli(argc, argv);
+  const std::string host = cli.get("host", "127.0.0.1");
+  const int port = static_cast<int>(cli.get_int("port", 0));
+  const std::string command = cli.positional().size() > 1 ? cli.positional()[1] : "";
+
+  try {
+    QCUT_CHECK(port > 0, "qcut-client: --port is required");
+    if (command == "metrics") {
+      qcut::svc::QcutClient client(host, port);
+      std::fputs(client.metrics().c_str(), stdout);
+      return 0;
+    }
+    QCUT_CHECK(command == "estimate",
+               "qcut-client: expected a command: estimate | metrics (got '" + command + "')");
+
+    qcut::svc::WireEstimateRequest req;
+    const std::string qasm_path = cli.get("qasm", "");
+    QCUT_CHECK(!qasm_path.empty(), "qcut-client: estimate needs --qasm FILE");
+    req.circuit_qasm = read_file(qasm_path);
+    req.observable = cli.get("obs", "");
+    QCUT_CHECK(!req.observable.empty(), "qcut-client: estimate needs --obs PAULISTRING");
+    req.epsilon = cli.get_real("epsilon", 0.0);
+    req.shots = static_cast<std::uint64_t>(cli.get_int("shots", 0));
+    req.shot_cap = static_cast<std::uint64_t>(cli.get_int("shot-cap", 0));
+    req.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1234));
+    req.target_accuracy = cli.get_real("accuracy", 0.05);
+    req.max_fragment_width = static_cast<std::int32_t>(cli.get_int("max-width", 0));
+    req.request_id = cli.get("request-id", "");
+
+    const int repeat = static_cast<int>(cli.get_int("repeat", 1));
+    const int concurrency = static_cast<int>(cli.get_int("concurrency", 1));
+    QCUT_CHECK(repeat >= 1 && concurrency >= 1,
+               "qcut-client: --repeat and --concurrency must be >= 1");
+
+    std::mutex print_mu;
+    bool any_error = false;
+    auto worker = [&](int thread_idx) {
+      qcut::svc::QcutClient client(host, port);
+      for (int r = thread_idx; r < repeat; r += concurrency) {
+        const qcut::svc::WireEstimateResponse resp = estimate_with_retry(client, req);
+        std::lock_guard<std::mutex> lock(print_mu);
+        if (resp.status == static_cast<std::uint8_t>(qcut::svc::WireStatus::kOk)) {
+          std::printf(
+              "estimate=%.17g ci=%.17g shots=%llu plan_cache_hit=%d eval_cache_hit=%d "
+              "coalesced=%d status=%s\n",
+              resp.estimate, resp.ci_halfwidth,
+              static_cast<unsigned long long>(resp.shots_used), resp.plan_cache_hit,
+              resp.eval_cache_hit, resp.coalesced, status_name(resp.status));
+        } else {
+          any_error = true;
+          std::printf("status=%s error=%s\n", status_name(resp.status), resp.error.c_str());
+        }
+      }
+    };
+
+    if (concurrency == 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(concurrency));
+      for (int t = 0; t < concurrency; ++t) {
+        threads.emplace_back(worker, t);
+      }
+      for (auto& t : threads) {
+        t.join();
+      }
+    }
+    return any_error ? 1 : 0;
+  } catch (const qcut::Error& e) {
+    std::fprintf(stderr, "qcut-client: %s\n", e.what());
+    return 1;
+  }
+}

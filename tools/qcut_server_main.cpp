@@ -1,0 +1,62 @@
+// qcut-server: the estimation daemon. Binds, prints the bound port, serves
+// until SIGINT/SIGTERM.
+//
+//   qcut-server [--host 127.0.0.1] [--port 0] [--workers N]
+//               [--max-inflight N] [--port-file PATH]
+//
+// --port 0 (the default) binds an ephemeral port; scripts read it from the
+// "listening on HOST:PORT" stdout line or from --port-file (written once the
+// socket is live, so waiting for the file is a race-free readiness check).
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+
+#include "qcut/common/cli.hpp"
+#include "qcut/common/error.hpp"
+#include "qcut/svc/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qcut::Cli cli(argc, argv);
+
+  qcut::svc::ServerConfig cfg;
+  cfg.host = cli.get("host", "127.0.0.1");
+  cfg.port = static_cast<int>(cli.get_int("port", 0));
+  cfg.workers = static_cast<std::size_t>(cli.get_int("workers", 0));
+  cfg.max_inflight = static_cast<std::size_t>(cli.get_int("max-inflight", 0));
+  cfg.caches.plan_capacity = static_cast<std::size_t>(cli.get_int("plan-cache", 64));
+  cfg.caches.eval_capacity = static_cast<std::size_t>(cli.get_int("eval-cache", 32));
+  const std::string port_file = cli.get("port-file", "");
+
+  try {
+    qcut::svc::QcutServer server(cfg);
+    server.start();
+    std::printf("qcut-server listening on %s:%d\n", cfg.host.c_str(), server.port());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << server.port() << "\n";
+    }
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    sigset_t mask;
+    sigemptyset(&mask);
+    while (g_stop == 0) {
+      sigsuspend(&mask);  // sleep until a signal arrives
+    }
+    std::printf("qcut-server: shutting down\n");
+    server.stop();
+  } catch (const qcut::Error& e) {
+    std::fprintf(stderr, "qcut-server: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
