@@ -10,6 +10,19 @@
 //  * the metrics dump parses as "qcut_<name> <value>" lines.
 // Exit status is the gate: non-zero on any violated invariant (--smoke runs
 // a reduced load for CI).
+//
+// --chaos switches to the chaos harness: concurrent clients under
+// deterministic fault injection, mid-request disconnects, and a graceful
+// drain under load. Its gates: no crash, no hang (the run itself completing
+// within its budgets), every surviving answer bit-identical to the
+// in-process plan_and_run reference, and drain() answering every accepted
+// request within the budget.
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -21,6 +34,8 @@
 #include <vector>
 
 #include "qcut/common/cli.hpp"
+#include "qcut/common/error.hpp"
+#include "qcut/common/fault.hpp"
 #include "qcut/obs/run_report.hpp"
 #include "qcut/sim/qasm.hpp"
 #include "qcut/svc/api.hpp"
@@ -129,12 +144,174 @@ std::uint64_t bits_of(Real v) {
 
 const char* json_bool(bool b) { return b ? "true" : "false"; }
 
+// ---- chaos harness ---------------------------------------------------------
+
+int raw_connect(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+/// The chaos harness; returns true when every invariant held.
+bool run_chaos(qcut::svc::QcutServer& server, const std::vector<int>& widths,
+               std::uint64_t shots, int repeats,
+               const std::vector<qcut::svc::EstimateResult>& refs) {
+  bool ok = true;
+
+  // Phase 1: concurrent clients with probabilistic faults armed on three
+  // pipeline sites. Faulted requests must come back as typed errors over a
+  // surviving connection; the rest must match the fault-free references bit
+  // for bit (fault decisions never touch the simulation RNG).
+  std::printf("chaos phase 1: concurrent clients under injected faults\n");
+  qcut::fault::arm_faults(
+      "svc.plan:throw:0.3:101,exec.batch:throw:0.15:102,cache.insert:throw:0.2:103");
+  std::atomic<std::uint64_t> survivors{0}, faulted{0}, transport_errors{0}, mismatches{0};
+  {
+    constexpr int kClients = 6;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        try {
+          qcut::svc::QcutClient client("127.0.0.1", server.port());
+          for (int r = c; r < repeats; r += kClients) {
+            for (std::size_t i = 0; i < widths.size(); ++i) {
+              const qcut::svc::WireEstimateResponse resp =
+                  client.estimate(make_request(widths[i], shots));
+              if (resp.status == static_cast<std::uint8_t>(qcut::svc::WireStatus::kOk)) {
+                ++survivors;
+                if (bits_of(resp.estimate) != bits_of(refs[i].estimate) ||
+                    resp.shots_used != refs[i].shots_used) {
+                  ++mismatches;
+                }
+              } else {
+                ++faulted;
+              }
+            }
+          }
+        } catch (const std::exception& e) {
+          ++transport_errors;
+          std::fprintf(stderr, "chaos client %d transport error: %s\n", c, e.what());
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+  qcut::fault::disarm_faults();
+  std::printf("  survivors=%llu faulted=%llu mismatches=%llu transport_errors=%llu\n",
+              static_cast<unsigned long long>(survivors.load()),
+              static_cast<unsigned long long>(faulted.load()),
+              static_cast<unsigned long long>(mismatches.load()),
+              static_cast<unsigned long long>(transport_errors.load()));
+  if (mismatches.load() > 0) {
+    std::fprintf(stderr, "FAIL: %llu surviving answers differ from plan_and_run\n",
+                 static_cast<unsigned long long>(mismatches.load()));
+    ok = false;
+  }
+  if (transport_errors.load() > 0) {
+    std::fprintf(stderr, "FAIL: injected faults broke connections instead of framing errors\n");
+    ok = false;
+  }
+  if (faulted.load() == 0) {
+    std::fprintf(stderr, "FAIL: fault injection armed but nothing fired\n");
+    ok = false;
+  }
+
+  // Phase 2: mid-request disconnects — full frames sent, sockets slammed
+  // shut without reading the answer. The server must neither crash nor leak
+  // the abandoned work into later answers.
+  std::printf("chaos phase 2: mid-request disconnects\n");
+  for (int i = 0; i < 8; ++i) {
+    const int fd = raw_connect(server.port());
+    if (fd < 0) {
+      std::fprintf(stderr, "FAIL: chaos disconnect client could not connect\n");
+      ok = false;
+      break;
+    }
+    qcut::svc::WireEstimateRequest req = make_request(widths[0], shots);
+    req.seed = 900000 + static_cast<std::uint64_t>(i);  // never coalesces with real work
+    const std::vector<std::uint8_t> frame = qcut::svc::encode_frame(
+        qcut::svc::Frame{qcut::svc::MsgType::kEstimateRequest,
+                         qcut::svc::encode_estimate_request(req)});
+    (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+    ::close(fd);  // vanish immediately
+  }
+  {
+    // Healthy after the ambush, and still bit-identical.
+    qcut::svc::QcutClient client("127.0.0.1", server.port());
+    const qcut::svc::WireEstimateResponse resp = client.estimate(make_request(widths[0], shots));
+    if (resp.status != 0 || bits_of(resp.estimate) != bits_of(refs[0].estimate)) {
+      std::fprintf(stderr, "FAIL: server unhealthy after disconnect ambush: %s\n",
+                   resp.error.c_str());
+      ok = false;
+    }
+  }
+
+  // Phase 3: graceful drain under load. A dedicated slow server (so requests
+  // are provably in flight when the plug is pulled) must answer every
+  // accepted request — completed, cancelled, or retryable — within budget.
+  std::printf("chaos phase 3: drain under load\n");
+  {
+    qcut::svc::ServerConfig dcfg;
+    dcfg.workers = 2;
+    dcfg.debug_request_delay_ms = 2000;
+    qcut::svc::QcutServer slow(dcfg);
+    slow.start();
+    constexpr int kClients = 4;
+    std::atomic<int> answered{0}, dropped{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        try {
+          qcut::svc::QcutClient client("127.0.0.1", slow.port());
+          qcut::svc::WireEstimateRequest req = make_request(widths[0], shots);
+          req.seed = 700000 + static_cast<std::uint64_t>(c);
+          (void)client.estimate(req);  // any decoded response counts
+          ++answered;
+        } catch (const std::exception&) {
+          ++dropped;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool clean = slow.drain(250);
+    const double drain_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    for (auto& t : threads) {
+      t.join();
+    }
+    std::printf("  drain: clean=%s in %.3fs, answered=%d dropped=%d\n", json_bool(clean),
+                drain_s, answered.load(), dropped.load());
+    if (!clean || drain_s > 2.0 || answered.load() != kClients || dropped.load() != 0) {
+      std::fprintf(stderr, "FAIL: drain dropped requests or blew its budget\n");
+      ok = false;
+    }
+  }
+
+  std::printf("\nchaos verdict: %s\n", ok ? "all invariants held" : "INVARIANT VIOLATED");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
   qcut::Cli cli(argc, argv);
   const bool smoke = cli.get_bool("smoke", false);
+  const bool chaos = cli.get_bool("chaos", false);
   const std::uint64_t shots = static_cast<std::uint64_t>(cli.get_int("shots", smoke ? 5000 : 100000));
   const int repeats = static_cast<int>(cli.get_int("repeats", smoke ? 4 : 16));
   const std::size_t workers = static_cast<std::size_t>(cli.get_int("workers", 4));
@@ -160,6 +337,14 @@ int main(int argc, char** argv) {
     req.run_cfg.shots = wire.shots;
     req.run_cfg.seed = wire.seed;
     refs.push_back(qcut::svc::estimate(req, nullptr));
+  }
+
+  // Chaos mode replaces the throughput sweep: the references above were
+  // computed BEFORE any fault was armed, so they are the undisturbed truth.
+  if (chaos) {
+    const bool chaos_ok = run_chaos(server, widths, shots, repeats, refs);
+    server.stop();
+    return chaos_ok ? 0 : 1;
   }
 
   // Phase sweep: one cold pass fills the caches, then warm passes at rising

@@ -4,6 +4,24 @@
 
 namespace qcut {
 
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidRequest:
+      return "invalid_request";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
 void throw_error(const char* /*file*/, int /*line*/, const std::string& msg) {
   throw Error(msg);
 }

@@ -3,16 +3,42 @@
 // The library throws qcut::Error for all contract violations (bad dimensions,
 // invalid qubit indices, non-normalized inputs, ...). Hot loops use
 // QCUT_DCHECK which compiles out in release builds.
+//
+// Every Error carries an ErrorCode so the service layer can ship failures
+// over the wire as stable numeric statuses and clients can classify them
+// (retryable vs permanent) without parsing message text.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace qcut {
 
+/// The request-lifecycle failure taxonomy, shared by the library, the wire
+/// protocol (WireEstimateResponse::code), and clients. Values are wire-stable:
+/// never renumber, only append.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,                ///< not an error (the success code on the wire)
+  kInvalidRequest = 1,    ///< the request itself is malformed — permanent
+  kDeadlineExceeded = 2,  ///< the request's deadline passed mid-execution
+  kCancelled = 3,         ///< cancelled (caller left, server draining)
+  kOverloaded = 4,        ///< admission control / drain rejection — retryable
+  kInternal = 5,          ///< everything else (contract violations, faults)
+};
+
+/// Stable snake_case name of a code ("deadline_exceeded", ...).
+const char* error_code_name(ErrorCode code) noexcept;
+
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, ErrorCode code = ErrorCode::kInternal)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 [[noreturn]] void throw_error(const char* file, int line, const std::string& msg);

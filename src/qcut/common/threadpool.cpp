@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "qcut/common/error.hpp"
+#include "qcut/common/fault.hpp"
 #include "qcut/obs/metrics.hpp"
 
 namespace qcut {
@@ -42,7 +43,13 @@ bool ThreadPool::on_worker_thread() const noexcept {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> pt(std::move(task));
+  // The fault hook lives INSIDE the packaged task: an injected throw is then
+  // captured into the task's future exactly like a real task failure, instead
+  // of escaping worker_loop and terminating the worker.
+  std::packaged_task<void()> pt([task = std::move(task)] {
+    fault::maybe_inject(fault::Site::kPoolTask);
+    task();
+  });
   std::future<void> fut = pt.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "qcut/common/cancel.hpp"
+#include "qcut/common/fault.hpp"
 #include "qcut/common/union_find.hpp"
 #include "qcut/obs/metrics.hpp"
 #include "qcut/obs/trace.hpp"
@@ -580,8 +582,15 @@ Real fragment_term_prob_one(const FragmentSplit& split, ThreadPool* pool) {
   // inline; the engine already parallelizes across terms).
   const bool parallel = pool != nullptr && pool->size() > 1 && !pool->on_worker_thread();
 
+  // Units are the fragment path's cancellation quantum; the token is
+  // captured here and re-installed inside the lambdas, which may run on pool
+  // workers carrying no thread-local scope of their own.
+  CancelToken* cancel = current_cancel_token();
+
   // Stage A: simulate each fragment's unconditioned prefix once.
-  const auto run_prefix = [&](std::size_t f) {
+  const auto run_prefix = [&, cancel](std::size_t f) {
+    ScopedCancelScope cancel_scope(cancel);
+    cancel_poll();
     obs::TraceSpan span("fragment.prefix", static_cast<std::uint64_t>(f));
     const TermFragment& tf = split.fragments[f];
     const int nq = tf.circuit.n_qubits();
@@ -604,7 +613,10 @@ Real fragment_term_prob_one(const FragmentSplit& split, ThreadPool* pool) {
   // Stage B: per unit, continue the prefix through the read-dependent suffix
   // with the read bits preset, then fold the branches into the unit's table
   // row. Units touch disjoint slots, so scheduling cannot change the result.
-  const auto run_unit = [&](std::size_t u) {
+  const auto run_unit = [&, cancel](std::size_t u) {
+    ScopedCancelScope cancel_scope(cancel);
+    cancel_poll();
+    fault::maybe_inject(fault::Site::kFragmentUnit);
     obs::TraceSpan span("fragment.unit", static_cast<std::uint64_t>(u));
     const std::size_t f = units[u].first;
     const std::size_t ra = units[u].second;

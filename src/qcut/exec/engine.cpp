@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "qcut/common/cancel.hpp"
 #include "qcut/common/error.hpp"
+#include "qcut/common/fault.hpp"
 #include "qcut/obs/metrics.hpp"
 #include "qcut/obs/trace.hpp"
 
@@ -56,6 +58,7 @@ EstimationResult run_plan_with_rng(const Qpd& qpd, const ShotPlan& plan,
                                    const ExecutionBackend& backend, Rng& rng) {
   std::vector<std::uint64_t> ones_per_term(qpd.size(), 0);
   for (const TermBatch& batch : plan.batches) {
+    cancel_poll();
     ones_per_term[batch.term] += backend.run_batch(batch, rng);
   }
   return combine_counts(qpd, plan, ones_per_term);
@@ -77,7 +80,14 @@ EstimationResult ExecutionEngine::run(const Qpd& qpd, const ShotPlan& plan,
   // Per-batch counts first (integer, order-independent), reduced per term in
   // index order afterwards — the estimate is bit-identical for any pool size.
   std::vector<std::uint64_t> batch_ones(plan.batches.size(), 0);
-  const auto run_batch = [&](std::size_t b) {
+  // Batch starts are the engine's cancellation quantum. The token is captured
+  // here and re-installed inside the lambda: parallel_for runs it on pool
+  // workers whose thread-local scope is not the requesting thread's.
+  CancelToken* cancel = current_cancel_token();
+  const auto run_batch = [&, cancel](std::size_t b) {
+    ScopedCancelScope scope(cancel);
+    cancel_poll();
+    fault::maybe_inject(fault::Site::kExecBatch);
     obs::TraceSpan span("engine.batch", static_cast<std::uint64_t>(plan.batches[b].term));
     Rng rng(seed, plan.batches[b].stream);
     batch_ones[b] = backend.run_batch(plan.batches[b], rng);

@@ -50,6 +50,9 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "svc_requests",
     "svc_coalesced",
     "svc_rejected",
+    "deadlines_exceeded",
+    "cancellations",
+    "faults_injected",
 };
 
 /// Reads QCUT_METRICS once at process start. Runs during this translation

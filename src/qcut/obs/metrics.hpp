@@ -77,6 +77,10 @@ enum class Counter : int {
   kSvcRequests,       ///< estimation requests admitted
   kSvcCoalesced,      ///< requests answered by attaching to an in-flight twin
   kSvcRejected,       ///< requests rejected by admission control (retry-after)
+  // Request lifecycle (common/cancel.cpp, common/fault.cpp).
+  kDeadlinesExceeded,  ///< polls that tripped a request deadline
+  kCancellations,      ///< polls that observed a cancelled token
+  kFaultsInjected,     ///< fault-injection hooks that fired (QCUT_FAULT)
   kCount
 };
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "qcut/common/cancel.hpp"
 #include "qcut/common/union_find.hpp"
 #include "qcut/core/cut_executor.hpp"
 #include "qcut/core/overhead.hpp"
@@ -301,6 +302,12 @@ class SubsetSearch {
     if (nodes_ >= max_nodes_) {
       aborted_ = true;
       return;
+    }
+    // Strided cancellation poll: node expansion is the search's quantum, but
+    // per-node polling would dominate tiny nodes — every 64th is plenty (a
+    // tripped deadline surfaces within microseconds either way).
+    if ((nodes_ & 63u) == 0) {
+      cancel_poll();
     }
     ++nodes_;
     // Cost first: Π κ_lb² lower-bounds the assignment's overhead, so a node

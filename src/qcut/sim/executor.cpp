@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "qcut/common/cancel.hpp"
 #include "qcut/linalg/kron.hpp"
 #include "qcut/linalg/ptrace.hpp"
 #include "qcut/obs/metrics.hpp"
@@ -93,6 +94,10 @@ void advance_branches(std::vector<Branch>& branches, const Circuit& c, std::size
   QCUT_CHECK(op_begin <= op_end && op_end <= c.ops().size(),
              "advance_branches: op range out of bounds");
   for (std::size_t t = op_begin; t < op_end; ++t) {
+    // Op steps are branch enumeration's cancellation quantum: each step
+    // sweeps every live branch, so polling here is coarse even when the
+    // branch population is huge — and never reaches inside the kernels.
+    cancel_poll();
     const Operation& op = c.ops()[t];
     switch (op.kind) {
       case OpKind::kUnitary:

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "qcut/common/cancel.hpp"
 #include "qcut/common/error.hpp"
+#include "qcut/common/fault.hpp"
 #include "qcut/obs/metrics.hpp"
 #include "qcut/obs/trace.hpp"
 #include "qcut/sim/qasm_import.hpp"
@@ -48,18 +51,52 @@ Real ci_halfwidth(Real estimate, Real kappa, std::uint64_t shots) {
 
 EstimateResult estimate(const EstimateRequest& req, ServiceCaches* caches) {
   obs::TraceSpan span("svc.estimate");
-  const Circuit circ = resolve_circuit(req);
+
+  // Cancellation scope for the whole request: the caller's token when given,
+  // else a local deadline-only token when the request carries a deadline.
+  // Every layer below polls the installed token at its quantum boundary.
+  CancelToken deadline_token;
+  CancelToken* token = req.cancel;
+  if (token == nullptr && req.deadline_ms > 0) {
+    token = &deadline_token;
+  }
+  if (token != nullptr && req.deadline_ms > 0 && !token->has_deadline()) {
+    token->set_deadline_after_ms(req.deadline_ms);
+  }
+  std::optional<ScopedCancelScope> cancel_scope;
+  if (token != nullptr) {
+    cancel_scope.emplace(token);
+    cancel_poll();  // an already-tripped token fails at the door, not mid-plan
+  }
+
+  Circuit circ;
+  try {
+    circ = resolve_circuit(req);
+  } catch (const Error& e) {
+    // QASM parse problems are the requester's, not the service's.
+    throw Error(e.what(), ErrorCode::kInvalidRequest);
+  }
 
   // Front-door validation: every failure below names the request's problem
-  // instead of surfacing as a cutter error three layers down.
-  QCUT_CHECK(req.observable.n_qubits() == circ.n_qubits(),
-             "svc::estimate: observable '" + req.observable.to_string() + "' is " +
-                 std::to_string(req.observable.n_qubits()) + " qubits but the circuit has " +
-                 std::to_string(circ.n_qubits()));
-  QCUT_CHECK(!req.observable.is_identity(),
-             "svc::estimate: the identity observable has expectation 1 identically — "
-             "nothing to estimate");
-  QCUT_CHECK(req.epsilon >= 0.0, "svc::estimate: epsilon must be >= 0");
+  // instead of surfacing as a cutter error three layers down, and carries
+  // kInvalidRequest so wire clients can classify it as permanent.
+  if (req.observable.n_qubits() != circ.n_qubits()) {
+    throw Error("svc::estimate: observable '" + req.observable.to_string() + "' is " +
+                    std::to_string(req.observable.n_qubits()) +
+                    " qubits but the circuit has " + std::to_string(circ.n_qubits()),
+                ErrorCode::kInvalidRequest);
+  }
+  if (req.observable.is_identity()) {
+    throw Error(
+        "svc::estimate: the identity observable has expectation 1 identically — "
+        "nothing to estimate",
+        ErrorCode::kInvalidRequest);
+  }
+  if (req.epsilon < 0.0) {
+    throw Error("svc::estimate: epsilon must be >= 0", ErrorCode::kInvalidRequest);
+  }
+
+  fault::maybe_inject(fault::Site::kSvcPlan);
 
   PlannerConfig pcfg = req.planner;
   if (req.epsilon > 0.0) {

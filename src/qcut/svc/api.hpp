@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 
+#include "qcut/common/cancel.hpp"
 #include "qcut/plan/cut_planner.hpp"
 #include "qcut/plan/planned_executor.hpp"
 #include "qcut/sim/observable.hpp"
@@ -46,6 +47,16 @@ struct EstimateRequest {
   /// Echoed into the result's RunReport and trace spans; assign unique ids
   /// to correlate daemon-side artifacts with client requests.
   std::string request_id;
+  /// Deadline in milliseconds, steady-clock, measured from whenever the
+  /// deadline is armed (the daemon arms at admission so queue wait counts;
+  /// in-process calls arm at estimate() entry). Exceeding it aborts the run
+  /// with ErrorCode::kDeadlineExceeded at the next poll. 0 → none.
+  std::uint64_t deadline_ms = 0;
+  /// Caller-owned cancellation token, polled at coarse quantum boundaries
+  /// throughout planning and execution; cancel() aborts the run with
+  /// ErrorCode::kCancelled. Optional — when null and deadline_ms > 0,
+  /// estimate() runs against an internal deadline-only token.
+  CancelToken* cancel = nullptr;
   PlannerConfig planner;
   /// Execution config: shots (0 → predicted budget), seed, backend, pool.
   CutRunConfig run_cfg;

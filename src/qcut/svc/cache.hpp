@@ -33,6 +33,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "qcut/common/fault.hpp"
 #include "qcut/cut/fragment.hpp"
 #include "qcut/exec/backend.hpp"
 #include "qcut/plan/cut_planner.hpp"
@@ -88,6 +89,9 @@ class LruCache {
 
   /// Inserts `value` (first insert wins) and returns the resident entry.
   std::shared_ptr<V> put(const std::string& key, std::shared_ptr<V> value) {
+    // Before the lock: an injected throw leaves the cache exactly as it was
+    // (the entry is simply not inserted; the next request rebuilds it).
+    fault::maybe_inject(fault::Site::kCacheInsert);
     std::lock_guard<std::mutex> lock(mu_);
     auto [it, inserted] = by_key_.try_emplace(key);
     if (inserted) {

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <sstream>
@@ -77,6 +78,23 @@ bool recv_frame(int fd, Frame* out) {
                "wire: connection closed mid-payload");
   }
   return true;
+}
+
+/// True when the peer has hung up (or the socket is dead). Non-blocking
+/// MSG_PEEK: pending pipelined bytes mean the client is alive and waiting.
+bool peer_closed(int fd) {
+  if (fd < 0) {
+    return false;
+  }
+  std::uint8_t b = 0;
+  const ssize_t r = ::recv(fd, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (r == 0) {
+    return true;  // orderly shutdown from the peer
+  }
+  if (r < 0) {
+    return !(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR);
+  }
+  return false;
 }
 
 int connect_tcp(const std::string& host, int port) {
@@ -187,6 +205,57 @@ void QcutServer::stop() {
   }
 }
 
+bool QcutServer::drain(std::uint64_t budget_ms) {
+  if (budget_ms == 0) {
+    budget_ms = cfg_.drain_ms;
+  }
+  if (!running_.load()) {
+    return true;  // never started or already stopped: trivially drained
+  }
+  draining_.store(true, std::memory_order_relaxed);
+
+  // Stop the intake: close the listen socket so no new connections arrive.
+  // Live connections keep serving — their new estimate requests get the
+  // retryable draining rejection, their in-flight ones run to completion.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+
+  const auto idle = [this] {
+    return inflight_.load(std::memory_order_relaxed) == 0 &&
+           busy_conns_.load(std::memory_order_relaxed) == 0;
+  };
+  const auto wait_idle_until = [&idle](std::chrono::steady_clock::time_point end) {
+    while (!idle() && std::chrono::steady_clock::now() < end) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return idle();
+  };
+
+  bool clean = wait_idle_until(std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(budget_ms));
+  if (!clean) {
+    // Budget exhausted: cancel the stragglers. Their workers hit the next
+    // poll quantum, unwind with kCancelled, and their clients receive clean
+    // `cancelled` responses over still-open sockets.
+    {
+      std::lock_guard<std::mutex> lock(tokens_mu_);
+      for (auto& entry : active_tokens_) {
+        entry.second->cancel();
+      }
+    }
+    // Bounded settle: cancellation is cooperative, so give the polls a
+    // moment to land and the responses a moment to flush.
+    clean = wait_idle_until(std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(1000));
+  }
+  stop();
+  return clean;
+}
+
 void QcutServer::accept_loop() {
   while (running_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -209,19 +278,34 @@ void QcutServer::accept_loop() {
 }
 
 void QcutServer::serve_connection(int fd) {
+  // Counts connections mid-frame (request received, response not yet sent):
+  // drain() refuses to tear sockets down while any response is still owed.
+  struct BusyGuard {
+    std::atomic<std::size_t>& c;
+    explicit BusyGuard(std::atomic<std::size_t>& counter) : c(counter) {
+      c.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~BusyGuard() { c.fetch_sub(1, std::memory_order_relaxed); }
+  };
   try {
     Frame frame;
     while (running_.load() && recv_frame(fd, &frame)) {
+      BusyGuard busy(busy_conns_);
       switch (frame.type) {
         case MsgType::kEstimateRequest: {
           WireEstimateResponse resp;
+          bool client_gone = false;
           try {
-            resp = handle_estimate(decode_estimate_request(frame.payload));
+            resp = handle_estimate_watched(decode_estimate_request(frame.payload), fd,
+                                           &client_gone);
           } catch (const std::exception& e) {
             // Malformed payloads get a typed error frame; the connection
             // survives (framing is still intact).
             send_frame(fd, Frame{MsgType::kError, encode_error(e.what())});
             continue;
+          }
+          if (client_gone) {
+            continue;  // peer hung up mid-request; the recv loop sees the close
           }
           send_frame(fd, Frame{MsgType::kEstimateResponse, encode_estimate_response(resp)});
           break;
@@ -243,8 +327,33 @@ void QcutServer::serve_connection(int fd) {
   ::close(fd);
 }
 
+std::uint64_t QcutServer::effective_deadline_ms(std::uint64_t requested_ms) const noexcept {
+  if (cfg_.max_deadline_ms == 0) {
+    return requested_ms;  // no ceiling configured: the client's ask stands
+  }
+  return requested_ms == 0 ? cfg_.max_deadline_ms
+                           : std::min(requested_ms, cfg_.max_deadline_ms);
+}
+
 WireEstimateResponse QcutServer::handle_estimate(const WireEstimateRequest& req) {
+  return handle_estimate_watched(req, /*watch_fd=*/-1, /*client_gone=*/nullptr);
+}
+
+WireEstimateResponse QcutServer::handle_estimate_watched(const WireEstimateRequest& req,
+                                                         int watch_fd, bool* client_gone) {
   obs::count(obs::Counter::kSvcRequests);
+
+  // A draining server starts nothing new; the rejection is retryable so the
+  // client can fail over (or wait out the restart).
+  if (draining_.load(std::memory_order_relaxed)) {
+    obs::count(obs::Counter::kSvcRejected);
+    WireEstimateResponse resp;
+    resp.status = static_cast<std::uint8_t>(WireStatus::kRetryAfter);
+    resp.retry_after_ms = cfg_.drain_ms == 0 ? 1000 : cfg_.drain_ms;
+    resp.code = static_cast<std::uint8_t>(ErrorCode::kOverloaded);
+    resp.error = "server draining — not accepting new requests";
+    return resp;
+  }
 
   // Admission control: the pool (not the socket count) bounds concurrency;
   // past the cap the client is told to back off for about one service time.
@@ -254,6 +363,7 @@ WireEstimateResponse QcutServer::handle_estimate(const WireEstimateRequest& req)
     resp.status = static_cast<std::uint8_t>(WireStatus::kRetryAfter);
     const std::uint64_t ewma_us = ewma_service_us_.load(std::memory_order_relaxed);
     resp.retry_after_ms = ewma_us == 0 ? 50 : (ewma_us + 999) / 1000;
+    resp.code = static_cast<std::uint8_t>(ErrorCode::kOverloaded);
     resp.error = "server at capacity (" + std::to_string(cfg_.max_inflight) +
                  " requests in flight) — retry after " + std::to_string(resp.retry_after_ms) +
                  " ms";
@@ -261,61 +371,164 @@ WireEstimateResponse QcutServer::handle_estimate(const WireEstimateRequest& req)
   }
 
   // Coalescing key = the exact wire payload: only bit-identical requests
-  // (including seed and budget) merge, so merged answers are the answers
-  // each request would have gotten alone.
+  // (including seed, budget and deadline) merge, so merged answers are the
+  // answers each request would have gotten alone.
   const std::vector<std::uint8_t> payload = encode_estimate_request(req);
   const std::string key(payload.begin(), payload.end());
-  auto join = coalescer_.join(key);
+  auto cancel = std::make_shared<CancelToken>();
+  auto join = coalescer_.join(key, cancel);
   if (!join.leader) {
     obs::count(obs::Counter::kSvcCoalesced);
+    // Follower: wait on the leader's future, watching our socket when asked.
+    // A vanished client leaves the key — which cancels the leader's run only
+    // when nobody else is waiting — and sends nothing.
+    if (watch_fd >= 0) {
+      while (join.future.wait_for(std::chrono::milliseconds(10)) !=
+             std::future_status::ready) {
+        if (peer_closed(watch_fd)) {
+          coalescer_.leave(key);
+          if (client_gone != nullptr) {
+            *client_gone = true;
+          }
+          return {};
+        }
+      }
+    }
     WireEstimateResponse resp = join.future.get();
     resp.coalesced = 1;
     return resp;
   }
 
+  // Leader. The deadline is armed at admission, so pool-queue wait counts
+  // against it — a saturated server times out instead of silently stretching.
+  const std::uint64_t deadline = effective_deadline_ms(req.deadline_ms);
+  if (deadline > 0) {
+    cancel->set_deadline_after_ms(deadline);
+  }
+  const std::uint64_t serial = request_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    active_tokens_[serial] = cancel;
+  }
   inflight_.fetch_add(1, std::memory_order_relaxed);
+
   // shared_ptr wrapper: ThreadPool::submit takes std::function, which
-  // requires a copyable callable; std::promise is move-only.
+  // requires a copyable callable; std::promise is move-only. `fulfilled`
+  // lets the leader detect a promise orphaned by a failure in the pool's own
+  // wrapper (e.g. an injected pool.task fault) and rescue it below.
   auto promise = std::make_shared<std::promise<WireEstimateResponse>>(std::move(join.promise));
-  pool_.submit([this, req, key, promise]() {
-    const auto t0 = std::chrono::steady_clock::now();
-    WireEstimateResponse resp;
-    try {
-      resp = execute(req);
-    } catch (const std::exception& e) {
+  auto fulfilled = std::make_shared<std::atomic<bool>>(false);
+  std::future<void> task_done =
+      pool_.submit([this, req, key, serial, cancel, promise, fulfilled]() {
+        const auto t0 = std::chrono::steady_clock::now();
+        WireEstimateResponse resp;
+        // Install the request's token on this worker: every cancel_poll()
+        // below estimate() — planner DFS, batch loop, fragment units — sees it.
+        ScopedCancelScope cancel_scope(cancel.get());
+        try {
+          resp = execute(req, serial);
+        } catch (const Error& e) {
+          resp.status = static_cast<std::uint8_t>(WireStatus::kError);
+          resp.error = e.what();
+          resp.code = static_cast<std::uint8_t>(e.code());
+        } catch (const std::exception& e) {
+          resp.status = static_cast<std::uint8_t>(WireStatus::kError);
+          resp.error = e.what();
+          resp.code = static_cast<std::uint8_t>(ErrorCode::kInternal);
+        }
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        const std::uint64_t prev = ewma_service_us_.load(std::memory_order_relaxed);
+        const std::uint64_t sample = static_cast<std::uint64_t>(us);
+        ewma_service_us_.store(prev == 0 ? sample : prev - prev / 8 + sample / 8,
+                               std::memory_order_relaxed);
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(tokens_mu_);
+          active_tokens_.erase(serial);
+        }
+        // Retire the coalescing key BEFORE publishing the value: the client
+        // sees the response only after set_value, so its next request can
+        // never join a leader that already answered (it would inherit stale
+        // cache flags).
+        coalescer_.complete(key);
+        promise->set_value(std::move(resp));
+        fulfilled->store(true, std::memory_order_release);
+      });
+
+  // Wait on our own submission (not just join.future): if the pool wrapper
+  // throws before the lambda runs, the promise is never fulfilled and every
+  // waiter would hang — the get() below surfaces that and we rescue.
+  bool gone = false;
+  if (watch_fd >= 0) {
+    while (task_done.wait_for(std::chrono::milliseconds(10)) != std::future_status::ready) {
+      if (!gone && peer_closed(watch_fd)) {
+        gone = true;
+        if (client_gone != nullptr) {
+          *client_gone = true;
+        }
+        // We stop caring about the answer, but stay to shepherd the task:
+        // leave() cancels the run iff we were its last waiter.
+        coalescer_.leave(key);
+      }
+    }
+  } else {
+    task_done.wait();
+  }
+  try {
+    task_done.get();
+  } catch (const std::exception& e) {
+    if (!fulfilled->load(std::memory_order_acquire)) {
+      // The pool wrapper failed before our lambda ran: redo the bookkeeping
+      // it never reached so waiters get a typed answer instead of a hang.
+      WireEstimateResponse resp;
       resp.status = static_cast<std::uint8_t>(WireStatus::kError);
       resp.error = e.what();
+      const Error* err = dynamic_cast<const Error*>(&e);
+      resp.code = static_cast<std::uint8_t>(err != nullptr ? err->code() : ErrorCode::kInternal);
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(tokens_mu_);
+        active_tokens_.erase(serial);
+      }
+      coalescer_.complete(key);
+      promise->set_value(std::move(resp));
+      fulfilled->store(true, std::memory_order_release);
     }
-    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-    const std::uint64_t prev = ewma_service_us_.load(std::memory_order_relaxed);
-    const std::uint64_t sample = static_cast<std::uint64_t>(us);
-    ewma_service_us_.store(prev == 0 ? sample : prev - prev / 8 + sample / 8,
-                           std::memory_order_relaxed);
-    inflight_.fetch_sub(1, std::memory_order_relaxed);
-    // Retire the coalescing key BEFORE publishing the value: the client sees
-    // the response only after set_value, so its next request can never join
-    // a leader that already answered (it would inherit stale cache flags).
-    coalescer_.complete(key);
-    promise->set_value(std::move(resp));
-  });
+  }
+  if (gone) {
+    return {};
+  }
   return join.future.get();
 }
 
-WireEstimateResponse QcutServer::execute(const WireEstimateRequest& wreq) {
-  const std::uint64_t serial = request_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+WireEstimateResponse QcutServer::execute(const WireEstimateRequest& wreq, std::uint64_t serial) {
   obs::TraceSpan span("svc.request", serial);
 
   if (cfg_.debug_request_delay_ms > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.debug_request_delay_ms));
+    // Sleep in 1 ms quanta with cancellation polls so a deadline or a drain
+    // cancellation lands mid-delay instead of after the full artificial wait.
+    const auto delay_end = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(cfg_.debug_request_delay_ms);
+    while (std::chrono::steady_clock::now() < delay_end) {
+      cancel_poll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
   }
 
-  QCUT_CHECK(wreq.backend <= 2, "server: unknown backend kind " + std::to_string(wreq.backend));
+  if (wreq.backend > 2) {
+    throw Error("server: unknown backend kind " + std::to_string(wreq.backend),
+                ErrorCode::kInvalidRequest);
+  }
 
   EstimateRequest req;
   req.circuit_qasm = wreq.circuit_qasm;
-  req.observable = Observable::parse(wreq.observable);
+  try {
+    req.observable = Observable::parse(wreq.observable);
+  } catch (const Error& e) {
+    throw Error(e.what(), ErrorCode::kInvalidRequest);
+  }
   req.epsilon = wreq.epsilon;
   req.shot_cap = wreq.shot_cap;
   req.request_id = wreq.request_id.empty() ? "req-" + std::to_string(serial) : wreq.request_id;
@@ -334,11 +547,15 @@ WireEstimateResponse QcutServer::execute(const WireEstimateRequest& wreq) {
   // Requests execute wholly on this pool worker (inline fallbacks), so a
   // per-thread sink captures exactly this request's counters.
   req.run_cfg.scoped_report = true;
+  // The admission-armed token is already installed on this worker; handing
+  // it to estimate() too buys the front-door poll (fail before planning).
+  req.cancel = current_cancel_token();
 
   const EstimateResult res = estimate(req, &caches_);
 
   WireEstimateResponse resp;
   resp.status = static_cast<std::uint8_t>(WireStatus::kOk);
+  resp.code = static_cast<std::uint8_t>(ErrorCode::kOk);
   resp.estimate = res.estimate;
   resp.ci_halfwidth = res.ci_halfwidth;
   resp.has_exact = res.has_exact ? 1 : 0;
@@ -366,6 +583,7 @@ std::string QcutServer::metrics_text() const {
   }
   os << "qcut_svc_inflight " << inflight_.load(std::memory_order_relaxed) << "\n";
   os << "qcut_svc_max_inflight " << cfg_.max_inflight << "\n";
+  os << "qcut_svc_draining " << (draining_.load(std::memory_order_relaxed) ? 1 : 0) << "\n";
   os << "qcut_svc_pool_workers " << pool_.size() << "\n";
   os << "qcut_plan_cache_size " << caches_.plans.size() << "\n";
   os << "qcut_eval_cache_size " << caches_.evals.size() << "\n";

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "qcut/common/cancel.hpp"
 #include "qcut/common/threadpool.hpp"
 #include "qcut/svc/cache.hpp"
 #include "qcut/svc/wire.hpp"
@@ -48,6 +49,11 @@ namespace svc {
 /// leader (it executes and must complete() or abandon() the key); later
 /// joins while the key is in flight become followers sharing the leader's
 /// future. Unit-testable without sockets (test_service.cpp).
+///
+/// Cancellation-aware: every join counts as a waiter; a waiter that stops
+/// caring (client disconnected) calls leave(). A follower leaving never
+/// cancels anything — the leader's execution is cancelled only when the LAST
+/// waiter leaves (via the CancelToken the leader registered at join time).
 template <typename R>
 class CoalescingMap {
  public:
@@ -57,20 +63,47 @@ class CoalescingMap {
     std::promise<R> promise;        ///< leader fulfills this (leader only)
   };
 
-  Join join(const std::string& key) {
+  /// `cancel` (leader-supplied; ignored for followers) is the token leave()
+  /// fires when the waiter count drops to zero mid-flight.
+  Join join(const std::string& key, std::shared_ptr<CancelToken> cancel = nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
+      ++it->second.waiters;
       Join j;
       j.leader = false;
-      j.future = it->second;
+      j.future = it->second.future;
       return j;
     }
     Join j;
     j.leader = true;
     j.future = j.promise.get_future().share();
-    inflight_.emplace(key, j.future);
+    Entry entry;
+    entry.future = j.future;
+    entry.waiters = 1;
+    entry.cancel = std::move(cancel);
+    inflight_.emplace(key, std::move(entry));
     return j;
+  }
+
+  /// A waiter abandoned the key (its client hung up). When no waiters
+  /// remain and the key is still in flight, the leader's token is cancelled
+  /// — nobody is left to read the answer. No-op after complete().
+  void leave(const std::string& key) {
+    std::shared_ptr<CancelToken> fire;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = inflight_.find(key);
+      if (it == inflight_.end() || it->second.waiters == 0) {
+        return;
+      }
+      if (--it->second.waiters == 0) {
+        fire = it->second.cancel;
+      }
+    }
+    if (fire != nullptr) {
+      fire->cancel();
+    }
   }
 
   /// Leader-only: removes the key once its promise is fulfilled. Followers
@@ -85,9 +118,22 @@ class CoalescingMap {
     return inflight_.size();
   }
 
+  /// Current waiter count of an in-flight key (0 when absent). Test hook.
+  std::size_t waiters(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    return it == inflight_.end() ? 0 : it->second.waiters;
+  }
+
  private:
+  struct Entry {
+    std::shared_future<R> future;
+    std::size_t waiters = 0;
+    std::shared_ptr<CancelToken> cancel;
+  };
+
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_future<R>> inflight_;
+  std::map<std::string, Entry> inflight_;
 };
 
 struct ServerConfig {
@@ -98,6 +144,13 @@ struct ServerConfig {
   /// Admission cap on queued-or-running requests. 0 → 4 × workers.
   std::size_t max_inflight = 0;
   ServiceCachesConfig caches;
+  /// Server-side ceiling on client deadlines, in ms: requests asking for
+  /// more are clamped down, requests asking for nothing get exactly this.
+  /// 0 → no ceiling (client deadlines pass through; none is imposed).
+  std::uint64_t max_deadline_ms = 0;
+  /// Default graceful-drain budget for drain(): how long in-flight requests
+  /// may run to completion before the rest are cancelled.
+  std::uint64_t drain_ms = 2000;
   /// Test hook: sleep this long inside each request's execution, to make
   /// admission rejection and coalescing windows deterministic in tests.
   std::uint64_t debug_request_delay_ms = 0;
@@ -122,6 +175,18 @@ class QcutServer {
   /// Idempotent; also run by the destructor.
   void stop();
 
+  /// Graceful shutdown (the SIGTERM path): stop accepting new connections,
+  /// answer new estimate requests on live connections with a retryable
+  /// `overloaded` rejection, let in-flight work finish for up to `budget_ms`
+  /// (0 → cfg.drain_ms), then cancel the stragglers — their clients receive
+  /// clean `cancelled` responses, never a silently dropped socket — and
+  /// stop(). Returns true when every request finished or was answered within
+  /// the budget (plus a bounded cancellation-settle grace).
+  bool drain(std::uint64_t budget_ms = 0);
+
+  /// True between drain() entry and stop().
+  bool draining() const noexcept { return draining_.load(std::memory_order_relaxed); }
+
   ServiceCaches& caches() noexcept { return caches_; }
 
   /// The /metrics-style plaintext dump served on kMetricsRequest: one
@@ -137,7 +202,18 @@ class QcutServer {
  private:
   void accept_loop();
   void serve_connection(int fd);
-  WireEstimateResponse execute(const WireEstimateRequest& req);
+  /// The wire path's estimate handler: like handle_estimate, but when
+  /// `watch_fd` >= 0 the wait additionally watches that socket for a peer
+  /// hangup — a vanished client leaves the coalescing key (cancelling the
+  /// execution only when it was the last waiter) and sets *client_gone so
+  /// the connection is closed without a send.
+  WireEstimateResponse handle_estimate_watched(const WireEstimateRequest& req, int watch_fd,
+                                               bool* client_gone);
+  WireEstimateResponse execute(const WireEstimateRequest& req, std::uint64_t serial);
+  /// The deadline actually enforced for a request: the client's ask clamped
+  /// by cfg.max_deadline_ms (which also applies when the client asked for
+  /// nothing). 0 → unbounded.
+  std::uint64_t effective_deadline_ms(std::uint64_t requested_ms) const noexcept;
 
   ServerConfig cfg_;
   ThreadPool pool_;
@@ -147,11 +223,20 @@ class QcutServer {
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<std::size_t> inflight_{0};
+  /// Connections currently processing a frame (recv'd, response not yet
+  /// sent): drain() waits for this to hit zero so no client loses an
+  /// already-earned response to the final socket teardown.
+  std::atomic<std::size_t> busy_conns_{0};
   std::atomic<std::uint64_t> request_serial_{0};
   /// EWMA of request service time in microseconds (α = 1/8), seeded by the
   /// first completed request; the retry-after hint when admission rejects.
   std::atomic<std::uint64_t> ewma_service_us_{0};
+
+  /// Tokens of requests currently executing, for drain()'s cancel sweep.
+  std::mutex tokens_mu_;
+  std::map<std::uint64_t, std::shared_ptr<CancelToken>> active_tokens_;
 
   std::thread accept_thread_;
   std::mutex conn_mu_;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "qcut/common/error.hpp"
+#include "qcut/common/fault.hpp"
 
 namespace qcut {
 namespace svc {
@@ -178,10 +179,12 @@ std::vector<std::uint8_t> encode_estimate_request(const WireEstimateRequest& req
   w.u64(req.max_nodes);
   w.u8(req.backend);
   w.str(req.request_id);
+  w.u64(req.deadline_ms);
   return w.take();
 }
 
 WireEstimateRequest decode_estimate_request(const std::vector<std::uint8_t>& payload) {
+  fault::maybe_inject(fault::Site::kWireDecode);
   WireReader r(payload);
   WireEstimateRequest req;
   req.circuit_qasm = r.str();
@@ -200,6 +203,7 @@ WireEstimateRequest decode_estimate_request(const std::vector<std::uint8_t>& pay
   req.max_nodes = r.u64();
   req.backend = r.u8();
   req.request_id = r.str();
+  req.deadline_ms = r.u64();
   r.expect_done();
   return req;
 }
@@ -225,6 +229,7 @@ std::vector<std::uint8_t> encode_estimate_response(const WireEstimateResponse& r
   w.u8(res.eval_cache_hit);
   w.u8(res.coalesced);
   w.str(res.report_json);
+  w.u8(res.code);
   return w.take();
 }
 
@@ -250,6 +255,7 @@ WireEstimateResponse decode_estimate_response(const std::vector<std::uint8_t>& p
   res.eval_cache_hit = r.u8();
   res.coalesced = r.u8();
   res.report_json = r.str();
+  res.code = r.u8();
   r.expect_done();
   return res;
 }

@@ -16,11 +16,13 @@
 // and trailing bytes all throw qcut::Error with offset diagnostics
 // (property-tested in test_wire_protocol.cpp).
 //
-// Version policy: v1 requests carry the circuit as QASM text plus the
-// planner's scalar configuration (an empty device model is synthesized
-// server-side from the scalars, exactly as PlannerConfig documents);
-// structured DeviceModel shipping would be a v2 field. Unknown versions and
-// types are rejected, never skipped.
+// Version policy: v1 carried the circuit as QASM text plus the planner's
+// scalar configuration (an empty device model is synthesized server-side
+// from the scalars, exactly as PlannerConfig documents). v2 (this build)
+// appends `deadline_ms` to the request and the numeric ErrorCode `code` to
+// the response — the request-lifecycle fields. Structured DeviceModel
+// shipping remains a future version. Unknown versions and types are
+// rejected, never skipped.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +35,7 @@ namespace qcut {
 namespace svc {
 
 inline constexpr std::uint32_t kWireMagic = 0x54554351u;  // "QCUT"
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::uint32_t kMaxPayload = 16u * 1024u * 1024u;
 inline constexpr std::size_t kFrameHeaderSize = 12;
 
@@ -114,7 +116,8 @@ Frame decode_frame(const std::vector<std::uint8_t>& bytes);
 
 // ---- message payloads ------------------------------------------------------
 
-/// v1 estimate request: QASM circuit + observable + policy + planner scalars.
+/// v2 estimate request: QASM circuit + observable + policy + planner scalars
+/// + deadline.
 struct WireEstimateRequest {
   std::string circuit_qasm;
   std::string observable;
@@ -132,6 +135,9 @@ struct WireEstimateRequest {
   std::uint64_t max_nodes = 1000000;
   std::uint8_t backend = 1;  ///< BackendKind as integer (1 = batched-branch)
   std::string request_id;
+  /// Client deadline in milliseconds, measured from server admission; the
+  /// server clamps it to --max-deadline-ms. 0 → none (v2).
+  std::uint64_t deadline_ms = 0;
 };
 
 enum class WireStatus : std::uint8_t {
@@ -160,6 +166,10 @@ struct WireEstimateResponse {
   std::uint8_t eval_cache_hit = 0;
   std::uint8_t coalesced = 0;
   std::string report_json;  ///< the run's RunReport document
+  /// qcut::ErrorCode as its wire-stable numeric value (v2): kOk on success,
+  /// the failure taxonomy code otherwise. Lets clients classify retryable
+  /// (overloaded) vs permanent (invalid_request) without parsing `error`.
+  std::uint8_t code = 0;
 };
 
 std::vector<std::uint8_t> encode_estimate_request(const WireEstimateRequest& req);

@@ -227,7 +227,51 @@ TEST(CoalescingMapTest, FollowersShareTheLeadersResult) {
   map.complete("y");
 }
 
+TEST(CoalescingMapTest, LeaveCancelsTheLeaderOnlyWhenTheLastWaiterGoes) {
+  CoalescingMap<int> map;
+  auto cancel = std::make_shared<CancelToken>();
+  auto leader = map.join("k", cancel);
+  ASSERT_TRUE(leader.leader);
+  auto follower = map.join("k");
+  EXPECT_FALSE(follower.leader);
+  EXPECT_EQ(map.waiters("k"), 2u);
+
+  map.leave("k");  // one of two waiters departs: the run still has a reader
+  EXPECT_FALSE(cancel->cancelled());
+  EXPECT_EQ(map.waiters("k"), 1u);
+
+  map.leave("k");  // the LAST waiter departs: nobody is left to read the answer
+  EXPECT_TRUE(cancel->cancelled());
+
+  leader.promise.set_value(1);
+  map.complete("k");
+  map.leave("k");  // no-op after completion
+  auto next = map.join("k");
+  EXPECT_TRUE(next.leader);
+  next.promise.set_value(2);
+  map.complete("k");
+
+  // A leader with no token: leave() of the last waiter is simply a no-op.
+  auto plain = map.join("p");
+  map.leave("p");
+  plain.promise.set_value(3);
+  map.complete("p");
+}
+
 // ---- live server over loopback TCP ----------------------------------------
+
+/// Parses one "qcut_<name> <value>" gauge out of a metrics dump.
+std::uint64_t metrics_gauge(const std::string& dump, const std::string& name) {
+  const std::string needle = name + " ";
+  std::istringstream lines(dump);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(needle, 0) == 0) {
+      return std::stoull(line.substr(needle.size()));
+    }
+  }
+  return 0;
+}
 
 TEST(ServerTest, AnswersBitIdenticallyToInProcessAndCachesRepeats) {
   ServerConfig cfg;
@@ -445,6 +489,147 @@ TEST(ServerTest, MalformedRequestsGetDiagnosticsAndTheConnectionSurvives) {
   const WireEstimateResponse ok = client.estimate(wire_workload_request());
   EXPECT_EQ(ok.status, static_cast<std::uint8_t>(WireStatus::kOk)) << ok.error;
   server.stop();
+}
+
+TEST(ServerTest, InvalidRequestsCarryTheTypedErrorCode) {
+  QcutServer server{ServerConfig{}};
+  server.start();
+
+  QcutClient client("127.0.0.1", server.port());
+  WireEstimateRequest bad = wire_workload_request();
+  bad.observable = "IIII";  // identity: nothing to estimate
+  const WireEstimateResponse err = client.estimate(bad);
+  EXPECT_EQ(err.status, static_cast<std::uint8_t>(WireStatus::kError));
+  EXPECT_EQ(err.code, static_cast<std::uint8_t>(ErrorCode::kInvalidRequest));
+
+  const WireEstimateResponse ok = client.estimate(wire_workload_request());
+  EXPECT_EQ(ok.status, static_cast<std::uint8_t>(WireStatus::kOk)) << ok.error;
+  EXPECT_EQ(ok.code, static_cast<std::uint8_t>(ErrorCode::kOk));
+  server.stop();
+}
+
+TEST(ServerTest, DeadlineShorterThanServiceTimeFailsFastWithDeadlineExceeded) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.debug_request_delay_ms = 400;  // service time >> deadline
+  QcutServer server(cfg);
+  server.start();
+
+  const obs::MetricsSnapshot before = obs::metrics_snapshot();
+  QcutClient client("127.0.0.1", server.port());
+  WireEstimateRequest req = wire_workload_request();
+  req.deadline_ms = 20;
+  const auto t0 = std::chrono::steady_clock::now();
+  const WireEstimateResponse resp = client.estimate(req);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(WireStatus::kError));
+  EXPECT_EQ(resp.code, static_cast<std::uint8_t>(ErrorCode::kDeadlineExceeded)) << resp.error;
+  EXPECT_NE(resp.error.find("deadline_exceeded"), std::string::npos) << resp.error;
+  // Aborted at the next poll quantum, not after the full 400 ms service time.
+  EXPECT_LT(elapsed_ms, 300);
+  const obs::MetricsSnapshot delta = obs::metrics_delta(before, obs::metrics_snapshot());
+  EXPECT_GE(delta[obs::Counter::kDeadlinesExceeded], 1u);
+  server.stop();
+}
+
+TEST(ServerTest, MaxDeadlineMsImposesACeilingWhenClientsAskForNothing) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.debug_request_delay_ms = 400;
+  cfg.max_deadline_ms = 20;  // server-side ceiling
+  QcutServer server(cfg);
+  server.start();
+
+  QcutClient client("127.0.0.1", server.port());
+  WireEstimateRequest req = wire_workload_request();
+  req.deadline_ms = 0;  // client asked for nothing → the ceiling applies
+  const WireEstimateResponse resp = client.estimate(req);
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(WireStatus::kError));
+  EXPECT_EQ(resp.code, static_cast<std::uint8_t>(ErrorCode::kDeadlineExceeded)) << resp.error;
+
+  // And a client asking for MORE than the ceiling is clamped down to it.
+  req.deadline_ms = 60000;
+  const WireEstimateResponse clamped = client.estimate(req);
+  EXPECT_EQ(clamped.code, static_cast<std::uint8_t>(ErrorCode::kDeadlineExceeded))
+      << clamped.error;
+  server.stop();
+}
+
+// Satellite of the drain design: SIGTERM maps to drain(), so this is the
+// signal path minus the signal. Every accepted connection must get a real
+// response — completed, cancelled, or a retryable rejection — and never a
+// silently dropped socket.
+TEST(ServerTest, DrainUnderLoadAnswersEveryAcceptedRequest) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.debug_request_delay_ms = 2000;  // far beyond the drain budget
+  QcutServer server(cfg);
+  server.start();
+
+  constexpr int kClients = 4;
+  std::vector<WireEstimateResponse> resps(kClients);
+  std::vector<int> transport_errors(kClients, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        QcutClient client("127.0.0.1", server.port());
+        WireEstimateRequest req = wire_workload_request();
+        req.seed = 7000 + static_cast<std::uint64_t>(t);  // distinct: no coalescing
+        resps[static_cast<std::size_t>(t)] = client.estimate(req);
+      } catch (const Error&) {
+        transport_errors[static_cast<std::size_t>(t)] = 1;
+      }
+    });
+  }
+
+  // Wait until all four are actually in flight before pulling the plug.
+  const auto t_arm = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (metrics_gauge(server.metrics_text(), "qcut_svc_inflight") <
+             static_cast<std::uint64_t>(kClients) &&
+         std::chrono::steady_clock::now() < t_arm) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(metrics_gauge(server.metrics_text(), "qcut_svc_inflight"),
+            static_cast<std::uint64_t>(kClients));
+
+  const obs::MetricsSnapshot before = obs::metrics_snapshot();
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool clean = server.drain(200);  // budget << the 2 s service time
+  const auto drain_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  // drain() came back well inside budget + settle, not after 2 s of delay.
+  EXPECT_TRUE(clean);
+  EXPECT_LT(drain_ms, 1500);
+
+  int cancelled = 0;
+  for (int t = 0; t < kClients; ++t) {
+    // Never a dropped socket: each client got a decoded response.
+    EXPECT_EQ(transport_errors[static_cast<std::size_t>(t)], 0) << "client " << t;
+    const WireEstimateResponse& r = resps[static_cast<std::size_t>(t)];
+    if (r.code == static_cast<std::uint8_t>(ErrorCode::kCancelled)) {
+      ++cancelled;
+      EXPECT_EQ(r.status, static_cast<std::uint8_t>(WireStatus::kError));
+    } else {
+      // The only other legal outcomes: finished in time or retryable reject.
+      EXPECT_TRUE(r.status == static_cast<std::uint8_t>(WireStatus::kOk) ||
+                  r.status == static_cast<std::uint8_t>(WireStatus::kRetryAfter))
+          << r.error;
+    }
+  }
+  EXPECT_GE(cancelled, 1);  // the budget was unreachable, so some were cut short
+  const obs::MetricsSnapshot delta = obs::metrics_delta(before, obs::metrics_snapshot());
+  EXPECT_GE(delta[obs::Counter::kCancellations], 1u);
+
+  // Post-drain the server is stopped and the draining gauge reads 1.
+  EXPECT_NE(server.metrics_text().find("qcut_svc_draining 1"), std::string::npos);
 }
 
 }  // namespace

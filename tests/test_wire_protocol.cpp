@@ -60,6 +60,7 @@ WireEstimateRequest random_request(Rng& rng) {
   req.max_nodes = rng.uniform_u64(~0ULL);
   req.backend = static_cast<std::uint8_t>(rng.uniform_u64(256));
   req.request_id = random_string(rng, 40);
+  req.deadline_ms = rng.uniform_u64(~0ULL);
   return req;
 }
 
@@ -84,6 +85,7 @@ WireEstimateResponse random_response(Rng& rng) {
   res.eval_cache_hit = static_cast<std::uint8_t>(rng.uniform_u64(256));
   res.coalesced = static_cast<std::uint8_t>(rng.uniform_u64(256));
   res.report_json = random_string(rng, 300);
+  res.code = static_cast<std::uint8_t>(rng.uniform_u64(256));
   return res;
 }
 
@@ -108,6 +110,7 @@ TEST(WireProtocol, RequestRoundTripIsIdentity) {
     EXPECT_EQ(back.max_nodes, req.max_nodes);
     EXPECT_EQ(back.backend, req.backend);
     EXPECT_EQ(back.request_id, req.request_id);
+    EXPECT_EQ(back.deadline_ms, req.deadline_ms);
   }
 }
 
@@ -122,6 +125,7 @@ TEST(WireProtocol, ResponseRoundTripIsIdentity) {
     EXPECT_EQ(bits_of(back.exact), bits_of(res.exact));
     EXPECT_EQ(back.report_json, res.report_json);
     EXPECT_EQ(back.status, res.status);
+    EXPECT_EQ(back.code, res.code);
   }
 }
 

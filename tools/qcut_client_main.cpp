@@ -3,6 +3,7 @@
 //   qcut-client --port P [--host H] estimate --qasm FILE --obs ZZZ
 //               [--epsilon 0.05] [--shots 0] [--shot-cap 0] [--seed 1234]
 //               [--repeat 1] [--concurrency 1] [--request-id ID]
+//               [--deadline-ms 0]
 //   qcut-client --port P [--host H] metrics
 //
 // `estimate` sends the same request --repeat times from --concurrency
@@ -11,12 +12,17 @@
 //   estimate=<…17g> ci=<…> shots=<N> plan_cache_hit=<0|1> eval_cache_hit=<0|1>
 //   coalesced=<0|1> status=<ok|retry_after|error>
 //
-// Retry-after responses are retried (after the suggested backoff) up to 5
-// times. `metrics` prints the server's plaintext counter dump verbatim.
+// Retryable responses — retry_after rejections and `overloaded` errors — are
+// retried up to 5 times with jittered exponential backoff (floored at the
+// server's retry_after_ms hint); permanent failures (invalid_request,
+// deadline_exceeded, cancelled, internal) are reported immediately.
+// `metrics` prints the server's plaintext counter dump verbatim.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -49,15 +55,38 @@ const char* status_name(std::uint8_t status) {
   return "unknown";
 }
 
+/// Retryable: the server said "come back later" (admission rejection or a
+/// typed `overloaded` error). Everything else — invalid_request,
+/// deadline_exceeded, cancelled, internal — is permanent for THIS request:
+/// resending the identical bytes reproduces the identical failure.
+bool retryable(const qcut::svc::WireEstimateResponse& resp) {
+  if (resp.status == static_cast<std::uint8_t>(qcut::svc::WireStatus::kRetryAfter)) {
+    return true;
+  }
+  return resp.status == static_cast<std::uint8_t>(qcut::svc::WireStatus::kError) &&
+         resp.code == static_cast<std::uint8_t>(qcut::ErrorCode::kOverloaded);
+}
+
 qcut::svc::WireEstimateResponse estimate_with_retry(qcut::svc::QcutClient& client,
-                                                    const qcut::svc::WireEstimateRequest& req) {
+                                                    const qcut::svc::WireEstimateRequest& req,
+                                                    std::uint64_t jitter_seed) {
+  constexpr std::uint64_t kSleepCapMs = 5000;
   qcut::svc::WireEstimateResponse resp;
+  std::mt19937_64 rng(jitter_seed);
+  std::uint64_t backoff_ms = 10;
   for (int attempt = 0; attempt < 5; ++attempt) {
     resp = client.estimate(req);
-    if (resp.status != static_cast<std::uint8_t>(qcut::svc::WireStatus::kRetryAfter)) {
+    if (!retryable(resp)) {
       return resp;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(resp.retry_after_ms));
+    // Exponential base, floored at the server's hint, with multiplicative
+    // jitter in [1, 2) so synchronized clients don't re-collide in lockstep.
+    std::uniform_real_distribution<double> jitter(1.0, 2.0);
+    const std::uint64_t base = std::max(backoff_ms, resp.retry_after_ms);
+    const std::uint64_t sleep_ms = std::min(
+        kSleepCapMs, static_cast<std::uint64_t>(static_cast<double>(base) * jitter(rng)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min(kSleepCapMs, backoff_ms * 2);
   }
   return resp;
 }
@@ -93,6 +122,7 @@ int main(int argc, char** argv) {
     req.target_accuracy = cli.get_real("accuracy", 0.05);
     req.max_fragment_width = static_cast<std::int32_t>(cli.get_int("max-width", 0));
     req.request_id = cli.get("request-id", "");
+    req.deadline_ms = static_cast<std::uint64_t>(cli.get_int("deadline-ms", 0));
 
     const int repeat = static_cast<int>(cli.get_int("repeat", 1));
     const int concurrency = static_cast<int>(cli.get_int("concurrency", 1));
@@ -104,7 +134,10 @@ int main(int argc, char** argv) {
     auto worker = [&](int thread_idx) {
       qcut::svc::QcutClient client(host, port);
       for (int r = thread_idx; r < repeat; r += concurrency) {
-        const qcut::svc::WireEstimateResponse resp = estimate_with_retry(client, req);
+        const std::uint64_t jitter_seed =
+            req.seed ^ (static_cast<std::uint64_t>(thread_idx) << 32) ^
+            static_cast<std::uint64_t>(r);
+        const qcut::svc::WireEstimateResponse resp = estimate_with_retry(client, req, jitter_seed);
         std::lock_guard<std::mutex> lock(print_mu);
         if (resp.status == static_cast<std::uint8_t>(qcut::svc::WireStatus::kOk)) {
           std::printf(
@@ -115,7 +148,9 @@ int main(int argc, char** argv) {
               resp.eval_cache_hit, resp.coalesced, status_name(resp.status));
         } else {
           any_error = true;
-          std::printf("status=%s error=%s\n", status_name(resp.status), resp.error.c_str());
+          std::printf("status=%s code=%s error=%s\n", status_name(resp.status),
+                      qcut::error_code_name(static_cast<qcut::ErrorCode>(resp.code)),
+                      resp.error.c_str());
         }
       }
     };

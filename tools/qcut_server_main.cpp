@@ -1,12 +1,17 @@
 // qcut-server: the estimation daemon. Binds, prints the bound port, serves
-// until SIGINT/SIGTERM.
+// until SIGINT/SIGTERM — SIGTERM (and the first SIGINT) triggers a graceful
+// drain: stop accepting, let in-flight requests finish within --drain-ms,
+// then cancel the rest (their clients get clean `cancelled` responses).
 //
 //   qcut-server [--host 127.0.0.1] [--port 0] [--workers N]
-//               [--max-inflight N] [--port-file PATH]
+//               [--max-inflight N] [--max-deadline-ms MS] [--drain-ms MS]
+//               [--port-file PATH]
 //
 // --port 0 (the default) binds an ephemeral port; scripts read it from the
 // "listening on HOST:PORT" stdout line or from --port-file (written once the
 // socket is live, so waiting for the file is a race-free readiness check).
+// --max-deadline-ms clamps (and, when clients ask for nothing, imposes) the
+// per-request deadline; 0 disables the ceiling.
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -33,6 +38,8 @@ int main(int argc, char** argv) {
   cfg.max_inflight = static_cast<std::size_t>(cli.get_int("max-inflight", 0));
   cfg.caches.plan_capacity = static_cast<std::size_t>(cli.get_int("plan-cache", 64));
   cfg.caches.eval_capacity = static_cast<std::size_t>(cli.get_int("eval-cache", 32));
+  cfg.max_deadline_ms = static_cast<std::uint64_t>(cli.get_int("max-deadline-ms", 0));
+  cfg.drain_ms = static_cast<std::uint64_t>(cli.get_int("drain-ms", 2000));
   const std::string port_file = cli.get("port-file", "");
 
   try {
@@ -52,8 +59,11 @@ int main(int argc, char** argv) {
     while (g_stop == 0) {
       sigsuspend(&mask);  // sleep until a signal arrives
     }
-    std::printf("qcut-server: shutting down\n");
-    server.stop();
+    std::printf("qcut-server: draining (budget %llu ms)\n",
+                static_cast<unsigned long long>(cfg.drain_ms));
+    std::fflush(stdout);
+    const bool clean = server.drain();
+    std::printf("qcut-server: %s\n", clean ? "drained cleanly" : "drained with cancellations");
   } catch (const qcut::Error& e) {
     std::fprintf(stderr, "qcut-server: %s\n", e.what());
     return 1;
